@@ -1,0 +1,46 @@
+//! Ablation bench: similarity-graph construction through the URL inverted
+//! index (the production path, after Baeza-Yates & Tiberi) vs naive
+//! all-pairs cosine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esharp_graph::{build_graph, build_graph_naive, GraphConfig};
+use esharp_querylog::{AggregatedLog, LogConfig, LogGenerator, World, WorldConfig};
+use std::hint::black_box;
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_build");
+    group.sample_size(10);
+    for &(domains, events) in &[(4usize, 20_000usize), (12, 60_000)] {
+        let world = World::generate(&WorldConfig {
+            domains_per_category: domains,
+            ..WorldConfig::tiny(7)
+        });
+        let log = AggregatedLog::from_events(
+            LogGenerator::new(
+                &world,
+                &LogConfig {
+                    events,
+                    ..LogConfig::tiny(7)
+                },
+            ),
+            world.terms.len(),
+        );
+        let (filtered, _) = log.filter_min_support(10);
+        let config = GraphConfig::default();
+        let terms = filtered.num_terms();
+        group.bench_with_input(
+            BenchmarkId::new("inverted_index", terms),
+            &filtered,
+            |b, log| b.iter(|| black_box(build_graph(log, &world, &config))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_all_pairs", terms),
+            &filtered,
+            |b, log| b.iter(|| black_box(build_graph_naive(log, &world, &config))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_build);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! §4.2.3 ablation: replicated (broadcast) vs co-partitioned execution of
+//! the neighborhood-listing join (`graph ⋈ communities`), serial vs
+//! parallel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esharp_relation::{Cluster, DataType, JoinStrategy, Schema, Table, TableBuilder, Value};
+use std::hint::black_box;
+
+fn make_graph_table(edges: usize) -> Table {
+    let schema = Schema::of(&[
+        ("node1", DataType::Int),
+        ("node2", DataType::Int),
+        ("multiplicity", DataType::Int),
+    ]);
+    let mut b = TableBuilder::with_capacity(schema, edges);
+    for i in 0..edges as i64 {
+        b.push_row(vec![
+            Value::Int(i % 997),
+            Value::Int((i * 31) % 997),
+            Value::Int(1 + i % 5),
+        ])
+        .unwrap();
+    }
+    b.finish()
+}
+
+fn make_communities_table(nodes: i64) -> Table {
+    let schema = Schema::of(&[("comm_name", DataType::Int), ("query", DataType::Int)]);
+    let mut b = TableBuilder::with_capacity(schema, nodes as usize);
+    for i in 0..nodes {
+        b.push_row(vec![Value::Int(i / 7), Value::Int(i)]).unwrap();
+    }
+    b.finish()
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_strategies");
+    group.sample_size(20);
+    for &edges in &[20_000usize, 100_000] {
+        let graph = make_graph_table(edges);
+        let communities = make_communities_table(997);
+        for (label, workers, strategy) in [
+            ("serial", 1usize, JoinStrategy::Broadcast),
+            ("broadcast_4w", 4, JoinStrategy::Broadcast),
+            ("copartitioned_4w", 4, JoinStrategy::CoPartitioned),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, edges),
+                &(&graph, &communities),
+                |b, (g, comm)| {
+                    let cluster = Cluster::new(workers);
+                    b.iter(|| {
+                        black_box(
+                            cluster.join(g, comm, &[0], &[1], strategy).unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

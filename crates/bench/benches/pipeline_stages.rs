@@ -1,0 +1,50 @@
+//! Table 9's offline rows: wall time of the extraction stage (log →
+//! graph) and the clustering stage, at a laptop scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esharp_core::{run_clustering, EsharpConfig};
+use esharp_graph::{build_graph, GraphConfig, MultiGraph};
+use esharp_querylog::{AggregatedLog, LogConfig, LogGenerator, World, WorldConfig};
+use std::hint::black_box;
+
+fn bench_stages(c: &mut Criterion) {
+    let world = World::generate(&WorldConfig::tiny(2016));
+    let log = AggregatedLog::from_events(
+        LogGenerator::new(
+            &world,
+            &LogConfig {
+                events: 100_000,
+                ..LogConfig::tiny(2016)
+            },
+        ),
+        world.terms.len(),
+    );
+    let (filtered, _) = log.filter_min_support(10);
+    let mut group = c.benchmark_group("pipeline_stages");
+    group.sample_size(10);
+
+    group.bench_function("extraction_support_filter", |b| {
+        b.iter(|| black_box(log.filter_min_support(10)))
+    });
+    group.bench_function("extraction_graph_build", |b| {
+        b.iter(|| black_box(build_graph(&filtered, &world, &GraphConfig::default())))
+    });
+
+    let (graph, _) = build_graph(&filtered, &world, &GraphConfig::default());
+    let multigraph = MultiGraph::from_similarity(&graph, 20.0);
+    let config = EsharpConfig::tiny();
+    group.bench_function("clustering_parallel", |b| {
+        b.iter(|| black_box(run_clustering(&multigraph, &config).unwrap()))
+    });
+    let sql_config = EsharpConfig {
+        backend: esharp_core::ClusterBackend::Sql,
+        ..EsharpConfig::tiny()
+    };
+    group.bench_function("clustering_sql", |b| {
+        b.iter(|| black_box(run_clustering(&multigraph, &sql_config).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

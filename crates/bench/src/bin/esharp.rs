@@ -1,0 +1,229 @@
+//! `esharp` — command-line front door to the e# reproduction.
+//!
+//! ```text
+//! esharp build  [--scale tiny|small|paper] [--seed N] [--out DIR]
+//!     Run the offline pipeline, print stage stats, persist the domain
+//!     collection (domains.json) and similarity graph (graph.bin).
+//!
+//! esharp search <query>… [--scale …] [--seed N] [--baseline] [--top K]
+//!     Build the testbed and search each query, printing ranked experts
+//!     with and without expansion.
+//!
+//! esharp inspect <term> [--scale …] [--seed N] [-k N]
+//!     Print the term's community and its k closest communities (Fig 7).
+//!
+//! esharp sql "<select …>" [--scale …] [--seed N]
+//!     Run SQL against the pipeline tables (log, graph, communities) on
+//!     the bundled engine; prints EXPLAIN and the result.
+//! ```
+
+use esharp_eval::{EvalScale, Testbed};
+use esharp_graph::relation_io::{graph_to_table, log_to_table};
+use esharp_relation::{explain, plan_sql, Catalog, DataType, ExecContext, Schema, TableBuilder, Value};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("usage: esharp <build|search|inspect|sql> …  (see --help)");
+        std::process::exit(2);
+    };
+    let opts = Options::parse(&args[1..]);
+    match command.as_str() {
+        "build" => build(&opts),
+        "search" => search(&opts),
+        "inspect" => inspect(&opts),
+        "sql" => sql(&opts),
+        "--help" | "-h" | "help" => {
+            println!("subcommands: build, search, inspect, sql");
+            println!("flags: --scale tiny|small|paper, --seed N, --out DIR, --baseline, --top K, -k N");
+        }
+        other => {
+            eprintln!("unknown subcommand {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+struct Options {
+    scale: EvalScale,
+    seed: u64,
+    out: Option<String>,
+    baseline: bool,
+    top: usize,
+    k: usize,
+    positional: Vec<String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Options {
+        let mut opts = Options {
+            scale: EvalScale::Small,
+            seed: 2016,
+            out: None,
+            baseline: false,
+            top: 5,
+            k: 3,
+            positional: Vec::new(),
+        };
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    opts.scale = match iter.next().map(String::as_str) {
+                        Some("tiny") => EvalScale::Tiny,
+                        Some("small") => EvalScale::Small,
+                        Some("paper") => EvalScale::Paper,
+                        other => {
+                            eprintln!("unknown scale {other:?}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                "--seed" => opts.seed = next_num(&mut iter, "--seed"),
+                "--out" => opts.out = iter.next().cloned(),
+                "--baseline" => opts.baseline = true,
+                "--top" => opts.top = next_num(&mut iter, "--top") as usize,
+                "-k" => opts.k = next_num(&mut iter, "-k") as usize,
+                other => opts.positional.push(other.to_string()),
+            }
+        }
+        opts
+    }
+}
+
+fn next_num(iter: &mut std::slice::Iter<'_, String>, flag: &str) -> u64 {
+    iter.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} expects a number");
+        std::process::exit(2);
+    })
+}
+
+fn testbed(opts: &Options) -> Testbed {
+    eprintln!("building testbed (scale {:?}, seed {})…", opts.scale, opts.seed);
+    let started = std::time::Instant::now();
+    let tb = Testbed::build(opts.scale, opts.seed);
+    eprintln!(
+        "ready in {:.1?}: {} domains · {} graph nodes · {} tweets",
+        started.elapsed(),
+        tb.world.num_domains(),
+        tb.artifacts.graph.num_nodes(),
+        tb.corpus.tweets().len()
+    );
+    tb
+}
+
+fn build(opts: &Options) {
+    let tb = testbed(opts);
+    println!("pipeline stages:");
+    for stage in &tb.artifacts.stages {
+        println!("  {stage}");
+    }
+    println!(
+        "clustering: {} communities after {} iterations",
+        tb.artifacts.outcome.num_communities(),
+        tb.artifacts.outcome.iterations()
+    );
+    if let Some(dir) = &opts.out {
+        let domains_path = format!("{dir}/domains.json");
+        let graph_path = format!("{dir}/graph.bin");
+        tb.esharp
+            .domains()
+            .save(&domains_path)
+            .expect("write domains");
+        esharp_graph::io::save_graph(&tb.artifacts.graph, &graph_path).expect("write graph");
+        println!("persisted {domains_path} and {graph_path}");
+    }
+}
+
+fn search(opts: &Options) {
+    if opts.positional.is_empty() {
+        eprintln!("usage: esharp search <query>…");
+        std::process::exit(2);
+    }
+    let tb = testbed(opts);
+    for query in &opts.positional {
+        let outcome = if opts.baseline {
+            tb.esharp.search_baseline(&tb.corpus, query)
+        } else {
+            tb.esharp.search(&tb.corpus, query)
+        };
+        println!(
+            "\n{query:?} → {} tweets matched, expansion {:?}",
+            outcome.matched_tweets, outcome.expansion
+        );
+        for (rank, expert) in outcome.experts.iter().take(opts.top).enumerate() {
+            let user = tb.corpus.user(expert.user);
+            println!(
+                "  {:>2}. @{:<26} {:+.2}  {} followers{}  — {}",
+                rank + 1,
+                user.handle,
+                expert.score,
+                user.followers,
+                if user.verified { " ✓" } else { "" },
+                user.description
+            );
+        }
+        if outcome.experts.is_empty() {
+            println!("  (no experts found)");
+        }
+    }
+}
+
+fn inspect(opts: &Options) {
+    let Some(term) = opts.positional.first() else {
+        eprintln!("usage: esharp inspect <term>");
+        std::process::exit(2);
+    };
+    let tb = testbed(opts);
+    match esharp_eval::experiments::figures::fig7(&tb, term, opts.k) {
+        Some(fig) => println!("{}", fig.render()),
+        None => println!("{term:?} is not a node of the similarity graph at this scale"),
+    }
+}
+
+fn sql(opts: &Options) {
+    let Some(query) = opts.positional.first() else {
+        eprintln!("usage: esharp sql \"select …\"");
+        std::process::exit(2);
+    };
+    let tb = testbed(opts);
+    let catalog = Catalog::new();
+    catalog.register(
+        "log",
+        log_to_table(&tb.log, &tb.world).expect("log table"),
+    );
+    catalog.register(
+        "graph",
+        graph_to_table(&tb.artifacts.graph).expect("graph table"),
+    );
+    // communities(comm_name, query) over term texts.
+    let schema = Schema::of(&[("comm_name", DataType::Int), ("query", DataType::Str)]);
+    let mut builder = TableBuilder::new(schema);
+    for node in 0..tb.artifacts.graph.num_nodes() as u32 {
+        builder
+            .push_row(vec![
+                Value::Int(tb.artifacts.outcome.assignment.community_of(node) as i64),
+                Value::str(tb.artifacts.graph.label(node)),
+            ])
+            .expect("push row");
+    }
+    catalog.register("communities", builder.finish());
+
+    let ctx = ExecContext::new(catalog);
+    match plan_sql(query, &ctx) {
+        Ok(plan) => {
+            println!("-- EXPLAIN\n{}", explain(&plan));
+            match ctx.execute(&plan) {
+                Ok(table) => println!("-- {} rows\n{table}", table.num_rows()),
+                Err(e) => {
+                    eprintln!("execution error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("plan error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

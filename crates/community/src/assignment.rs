@@ -1,0 +1,133 @@
+//! Node → community assignments and derived views.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A partition of nodes into communities: `assignment[node] = community`.
+///
+/// Community ids are arbitrary `u32`s (the algorithms use node ids as
+/// community representatives); [`Assignment::canonicalize`] relabels them
+/// to `0..k` for comparisons.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    communities: Vec<u32>,
+}
+
+impl Assignment {
+    /// Every node in its own community (the paper's initialization).
+    pub fn singletons(num_nodes: usize) -> Self {
+        Assignment {
+            communities: (0..num_nodes as u32).collect(),
+        }
+    }
+
+    /// From an explicit vector.
+    pub fn from_vec(communities: Vec<u32>) -> Self {
+        Assignment { communities }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.communities.len()
+    }
+
+    /// True when there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.communities.is_empty()
+    }
+
+    /// The community of one node.
+    pub fn community_of(&self, node: u32) -> u32 {
+        self.communities[node as usize]
+    }
+
+    /// Mutable access for algorithms.
+    pub fn set(&mut self, node: u32, community: u32) {
+        self.communities[node as usize] = community;
+    }
+
+    /// Raw slice view.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.communities
+    }
+
+    /// Number of distinct communities.
+    pub fn num_communities(&self) -> usize {
+        let mut seen: Vec<u32> = self.communities.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Members of each community, keyed by community id, each sorted.
+    pub fn groups(&self) -> HashMap<u32, Vec<u32>> {
+        let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (node, &c) in self.communities.iter().enumerate() {
+            groups.entry(c).or_default().push(node as u32);
+        }
+        groups
+    }
+
+    /// Community sizes, descending.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = self.groups().values().map(Vec::len).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+
+    /// Relabel communities to dense ids `0..k` in order of first
+    /// appearance, so two assignments that induce the same partition
+    /// compare equal.
+    pub fn canonicalize(&self) -> Assignment {
+        let mut mapping: HashMap<u32, u32> = HashMap::new();
+        let mut next = 0u32;
+        let communities = self
+            .communities
+            .iter()
+            .map(|&c| {
+                *mapping.entry(c).or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                })
+            })
+            .collect();
+        Assignment { communities }
+    }
+
+    /// True if both assignments induce the same partition (up to label
+    /// renaming).
+    pub fn same_partition(&self, other: &Assignment) -> bool {
+        self.canonicalize() == other.canonicalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_distinct() {
+        let a = Assignment::singletons(4);
+        assert_eq!(a.num_communities(), 4);
+        assert_eq!(a.community_of(2), 2);
+    }
+
+    #[test]
+    fn groups_and_sizes() {
+        let a = Assignment::from_vec(vec![5, 5, 9, 5]);
+        let groups = a.groups();
+        assert_eq!(groups[&5], vec![0, 1, 3]);
+        assert_eq!(groups[&9], vec![2]);
+        assert_eq!(a.sizes(), vec![3, 1]);
+    }
+
+    #[test]
+    fn canonicalize_is_label_invariant() {
+        let a = Assignment::from_vec(vec![7, 7, 3, 3, 7]);
+        let b = Assignment::from_vec(vec![0, 0, 1, 1, 0]);
+        assert!(a.same_partition(&b));
+        let c = Assignment::from_vec(vec![0, 1, 1, 0, 0]);
+        assert!(!a.same_partition(&c));
+    }
+}

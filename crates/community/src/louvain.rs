@@ -1,0 +1,270 @@
+//! Louvain community detection — one of the "different community detection
+//! paradigms" the paper's conclusion names as future work; used here as an
+//! ablation comparator for the 3-step algorithm.
+//!
+//! Standard two-phase scheme on the unit-edge multigraph: (1) local moving
+//! — repeatedly move single nodes to the neighboring community with the
+//! best modularity gain; (2) aggregation — contract communities into
+//! super-nodes and recurse. Deterministic: nodes are visited in id order
+//! and ties break toward the smaller community id.
+
+use crate::assignment::Assignment;
+use esharp_graph::MultiGraph;
+use std::collections::HashMap;
+
+/// Configuration of the Louvain loop.
+#[derive(Debug, Clone)]
+pub struct LouvainConfig {
+    /// Cap on local-moving sweeps per level.
+    pub max_sweeps: usize,
+    /// Cap on aggregation levels.
+    pub max_levels: usize,
+}
+
+impl Default for LouvainConfig {
+    fn default() -> Self {
+        LouvainConfig {
+            max_sweeps: 20,
+            max_levels: 10,
+        }
+    }
+}
+
+/// Run Louvain, returning the flat node → community assignment.
+pub fn cluster_louvain(graph: &MultiGraph, config: &LouvainConfig) -> Assignment {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Assignment::singletons(0);
+    }
+    // node_to_final[v] = community of v in the original graph.
+    let mut node_to_final: Vec<u32> = (0..n as u32).collect();
+    let mut level_graph = LevelGraph::from_multigraph(graph);
+
+    for _ in 0..config.max_levels {
+        let local = local_moving(&level_graph, config.max_sweeps);
+        let distinct = {
+            let mut c = local.clone();
+            c.sort_unstable();
+            c.dedup();
+            c.len()
+        };
+        if distinct == level_graph.n {
+            break; // No node moved: converged.
+        }
+        // Re-map the original nodes through this level's assignment.
+        let (dense, k) = densify(&local);
+        for final_c in node_to_final.iter_mut() {
+            *final_c = dense[local[*final_c as usize] as usize];
+        }
+        level_graph = level_graph.aggregate(&local, &dense, k);
+        if level_graph.n <= 1 {
+            break;
+        }
+    }
+    Assignment::from_vec(node_to_final)
+}
+
+/// Adjacency-list weighted graph used between levels.
+struct LevelGraph {
+    n: usize,
+    /// adjacency[v] = (neighbor, weight); no self entries, self-loop weight
+    /// tracked separately.
+    adjacency: Vec<Vec<(u32, f64)>>,
+    self_loops: Vec<f64>,
+    degrees: Vec<f64>,
+    total_weight: f64, // m (counting each edge once; self-loops count once)
+}
+
+impl LevelGraph {
+    fn from_multigraph(graph: &MultiGraph) -> Self {
+        let n = graph.num_nodes();
+        let mut adjacency = vec![Vec::new(); n];
+        for &(a, b, k) in graph.edges() {
+            adjacency[a as usize].push((b, k as f64));
+            adjacency[b as usize].push((a, k as f64));
+        }
+        let degrees: Vec<f64> = graph.degrees().iter().map(|&d| d as f64).collect();
+        LevelGraph {
+            n,
+            adjacency,
+            self_loops: vec![0.0; n],
+            degrees,
+            total_weight: graph.total_edges() as f64,
+        }
+    }
+
+    /// Contract by an assignment with `dense` relabeling into `k`
+    /// super-nodes.
+    fn aggregate(&self, local: &[u32], dense: &[u32], k: usize) -> LevelGraph {
+        let mut self_loops = vec![0.0; k];
+        let mut pair_weights: HashMap<(u32, u32), f64> = HashMap::new();
+        for v in 0..self.n {
+            let cv = dense[local[v] as usize];
+            self_loops[cv as usize] += self.self_loops[v];
+            for &(w, weight) in &self.adjacency[v] {
+                if (w as usize) < v {
+                    continue; // visit each undirected edge once
+                }
+                let cw = dense[local[w as usize] as usize];
+                if cv == cw {
+                    self_loops[cv as usize] += weight;
+                } else {
+                    *pair_weights.entry((cv.min(cw), cv.max(cw))).or_insert(0.0) += weight;
+                }
+            }
+        }
+        let mut adjacency = vec![Vec::new(); k];
+        for (&(a, b), &w) in &pair_weights {
+            adjacency[a as usize].push((b, w));
+            adjacency[b as usize].push((a, w));
+        }
+        for adj in &mut adjacency {
+            adj.sort_by_key(|&(n, _)| n);
+        }
+        let mut degrees = vec![0.0; k];
+        for c in 0..k {
+            degrees[c] = 2.0 * self_loops[c] + adjacency[c].iter().map(|&(_, w)| w).sum::<f64>();
+        }
+        LevelGraph {
+            n: k,
+            adjacency,
+            self_loops,
+            degrees,
+            total_weight: self.total_weight,
+        }
+    }
+}
+
+/// Phase 1: greedy single-node moves until stable.
+fn local_moving(graph: &LevelGraph, max_sweeps: usize) -> Vec<u32> {
+    let n = graph.n;
+    let m = graph.total_weight;
+    let mut community: Vec<u32> = (0..n as u32).collect();
+    // Sum of degrees per community.
+    let mut community_degree: Vec<f64> = graph.degrees.clone();
+    if m == 0.0 {
+        return community;
+    }
+
+    for _ in 0..max_sweeps {
+        let mut moved = false;
+        for v in 0..n {
+            let cv = community[v];
+            let deg_v = graph.degrees[v];
+            // Weights from v to each neighboring community.
+            let mut to_comm: HashMap<u32, f64> = HashMap::new();
+            for &(w, weight) in &graph.adjacency[v] {
+                to_comm
+                    .entry(community[w as usize])
+                    .and_modify(|x| *x += weight)
+                    .or_insert(weight);
+            }
+            let to_own = to_comm.get(&cv).copied().unwrap_or(0.0);
+            // Gain of leaving cv then joining c: standard Louvain ΔQ
+            // comparison; constant factors cancel, compare
+            // k_{v,c} − deg_v·Σ_c / (2m).
+            let base = to_own - deg_v * (community_degree[cv as usize] - deg_v) / (2.0 * m);
+            let mut best_c = cv;
+            let mut best_gain = 0.0;
+            let mut candidates: Vec<(u32, f64)> = to_comm.into_iter().collect();
+            candidates.sort_by_key(|&(c, _)| c); // determinism
+            for (c, k_vc) in candidates {
+                if c == cv {
+                    continue;
+                }
+                let gain =
+                    (k_vc - deg_v * community_degree[c as usize] / (2.0 * m)) - base;
+                if gain > best_gain + 1e-12 {
+                    best_gain = gain;
+                    best_c = c;
+                }
+            }
+            if best_c != cv {
+                community_degree[cv as usize] -= deg_v;
+                community_degree[best_c as usize] += deg_v;
+                community[v] = best_c;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    community
+}
+
+/// Relabel arbitrary community ids to dense `0..k` (order of appearance);
+/// returns the lookup table and `k`. Unused slots stay `u32::MAX` and must
+/// never be read.
+fn densify(assignment: &[u32]) -> (Vec<u32>, usize) {
+    let max = assignment.iter().copied().max().unwrap_or(0) as usize;
+    let mut dense = vec![u32::MAX; max + 1];
+    let mut next = 0u32;
+    for &c in assignment {
+        if dense[c as usize] == u32::MAX {
+            dense[c as usize] = next;
+            next += 1;
+        }
+    }
+    (dense, next as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modularity::PartitionStats;
+
+    fn ring_of_cliques(cliques: usize, size: usize) -> MultiGraph {
+        let mut edges = Vec::new();
+        for c in 0..cliques {
+            let base = (c * size) as u32;
+            for i in 0..size as u32 {
+                for j in i + 1..size as u32 {
+                    edges.push((base + i, base + j, 1));
+                }
+            }
+            let next_base = (((c + 1) % cliques) * size) as u32;
+            edges.push((base, next_base, 1));
+        }
+        MultiGraph::from_edges(cliques * size, edges)
+    }
+
+    #[test]
+    fn recovers_ring_of_cliques() {
+        let g = ring_of_cliques(4, 5);
+        let a = cluster_louvain(&g, &LouvainConfig::default());
+        assert_eq!(a.num_communities(), 4, "got {:?}", a.as_slice());
+        // Every clique is uniform.
+        for c in 0..4u32 {
+            let base = c * 5;
+            for i in 1..5 {
+                assert_eq!(a.community_of(base), a.community_of(base + i));
+            }
+        }
+    }
+
+    #[test]
+    fn beats_or_matches_singletons() {
+        let g = ring_of_cliques(3, 4);
+        let a = cluster_louvain(&g, &LouvainConfig::default());
+        let q = PartitionStats::compute(&g, &a).normalized_modularity();
+        assert!(q > 0.3, "Q = {q}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = ring_of_cliques(5, 4);
+        let a = cluster_louvain(&g, &LouvainConfig::default());
+        let b = cluster_louvain(&g, &LouvainConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        let empty = MultiGraph::from_edges(0, vec![]);
+        assert!(cluster_louvain(&empty, &LouvainConfig::default()).is_empty());
+        let isolated = MultiGraph::from_edges(3, vec![]);
+        let a = cluster_louvain(&isolated, &LouvainConfig::default());
+        assert_eq!(a.num_communities(), 3);
+    }
+}

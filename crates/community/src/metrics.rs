@@ -1,0 +1,144 @@
+//! Clustering quality metrics against ground truth (NMI, ARI).
+//!
+//! The paper could not score its clustering directly — its query log has
+//! no labels. Our synthetic world *does* carry ground truth (the domains),
+//! so the evaluation additionally reports normalized mutual information
+//! and the adjusted Rand index between detected communities and true
+//! domains, and the ablation benches use them to compare algorithms.
+
+use crate::assignment::Assignment;
+use std::collections::HashMap;
+
+/// The contingency table between two assignments over the same nodes.
+struct Contingency {
+    counts: HashMap<(u32, u32), f64>,
+    row_sums: HashMap<u32, f64>,
+    col_sums: HashMap<u32, f64>,
+    n: f64,
+}
+
+impl Contingency {
+    fn compute(a: &Assignment, b: &Assignment) -> Self {
+        assert_eq!(a.len(), b.len(), "assignments over different node sets");
+        let mut counts: HashMap<(u32, u32), f64> = HashMap::new();
+        let mut row_sums: HashMap<u32, f64> = HashMap::new();
+        let mut col_sums: HashMap<u32, f64> = HashMap::new();
+        for node in 0..a.len() as u32 {
+            let (ca, cb) = (a.community_of(node), b.community_of(node));
+            *counts.entry((ca, cb)).or_insert(0.0) += 1.0;
+            *row_sums.entry(ca).or_insert(0.0) += 1.0;
+            *col_sums.entry(cb).or_insert(0.0) += 1.0;
+        }
+        Contingency {
+            counts,
+            row_sums,
+            col_sums,
+            n: a.len() as f64,
+        }
+    }
+}
+
+/// Normalized mutual information in `[0, 1]` (arithmetic-mean
+/// normalization). 1 when the partitions are identical; by convention 1
+/// when both are trivial (single community or all singletons agreeing).
+pub fn nmi(a: &Assignment, b: &Assignment) -> f64 {
+    if a.is_empty() {
+        return 1.0;
+    }
+    let table = Contingency::compute(a, b);
+    let n = table.n;
+    let mut mutual = 0.0;
+    for (&(ca, cb), &count) in &table.counts {
+        let pa = table.row_sums[&ca] / n;
+        let pb = table.col_sums[&cb] / n;
+        let pab = count / n;
+        mutual += pab * (pab / (pa * pb)).ln();
+    }
+    let ha: f64 = -table
+        .row_sums
+        .values()
+        .map(|&c| (c / n) * (c / n).ln())
+        .sum::<f64>();
+    let hb: f64 = -table
+        .col_sums
+        .values()
+        .map(|&c| (c / n) * (c / n).ln())
+        .sum::<f64>();
+    if ha == 0.0 && hb == 0.0 {
+        // Both trivial: identical iff equal partitions.
+        return if a.same_partition(b) { 1.0 } else { 0.0 };
+    }
+    (2.0 * mutual / (ha + hb)).clamp(0.0, 1.0)
+}
+
+/// Adjusted Rand index in `[-1, 1]`; 1 for identical partitions, ~0 for
+/// independent ones.
+pub fn ari(a: &Assignment, b: &Assignment) -> f64 {
+    if a.is_empty() {
+        return 1.0;
+    }
+    let table = Contingency::compute(a, b);
+    let choose2 = |x: f64| x * (x - 1.0) / 2.0;
+    let sum_cells: f64 = table.counts.values().map(|&c| choose2(c)).sum();
+    let sum_rows: f64 = table.row_sums.values().map(|&c| choose2(c)).sum();
+    let sum_cols: f64 = table.col_sums.values().map(|&c| choose2(c)).sum();
+    let total_pairs = choose2(table.n);
+    if total_pairs == 0.0 {
+        return 1.0;
+    }
+    let expected = sum_rows * sum_cols / total_pairs;
+    let max_index = (sum_rows + sum_cols) / 2.0;
+    if (max_index - expected).abs() < 1e-12 {
+        return if a.same_partition(b) { 1.0 } else { 0.0 };
+    }
+    (sum_cells - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = Assignment::from_vec(vec![0, 0, 1, 1, 2]);
+        let b = Assignment::from_vec(vec![7, 7, 3, 3, 9]); // relabeled
+        assert!((nmi(&a, &b) - 1.0).abs() < 1e-9);
+        assert!((ari(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_partitions_score_low() {
+        // a splits in half, b alternates — close to independent.
+        let a = Assignment::from_vec(vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        let b = Assignment::from_vec(vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        assert!(nmi(&a, &b) < 0.2);
+        assert!(ari(&a, &b).abs() < 0.2);
+    }
+
+    #[test]
+    fn partial_agreement_is_between() {
+        let truth = Assignment::from_vec(vec![0, 0, 0, 1, 1, 1]);
+        let noisy = Assignment::from_vec(vec![0, 0, 1, 1, 1, 1]);
+        let score = nmi(&truth, &noisy);
+        assert!(score > 0.2 && score < 1.0, "nmi = {score}");
+        let r = ari(&truth, &noisy);
+        assert!(r > 0.2 && r < 1.0, "ari = {r}");
+    }
+
+    #[test]
+    fn trivial_partitions_handled() {
+        let single = Assignment::from_vec(vec![0, 0, 0]);
+        assert!((nmi(&single, &single) - 1.0).abs() < 1e-9);
+        assert!((ari(&single, &single) - 1.0).abs() < 1e-9);
+        let empty = Assignment::from_vec(vec![]);
+        assert_eq!(nmi(&empty, &empty), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different node sets")]
+    fn mismatched_lengths_panic() {
+        let a = Assignment::from_vec(vec![0]);
+        let b = Assignment::from_vec(vec![0, 1]);
+        nmi(&a, &b);
+    }
+}

@@ -1,0 +1,219 @@
+//! Modularity arithmetic (§4.2.1, equations 3–9).
+//!
+//! The paper works on the *unnormalized* modularity
+//! `Mod(C) = m_C − m_G · (D_C / D_G)²` (their footnote: dividing by `m_G`
+//! "is equivalent to ours" since it is constant). We follow that
+//! convention and also expose the conventional normalized value
+//! `Q = TMod / m_G` for comparison against the literature.
+
+use crate::assignment::Assignment;
+use esharp_graph::MultiGraph;
+use std::collections::HashMap;
+
+/// Aggregate statistics of a partition over a multigraph: everything the
+/// merge decisions need.
+#[derive(Debug, Clone)]
+pub struct PartitionStats {
+    /// Sum of (weighted) degrees per community id. Communities are sparse:
+    /// keyed by their current representative id.
+    pub degree_sum: HashMap<u32, u64>,
+    /// Intra-community unit-edge counts `m_C`.
+    pub internal_edges: HashMap<u32, u64>,
+    /// Inter-community unit-edge counts `m_{C1↔C2}`, keyed by
+    /// `(min, max)` community id.
+    pub between_edges: HashMap<(u32, u32), u64>,
+    /// Total unit edges `m_G` of the graph.
+    pub total_edges: u64,
+}
+
+impl PartitionStats {
+    /// Compute all statistics in one pass over the edges.
+    pub fn compute(graph: &MultiGraph, assignment: &Assignment) -> Self {
+        let mut degree_sum: HashMap<u32, u64> = HashMap::new();
+        for node in 0..graph.num_nodes() {
+            let c = assignment.community_of(node as u32);
+            *degree_sum.entry(c).or_insert(0) += graph.degree(node as u32);
+        }
+        let mut internal_edges: HashMap<u32, u64> = HashMap::new();
+        let mut between_edges: HashMap<(u32, u32), u64> = HashMap::new();
+        for &(a, b, k) in graph.edges() {
+            let (ca, cb) = (assignment.community_of(a), assignment.community_of(b));
+            if ca == cb {
+                *internal_edges.entry(ca).or_insert(0) += k;
+            } else {
+                *between_edges.entry((ca.min(cb), ca.max(cb))).or_insert(0) += k;
+            }
+        }
+        PartitionStats {
+            degree_sum,
+            internal_edges,
+            between_edges,
+            total_edges: graph.total_edges(),
+        }
+    }
+
+    /// `Mod(C) = m_C − m_G (D_C / D_G)²` (equation 6).
+    pub fn community_modularity(&self, community: u32) -> f64 {
+        let m_c = *self.internal_edges.get(&community).unwrap_or(&0) as f64;
+        let d_c = *self.degree_sum.get(&community).unwrap_or(&0) as f64;
+        let m_g = self.total_edges as f64;
+        if m_g == 0.0 {
+            return 0.0;
+        }
+        let d_g = 2.0 * m_g;
+        m_c - m_g * (d_c / d_g) * (d_c / d_g)
+    }
+
+    /// Total modularity `TMod = Σ_C Mod(C)` (equation 2). Summed in
+    /// sorted community order so the result is bit-stable across runs
+    /// (HashMap iteration order would perturb the last ulp).
+    pub fn total_modularity(&self) -> f64 {
+        let mut communities: Vec<u32> = self.degree_sum.keys().copied().collect();
+        communities.sort_unstable();
+        communities
+            .into_iter()
+            .map(|c| self.community_modularity(c))
+            .sum()
+    }
+
+    /// Conventional normalized modularity `Q = TMod / m_G`.
+    pub fn normalized_modularity(&self) -> f64 {
+        if self.total_edges == 0 {
+            0.0
+        } else {
+            self.total_modularity() / self.total_edges as f64
+        }
+    }
+
+    /// Merge gain `ΔMod = m_{1↔2} − D₁·D₂ / (2 m_G)` (equations 8–9).
+    /// Returns 0 for unknown communities (degree 0).
+    pub fn delta_mod(&self, c1: u32, c2: u32) -> f64 {
+        if c1 == c2 {
+            return 0.0;
+        }
+        let m12 = *self
+            .between_edges
+            .get(&(c1.min(c2), c1.max(c2)))
+            .unwrap_or(&0) as f64;
+        let d1 = *self.degree_sum.get(&c1).unwrap_or(&0) as f64;
+        let d2 = *self.degree_sum.get(&c2).unwrap_or(&0) as f64;
+        delta_mod(m12, d1, d2, self.total_edges as f64)
+    }
+
+    /// Number of non-empty communities.
+    pub fn num_communities(&self) -> usize {
+        self.degree_sum.len()
+    }
+}
+
+/// The raw ΔMod formula (equations 8–9): gain of merging two communities
+/// with `m12` connecting unit edges and degree sums `d1`, `d2` in a graph
+/// of `m_g` unit edges.
+pub fn delta_mod(m12: f64, d1: f64, d2: f64, m_g: f64) -> f64 {
+    if m_g == 0.0 {
+        return 0.0;
+    }
+    m12 - (d1 * d2) / (2.0 * m_g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::Assignment;
+    use esharp_graph::MultiGraph;
+
+    /// Two triangles joined by one edge — the canonical two-community graph.
+    fn two_triangles() -> MultiGraph {
+        MultiGraph::from_edges(
+            6,
+            vec![
+                (0, 1, 1),
+                (1, 2, 1),
+                (0, 2, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (3, 5, 1),
+                (2, 3, 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn singletons_have_negative_total_modularity() {
+        let g = two_triangles();
+        let a = Assignment::singletons(g.num_nodes());
+        let stats = PartitionStats::compute(&g, &a);
+        assert_eq!(stats.num_communities(), 6);
+        // No internal edges: every Mod(C) is −m_G (D_C/D_G)² < 0.
+        assert!(stats.total_modularity() < 0.0);
+    }
+
+    #[test]
+    fn true_partition_beats_singletons_and_whole() {
+        let g = two_triangles();
+        let truth = Assignment::from_vec(vec![0, 0, 0, 1, 1, 1]);
+        let singles = Assignment::singletons(6);
+        let whole = Assignment::from_vec(vec![0; 6]);
+        let q_truth = PartitionStats::compute(&g, &truth).total_modularity();
+        let q_singles = PartitionStats::compute(&g, &singles).total_modularity();
+        let q_whole = PartitionStats::compute(&g, &whole).total_modularity();
+        assert!(q_truth > q_singles);
+        assert!(q_truth > q_whole);
+    }
+
+    #[test]
+    fn whole_graph_modularity_is_zero() {
+        // With everything in one community, m_C = m_G and D_C = D_G, so
+        // Mod = m_G − m_G · 1 = 0.
+        let g = two_triangles();
+        let whole = Assignment::from_vec(vec![0; 6]);
+        let stats = PartitionStats::compute(&g, &whole);
+        assert!((stats.total_modularity() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_mod_matches_direct_difference() {
+        // Equation 8 is a shortcut for eq 7; verify they agree.
+        let g = two_triangles();
+        let before = Assignment::from_vec(vec![0, 0, 0, 1, 1, 2]);
+        let stats = PartitionStats::compute(&g, &before);
+        let shortcut = stats.delta_mod(1, 2);
+
+        let after = Assignment::from_vec(vec![0, 0, 0, 1, 1, 1]);
+        let direct = PartitionStats::compute(&g, &after).total_modularity()
+            - stats.total_modularity();
+        assert!(
+            (shortcut - direct).abs() < 1e-9,
+            "shortcut {shortcut} vs direct {direct}"
+        );
+    }
+
+    #[test]
+    fn delta_mod_positive_for_dense_pairs_negative_for_far_pairs() {
+        let g = two_triangles();
+        let a = Assignment::from_vec(vec![0, 0, 0, 1, 1, 1]);
+        let stats = PartitionStats::compute(&g, &a);
+        // Merging the two triangles (one connecting edge, heavy degrees)
+        // must not pay.
+        assert!(stats.delta_mod(0, 1) < 0.0);
+        // Merging a community with itself is 0.
+        assert_eq!(stats.delta_mod(0, 0), 0.0);
+    }
+
+    #[test]
+    fn normalized_modularity_in_range() {
+        let g = two_triangles();
+        let a = Assignment::from_vec(vec![0, 0, 0, 1, 1, 1]);
+        let q = PartitionStats::compute(&g, &a).normalized_modularity();
+        assert!(q > 0.0 && q <= 1.0, "Q = {q}");
+    }
+
+    #[test]
+    fn empty_graph_is_all_zero() {
+        let g = MultiGraph::from_edges(3, vec![]);
+        let a = Assignment::singletons(3);
+        let stats = PartitionStats::compute(&g, &a);
+        assert_eq!(stats.total_modularity(), 0.0);
+        assert_eq!(stats.delta_mod(0, 1), 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Community neighborhoods — the data behind Figure 7 ("the community
+//! which contains the term 49ers … along with its three closest
+//! communities").
+
+use crate::assignment::Assignment;
+use esharp_graph::SimilarityGraph;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One community with resolved member labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommunityView {
+    /// Community id (internal label).
+    pub id: u32,
+    /// Member term texts, sorted.
+    pub members: Vec<String>,
+    /// Closeness to the seed community (sum of inter-community edge
+    /// weights; the seed itself reports 0).
+    pub closeness: f64,
+}
+
+/// The seed community of `term` plus its `k` closest communities by total
+/// inter-community edge weight.
+///
+/// Returns `None` when the term is not a node of the graph (e.g. filtered
+/// out by min-support).
+pub fn neighborhood_of_term(
+    graph: &SimilarityGraph,
+    assignment: &Assignment,
+    term: &str,
+    k: usize,
+) -> Option<(CommunityView, Vec<CommunityView>)> {
+    let seed_node = graph.node_by_label(term)?;
+    let seed_comm = assignment.community_of(seed_node);
+
+    // Total inter-community weight from the seed community to each other
+    // community.
+    let mut closeness: HashMap<u32, f64> = HashMap::new();
+    for edge in graph.edges() {
+        let (ca, cb) = (
+            assignment.community_of(edge.a),
+            assignment.community_of(edge.b),
+        );
+        if ca == cb {
+            continue;
+        }
+        if ca == seed_comm {
+            *closeness.entry(cb).or_insert(0.0) += edge.weight;
+        } else if cb == seed_comm {
+            *closeness.entry(ca).or_insert(0.0) += edge.weight;
+        }
+    }
+
+    let members = |community: u32| -> Vec<String> {
+        let mut out: Vec<String> = (0..graph.num_nodes() as u32)
+            .filter(|&v| assignment.community_of(v) == community)
+            .map(|v| graph.label(v).to_string())
+            .collect();
+        out.sort();
+        out
+    };
+
+    let seed_view = CommunityView {
+        id: seed_comm,
+        members: members(seed_comm),
+        closeness: 0.0,
+    };
+
+    let mut ranked: Vec<(u32, f64)> = closeness.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let neighbors = ranked
+        .into_iter()
+        .take(k)
+        .map(|(id, closeness)| CommunityView {
+            id,
+            members: members(id),
+            closeness,
+        })
+        .collect();
+
+    Some((seed_view, neighbors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esharp_graph::Edge;
+    use std::sync::Arc;
+
+    fn graph() -> SimilarityGraph {
+        // Three clusters: {a0,a1}, {b0,b1}, {c0}; a–b strongly linked,
+        // a–c weakly.
+        SimilarityGraph::new(
+            vec![
+                Arc::from("a0"),
+                Arc::from("a1"),
+                Arc::from("b0"),
+                Arc::from("b1"),
+                Arc::from("c0"),
+            ],
+            vec![
+                Edge { a: 0, b: 1, weight: 0.9 },
+                Edge { a: 2, b: 3, weight: 0.9 },
+                Edge { a: 1, b: 2, weight: 0.5 },
+                Edge { a: 0, b: 4, weight: 0.1 },
+            ],
+        )
+    }
+
+    fn assignment() -> Assignment {
+        Assignment::from_vec(vec![0, 0, 1, 1, 2])
+    }
+
+    #[test]
+    fn finds_seed_and_ranks_neighbors_by_weight() {
+        let (seed, neighbors) =
+            neighborhood_of_term(&graph(), &assignment(), "a0", 2).unwrap();
+        assert_eq!(seed.members, vec!["a0", "a1"]);
+        assert_eq!(neighbors.len(), 2);
+        assert_eq!(neighbors[0].members, vec!["b0", "b1"]); // 0.5 beats 0.1
+        assert!((neighbors[0].closeness - 0.5).abs() < 1e-12);
+        assert_eq!(neighbors[1].members, vec!["c0"]);
+    }
+
+    #[test]
+    fn missing_term_returns_none() {
+        assert!(neighborhood_of_term(&graph(), &assignment(), "zzz", 3).is_none());
+    }
+
+    #[test]
+    fn k_zero_returns_only_seed() {
+        let (seed, neighbors) =
+            neighborhood_of_term(&graph(), &assignment(), "b1", 0).unwrap();
+        assert_eq!(seed.members, vec!["b0", "b1"]);
+        assert!(neighbors.is_empty());
+    }
+}

@@ -1,0 +1,236 @@
+//! Newman's sequential greedy modularity maximization (CNM-style), the
+//! "seminal single-machine heuristic" of §4.2.1.
+//!
+//! Each step merges the single pair of connected communities with the
+//! largest positive `ΔMod`; the loop stops when no merge improves the
+//! score (or when `target_communities` is reached — "a satisfying number
+//! of communities"). A lazy max-heap over candidate merges with version
+//! stamps keeps each step near `O(log m)` amortized.
+
+use crate::assignment::Assignment;
+use crate::modularity::delta_mod;
+use esharp_graph::MultiGraph;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Configuration of the sequential greedy.
+#[derive(Debug, Clone, Default)]
+pub struct NewmanConfig {
+    /// Stop early once this many communities remain (0 = run to the
+    /// modularity optimum).
+    pub target_communities: usize,
+}
+
+/// A candidate merge in the heap. Ordered by gain, then by ids for
+/// determinism.
+#[derive(Debug, PartialEq)]
+struct Candidate {
+    gain: f64,
+    a: u32,
+    b: u32,
+    /// Version stamps of both communities at push time; stale entries are
+    /// skipped on pop.
+    stamp_a: u64,
+    stamp_b: u64,
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.a.cmp(&self.a))
+            .then_with(|| other.b.cmp(&self.b))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Run the sequential greedy to the modularity optimum (or the target
+/// community count). Returns the final assignment.
+pub fn cluster_newman(graph: &MultiGraph, config: &NewmanConfig) -> Assignment {
+    let n = graph.num_nodes();
+    let m_g = graph.total_edges() as f64;
+    if n == 0 || m_g == 0.0 {
+        return Assignment::singletons(n);
+    }
+
+    // Union-find with explicit community state.
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    let mut degree: Vec<f64> = graph.degrees().iter().map(|&d| d as f64).collect();
+    // Inter-community edge counts, adjacency per community.
+    let mut between: Vec<HashMap<u32, f64>> = vec![HashMap::new(); n];
+    for &(a, b, k) in graph.edges() {
+        *between[a as usize].entry(b).or_insert(0.0) += k as f64;
+        *between[b as usize].entry(a).or_insert(0.0) += k as f64;
+    }
+    let mut stamp: Vec<u64> = vec![0; n];
+    let mut alive = n;
+
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut root = x;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+    for (a, neighbors) in between.iter().enumerate() {
+        for (&b, &m12) in neighbors {
+            if (a as u32) < b {
+                let gain = delta_mod(m12, degree[a], degree[b as usize], m_g);
+                if gain > 0.0 {
+                    heap.push(Candidate {
+                        gain,
+                        a: a as u32,
+                        b,
+                        stamp_a: 0,
+                        stamp_b: 0,
+                    });
+                }
+            }
+        }
+    }
+
+    while let Some(cand) = heap.pop() {
+        if config.target_communities > 0 && alive <= config.target_communities {
+            break;
+        }
+        // Skip stale candidates (either endpoint changed since push).
+        if stamp[cand.a as usize] != cand.stamp_a || stamp[cand.b as usize] != cand.stamp_b {
+            continue;
+        }
+        let (a, b) = (find(&mut parent, cand.a), find(&mut parent, cand.b));
+        if a == b || cand.gain <= 0.0 {
+            continue;
+        }
+        // Merge the smaller adjacency into the larger (weighted union).
+        let (keep, drop) = if between[a as usize].len() >= between[b as usize].len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        parent[drop as usize] = keep;
+        degree[keep as usize] += degree[drop as usize];
+        alive -= 1;
+        stamp[keep as usize] += 1;
+        stamp[drop as usize] += 1;
+
+        let dropped: Vec<(u32, f64)> = between[drop as usize].drain().collect();
+        for (nbr, m12) in dropped {
+            let nbr_root = find(&mut parent, nbr);
+            if nbr_root == keep {
+                continue;
+            }
+            *between[keep as usize].entry(nbr_root).or_insert(0.0) += m12;
+            let e = between[nbr_root as usize].entry(keep).or_insert(0.0);
+            *e += m12;
+            between[nbr_root as usize].remove(&drop);
+        }
+        // Refresh candidates around the merged community.
+        let snapshot: Vec<(u32, f64)> = between[keep as usize]
+            .iter()
+            .map(|(&nbr, &m12)| (nbr, m12))
+            .collect();
+        for (nbr, m12) in snapshot {
+            let nbr_root = find(&mut parent, nbr);
+            if nbr_root == keep {
+                continue;
+            }
+            let gain = delta_mod(m12, degree[keep as usize], degree[nbr_root as usize], m_g);
+            if gain > 0.0 {
+                let (x, y) = (keep.min(nbr_root), keep.max(nbr_root));
+                heap.push(Candidate {
+                    gain,
+                    a: x,
+                    b: y,
+                    stamp_a: stamp[x as usize],
+                    stamp_b: stamp[y as usize],
+                });
+            }
+        }
+    }
+
+    let communities: Vec<u32> = (0..n as u32).map(|v| find(&mut parent, v)).collect();
+    Assignment::from_vec(communities)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modularity::PartitionStats;
+
+    fn two_cliques() -> MultiGraph {
+        let mut edges = Vec::new();
+        for base in [0u32, 4u32] {
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    edges.push((base + i, base + j, 1));
+                }
+            }
+        }
+        edges.push((3, 4, 1));
+        MultiGraph::from_edges(8, edges)
+    }
+
+    #[test]
+    fn recovers_two_cliques() {
+        let g = two_cliques();
+        let a = cluster_newman(&g, &NewmanConfig::default());
+        let truth = Assignment::from_vec(vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        assert!(a.same_partition(&truth), "got {:?}", a.as_slice());
+    }
+
+    #[test]
+    fn never_ends_below_singleton_modularity() {
+        let g = two_cliques();
+        let greedy = cluster_newman(&g, &NewmanConfig::default());
+        let q_greedy = PartitionStats::compute(&g, &greedy).total_modularity();
+        let q_single =
+            PartitionStats::compute(&g, &Assignment::singletons(8)).total_modularity();
+        assert!(q_greedy > q_single);
+    }
+
+    #[test]
+    fn target_communities_stops_early() {
+        let g = two_cliques();
+        let a = cluster_newman(
+            &g,
+            &NewmanConfig {
+                target_communities: 4,
+            },
+        );
+        assert!(a.num_communities() >= 4);
+    }
+
+    #[test]
+    fn handles_isolated_nodes_and_empty_graphs() {
+        let g = MultiGraph::from_edges(4, vec![(0, 1, 2)]);
+        let a = cluster_newman(&g, &NewmanConfig::default());
+        assert_eq!(a.community_of(0), a.community_of(1));
+        assert_ne!(a.community_of(2), a.community_of(3));
+
+        let empty = MultiGraph::from_edges(0, vec![]);
+        assert_eq!(cluster_newman(&empty, &NewmanConfig::default()).len(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = two_cliques();
+        let a = cluster_newman(&g, &NewmanConfig::default());
+        let b = cluster_newman(&g, &NewmanConfig::default());
+        assert_eq!(a, b);
+    }
+}

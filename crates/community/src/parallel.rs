@@ -1,0 +1,325 @@
+//! The paper's parallel 3-step modularity-maximization algorithm (§4.2.2,
+//! Figure 3) — native implementation.
+//!
+//! Per iteration:
+//! 1. **Neighborhood creation** — for every pair of connected communities
+//!    `(C1, C2)` with `ΔMod > 0`, `C2` belongs to `C1`'s neighborhood.
+//! 2. **Neighborhood separation** — each community keeps only the
+//!    neighborhood whose `ΔMod` is largest (the SQL's
+//!    `argmax(distance, query1) … group by query2`).
+//! 3. **Aggregation** — every community is renamed to its chosen
+//!    neighborhood owner.
+//!
+//! Communities with no positive neighbor keep their own name. The loop
+//! stops when an iteration changes nothing (convergence — Figure 5 shows
+//! ~6 iterations on the paper's production graph) or after `max_iterations`.
+//!
+//! The expensive part of each iteration — accumulating per-community
+//! degree sums and inter-community edge counts — is embarrassingly
+//! parallel over edge chunks; with `workers > 1` it fans out on scoped
+//! threads and merges per-thread maps, the same shape as the map-reduce
+//! execution the paper targets.
+
+use crate::assignment::Assignment;
+use crate::modularity::PartitionStats;
+use esharp_graph::MultiGraph;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the parallel merge loop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParallelConfig {
+    /// Iteration cap (the algorithm usually converges much sooner).
+    pub max_iterations: usize,
+    /// Worker threads for the statistics pass.
+    pub workers: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            max_iterations: 20,
+            workers: 1,
+        }
+    }
+}
+
+/// One row of the Figure 5 convergence trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationStat {
+    /// Iteration number (0 = the singleton initialization).
+    pub iteration: usize,
+    /// Communities alive after this iteration.
+    pub communities: usize,
+    /// Total modularity after this iteration (paper's unnormalized TMod).
+    pub total_modularity: f64,
+    /// Communities that changed owner in this iteration.
+    pub merges: usize,
+}
+
+/// Result of a clustering run: final assignment plus the per-iteration
+/// trace that regenerates Figure 5.
+#[derive(Debug, Clone)]
+pub struct ClusteringOutcome {
+    /// Final node → community assignment.
+    pub assignment: Assignment,
+    /// Per-iteration statistics (index 0 describes the initialization).
+    pub trace: Vec<IterationStat>,
+}
+
+impl ClusteringOutcome {
+    /// Communities after the final iteration.
+    pub fn num_communities(&self) -> usize {
+        self.trace.last().map_or(0, |s| s.communities)
+    }
+
+    /// Iterations executed (excluding the initialization row).
+    pub fn iterations(&self) -> usize {
+        self.trace.len().saturating_sub(1)
+    }
+}
+
+/// Run the paper's 3-step algorithm to convergence.
+pub fn cluster_parallel(graph: &MultiGraph, config: &ParallelConfig) -> ClusteringOutcome {
+    let mut assignment = Assignment::singletons(graph.num_nodes());
+    let mut trace = Vec::with_capacity(config.max_iterations + 1);
+    let initial_stats = compute_stats(graph, &assignment, config.workers);
+    trace.push(IterationStat {
+        iteration: 0,
+        communities: graph.num_nodes(),
+        total_modularity: initial_stats.total_modularity(),
+        merges: 0,
+    });
+
+    for iteration in 1..=config.max_iterations {
+        let stats = compute_stats(graph, &assignment, config.workers);
+        let owners = choose_owners(&stats);
+        if owners.is_empty() {
+            break;
+        }
+        // Step 3: rename every node of each re-assigned community.
+        let mut merges = 0;
+        let mut renamed = assignment.clone();
+        for node in 0..graph.num_nodes() as u32 {
+            let c = assignment.community_of(node);
+            if let Some(&owner) = owners.get(&c) {
+                if owner != c {
+                    renamed.set(node, owner);
+                }
+            }
+        }
+        for (&c, &owner) in &owners {
+            if owner != c {
+                merges += 1;
+            }
+        }
+        // Convergence check on the *partition*, not the label vector: a
+        // residual rename cycle (A→B→C→A) permutes labels without changing
+        // the partition and must terminate the loop.
+        if merges == 0 || renamed.same_partition(&assignment) {
+            break;
+        }
+        assignment = renamed;
+        let after = compute_stats(graph, &assignment, config.workers);
+        trace.push(IterationStat {
+            iteration,
+            communities: after.num_communities(),
+            total_modularity: after.total_modularity(),
+            merges,
+        });
+    }
+
+    ClusteringOutcome { assignment, trace }
+}
+
+/// Steps 1+2: for each community, the best (`argmax ΔMod`) positive-gain
+/// neighbor to merge into; absent when no neighbor has positive gain.
+/// Tie-break: the smaller owner id — matching the relational `argmax`'s
+/// deterministic tie-break so the SQL and native paths agree exactly.
+///
+/// One repair on top of the paper's pseudo-code: when two communities
+/// mutually select each other, renaming as written would merely *swap*
+/// their names forever. Both are redirected to the smaller id instead, so
+/// a mutual selection becomes an actual merge. (Production systems built
+/// on the paper's Figure 4 need the same symmetry-breaking; DESIGN.md §4
+/// lists it as a documented deviation.)
+pub fn choose_owners(stats: &PartitionStats) -> HashMap<u32, u32> {
+    let mut best: HashMap<u32, (f64, u32)> = HashMap::new();
+    for &(a, b) in stats.between_edges.keys() {
+        let gain = stats.delta_mod(a, b);
+        if gain <= 0.0 {
+            continue;
+        }
+        // `b` may join `a`'s neighborhood and vice versa.
+        for (community, owner) in [(a, b), (b, a)] {
+            match best.get_mut(&community) {
+                Some((g, o)) => {
+                    if gain > *g || (gain == *g && owner < *o) {
+                        *g = gain;
+                        *o = owner;
+                    }
+                }
+                None => {
+                    best.insert(community, (gain, owner));
+                }
+            }
+        }
+    }
+    let mut owners: HashMap<u32, u32> = best.into_iter().map(|(c, (_, o))| (c, o)).collect();
+    // Resolve mutual selections to the smaller id.
+    let snapshot: Vec<(u32, u32)> = owners.iter().map(|(&c, &o)| (c, o)).collect();
+    for (c, o) in snapshot {
+        if owners.get(&o) == Some(&c) {
+            let target = c.min(o);
+            owners.insert(c, target);
+            owners.insert(o, target);
+        }
+    }
+    owners
+}
+
+/// Partition statistics, optionally computed with `workers` threads over
+/// edge chunks.
+pub fn compute_stats(graph: &MultiGraph, assignment: &Assignment, workers: usize) -> PartitionStats {
+    if workers <= 1 || graph.edges().len() < 4 * workers {
+        return PartitionStats::compute(graph, assignment);
+    }
+    let chunk = graph.edges().len().div_ceil(workers);
+    type PartialStats = (HashMap<u32, u64>, HashMap<(u32, u32), u64>);
+    let partials: Vec<PartialStats> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = graph
+                .edges()
+                .chunks(chunk)
+                .map(|edges| {
+                    scope.spawn(move |_| {
+                        let mut internal: HashMap<u32, u64> = HashMap::new();
+                        let mut between: HashMap<(u32, u32), u64> = HashMap::new();
+                        for &(a, b, k) in edges {
+                            let (ca, cb) =
+                                (assignment.community_of(a), assignment.community_of(b));
+                            if ca == cb {
+                                *internal.entry(ca).or_insert(0) += k;
+                            } else {
+                                *between.entry((ca.min(cb), ca.max(cb))).or_insert(0) += k;
+                            }
+                        }
+                        (internal, between)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("stats worker panicked"))
+                .collect()
+        })
+        .expect("thread scope failed");
+
+    let mut internal_edges: HashMap<u32, u64> = HashMap::new();
+    let mut between_edges: HashMap<(u32, u32), u64> = HashMap::new();
+    for (internal, between) in partials {
+        for (c, k) in internal {
+            *internal_edges.entry(c).or_insert(0) += k;
+        }
+        for (pair, k) in between {
+            *between_edges.entry(pair).or_insert(0) += k;
+        }
+    }
+    // Degree sums are a cheap O(n) pass; no need to parallelize.
+    let mut degree_sum: HashMap<u32, u64> = HashMap::new();
+    for node in 0..graph.num_nodes() {
+        let c = assignment.community_of(node as u32);
+        *degree_sum.entry(c).or_insert(0) += graph.degree(node as u32);
+    }
+    PartitionStats {
+        degree_sum,
+        internal_edges,
+        between_edges,
+        total_edges: graph.total_edges(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 4-cliques linked by a single edge.
+    fn two_cliques() -> MultiGraph {
+        let mut edges = Vec::new();
+        for base in [0u32, 4u32] {
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    edges.push((base + i, base + j, 1));
+                }
+            }
+        }
+        edges.push((3, 4, 1));
+        MultiGraph::from_edges(8, edges)
+    }
+
+    #[test]
+    fn recovers_the_two_cliques() {
+        let g = two_cliques();
+        let out = cluster_parallel(&g, &ParallelConfig::default());
+        let truth = Assignment::from_vec(vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        assert!(
+            out.assignment.same_partition(&truth),
+            "got {:?}",
+            out.assignment.as_slice()
+        );
+    }
+
+    #[test]
+    fn trace_is_monotone_in_community_count() {
+        let g = two_cliques();
+        let out = cluster_parallel(&g, &ParallelConfig::default());
+        assert!(out.trace.len() >= 2);
+        assert_eq!(out.trace[0].communities, 8);
+        for pair in out.trace.windows(2) {
+            assert!(pair[1].communities <= pair[0].communities);
+        }
+        // The greedy ends far above the singleton initialization.
+        let first = out.trace.first().unwrap().total_modularity;
+        let last = out.trace.last().unwrap().total_modularity;
+        assert!(last > first);
+    }
+
+    #[test]
+    fn parallel_stats_match_serial() {
+        let g = two_cliques();
+        let a = Assignment::from_vec(vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        let serial = compute_stats(&g, &a, 1);
+        let par = compute_stats(&g, &a, 4);
+        assert_eq!(serial.degree_sum, par.degree_sum);
+        assert_eq!(serial.internal_edges, par.internal_edges);
+        assert_eq!(serial.between_edges, par.between_edges);
+    }
+
+    #[test]
+    fn workers_do_not_change_the_result() {
+        let g = two_cliques();
+        let serial = cluster_parallel(&g, &ParallelConfig { workers: 1, ..Default::default() });
+        let par = cluster_parallel(&g, &ParallelConfig { workers: 4, ..Default::default() });
+        assert!(serial.assignment.same_partition(&par.assignment));
+        assert_eq!(serial.trace, par.trace);
+    }
+
+    #[test]
+    fn isolated_nodes_stay_orphans() {
+        let g = MultiGraph::from_edges(5, vec![(0, 1, 3)]);
+        let out = cluster_parallel(&g, &ParallelConfig::default());
+        // Nodes 2,3,4 are isolated: they must remain singletons.
+        let a = &out.assignment;
+        assert_eq!(a.community_of(0), a.community_of(1));
+        assert_ne!(a.community_of(2), a.community_of(3));
+        assert_eq!(out.num_communities(), 4);
+    }
+
+    #[test]
+    fn empty_graph_converges_immediately() {
+        let g = MultiGraph::from_edges(3, vec![]);
+        let out = cluster_parallel(&g, &ParallelConfig::default());
+        assert_eq!(out.iterations(), 0);
+        assert_eq!(out.assignment.num_communities(), 3);
+    }
+}

@@ -1,0 +1,267 @@
+//! SQL-based modularity maximization (§4.2.2, Figure 4) — the paper's
+//! headline implementation, executed on the `esharp-relation` engine.
+//!
+//! Each iteration runs the two declarative statements of Figure 4 through
+//! the SQL front-end:
+//!
+//! ```sql
+//! -- Step 1: neighborhood creation
+//! neighbors  = select c1.comm_name as comm1, c2.comm_name as comm2,
+//!                     ModulGain(c1.comm_name, c2.comm_name) as gain
+//!              from graph
+//!              inner join communities c1 on c1.query = graph.node1
+//!              inner join communities c2 on c2.query = graph.node2
+//!              where c1.comm_name <> c2.comm_name
+//!                and ModulGain(c1.comm_name, c2.comm_name) > 0;
+//! -- Step 2: neighborhood separation
+//! partitions = select comm2, argmax(gain, comm1) as owner
+//!              from neighbors group by comm2;
+//! ```
+//!
+//! `ModulGain` is registered as a scalar UDF closing over the current
+//! partition statistics (equations 8–9). Step 3 — "grouping and renaming
+//! … executed in one map-reduce pass" — applies the owner map to the
+//! communities table; communities absent from `partitions` (no positive
+//! neighbor) keep their name, and mutual selections collapse to the
+//! smaller id exactly as in the native implementation
+//! ([`crate::parallel::choose_owners`]), so the two paths produce
+//! identical partitions iteration for iteration.
+
+use crate::assignment::Assignment;
+use crate::modularity::PartitionStats;
+use crate::parallel::{ClusteringOutcome, IterationStat};
+use esharp_graph::relation_io::multigraph_to_table;
+use esharp_graph::MultiGraph;
+use esharp_relation::{
+    run_sql, Catalog, Cluster, DataType, ExecContext, FnUdf, JoinStrategy, RelError, RelResult,
+    StatsRegistry, Value,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Configuration of the SQL-based clustering loop.
+#[derive(Debug, Clone)]
+pub struct SqlClusterConfig {
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Worker threads for the parallel joins/aggregations.
+    pub workers: usize,
+    /// Join strategy for the graph ⋈ communities joins (§4.2.3).
+    pub join_strategy: JoinStrategy,
+    /// Optional per-operator statistics sink (Table 9 accounting).
+    pub stats: Option<StatsRegistry>,
+}
+
+impl Default for SqlClusterConfig {
+    fn default() -> Self {
+        SqlClusterConfig {
+            max_iterations: 20,
+            workers: 1,
+            join_strategy: JoinStrategy::Broadcast,
+            stats: None,
+        }
+    }
+}
+
+/// The Figure 4 statements (in this engine's dialect — standard `ON`
+/// equality conditions instead of the paper's shorthand `on query2`).
+pub const NEIGHBORS_SQL: &str = "\
+select c1.comm_name as comm1, c2.comm_name as comm2, \
+       ModulGain(c1.comm_name, c2.comm_name) as gain \
+from graph \
+inner join communities c1 on c1.query = graph.node1 \
+inner join communities c2 on c2.query = graph.node2 \
+where c1.comm_name <> c2.comm_name \
+  and ModulGain(c1.comm_name, c2.comm_name) > 0";
+
+/// Step 2 of Figure 4.
+pub const PARTITIONS_SQL: &str =
+    "select comm2, argmax(gain, comm1) as owner from neighbors group by comm2";
+
+/// Run the paper's SQL-based clustering on a multigraph.
+pub fn cluster_sql(graph: &MultiGraph, config: &SqlClusterConfig) -> RelResult<ClusteringOutcome> {
+    let catalog = Catalog::new();
+    catalog.register("graph", multigraph_to_table(graph)?);
+
+    let mut ctx = ExecContext::new(catalog)
+        .with_cluster(Cluster::new(config.workers))
+        .with_join_strategy(config.join_strategy);
+    if let Some(stats) = &config.stats {
+        ctx = ctx.with_stats(stats.clone());
+    }
+
+    let mut assignment = Assignment::singletons(graph.num_nodes());
+    let mut trace = Vec::with_capacity(config.max_iterations + 1);
+    trace.push(IterationStat {
+        iteration: 0,
+        communities: graph.num_nodes(),
+        total_modularity: PartitionStats::compute(graph, &assignment).total_modularity(),
+        merges: 0,
+    });
+
+    for iteration in 1..=config.max_iterations {
+        // Register the current communities table and the ModulGain UDF
+        // closing over this iteration's partition statistics.
+        let stats = PartitionStats::compute(graph, &assignment);
+        ctx.catalog.register(
+            "communities",
+            esharp_graph::relation_io::assignment_to_table(assignment.as_slice())?,
+        );
+        ctx.udfs.register(make_modulgain_udf(&stats));
+
+        // Step 1 (SQL): neighborhood creation.
+        let neighbors = run_sql(NEIGHBORS_SQL, &ctx)?;
+        ctx.catalog.register("neighbors", neighbors);
+
+        // Step 2 (SQL): neighborhood separation.
+        let partitions = run_sql(PARTITIONS_SQL, &ctx)?;
+
+        // Step 3: aggregation/renaming.
+        let mut owners: HashMap<u32, u32> = HashMap::with_capacity(partitions.num_rows());
+        let comm_col = partitions.column_by_name("comm2")?;
+        let owner_col = partitions.column_by_name("owner")?;
+        for row in 0..partitions.num_rows() {
+            let c = comm_col
+                .value(row)
+                .as_int()
+                .ok_or_else(|| RelError::Eval("non-int community".into()))? as u32;
+            let o = owner_col
+                .value(row)
+                .as_int()
+                .ok_or_else(|| RelError::Eval("non-int owner".into()))? as u32;
+            owners.insert(c, o);
+        }
+        // Mutual selections collapse to the smaller id (same repair as the
+        // native path; see `choose_owners`).
+        let snapshot: Vec<(u32, u32)> = owners.iter().map(|(&c, &o)| (c, o)).collect();
+        for (c, o) in snapshot {
+            if owners.get(&o) == Some(&c) {
+                let target = c.min(o);
+                owners.insert(c, target);
+                owners.insert(o, target);
+            }
+        }
+
+        let mut merges = 0;
+        let mut renamed = assignment.clone();
+        for node in 0..graph.num_nodes() as u32 {
+            let c = assignment.community_of(node);
+            if let Some(&owner) = owners.get(&c) {
+                if owner != c {
+                    renamed.set(node, owner);
+                }
+            }
+        }
+        for (&c, &owner) in &owners {
+            if owner != c {
+                merges += 1;
+            }
+        }
+        if merges == 0 || renamed.same_partition(&assignment) {
+            break;
+        }
+        assignment = renamed;
+        let after = PartitionStats::compute(graph, &assignment);
+        trace.push(IterationStat {
+            iteration,
+            communities: after.num_communities(),
+            total_modularity: after.total_modularity(),
+            merges,
+        });
+    }
+
+    Ok(ClusteringOutcome { assignment, trace })
+}
+
+/// Build the `ModulGain(comm1, comm2)` scalar UDF over a snapshot of the
+/// current partition statistics.
+fn make_modulgain_udf(stats: &PartitionStats) -> Arc<FnUdf<impl Fn(&[Value]) -> RelResult<Value> + Send + Sync>> {
+    let degree_sum: Arc<HashMap<u32, u64>> = Arc::new(stats.degree_sum.clone());
+    let between: Arc<HashMap<(u32, u32), u64>> = Arc::new(stats.between_edges.clone());
+    let m_g = stats.total_edges as f64;
+    Arc::new(FnUdf::new("ModulGain", DataType::Float, move |args| {
+        let [a, b] = args else {
+            return Err(RelError::Eval("ModulGain expects 2 arguments".into()));
+        };
+        let (Some(a), Some(b)) = (a.as_int(), b.as_int()) else {
+            return Err(RelError::Eval("ModulGain expects integer community ids".into()));
+        };
+        let (a, b) = (a as u32, b as u32);
+        if a == b {
+            return Ok(Value::Float(0.0));
+        }
+        let m12 = *between.get(&(a.min(b), a.max(b))).unwrap_or(&0) as f64;
+        let d1 = *degree_sum.get(&a).unwrap_or(&0) as f64;
+        let d2 = *degree_sum.get(&b).unwrap_or(&0) as f64;
+        Ok(Value::Float(crate::modularity::delta_mod(m12, d1, d2, m_g)))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::{cluster_parallel, ParallelConfig};
+
+    fn two_cliques() -> MultiGraph {
+        let mut edges = Vec::new();
+        for base in [0u32, 4u32] {
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    edges.push((base + i, base + j, 1));
+                }
+            }
+        }
+        edges.push((3, 4, 1));
+        MultiGraph::from_edges(8, edges)
+    }
+
+    #[test]
+    fn sql_recovers_two_cliques() {
+        let g = two_cliques();
+        let out = cluster_sql(&g, &SqlClusterConfig::default()).unwrap();
+        let truth = Assignment::from_vec(vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        assert!(out.assignment.same_partition(&truth));
+    }
+
+    #[test]
+    fn sql_matches_native_exactly() {
+        let g = two_cliques();
+        let sql = cluster_sql(&g, &SqlClusterConfig::default()).unwrap();
+        let native = cluster_parallel(&g, &ParallelConfig::default());
+        assert_eq!(sql.assignment, native.assignment);
+        assert_eq!(sql.trace, native.trace);
+    }
+
+    #[test]
+    fn sql_matches_native_under_parallel_copartitioned_execution() {
+        let g = two_cliques();
+        let sql = cluster_sql(
+            &g,
+            &SqlClusterConfig {
+                workers: 4,
+                join_strategy: JoinStrategy::CoPartitioned,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let native = cluster_parallel(&g, &ParallelConfig::default());
+        assert_eq!(sql.assignment, native.assignment);
+    }
+
+    #[test]
+    fn stats_registry_sees_the_joins() {
+        let g = two_cliques();
+        let registry = StatsRegistry::new();
+        cluster_sql(
+            &g,
+            &SqlClusterConfig {
+                stats: Some(registry.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let snap = registry.snapshot();
+        assert!(snap.iter().any(|s| s.stage == "join"));
+        assert!(snap.iter().any(|s| s.stage == "aggregate"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Descriptive statistics over clusterings — the data behind Figures 5–6.
+
+use crate::assignment::Assignment;
+use serde::{Deserialize, Serialize};
+
+/// Figure 6's community-size histogram buckets: 1, 2–10, 11–50, >50.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SizeHistogram {
+    /// Orphans (size 1).
+    pub orphans: usize,
+    /// Communities with 2–10 members.
+    pub small: usize,
+    /// Communities with 11–50 members.
+    pub medium: usize,
+    /// Communities with more than 50 members.
+    pub large: usize,
+}
+
+impl SizeHistogram {
+    /// Compute the histogram of an assignment.
+    pub fn compute(assignment: &Assignment) -> Self {
+        let mut h = SizeHistogram {
+            orphans: 0,
+            small: 0,
+            medium: 0,
+            large: 0,
+        };
+        for size in assignment.sizes() {
+            match size {
+                1 => h.orphans += 1,
+                2..=10 => h.small += 1,
+                11..=50 => h.medium += 1,
+                _ => h.large += 1,
+            }
+        }
+        h
+    }
+
+    /// Total number of communities.
+    pub fn total(&self) -> usize {
+        self.orphans + self.small + self.medium + self.large
+    }
+
+    /// Share of each bucket, in Figure 6 order
+    /// `[1, 2–10, 10–50, >50]`.
+    pub fn shares(&self) -> [f64; 4] {
+        let total = self.total().max(1) as f64;
+        [
+            self.orphans as f64 / total,
+            self.small as f64 / total,
+            self.medium as f64 / total,
+            self.large as f64 / total,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_match_figure6_boundaries() {
+        // 1 orphan, one community of 2, one of 10, one of 11, one of 51.
+        let mut v = Vec::new();
+        for (label, size) in [1usize, 2, 10, 11, 51].into_iter().enumerate() {
+            for _ in 0..size {
+                v.push(label as u32);
+            }
+        }
+        let h = SizeHistogram::compute(&Assignment::from_vec(v));
+        assert_eq!(h.orphans, 1);
+        assert_eq!(h.small, 2);
+        assert_eq!(h.medium, 1);
+        assert_eq!(h.large, 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let a = Assignment::from_vec(vec![0, 0, 1, 2, 2, 2]);
+        let shares = SizeHistogram::compute(&a).shares();
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

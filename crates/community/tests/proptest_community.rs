@@ -1,0 +1,116 @@
+//! Property-based tests of the modularity math and the clustering
+//! algorithms on random multigraphs.
+
+use esharp_community::{
+    ari, cluster_label_propagation, cluster_louvain, cluster_newman, cluster_parallel,
+    cluster_sql, nmi, Assignment, LabelPropConfig, LouvainConfig, NewmanConfig, ParallelConfig,
+    PartitionStats, SqlClusterConfig,
+};
+use esharp_graph::MultiGraph;
+use proptest::prelude::*;
+
+/// Random multigraph strategy: up to `n` nodes, random weighted edges.
+fn arb_multigraph(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = MultiGraph> {
+    (2usize..=max_nodes).prop_flat_map(move |n| {
+        prop::collection::vec((0u32..n as u32, 0u32..n as u32, 1u64..4), 0..max_edges)
+            .prop_map(move |edges| MultiGraph::from_edges(n, edges))
+    })
+}
+
+/// Random assignment over `n` nodes with up to `n` labels.
+fn arb_assignment(n: usize) -> impl Strategy<Value = Assignment> {
+    prop::collection::vec(0u32..n.max(1) as u32, n).prop_map(Assignment::from_vec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn whole_graph_modularity_is_zero(g in arb_multigraph(12, 40)) {
+        let whole = Assignment::from_vec(vec![0; g.num_nodes()]);
+        let stats = PartitionStats::compute(&g, &whole);
+        prop_assert!(stats.total_modularity().abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_mod_shortcut_equals_direct_difference(g in arb_multigraph(10, 30)) {
+        // Pick two singleton communities and compare eq. 8 with the direct
+        // TMod difference (eq. 7).
+        let n = g.num_nodes();
+        prop_assume!(n >= 2);
+        let before = Assignment::singletons(n);
+        let stats = PartitionStats::compute(&g, &before);
+        let shortcut = stats.delta_mod(0, 1);
+        let mut merged = before.clone();
+        merged.set(1, 0);
+        let direct = PartitionStats::compute(&g, &merged).total_modularity()
+            - stats.total_modularity();
+        prop_assert!((shortcut - direct).abs() < 1e-9, "{} vs {}", shortcut, direct);
+    }
+
+    #[test]
+    fn normalized_modularity_is_bounded(g in arb_multigraph(12, 40), seed_parts in 1u32..5) {
+        let a = Assignment::from_vec(
+            (0..g.num_nodes() as u32).map(|v| v % seed_parts).collect(),
+        );
+        let q = PartitionStats::compute(&g, &a).normalized_modularity();
+        prop_assert!((-1.0..=1.0).contains(&q), "Q = {}", q);
+    }
+
+    #[test]
+    fn all_algorithms_produce_total_assignments(g in arb_multigraph(14, 50)) {
+        let n = g.num_nodes();
+        for assignment in [
+            cluster_parallel(&g, &ParallelConfig::default()).assignment,
+            cluster_newman(&g, &NewmanConfig::default()),
+            cluster_louvain(&g, &LouvainConfig::default()),
+            cluster_label_propagation(&g, &LabelPropConfig::default()),
+        ] {
+            prop_assert_eq!(assignment.len(), n);
+            prop_assert!(assignment.num_communities() >= 1);
+            prop_assert!(assignment.num_communities() <= n);
+        }
+    }
+
+    #[test]
+    fn greedy_algorithms_never_lose_to_singletons(g in arb_multigraph(14, 50)) {
+        let singles = PartitionStats::compute(&g, &Assignment::singletons(g.num_nodes()))
+            .total_modularity();
+        for assignment in [
+            cluster_parallel(&g, &ParallelConfig::default()).assignment,
+            cluster_newman(&g, &NewmanConfig::default()),
+            cluster_louvain(&g, &LouvainConfig::default()),
+        ] {
+            let q = PartitionStats::compute(&g, &assignment).total_modularity();
+            prop_assert!(q >= singles - 1e-9, "ended below singletons: {} < {}", q, singles);
+        }
+    }
+
+    #[test]
+    fn sql_equals_native_on_random_graphs(g in arb_multigraph(10, 30)) {
+        let native = cluster_parallel(&g, &ParallelConfig::default());
+        let sql = cluster_sql(&g, &SqlClusterConfig::default()).unwrap();
+        prop_assert_eq!(native.assignment, sql.assignment);
+    }
+
+    #[test]
+    fn nmi_and_ari_are_symmetric_and_self_perfect(
+        a in arb_assignment(10),
+        b in arb_assignment(10),
+    ) {
+        prop_assert!((nmi(&a, &a) - 1.0).abs() < 1e-9);
+        prop_assert!((ari(&a, &a) - 1.0).abs() < 1e-9);
+        prop_assert!((nmi(&a, &b) - nmi(&b, &a)).abs() < 1e-9);
+        prop_assert!((ari(&a, &b) - ari(&b, &a)).abs() < 1e-9);
+        let v = nmi(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn canonicalize_preserves_partition(a in arb_assignment(12)) {
+        let c = a.canonicalize();
+        prop_assert!(a.same_partition(&c));
+        prop_assert_eq!(a.num_communities(), c.num_communities());
+        prop_assert_eq!(a.sizes(), c.sizes());
+    }
+}

@@ -1,0 +1,213 @@
+//! The collection of expertise domains and its exact-match index (§5).
+//!
+//! "Our approach is based on exact match: we find the community which
+//! contains the query terms exactly and in order, after lower-casing."
+//! The collection is the offline stage's product — "about 100 MB" in the
+//! paper, "stored and indexed in SQL Server 2014, which allows us to
+//! query it in a few milliseconds"; here it is an in-memory hash index
+//! with the same contract.
+
+use esharp_community::Assignment;
+use esharp_graph::SimilarityGraph;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a domain inside a [`DomainCollection`].
+pub type DomainIdx = u32;
+
+/// The keyword communities produced by the offline stage, indexed for
+/// exact-match lookup.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DomainCollection {
+    /// Each domain's member terms. Within a domain, terms keep the graph's
+    /// node order (stable across runs).
+    domains: Vec<Vec<String>>,
+    /// Lower-cased term → owning domain.
+    index: HashMap<String, DomainIdx>,
+}
+
+impl DomainCollection {
+    /// Build the collection from a clustered similarity graph.
+    pub fn from_clustering(graph: &SimilarityGraph, assignment: &Assignment) -> Self {
+        let mut by_community: HashMap<u32, Vec<String>> = HashMap::new();
+        for node in 0..graph.num_nodes() as u32 {
+            by_community
+                .entry(assignment.community_of(node))
+                .or_default()
+                .push(graph.label(node).to_string());
+        }
+        // Deterministic domain order: by community's first (smallest-node)
+        // member via sorted community keys.
+        let mut keys: Vec<u32> = by_community.keys().copied().collect();
+        keys.sort_unstable();
+        let mut domains = Vec::with_capacity(keys.len());
+        let mut index = HashMap::new();
+        for key in keys {
+            let terms = by_community.remove(&key).expect("key from map");
+            let idx = domains.len() as DomainIdx;
+            for term in &terms {
+                index.insert(term.to_lowercase(), idx);
+            }
+            domains.push(terms);
+        }
+        DomainCollection { domains, index }
+    }
+
+    /// Build directly from term groups (tests, fixtures).
+    pub fn from_groups(groups: Vec<Vec<String>>) -> Self {
+        let mut index = HashMap::new();
+        for (i, group) in groups.iter().enumerate() {
+            for term in group {
+                index.insert(term.to_lowercase(), i as DomainIdx);
+            }
+        }
+        DomainCollection {
+            domains: groups,
+            index,
+        }
+    }
+
+    /// Number of domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True when the collection holds no domains.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// All domains.
+    pub fn domains(&self) -> &[Vec<String>] {
+        &self.domains
+    }
+
+    /// Exact-match lookup (after lower-casing): the domain containing the
+    /// query verbatim.
+    pub fn lookup(&self, query: &str) -> Option<&[String]> {
+        let idx = *self.index.get(&query.to_lowercase())?;
+        Some(&self.domains[idx as usize])
+    }
+
+    /// Expansion terms for a query (§5): the query itself first, then its
+    /// community siblings, capped at `max_terms`. Falls back to just the
+    /// query when no community matches — e# then behaves exactly like the
+    /// baseline.
+    pub fn expand(&self, query: &str, max_terms: usize) -> Vec<String> {
+        let lower = query.to_lowercase();
+        let mut out = vec![lower.clone()];
+        if let Some(domain) = self.lookup(&lower) {
+            for term in domain {
+                if out.len() >= max_terms.max(1) {
+                    break;
+                }
+                // Guard against duplicate members (clustered graphs have
+                // unique labels, but hand-built collections may not).
+                if *term != lower && !out.contains(term) {
+                    out.push(term.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Persist to a JSON file (the paper stores its collection in SQL
+    /// Server 2014; a serialized index with millisecond lookups is the
+    /// same contract).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Load a collection persisted by [`DomainCollection::save`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<DomainCollection> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(std::io::Error::other)
+    }
+
+    /// Approximate payload bytes (the "about 100 MB" of §6.3).
+    pub fn byte_size(&self) -> u64 {
+        self.domains
+            .iter()
+            .flat_map(|d| d.iter())
+            .map(|t| t.len() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collection() -> DomainCollection {
+        DomainCollection::from_groups(vec![
+            vec!["49ers".into(), "niners".into(), "49ers draft".into()],
+            vec!["diabetes".into(), "t1d".into()],
+        ])
+    }
+
+    #[test]
+    fn lookup_is_exact_and_case_insensitive() {
+        let c = collection();
+        assert!(c.lookup("49ERS").is_some());
+        assert!(c.lookup("49ers draft").is_some());
+        // Exact match only: sub-phrases do not hit.
+        assert!(c.lookup("draft").is_none());
+        assert!(c.lookup("unknown").is_none());
+    }
+
+    #[test]
+    fn expand_puts_query_first_and_caps() {
+        let c = collection();
+        let terms = c.expand("NINERS", 10);
+        assert_eq!(terms[0], "niners");
+        assert_eq!(terms.len(), 3);
+        let capped = c.expand("niners", 2);
+        assert_eq!(capped.len(), 2);
+    }
+
+    #[test]
+    fn expand_falls_back_to_the_query_alone() {
+        let c = collection();
+        assert_eq!(c.expand("unknown topic", 10), vec!["unknown topic"]);
+    }
+
+    #[test]
+    fn from_clustering_groups_by_community() {
+        use esharp_graph::{Edge, SimilarityGraph};
+        use std::sync::Arc;
+        let graph = SimilarityGraph::new(
+            vec![Arc::from("a"), Arc::from("b"), Arc::from("c")],
+            vec![Edge { a: 0, b: 1, weight: 0.9 }],
+        );
+        let assignment = Assignment::from_vec(vec![0, 0, 2]);
+        let c = DomainCollection::from_clustering(&graph, &assignment);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup("a"), c.lookup("b"));
+        assert_ne!(c.lookup("a"), c.lookup("c"));
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let c = collection();
+        let dir = std::env::temp_dir().join("esharp_domains_test");
+        let path = dir.join("domains.json");
+        c.save(&path).unwrap();
+        let back = DomainCollection::load(&path).unwrap();
+        assert_eq!(back.len(), c.len());
+        assert_eq!(back.expand("49ers", 10), c.expand("49ers", 10));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn serializes_round_trip() {
+        let c = collection();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: DomainCollection = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.lookup("niners").map(|d| d.len()), Some(3));
+    }
+}

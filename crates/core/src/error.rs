@@ -1,0 +1,54 @@
+//! Error type for the e# pipeline.
+
+use esharp_relation::RelError;
+use std::fmt;
+
+/// Errors surfaced by the e# pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EsharpError {
+    /// The SQL clustering backend failed inside the relational engine.
+    Relation(RelError),
+    /// A configuration was internally inconsistent.
+    Config(String),
+}
+
+impl fmt::Display for EsharpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EsharpError::Relation(e) => write!(f, "relational engine: {e}"),
+            EsharpError::Config(msg) => write!(f, "configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EsharpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EsharpError::Relation(e) => Some(e),
+            EsharpError::Config(_) => None,
+        }
+    }
+}
+
+impl From<RelError> for EsharpError {
+    fn from(e: RelError) -> Self {
+        EsharpError::Relation(e)
+    }
+}
+
+/// Result alias for the pipeline.
+pub type EsharpResult<T> = Result<T, EsharpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = EsharpError::from(RelError::UnknownTable("graph".into()));
+        assert!(e.to_string().contains("graph"));
+        assert!(std::error::Error::source(&e).is_some());
+        let c = EsharpError::Config("bad".into());
+        assert!(std::error::Error::source(&c).is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! The online stage (§5 + Figure 1 right half): query matching → query
+//! expansion → expert detection over the union of per-term matches.
+
+use crate::config::EsharpConfig;
+use crate::domains::DomainCollection;
+use crate::retriever::ExpertiseRetriever;
+use esharp_expert::{Detector, ExpertResult};
+use esharp_microblog::{Corpus, TweetId};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// The result of one online search, with the per-phase timings the
+/// paper reports in Table 9 (expansion < 100 ms, detection < 1 s).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// Ranked experts.
+    pub experts: Vec<ExpertResult>,
+    /// The terms actually searched (query first; length 1 ⇒ no expansion
+    /// happened).
+    pub expansion: Vec<String>,
+    /// Distinct tweets matched across all expansion terms.
+    pub matched_tweets: usize,
+    /// Time spent in domain lookup + expansion.
+    pub expansion_time: Duration,
+    /// Time spent matching and ranking.
+    pub detection_time: Duration,
+}
+
+/// The e# online system: a domain collection plus a detector
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct Esharp {
+    domains: DomainCollection,
+    config: EsharpConfig,
+}
+
+impl Esharp {
+    /// Assemble the online system from offline artifacts.
+    pub fn new(domains: DomainCollection, config: EsharpConfig) -> Self {
+        Esharp { domains, config }
+    }
+
+    /// The domain collection.
+    pub fn domains(&self) -> &DomainCollection {
+        &self.domains
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EsharpConfig {
+        &self.config
+    }
+
+    /// e# search: expand the query through its expertise domain (when one
+    /// matches exactly, §5), run the match for every related term, union
+    /// the results and rank once with the configured Pal & Counts
+    /// detector.
+    pub fn search(&self, corpus: &Corpus, query: &str) -> SearchOutcome {
+        let retriever = crate::retriever::PalCountsRetriever::new(self.config.detector.clone());
+        self.search_with(corpus, query, &retriever)
+    }
+
+    /// e# search through any [`ExpertiseRetriever`] — the §7.1 seam:
+    /// "our system can work with any Expertise Retrieval system".
+    /// Expansion and matching are identical to [`Esharp::search`]; only
+    /// the ranking strategy changes.
+    pub fn search_with(
+        &self,
+        corpus: &Corpus,
+        query: &str,
+        retriever: &dyn ExpertiseRetriever,
+    ) -> SearchOutcome {
+        let expansion_started = Instant::now();
+        let expansion = if self.config.expansion {
+            self.domains.expand(query, self.config.max_expansion_terms)
+        } else {
+            vec![query.to_lowercase()]
+        };
+        let expansion_time = expansion_started.elapsed();
+
+        let detection_started = Instant::now();
+        let mut matched: Vec<TweetId> = Vec::new();
+        for term in &expansion {
+            matched.extend(corpus.match_query(term));
+        }
+        matched.sort_unstable();
+        matched.dedup();
+        let experts = retriever.retrieve(corpus, &matched);
+        let detection_time = detection_started.elapsed();
+        SearchOutcome {
+            experts,
+            expansion,
+            matched_tweets: matched.len(),
+            expansion_time,
+            detection_time,
+        }
+    }
+
+    /// The Pal & Counts baseline on the same corpus and detector settings
+    /// (no expansion) — the comparison arm of every experiment.
+    pub fn search_baseline(&self, corpus: &Corpus, query: &str) -> SearchOutcome {
+        let detection_started = Instant::now();
+        let matched = corpus.match_query(query);
+        let detector = Detector::new(corpus, self.config.detector.clone());
+        let experts = detector.rank_candidates(&matched);
+        let detection_time = detection_started.elapsed();
+        SearchOutcome {
+            experts,
+            expansion: vec![query.to_lowercase()],
+            matched_tweets: matched.len(),
+            expansion_time: Duration::ZERO,
+            detection_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::run_offline;
+    use esharp_microblog::{generate_corpus, CorpusConfig};
+    use esharp_querylog::{AggregatedLog, LogConfig, LogGenerator, World, WorldConfig};
+
+    fn system() -> (World, Corpus, Esharp) {
+        let world = World::generate(&WorldConfig::tiny(51));
+        let log = AggregatedLog::from_events(
+            LogGenerator::new(&world, &LogConfig::tiny(51)),
+            world.terms.len(),
+        );
+        let config = EsharpConfig::tiny();
+        let artifacts = run_offline(&log, &world, &config).unwrap();
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(51));
+        (world, corpus, Esharp::new(artifacts.domains, config))
+    }
+
+    #[test]
+    fn expansion_never_reduces_matches() {
+        let (world, corpus, esharp) = system();
+        for domain in &world.domains {
+            let query = &domain.label;
+            let expanded = esharp.search(&corpus, query);
+            let baseline = esharp.search_baseline(&corpus, query);
+            assert!(
+                expanded.matched_tweets >= baseline.matched_tweets,
+                "{query}: expanded {} < baseline {}",
+                expanded.matched_tweets,
+                baseline.matched_tweets
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_finds_hidden_experts_for_the_49ers() {
+        let (_, corpus, esharp) = system();
+        let expanded = esharp.search(&corpus, "49ers");
+        let baseline = esharp.search_baseline(&corpus, "49ers");
+        assert!(expanded.expansion.len() > 1, "49ers query did not expand");
+        assert!(
+            expanded.experts.len() >= baseline.experts.len(),
+            "expansion lost experts"
+        );
+    }
+
+    #[test]
+    fn unknown_queries_degrade_to_baseline() {
+        let (_, corpus, esharp) = system();
+        let out = esharp.search(&corpus, "completely unknown phrase");
+        assert_eq!(out.expansion.len(), 1);
+        assert!(out.experts.is_empty());
+    }
+
+    #[test]
+    fn expansion_disabled_equals_baseline() {
+        let (world, corpus, esharp) = system();
+        let mut config = esharp.config().clone();
+        config.expansion = false;
+        let plain = Esharp::new(esharp.domains().clone(), config);
+        let q = &world.domains[0].label;
+        assert_eq!(
+            plain.search(&corpus, q).experts,
+            esharp.search_baseline(&corpus, q).experts
+        );
+    }
+
+    #[test]
+    fn online_latency_is_interactive() {
+        // Table 9: expansion < 100 ms, detection < 1 s. Generous CI-safe
+        // bounds, but the order of magnitude must hold.
+        let (_, corpus, esharp) = system();
+        let out = esharp.search(&corpus, "49ers");
+        assert!(out.expansion_time < Duration::from_millis(100));
+        assert!(out.detection_time < Duration::from_secs(1));
+    }
+}

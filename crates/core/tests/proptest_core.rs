@@ -1,0 +1,66 @@
+//! Property-based tests of the domain collection and query expansion.
+
+use esharp_core::DomainCollection;
+use proptest::prelude::*;
+
+/// Random term groups: up to `groups` domains of up to `size` short terms.
+fn arb_groups(groups: usize, size: usize) -> impl Strategy<Value = Vec<Vec<String>>> {
+    prop::collection::vec(
+        prop::collection::vec("[a-c]{1,4}", 1..size),
+        1..groups,
+    )
+}
+
+proptest! {
+    #[test]
+    fn expansion_always_leads_with_the_query(groups in arb_groups(8, 6), cap in 1usize..10) {
+        let c = DomainCollection::from_groups(groups.clone());
+        for group in &groups {
+            for term in group {
+                let expansion = c.expand(term, cap);
+                prop_assert!(!expansion.is_empty());
+                prop_assert_eq!(&expansion[0], &term.to_lowercase());
+                prop_assert!(expansion.len() <= cap.max(1));
+                // No duplicates.
+                let mut dedup = expansion.clone();
+                dedup.sort();
+                dedup.dedup();
+                prop_assert_eq!(dedup.len(), expansion.len());
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_terms_come_from_the_owning_domain(groups in arb_groups(8, 6)) {
+        let c = DomainCollection::from_groups(groups.clone());
+        for term in groups.iter().flatten() {
+            let expansion = c.expand(term, usize::MAX);
+            let domain = c.lookup(term).expect("member term must resolve");
+            for t in &expansion[1..] {
+                prop_assert!(
+                    domain.iter().any(|d| d.eq_ignore_ascii_case(t)),
+                    "expansion term {} escaped its domain",
+                    t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_queries_expand_to_themselves(groups in arb_groups(5, 4), query in "[x-z]{5,8}") {
+        // Query alphabet is disjoint from group alphabet ⇒ never a member.
+        let c = DomainCollection::from_groups(groups);
+        prop_assert_eq!(c.expand(&query, 10), vec![query.to_lowercase()]);
+        prop_assert!(c.lookup(&query).is_none());
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_total_over_members(groups in arb_groups(6, 5)) {
+        let c = DomainCollection::from_groups(groups.clone());
+        for term in groups.iter().flatten() {
+            prop_assert!(c.lookup(term).is_some());
+            prop_assert!(c.lookup(&term.to_uppercase()).is_some());
+        }
+        prop_assert_eq!(c.len(), groups.len());
+    }
+}

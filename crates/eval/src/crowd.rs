@@ -1,0 +1,229 @@
+//! Simulated crowdsourcing (§6.2.1).
+//!
+//! The paper's protocol: each (query, account) pair is reviewed by 3
+//! workers who flag "non-experts" ("accounts from which they could not
+//! get any objective information about the topic"); spammers are filtered
+//! with trivial preliminary questions; majority voting aggregates. We
+//! reproduce the protocol over ground truth: a worker is correct with a
+//! per-worker accuracy, spam workers (those that slip past the screening)
+//! answer randomly, and 3 votes decide.
+
+use esharp_microblog::{Corpus, UserId};
+use esharp_querylog::World;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Crowd simulation parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrowdConfig {
+    /// Votes per (query, account) item ("each expert was reviewed by 3
+    /// different workers").
+    pub workers_per_item: usize,
+    /// Probability a diligent worker judges correctly.
+    pub worker_accuracy: f64,
+    /// Share of judgments cast by spam workers who answer at random
+    /// despite the screening questions.
+    pub spammer_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CrowdConfig {
+    fn default() -> Self {
+        CrowdConfig {
+            workers_per_item: 3,
+            worker_accuracy: 0.88,
+            spammer_rate: 0.05,
+            seed: 0xC0D,
+        }
+    }
+}
+
+/// A deterministic simulated crowd.
+pub struct Crowd {
+    config: CrowdConfig,
+    rng: StdRng,
+}
+
+impl Crowd {
+    /// Create a crowd.
+    pub fn new(config: CrowdConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Crowd { config, rng }
+    }
+
+    /// Ground truth: is `user` a genuine expert for `query`? True iff the
+    /// query term belongs to a domain the account is expert in (spam
+    /// accounts are never relevant).
+    pub fn ground_truth(world: &World, corpus: &Corpus, query: &str, user: UserId) -> bool {
+        let account = corpus.user(user);
+        if account.spam || account.expert_domains.is_empty() {
+            return false;
+        }
+        let Some(term) = world.term_id(&query.to_lowercase()) else {
+            return false;
+        };
+        world.terms[term as usize]
+            .domains
+            .iter()
+            .any(|d| account.expert_domains.contains(d))
+    }
+
+    /// Run the 3-worker majority vote for one (query, account) item.
+    /// Returns true when the crowd deems the account a *relevant expert*
+    /// (i.e. it was not flagged as a non-expert by the majority).
+    pub fn judge(&mut self, world: &World, corpus: &Corpus, query: &str, user: UserId) -> bool {
+        let truth = Self::ground_truth(world, corpus, query, user);
+        let mut relevant_votes = 0;
+        for _ in 0..self.config.workers_per_item {
+            let vote = if self.rng.gen_bool(self.config.spammer_rate) {
+                self.rng.gen_bool(0.5)
+            } else if self.rng.gen_bool(self.config.worker_accuracy) {
+                truth
+            } else {
+                !truth
+            };
+            if vote {
+                relevant_votes += 1;
+            }
+        }
+        relevant_votes * 2 > self.config.workers_per_item
+    }
+
+    /// Judge a whole result list; returns the *impurity* — "the proportion
+    /// of results marked as non relevant by the judges" (Figure 10's y
+    /// axis). `None` for empty lists.
+    pub fn impurity(
+        &mut self,
+        world: &World,
+        corpus: &Corpus,
+        query: &str,
+        users: &[UserId],
+    ) -> Option<f64> {
+        if users.is_empty() {
+            return None;
+        }
+        let non_relevant = users
+            .iter()
+            .filter(|&&u| !self.judge(world, corpus, query, u))
+            .count();
+        Some(non_relevant as f64 / users.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esharp_microblog::{generate_corpus, CorpusConfig};
+    use esharp_querylog::WorldConfig;
+
+    fn build() -> (World, Corpus) {
+        let world = World::generate(&WorldConfig::tiny(81));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(81));
+        (world, corpus)
+    }
+
+    #[test]
+    fn ground_truth_matches_planted_labels() {
+        let (world, corpus) = build();
+        let domain = world.domain_by_label("diabetes").unwrap();
+        let expert = corpus
+            .users()
+            .iter()
+            .find(|u| u.expert_domains.contains(&domain.id))
+            .unwrap();
+        assert!(Crowd::ground_truth(&world, &corpus, "diabetes", expert.id));
+        assert!(Crowd::ground_truth(&world, &corpus, "t1d", expert.id));
+        assert!(!Crowd::ground_truth(&world, &corpus, "49ers", expert.id));
+        let spammer = corpus.users().iter().find(|u| u.spam).unwrap();
+        assert!(!Crowd::ground_truth(&world, &corpus, "diabetes", spammer.id));
+    }
+
+    #[test]
+    fn perfect_workers_reproduce_ground_truth() {
+        let (world, corpus) = build();
+        let mut crowd = Crowd::new(CrowdConfig {
+            worker_accuracy: 1.0,
+            spammer_rate: 0.0,
+            ..Default::default()
+        });
+        for user in corpus.users().iter().take(30) {
+            let truth = Crowd::ground_truth(&world, &corpus, "diabetes", user.id);
+            assert_eq!(crowd.judge(&world, &corpus, "diabetes", user.id), truth);
+        }
+    }
+
+    #[test]
+    fn noisy_workers_mostly_agree_with_truth() {
+        let (world, corpus) = build();
+        let mut crowd = Crowd::new(CrowdConfig::default());
+        let mut agree = 0;
+        let mut total = 0;
+        for user in corpus.users() {
+            for query in ["diabetes", "49ers", "dow futures"] {
+                let truth = Crowd::ground_truth(&world, &corpus, query, user.id);
+                if crowd.judge(&world, &corpus, query, user.id) == truth {
+                    agree += 1;
+                }
+                total += 1;
+            }
+        }
+        // Majority of 3 workers at 88% accuracy ⇒ ≥95% agreement expected.
+        assert!(
+            agree as f64 / total as f64 > 0.9,
+            "crowd agreement {agree}/{total}"
+        );
+    }
+
+    #[test]
+    fn spam_workers_degrade_agreement() {
+        let (world, corpus) = build();
+        let score = |spammer_rate: f64| {
+            let mut crowd = Crowd::new(CrowdConfig {
+                spammer_rate,
+                ..Default::default()
+            });
+            let mut agree = 0usize;
+            let mut total = 0usize;
+            for user in corpus.users() {
+                let truth = Crowd::ground_truth(&world, &corpus, "diabetes", user.id);
+                if crowd.judge(&world, &corpus, "diabetes", user.id) == truth {
+                    agree += 1;
+                }
+                total += 1;
+            }
+            agree as f64 / total as f64
+        };
+        let clean = score(0.0);
+        let noisy = score(0.9);
+        assert!(
+            clean > noisy,
+            "spam workers should hurt agreement: clean {clean:.2} vs noisy {noisy:.2}"
+        );
+    }
+
+    #[test]
+    fn judging_is_deterministic_per_crowd_seed() {
+        let (world, corpus) = build();
+        let run = || {
+            let mut crowd = Crowd::new(CrowdConfig::default());
+            (0..20u32)
+                .map(|u| crowd.judge(&world, &corpus, "diabetes", u))
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn impurity_bounds() {
+        let (world, corpus) = build();
+        let mut crowd = Crowd::new(CrowdConfig::default());
+        assert_eq!(crowd.impurity(&world, &corpus, "diabetes", &[]), None);
+        let users: Vec<UserId> = (0..20).collect();
+        let impurity = crowd
+            .impurity(&world, &corpus, "diabetes", &users)
+            .unwrap();
+        assert!((0.0..=1.0).contains(&impurity));
+    }
+}

@@ -1,0 +1,334 @@
+//! Ablations beyond the paper's own evaluation (DESIGN.md §4):
+//! clustering-backend comparison against ground truth, and the effect of
+//! the discarded cluster-analysis precision filter.
+
+use crate::harness::Testbed;
+use crate::report::AsciiTable;
+use esharp_community::{ari, nmi, Assignment};
+use esharp_core::{run_clustering, ClusterBackend, Esharp};
+use esharp_microblog::UserId;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// One clustering backend's scorecard.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BackendScore {
+    /// Backend name.
+    pub backend: String,
+    /// Wall-clock clustering time.
+    pub wall: Duration,
+    /// Final community count.
+    pub communities: usize,
+    /// Normalized modularity of the result.
+    pub modularity: f64,
+    /// NMI vs the world's ground-truth domains.
+    pub nmi: f64,
+    /// ARI vs the world's ground-truth domains.
+    pub ari: f64,
+}
+
+/// Ground-truth assignment over the similarity graph's nodes: each node's
+/// primary world domain (nodes whose term the world does not know keep a
+/// fresh singleton id — cannot happen with generated logs, but the guard
+/// keeps the mapping total).
+pub fn ground_truth_assignment(testbed: &Testbed) -> Assignment {
+    let graph = &testbed.artifacts.graph;
+    let offset = testbed.world.num_domains() as u32;
+    let mut fresh = 0u32;
+    let communities: Vec<u32> = (0..graph.num_nodes() as u32)
+        .map(|node| {
+            let label = graph.label(node);
+            match testbed
+                .world
+                .term_id(label)
+                .and_then(|t| testbed.world.primary_domain_of(t))
+            {
+                Some(domain) => domain,
+                None => {
+                    fresh += 1;
+                    offset + fresh
+                }
+            }
+        })
+        .collect();
+    Assignment::from_vec(communities)
+}
+
+/// Compare every clustering backend on the testbed's multigraph.
+pub fn backend_comparison(testbed: &Testbed) -> Vec<BackendScore> {
+    let truth = ground_truth_assignment(testbed);
+    let backends = [
+        ClusterBackend::Parallel,
+        ClusterBackend::Sql,
+        ClusterBackend::Newman,
+        ClusterBackend::Louvain,
+        ClusterBackend::LabelPropagation,
+    ];
+    backends
+        .iter()
+        .map(|&backend| {
+            let mut config = testbed.config.clone();
+            config.backend = backend;
+            let started = Instant::now();
+            let outcome = run_clustering(&testbed.artifacts.multigraph, &config)
+                .expect("clustering backends must run");
+            let wall = started.elapsed();
+            let stats = esharp_community::PartitionStats::compute(
+                &testbed.artifacts.multigraph,
+                &outcome.assignment,
+            );
+            BackendScore {
+                backend: format!("{backend:?}"),
+                wall,
+                communities: outcome.assignment.num_communities(),
+                modularity: stats.normalized_modularity(),
+                nmi: nmi(&outcome.assignment, &truth),
+                ari: ari(&outcome.assignment, &truth),
+            }
+        })
+        .collect()
+}
+
+/// Render the backend comparison.
+pub fn render_backend_comparison(scores: &[BackendScore]) -> String {
+    let mut t = AsciiTable::new(
+        "Ablation: community-detection backends vs ground truth",
+        &["Backend", "Wall", "Communities", "Modularity Q", "NMI", "ARI"],
+    );
+    for s in scores {
+        t.row(vec![
+            s.backend.clone(),
+            format!("{:.2?}", s.wall),
+            s.communities.to_string(),
+            format!("{:.3}", s.modularity),
+            format!("{:.3}", s.nmi),
+            format!("{:.3}", s.ari),
+        ]);
+    }
+    t.render()
+}
+
+/// One row of the min-support ablation (§4.1's ≥50/month rule).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SupportRow {
+    /// The support threshold.
+    pub min_support: u64,
+    /// Queries surviving the filter.
+    pub queries_kept: usize,
+    /// Queries dropped.
+    pub queries_dropped: usize,
+    /// Edges in the resulting similarity graph.
+    pub graph_edges: usize,
+    /// Communities found on the resulting multigraph.
+    pub communities: usize,
+    /// NMI of the clustering against ground truth.
+    pub nmi: f64,
+}
+
+/// Sweep the support threshold and measure its effect on graph size,
+/// clustering size and clustering quality — quantifying the paper's
+/// "remove all the queries which appear less than 50 times per month, to
+/// reduce noise and save space".
+pub fn support_ablation(testbed: &Testbed, thresholds: &[u64]) -> Vec<SupportRow> {
+    use esharp_graph::{build_graph, MultiGraph};
+    thresholds
+        .iter()
+        .map(|&min_support| {
+            let (filtered, dropped) = testbed.log.filter_min_support(min_support);
+            let (graph, _) = build_graph(&filtered, &testbed.world, &testbed.config.graph);
+            let multigraph = MultiGraph::from_similarity(&graph, testbed.config.discretize_scale);
+            let outcome = run_clustering(&multigraph, &testbed.config)
+                .expect("clustering must run");
+            // Ground truth over this graph's nodes.
+            let offset = testbed.world.num_domains() as u32;
+            let mut fresh = 0u32;
+            let truth = Assignment::from_vec(
+                (0..graph.num_nodes() as u32)
+                    .map(|node| {
+                        match testbed
+                            .world
+                            .term_id(graph.label(node))
+                            .and_then(|t| testbed.world.primary_domain_of(t))
+                        {
+                            Some(domain) => domain,
+                            None => {
+                                fresh += 1;
+                                offset + fresh
+                            }
+                        }
+                    })
+                    .collect(),
+            );
+            SupportRow {
+                min_support,
+                queries_kept: filtered.num_terms(),
+                queries_dropped: dropped,
+                graph_edges: graph.num_edges(),
+                communities: outcome.assignment.num_communities(),
+                nmi: nmi(&outcome.assignment, &truth),
+            }
+        })
+        .collect()
+}
+
+/// Render the support ablation.
+pub fn render_support_ablation(rows: &[SupportRow]) -> String {
+    let mut t = AsciiTable::new(
+        "Ablation: min-support filter (§4.1, paper uses ≥50/month)",
+        &["Min support", "Queries kept", "Dropped", "Graph edges", "Communities", "NMI"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.min_support.to_string(),
+            r.queries_kept.to_string(),
+            r.queries_dropped.to_string(),
+            r.graph_edges.to_string(),
+            r.communities.to_string(),
+            format!("{:.3}", r.nmi),
+        ]);
+    }
+    t.render()
+}
+
+/// The discarded precision filter's effect on one query set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FilterAblation {
+    /// Queries probed.
+    pub queries: usize,
+    /// Experts returned with the filter off (the paper's production
+    /// configuration).
+    pub experts_without: usize,
+    /// Experts returned with Pal & Counts' cluster filter on.
+    pub experts_with: usize,
+    /// Ground-truth precision without the filter.
+    pub precision_without: f64,
+    /// Ground-truth precision with the filter.
+    pub precision_with: f64,
+}
+
+/// Quantify what §3's "we discarded it" costs and buys, over the showcase
+/// queries plus the most popular domains.
+pub fn filter_ablation(testbed: &Testbed, queries: &[String]) -> FilterAblation {
+    let mut with_cfg = testbed.config.clone();
+    with_cfg.detector.cluster_filter = true;
+    let with_filter = Esharp::new(testbed.esharp.domains().clone(), with_cfg);
+
+    let mut experts_without = 0usize;
+    let mut experts_with = 0usize;
+    let mut relevant_without = 0usize;
+    let mut relevant_with = 0usize;
+    let relevant = |q: &str, u: UserId| {
+        crate::crowd::Crowd::ground_truth(&testbed.world, &testbed.corpus, q, u)
+    };
+    for q in queries {
+        for e in &testbed.esharp.search(&testbed.corpus, q).experts {
+            experts_without += 1;
+            if relevant(q, e.user) {
+                relevant_without += 1;
+            }
+        }
+        for e in &with_filter.search(&testbed.corpus, q).experts {
+            experts_with += 1;
+            if relevant(q, e.user) {
+                relevant_with += 1;
+            }
+        }
+    }
+    let precision = |relevant: usize, total: usize| {
+        if total == 0 {
+            0.0
+        } else {
+            relevant as f64 / total as f64
+        }
+    };
+    FilterAblation {
+        queries: queries.len(),
+        experts_without,
+        experts_with,
+        precision_without: precision(relevant_without, experts_without),
+        precision_with: precision(relevant_with, experts_with),
+    }
+}
+
+/// The extended-feature-tier ablation: the paper's TS/MI/RI
+/// simplification vs the fuller WSDM'11 feature set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExtendedFeaturesAblation {
+    /// Probe queries used.
+    pub queries: usize,
+    /// Ground-truth precision with TS/MI/RI only (the paper's detector).
+    pub precision_simplified: f64,
+    /// Ground-truth precision with SS/NCS/RT/HUB folded in.
+    pub precision_extended: f64,
+}
+
+/// Measure what the §3 simplification ("we kept those which they present
+/// as important") costs in ground-truth precision.
+pub fn extended_features_ablation(
+    testbed: &Testbed,
+    queries: &[String],
+) -> ExtendedFeaturesAblation {
+    let mut ext_cfg = testbed.config.clone();
+    ext_cfg.detector.extended = Some(esharp_expert::ExtendedWeights::default());
+    let extended = Esharp::new(testbed.esharp.domains().clone(), ext_cfg);
+
+    let precision_of = |esharp: &Esharp| {
+        let mut relevant = 0usize;
+        let mut total = 0usize;
+        for q in queries {
+            for e in &esharp.search(&testbed.corpus, q).experts {
+                total += 1;
+                if crate::crowd::Crowd::ground_truth(&testbed.world, &testbed.corpus, q, e.user) {
+                    relevant += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            relevant as f64 / total as f64
+        }
+    };
+    ExtendedFeaturesAblation {
+        queries: queries.len(),
+        precision_simplified: precision_of(&testbed.esharp),
+        precision_extended: precision_of(&extended),
+    }
+}
+
+/// Render the extended-feature ablation.
+pub fn render_extended_features_ablation(a: &ExtendedFeaturesAblation) -> String {
+    let mut t = AsciiTable::new(
+        "Ablation: TS/MI/RI simplification vs full WSDM'11 feature tier",
+        &["Detector", "Precision"],
+    );
+    t.row(vec![
+        "TS/MI/RI (paper's simplification)".into(),
+        format!("{:.3}", a.precision_simplified),
+    ]);
+    t.row(vec![
+        "+ SS/NCS/RT/HUB (extended)".into(),
+        format!("{:.3}", a.precision_extended),
+    ]);
+    format!("{}({} probe queries)
+", t.render(), a.queries)
+}
+
+/// Render the filter ablation.
+pub fn render_filter_ablation(a: &FilterAblation) -> String {
+    let mut t = AsciiTable::new(
+        "Ablation: Pal & Counts' discarded cluster-analysis filter",
+        &["Configuration", "Experts returned", "Precision"],
+    );
+    t.row(vec![
+        "filter off (paper's choice)".into(),
+        a.experts_without.to_string(),
+        format!("{:.3}", a.precision_without),
+    ]);
+    t.row(vec![
+        "filter on".into(),
+        a.experts_with.to_string(),
+        format!("{:.3}", a.precision_with),
+    ]);
+    format!("{}({} probe queries)\n", t.render(), a.queries)
+}

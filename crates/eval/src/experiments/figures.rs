@@ -1,0 +1,147 @@
+//! Offline-side figures: Figure 5 (convergence), Figure 6 (community
+//! sizes), Figure 7 (the 49ers neighborhood).
+
+use crate::harness::Testbed;
+use crate::report::{render_series, AsciiTable};
+use esharp_community::{neighborhood_of_term, CommunityView, SizeHistogram};
+use serde::{Deserialize, Serialize};
+
+/// Figure 5: communities count per iteration of the community-detection
+/// algorithm.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5 {
+    /// `(iteration, communities)` points.
+    pub points: Vec<(usize, usize)>,
+    /// Iterations to convergence (the paper observes ~6).
+    pub iterations_to_converge: usize,
+}
+
+/// Run Figure 5 on a built testbed.
+pub fn fig5(testbed: &Testbed) -> Fig5 {
+    let trace = &testbed.artifacts.outcome.trace;
+    Fig5 {
+        points: trace.iter().map(|s| (s.iteration, s.communities)).collect(),
+        iterations_to_converge: testbed.artifacts.outcome.iterations(),
+    }
+}
+
+impl Fig5 {
+    /// Render as a series.
+    pub fn render(&self) -> String {
+        let series = vec![(
+            "communities".to_string(),
+            self.points
+                .iter()
+                .map(|&(i, c)| (i as f64, c as f64))
+                .collect(),
+        )];
+        format!(
+            "{}(converged after {} iterations)\n",
+            render_series("Figure 5: convergence of community detection", &series),
+            self.iterations_to_converge
+        )
+    }
+}
+
+/// Figure 6: distribution of community sizes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6 {
+    /// The histogram.
+    pub histogram: SizeHistogram,
+    /// Bucket shares `[1, 2–10, 10–50, >50]`.
+    pub shares: [f64; 4],
+}
+
+/// Run Figure 6.
+pub fn fig6(testbed: &Testbed) -> Fig6 {
+    let histogram = SizeHistogram::compute(&testbed.artifacts.outcome.assignment);
+    Fig6 {
+        histogram,
+        shares: histogram.shares(),
+    }
+}
+
+impl Fig6 {
+    /// Render as a table.
+    pub fn render(&self) -> String {
+        let mut t = AsciiTable::new(
+            "Figure 6: distribution of community sizes",
+            &["queries per community", "count", "share"],
+        );
+        let counts = [
+            self.histogram.orphans,
+            self.histogram.small,
+            self.histogram.medium,
+            self.histogram.large,
+        ];
+        for (label, (count, share)) in ["1", "2 to 10", "10 to 50", "More than 50"]
+            .iter()
+            .zip(counts.iter().zip(self.shares.iter()))
+        {
+            t.row(vec![
+                label.to_string(),
+                count.to_string(),
+                format!("{:.1}%", share * 100.0),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Figure 7: the community containing a seed term plus its closest
+/// communities.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7 {
+    /// The seed term.
+    pub term: String,
+    /// The seed community.
+    pub seed: CommunityView,
+    /// Closest communities, nearest first.
+    pub neighbors: Vec<CommunityView>,
+}
+
+/// Run Figure 7 for a seed term (the paper uses `49ers`, k = 3).
+pub fn fig7(testbed: &Testbed, term: &str, k: usize) -> Option<Fig7> {
+    let (seed, neighbors) = neighborhood_of_term(
+        &testbed.artifacts.graph,
+        &testbed.artifacts.outcome.assignment,
+        term,
+        k,
+    )?;
+    Some(Fig7 {
+        term: term.to_string(),
+        seed,
+        neighbors,
+    })
+}
+
+impl Fig7 {
+    /// Render member lists.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "== Figure 7: communities around \"{}\" ==\nseed community ({} terms): {}\n",
+            self.term,
+            self.seed.members.len(),
+            preview(&self.seed.members, 12)
+        );
+        for (i, n) in self.neighbors.iter().enumerate() {
+            out.push_str(&format!(
+                "neighbor {} (closeness {:.3}, {} terms): {}\n",
+                i + 1,
+                n.closeness,
+                n.members.len(),
+                preview(&n.members, 12)
+            ));
+        }
+        out
+    }
+}
+
+fn preview(members: &[String], k: usize) -> String {
+    let shown: Vec<&str> = members.iter().take(k).map(String::as_str).collect();
+    if members.len() > k {
+        format!("{}, … (+{})", shown.join(", "), members.len() - k)
+    } else {
+        shown.join(", ")
+    }
+}

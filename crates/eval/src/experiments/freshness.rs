@@ -1,0 +1,157 @@
+//! Freshness experiment — §2's unmeasured claim, measured.
+//!
+//! "Thanks to the query log, our collection of domains is inherently
+//! current. For instance, at the time of writing, it contained keywords
+//! related to new technological products (smart watches or VR glasses) or
+//! upcoming media events (e.g., Star Wars VII)."
+//!
+//! The pipeline runs weekly (§6.3). This experiment simulates two weekly
+//! iterations: week 1's world, then week 2's world where new topics have
+//! *emerged* (and started trending in search). Rebuilding the collection
+//! must pick the emerging topics up — queries for them go from
+//! unanswerable to expanded.
+
+use crate::report::AsciiTable;
+use esharp_core::{run_offline, DomainCollection, EsharpConfig};
+use esharp_querylog::{
+    AggregatedLog, Category, Domain, LogConfig, LogGenerator, World, WorldConfig,
+};
+use serde::{Deserialize, Serialize};
+
+/// The emerging topics injected into week 2 (the paper's own examples).
+pub const EMERGING: [(&str, &[&str]); 3] = [
+    ("star wars vii", &["star wars vii", "the force awakens", "episode vii"]),
+    ("smart watches", &["smart watches", "smartwatch", "watch os"]),
+    ("vr glasses", &["vr glasses", "virtual reality headset", "vr headset"]),
+];
+
+/// Outcome of the two-week simulation for one emerging topic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FreshnessRow {
+    /// The emerging head term.
+    pub topic: String,
+    /// Was the topic in week 1's collection?
+    pub week1_known: bool,
+    /// Is it in week 2's collection after the weekly rebuild?
+    pub week2_known: bool,
+    /// Expansion terms week 2's collection produces for it.
+    pub week2_expansion: Vec<String>,
+}
+
+/// Append the emerging domains to a world (week 2's reality).
+fn with_emerging(week1: &WorldConfig) -> World {
+    let mut world = World::generate(week1);
+    for (label, terms) in EMERGING {
+        let id = world.domains.len() as u32;
+        let mut term_ids = Vec::new();
+        for t in terms {
+            // Intern by hand: these terms are new to the world.
+            let term_id = world.terms.len() as u32;
+            world.terms.push(esharp_querylog::TermInfo {
+                text: t.to_string(),
+                domains: vec![id],
+            });
+            term_ids.push(term_id);
+        }
+        let url_base = world.urls.len() as u32;
+        let slug: String = label.chars().filter(|c| c.is_alphanumeric()).collect();
+        world.urls.push(format!("{slug}-official.com"));
+        world.urls.push(format!("{slug}-news.com"));
+        let variant_flags = vec![false; term_ids.len()];
+        world.domains.push(Domain {
+            id,
+            label: label.to_string(),
+            category: Category::General,
+            terms: term_ids,
+            variant_flags,
+            urls: vec![url_base, url_base + 1],
+            hub_urls: vec![],
+            // Emerging topics trend hard: weight comparable to the head
+            // showcase domains (popularities are normalized per-world, so
+            // this is only a relative share).
+            popularity: 0.02,
+        });
+    }
+    world
+}
+
+/// Run the two-week freshness simulation.
+pub fn freshness(seed: u64) -> Vec<FreshnessRow> {
+    let world_config = WorldConfig::tiny(seed);
+    let log_config = LogConfig::tiny(seed ^ 1);
+    let esharp_config = EsharpConfig::tiny();
+
+    let build = |world: &World| -> DomainCollection {
+        let log = AggregatedLog::from_events(
+            LogGenerator::new(world, &log_config),
+            world.terms.len(),
+        );
+        run_offline(&log, world, &esharp_config)
+            .expect("offline pipeline")
+            .domains
+    };
+
+    let week1_world = World::generate(&world_config);
+    let week1 = build(&week1_world);
+    let week2_world = with_emerging(&world_config);
+    let week2 = build(&week2_world);
+
+    EMERGING
+        .iter()
+        .map(|(topic, _)| FreshnessRow {
+            topic: topic.to_string(),
+            week1_known: week1.lookup(topic).is_some(),
+            week2_known: week2.lookup(topic).is_some(),
+            week2_expansion: week2.expand(topic, 10),
+        })
+        .collect()
+}
+
+/// Render the freshness table.
+pub fn render_freshness(rows: &[FreshnessRow]) -> String {
+    let mut t = AsciiTable::new(
+        "Freshness: emerging topics across two weekly pipeline iterations (§2)",
+        &["Topic", "Week 1", "Week 2", "Week 2 expansion"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.topic.clone(),
+            if r.week1_known { "known" } else { "unknown" }.into(),
+            if r.week2_known { "known" } else { "unknown" }.into(),
+            r.week2_expansion.join(", "),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weekly_rebuild_picks_up_emerging_topics() {
+        let rows = freshness(901);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(!row.week1_known, "{} leaked into week 1", row.topic);
+            assert!(row.week2_known, "{} missed in week 2", row.topic);
+            assert!(
+                row.week2_expansion.len() >= 2,
+                "{} expanded to {:?} only",
+                row.topic,
+                row.week2_expansion
+            );
+        }
+        assert!(render_freshness(&rows).contains("star wars vii"));
+    }
+
+    #[test]
+    fn emerging_world_is_a_superset() {
+        let config = WorldConfig::tiny(902);
+        let base = World::generate(&config);
+        let extended = with_emerging(&config);
+        assert_eq!(extended.domains.len(), base.domains.len() + 3);
+        assert!(extended.term_id("the force awakens").is_some());
+        assert!(base.term_id("the force awakens").is_none());
+    }
+}

@@ -1,0 +1,13 @@
+//! One module per table/figure of the paper's evaluation (§6), plus
+//! ablations. See DESIGN.md §3 for the experiment index.
+
+pub mod ablation;
+pub mod figures;
+pub mod freshness;
+pub mod recall_precision;
+pub mod runs;
+pub mod scaling;
+pub mod tables;
+
+#[cfg(test)]
+mod tests_scaling;

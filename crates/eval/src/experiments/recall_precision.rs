@@ -1,0 +1,215 @@
+//! Online-side figures: Figure 8 (experts-per-query distribution),
+//! Figure 9 (z-score threshold sweep) and Figure 10 (size vs quality
+//! trade-off, crowd-judged).
+
+use crate::crowd::{Crowd, CrowdConfig};
+use crate::harness::Testbed;
+use crate::metrics::{at_least_curve, avg_experts};
+use crate::querysets::build_query_sets;
+use crate::report::render_series;
+use crate::experiments::runs::SetRun;
+use esharp_microblog::UserId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Figure 8: for each set and algorithm, the percentage of queries with
+/// at least `n` experts, `n = 0..=14`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8 {
+    /// `(set name, baseline curve, e# curve)`.
+    pub curves: Vec<(String, Vec<f64>, Vec<f64>)>,
+}
+
+/// Maximum `n` in Figure 8's x axis.
+pub const FIG8_MAX_N: usize = 14;
+
+/// Run Figure 8 from precomputed set runs.
+pub fn fig8(runs: &[SetRun]) -> Fig8 {
+    let curves = runs
+        .iter()
+        .map(|run| {
+            (
+                run.set.name.clone(),
+                at_least_curve(&run.baseline_counts(), FIG8_MAX_N),
+                at_least_curve(&run.esharp_counts(), FIG8_MAX_N),
+            )
+        })
+        .collect();
+    Fig8 { curves }
+}
+
+impl Fig8 {
+    /// Render each set's two curves.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (set, baseline, esharp) in &self.curves {
+            let series = vec![
+                (
+                    "Baseline".to_string(),
+                    baseline
+                        .iter()
+                        .enumerate()
+                        .map(|(n, &pct)| (n as f64, pct))
+                        .collect(),
+                ),
+                (
+                    "e#".to_string(),
+                    esharp
+                        .iter()
+                        .enumerate()
+                        .map(|(n, &pct)| (n as f64, pct))
+                        .collect(),
+                ),
+            ];
+            out.push_str(&render_series(
+                &format!("Figure 8 ({set}): % queries with ≥ n experts"),
+                &series,
+            ));
+        }
+        out
+    }
+}
+
+/// Figure 9: average experts per query on the Top 250 set as the minimum
+/// z-score threshold sweeps.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9 {
+    /// `(threshold, baseline avg, e# avg)` rows.
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+/// The thresholds swept in Figure 9 (0 to 8, as in the paper's x axis).
+pub fn fig9_thresholds() -> Vec<f64> {
+    (0..=16).map(|i| i as f64 * 0.5).collect()
+}
+
+/// Run Figure 9 on the Top 250 set.
+pub fn fig9(testbed: &Testbed) -> Fig9 {
+    let sets = build_query_sets(&testbed.world, &testbed.log);
+    let top = sets.last().expect("Top 250 set exists");
+    let points = fig9_thresholds()
+        .into_iter()
+        .map(|threshold| {
+            let esharp = testbed.with_min_zscore(threshold);
+            let mut baseline_counts = Vec::with_capacity(top.queries.len());
+            let mut esharp_counts = Vec::with_capacity(top.queries.len());
+            for q in &top.queries {
+                baseline_counts.push(esharp.search_baseline(&testbed.corpus, q).experts.len());
+                esharp_counts.push(esharp.search(&testbed.corpus, q).experts.len());
+            }
+            (
+                threshold,
+                avg_experts(&baseline_counts),
+                avg_experts(&esharp_counts),
+            )
+        })
+        .collect();
+    Fig9 { points }
+}
+
+impl Fig9 {
+    /// Render the two series.
+    pub fn render(&self) -> String {
+        let series = vec![
+            (
+                "Baseline".to_string(),
+                self.points.iter().map(|&(z, b, _)| (z, b)).collect(),
+            ),
+            (
+                "e#".to_string(),
+                self.points.iter().map(|&(z, _, e)| (z, e)).collect(),
+            ),
+        ];
+        render_series(
+            "Figure 9: min z-score vs avg experts per query (Top 250)",
+            &series,
+        )
+    }
+}
+
+/// One Figure 10 trade-off curve: `(avg experts per query, impurity)`
+/// points as the threshold sweeps.
+pub type TradeoffCurve = Vec<(f64, f64)>;
+
+/// Figure 10: impurity (share of crowd-rejected results) as a function of
+/// the average number of experts per query, per set and algorithm.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10 {
+    /// `(set, baseline curve, e# curve)`.
+    pub curves: Vec<(String, TradeoffCurve, TradeoffCurve)>,
+}
+
+/// Thresholds swept to trace the Figure 10 trade-off curves.
+pub fn fig10_thresholds() -> Vec<f64> {
+    (0..=8).map(|i| i as f64).collect()
+}
+
+/// Run Figure 10: sweep the threshold, judge every returned expert with
+/// the simulated crowd (each `(query, account)` pair judged once and
+/// cached, as one crowdworker batch would be).
+pub fn fig10(testbed: &Testbed, crowd_config: &CrowdConfig) -> Fig10 {
+    let sets = build_query_sets(&testbed.world, &testbed.log);
+    let mut crowd = Crowd::new(crowd_config.clone());
+    let mut verdicts: HashMap<(String, UserId), bool> = HashMap::new();
+    let mut judge = |query: &str, user: UserId, crowd: &mut Crowd| -> bool {
+        *verdicts
+            .entry((query.to_string(), user))
+            .or_insert_with(|| crowd.judge(&testbed.world, &testbed.corpus, query, user))
+    };
+
+    let mut curves = Vec::with_capacity(sets.len());
+    for set in &sets {
+        let mut baseline_points = Vec::new();
+        let mut esharp_points = Vec::new();
+        for threshold in fig10_thresholds() {
+            let esharp = testbed.with_min_zscore(threshold);
+            let mut tally = |expanded: bool| -> (f64, f64) {
+                let mut counts = Vec::with_capacity(set.queries.len());
+                let mut judged = 0usize;
+                let mut rejected = 0usize;
+                for q in &set.queries {
+                    let outcome = if expanded {
+                        esharp.search(&testbed.corpus, q)
+                    } else {
+                        esharp.search_baseline(&testbed.corpus, q)
+                    };
+                    counts.push(outcome.experts.len());
+                    for e in &outcome.experts {
+                        judged += 1;
+                        if !judge(q, e.user, &mut crowd) {
+                            rejected += 1;
+                        }
+                    }
+                }
+                let impurity = if judged == 0 {
+                    0.0
+                } else {
+                    rejected as f64 / judged as f64
+                };
+                (avg_experts(&counts), impurity)
+            };
+            baseline_points.push(tally(false));
+            esharp_points.push(tally(true));
+        }
+        curves.push((set.name.clone(), baseline_points, esharp_points));
+    }
+    Fig10 { curves }
+}
+
+impl Fig10 {
+    /// Render each set's two trade-off curves.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (set, baseline, esharp) in &self.curves {
+            let series = vec![
+                ("Baseline".to_string(), baseline.clone()),
+                ("e#".to_string(), esharp.clone()),
+            ];
+            out.push_str(&render_series(
+                &format!("Figure 10 ({set}): avg experts per query vs impurity"),
+                &series,
+            ));
+        }
+        out
+    }
+}

@@ -1,0 +1,70 @@
+//! Shared execution of the 750-query comparison: both algorithms over
+//! every query set, reused by Table 8, Figure 8 and the example tables.
+
+use crate::harness::Testbed;
+use crate::querysets::{build_query_sets, QuerySet};
+use esharp_microblog::UserId;
+use serde::{Deserialize, Serialize};
+
+/// Results of running one query set through both algorithms.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SetRun {
+    /// The query set.
+    pub set: QuerySet,
+    /// Ranked experts per query — baseline.
+    pub baseline: Vec<Vec<UserId>>,
+    /// Ranked experts per query — e#.
+    pub esharp: Vec<Vec<UserId>>,
+}
+
+impl SetRun {
+    /// Experts-per-query counts for the baseline.
+    pub fn baseline_counts(&self) -> Vec<usize> {
+        self.baseline.iter().map(Vec::len).collect()
+    }
+
+    /// Experts-per-query counts for e#.
+    pub fn esharp_counts(&self) -> Vec<usize> {
+        self.esharp.iter().map(Vec::len).collect()
+    }
+}
+
+/// Run every Table 1 set through baseline and e#.
+pub fn run_all_sets(testbed: &Testbed) -> Vec<SetRun> {
+    let sets = build_query_sets(&testbed.world, &testbed.log);
+    sets.into_iter()
+        .map(|set| {
+            let baseline: Vec<Vec<UserId>> = set
+                .queries
+                .iter()
+                .map(|q| {
+                    testbed
+                        .esharp
+                        .search_baseline(&testbed.corpus, q)
+                        .experts
+                        .iter()
+                        .map(|e| e.user)
+                        .collect()
+                })
+                .collect();
+            let esharp: Vec<Vec<UserId>> = set
+                .queries
+                .iter()
+                .map(|q| {
+                    testbed
+                        .esharp
+                        .search(&testbed.corpus, q)
+                        .experts
+                        .iter()
+                        .map(|e| e.user)
+                        .collect()
+                })
+                .collect();
+            SetRun {
+                set,
+                baseline,
+                esharp,
+            }
+        })
+        .collect()
+}

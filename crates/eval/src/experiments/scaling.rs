@@ -1,0 +1,155 @@
+//! Scaling study (beyond the paper's single Table 9 row): how the offline
+//! stages behave as the log grows, and how the parallel statistics pass
+//! speeds up with workers — the quantitative backing for the paper's
+//! "processed in a distributed, parallel fashion" claim.
+
+use crate::report::AsciiTable;
+use esharp_community::{cluster_parallel, ParallelConfig};
+use esharp_graph::{build_graph, GraphConfig, MultiGraph};
+use esharp_querylog::{AggregatedLog, LogConfig, LogGenerator, World, WorldConfig};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// One row of the log-size scaling sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingRow {
+    /// Raw events generated.
+    pub events: usize,
+    /// Query terms surviving the support filter.
+    pub terms: usize,
+    /// Similarity-graph edges.
+    pub edges: usize,
+    /// Clustering iterations to convergence.
+    pub iterations: usize,
+    /// Final community count.
+    pub communities: usize,
+    /// Extraction wall time.
+    pub extraction_wall: Duration,
+    /// Clustering wall time.
+    pub clustering_wall: Duration,
+}
+
+/// Sweep the raw log size and measure every offline stage.
+pub fn log_scaling(seed: u64, event_counts: &[usize], min_support: u64) -> Vec<ScalingRow> {
+    let world = World::generate(&WorldConfig {
+        domains_per_category: 20,
+        seed,
+        ..WorldConfig::default()
+    });
+    event_counts
+        .iter()
+        .map(|&events| {
+            let log = AggregatedLog::from_events(
+                LogGenerator::new(
+                    &world,
+                    &LogConfig {
+                        events,
+                        seed: seed ^ 1,
+                        ..LogConfig::default()
+                    },
+                ),
+                world.terms.len(),
+            );
+            let started = Instant::now();
+            let (filtered, _) = log.filter_min_support(min_support);
+            let (graph, _) = build_graph(&filtered, &world, &GraphConfig::default());
+            let extraction_wall = started.elapsed();
+
+            let started = Instant::now();
+            let multigraph = MultiGraph::from_similarity(&graph, 6.0);
+            let outcome = cluster_parallel(&multigraph, &ParallelConfig::default());
+            let clustering_wall = started.elapsed();
+
+            ScalingRow {
+                events,
+                terms: graph.num_nodes(),
+                edges: graph.num_edges(),
+                iterations: outcome.iterations(),
+                communities: outcome.assignment.num_communities(),
+                extraction_wall,
+                clustering_wall,
+            }
+        })
+        .collect()
+}
+
+/// Render the log-size sweep.
+pub fn render_log_scaling(rows: &[ScalingRow]) -> String {
+    let mut t = AsciiTable::new(
+        "Scaling: offline pipeline vs raw log size",
+        &["Events", "Terms", "Edges", "Iterations", "Communities", "Extraction", "Clustering"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.events.to_string(),
+            r.terms.to_string(),
+            r.edges.to_string(),
+            r.iterations.to_string(),
+            r.communities.to_string(),
+            format!("{:.1?}", r.extraction_wall),
+            format!("{:.1?}", r.clustering_wall),
+        ]);
+    }
+    t.render()
+}
+
+/// One row of the worker-count sweep over the clustering statistics pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerRow {
+    /// Worker threads.
+    pub workers: usize,
+    /// Clustering wall time.
+    pub wall: Duration,
+    /// Speedup vs 1 worker.
+    pub speedup: f64,
+}
+
+/// Sweep worker counts over the same multigraph; results must be
+/// identical, wall time should shrink (for graphs big enough to amortize
+/// the fan-out).
+pub fn worker_scaling(multigraph: &MultiGraph, worker_counts: &[usize]) -> Vec<WorkerRow> {
+    let mut rows: Vec<WorkerRow> = Vec::with_capacity(worker_counts.len());
+    let mut reference: Option<esharp_community::Assignment> = None;
+    let mut base_wall = None;
+    for &workers in worker_counts {
+        let started = Instant::now();
+        let outcome = cluster_parallel(
+            multigraph,
+            &ParallelConfig {
+                workers,
+                ..Default::default()
+            },
+        );
+        let wall = started.elapsed();
+        match &reference {
+            Some(r) => assert!(
+                r.same_partition(&outcome.assignment),
+                "worker count changed the clustering"
+            ),
+            None => reference = Some(outcome.assignment.clone()),
+        }
+        let base = *base_wall.get_or_insert(wall);
+        rows.push(WorkerRow {
+            workers,
+            wall,
+            speedup: base.as_secs_f64() / wall.as_secs_f64().max(1e-12),
+        });
+    }
+    rows
+}
+
+/// Render the worker sweep.
+pub fn render_worker_scaling(rows: &[WorkerRow]) -> String {
+    let mut t = AsciiTable::new(
+        "Scaling: clustering wall time vs workers (same partition verified)",
+        &["Workers", "Wall", "Speedup"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.workers.to_string(),
+            format!("{:.1?}", r.wall),
+            format!("{:.2}x", r.speedup),
+        ]);
+    }
+    t.render()
+}

@@ -1,0 +1,291 @@
+//! Table-shaped experiments: Table 1 (query sets), Tables 2–7 (example
+//! experts), Table 8 (coverage), Table 9 (resource consumption).
+
+use crate::crowd::Crowd;
+use crate::harness::Testbed;
+use crate::metrics::{coverage, improvement_pct, CoverageRow};
+use crate::querysets::{build_query_sets, QuerySet};
+use crate::report::AsciiTable;
+use crate::experiments::runs::SetRun;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Table 1: the query sets used in the study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Sets with counts and example queries.
+    pub sets: Vec<QuerySet>,
+}
+
+/// Run Table 1.
+pub fn table1(testbed: &Testbed) -> Table1 {
+    Table1 {
+        sets: build_query_sets(&testbed.world, &testbed.log),
+    }
+}
+
+impl Table1 {
+    /// Render in the paper's Set/Count/Examples shape.
+    pub fn render(&self) -> String {
+        let mut t = AsciiTable::new(
+            "Table 1: queries used for the crowdsourcing study",
+            &["Set Name", "Count", "Examples"],
+        );
+        for set in &self.sets {
+            t.row(vec![
+                set.name.clone(),
+                set.queries.len().to_string(),
+                set.examples(5).join(", "),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// One expert card as printed in Tables 2–7.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExpertCard {
+    /// Handle / screen name.
+    pub screen_name: String,
+    /// Profile description.
+    pub description: String,
+    /// Verified flag.
+    pub verified: bool,
+    /// Follower count.
+    pub followers: u64,
+    /// Ground truth: is this account actually expert for the query?
+    pub relevant: bool,
+}
+
+/// Tables 2–7: selected experts for the showcase queries, both algorithms.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExampleTables {
+    /// Per query: (query, baseline top-k, e# top-k).
+    pub entries: Vec<(String, Vec<ExpertCard>, Vec<ExpertCard>)>,
+}
+
+/// The six showcase queries of Tables 2–7.
+pub const SHOWCASE_QUERIES: [&str; 6] = [
+    "49ers",
+    "bluetooth speakers",
+    "dow futures",
+    "diabetes",
+    "world war i",
+    "sarah palin",
+];
+
+/// Run the example tables (top `k` per algorithm).
+pub fn example_tables(testbed: &Testbed, k: usize) -> ExampleTables {
+    let card = |user_id: u32, query: &str| {
+        let u = testbed.corpus.user(user_id);
+        ExpertCard {
+            screen_name: u.handle.clone(),
+            description: u.description.clone(),
+            verified: u.verified,
+            followers: u.followers,
+            relevant: Crowd::ground_truth(&testbed.world, &testbed.corpus, query, user_id),
+        }
+    };
+    let entries = SHOWCASE_QUERIES
+        .iter()
+        .map(|&query| {
+            let baseline = testbed
+                .esharp
+                .search_baseline(&testbed.corpus, query)
+                .experts
+                .iter()
+                .take(k)
+                .map(|e| card(e.user, query))
+                .collect();
+            let esharp = testbed
+                .esharp
+                .search(&testbed.corpus, query)
+                .experts
+                .iter()
+                .take(k)
+                .map(|e| card(e.user, query))
+                .collect();
+            (query.to_string(), baseline, esharp)
+        })
+        .collect();
+    ExampleTables { entries }
+}
+
+impl ExampleTables {
+    /// Render in the paper's per-query card shape.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (query, baseline, esharp) in &self.entries {
+            let mut t = AsciiTable::new(
+                format!("Tables 2–7: selected experts for the query \"{query}\""),
+                &["Algorithm", "Screen Name", "Description", "Verified", "Followers"],
+            );
+            for (algo, cards) in [("Baseline", baseline), ("e#", esharp)] {
+                for c in cards {
+                    t.row(vec![
+                        algo.to_string(),
+                        c.screen_name.clone(),
+                        truncate(&c.description, 48),
+                        c.verified.to_string(),
+                        c.followers.to_string(),
+                    ]);
+                }
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..s.char_indices().take(max).last().map(|(i, c)| i + c.len_utf8()).unwrap_or(max)])
+    }
+}
+
+/// Table 8: proportion of queries with at least one candidate expert.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table8 {
+    /// One row per query set.
+    pub rows: Vec<CoverageRow>,
+}
+
+/// Run Table 8 from precomputed set runs.
+pub fn table8(runs: &[SetRun]) -> Table8 {
+    let rows = runs
+        .iter()
+        .map(|run| {
+            let baseline = coverage(&run.baseline_counts());
+            let esharp = coverage(&run.esharp_counts());
+            CoverageRow {
+                set: run.set.name.clone(),
+                baseline,
+                esharp,
+                improvement: improvement_pct(baseline, esharp),
+            }
+        })
+        .collect();
+    Table8 { rows }
+}
+
+impl Table8 {
+    /// Render in the paper's shape.
+    pub fn render(&self) -> String {
+        let mut t = AsciiTable::new(
+            "Table 8: proportion of queries with ≥1 candidate expert",
+            &["Data set", "Baseline", "e#", "Improvement"],
+        );
+        for row in &self.rows {
+            t.row(vec![
+                row.set.clone(),
+                format!("{:.2}", row.baseline),
+                format!("{:.2}", row.esharp),
+                format!("{:+.1}%", row.improvement),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Table 9: resource consumption of the pipeline stages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table9 {
+    /// `(step, workers, wall, bytes read, bytes written)` rows for the
+    /// offline stages.
+    pub offline: Vec<(String, usize, Duration, u64, u64)>,
+    /// Mean online expansion latency.
+    pub expansion_avg: Duration,
+    /// Mean online detection latency.
+    pub detection_avg: Duration,
+    /// Queries timed for the online averages.
+    pub timed_queries: usize,
+    /// Size of the domain collection (paper: ~100 MB).
+    pub collection_bytes: u64,
+}
+
+/// Run Table 9: offline stats from the artifacts, online latencies
+/// measured over the given probe queries.
+pub fn table9(testbed: &Testbed, probe_queries: &[String]) -> Table9 {
+    let offline = testbed
+        .artifacts
+        .stages
+        .iter()
+        .map(|s| {
+            (
+                s.stage.clone(),
+                s.workers,
+                s.wall,
+                s.bytes_read,
+                s.bytes_written,
+            )
+        })
+        .collect();
+    let mut expansion_total = Duration::ZERO;
+    let mut detection_total = Duration::ZERO;
+    for q in probe_queries {
+        let out = testbed.esharp.search(&testbed.corpus, q);
+        expansion_total += out.expansion_time;
+        detection_total += out.detection_time;
+    }
+    let n = probe_queries.len().max(1) as u32;
+    Table9 {
+        offline,
+        expansion_avg: expansion_total / n,
+        detection_avg: detection_total / n,
+        timed_queries: probe_queries.len(),
+        collection_bytes: testbed.esharp.domains().byte_size(),
+    }
+}
+
+impl Table9 {
+    /// Render in the paper's Step/VMs/Runtime/Read/Write shape.
+    pub fn render(&self) -> String {
+        let mut t = AsciiTable::new(
+            "Table 9: resource consumption for one iteration",
+            &["Step", "Workers", "Runtime", "Read", "Write"],
+        );
+        for (step, workers, wall, read, write) in &self.offline {
+            t.row(vec![
+                step.clone(),
+                workers.to_string(),
+                format!("{wall:.2?}"),
+                human_bytes(*read),
+                human_bytes(*write),
+            ]);
+        }
+        t.row(vec![
+            "expansion".into(),
+            "1".into(),
+            format!("{:.2?}", self.expansion_avg),
+            String::new(),
+            String::new(),
+        ]);
+        t.row(vec![
+            "detection".into(),
+            "1".into(),
+            format!("{:.2?}", self.detection_avg),
+            String::new(),
+            String::new(),
+        ]);
+        format!(
+            "{}(domain collection: {}, online latencies averaged over {} queries)\n",
+            t.render(),
+            human_bytes(self.collection_bytes),
+            self.timed_queries
+        )
+    }
+}
+
+fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    format!("{value:.1} {}", UNITS[unit])
+}

@@ -1,0 +1,81 @@
+//! Retrieval metrics shared by the experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of queries with at least one expert (Table 8's measure).
+pub fn coverage(expert_counts: &[usize]) -> f64 {
+    if expert_counts.is_empty() {
+        return 0.0;
+    }
+    expert_counts.iter().filter(|&&c| c >= 1).count() as f64 / expert_counts.len() as f64
+}
+
+/// Figure 8's series: for each `n` in `0..=max_n`, the percentage of
+/// queries with **at least** `n` experts.
+pub fn at_least_curve(expert_counts: &[usize], max_n: usize) -> Vec<f64> {
+    let total = expert_counts.len().max(1) as f64;
+    (0..=max_n)
+        .map(|n| expert_counts.iter().filter(|&&c| c >= n).count() as f64 * 100.0 / total)
+        .collect()
+}
+
+/// Average experts per query (Figure 9's y axis).
+pub fn avg_experts(expert_counts: &[usize]) -> f64 {
+    if expert_counts.is_empty() {
+        return 0.0;
+    }
+    expert_counts.iter().sum::<usize>() as f64 / expert_counts.len() as f64
+}
+
+/// Relative improvement `after` vs `before`, as the paper reports it in
+/// Table 8 (a percentage; 0 when the baseline is 0).
+pub fn improvement_pct(before: f64, after: f64) -> f64 {
+    if before == 0.0 {
+        0.0
+    } else {
+        (after - before) / before * 100.0
+    }
+}
+
+/// Paired coverage measurement for one query set (one Table 8 row).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoverageRow {
+    /// Query-set name.
+    pub set: String,
+    /// Baseline coverage.
+    pub baseline: f64,
+    /// e# coverage.
+    pub esharp: f64,
+    /// Relative improvement (%).
+    pub improvement: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_counts_nonempty_result_lists() {
+        assert_eq!(coverage(&[0, 1, 5, 0]), 0.5);
+        assert_eq!(coverage(&[]), 0.0);
+        assert_eq!(coverage(&[2, 2]), 1.0);
+    }
+
+    #[test]
+    fn at_least_curve_is_monotone_and_starts_at_100() {
+        let curve = at_least_curve(&[0, 1, 3, 14, 14], 14);
+        assert_eq!(curve.len(), 15);
+        assert_eq!(curve[0], 100.0);
+        for pair in curve.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        assert_eq!(curve[14], 40.0); // 2 of 5 queries have ≥14
+    }
+
+    #[test]
+    fn avg_and_improvement() {
+        assert_eq!(avg_experts(&[2, 4]), 3.0);
+        assert!((improvement_pct(0.8, 0.88) - 10.0).abs() < 1e-9);
+        assert_eq!(improvement_pct(0.0, 0.5), 0.0);
+    }
+}

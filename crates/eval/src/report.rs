@@ -1,0 +1,127 @@
+//! ASCII rendering and JSON persistence for experiment outputs.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A renderable ASCII table.
+#[derive(Debug, Clone)]
+pub struct AsciiTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl AsciiTable {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        AsciiTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (cells are stringified by the caller).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let _ = write!(s, "{:<width$}", cell, width = widths[i]);
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+/// Render a named numeric series (a figure's data) as `x<tab>y` lines.
+pub fn render_series(title: &str, series: &[(String, Vec<(f64, f64)>)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    for (name, points) in series {
+        let _ = writeln!(out, "-- {name}");
+        for (x, y) in points {
+            let _ = writeln!(out, "{x:>8.3}\t{y:.4}");
+        }
+    }
+    out
+}
+
+/// Persist any serializable experiment payload as pretty JSON.
+pub fn save_json<T: Serialize>(path: impl AsRef<Path>, value: &T) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(value).map_err(std::io::Error::other)?;
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = AsciiTable::new("Demo", &["set", "value"]);
+        t.row(vec!["Sports".into(), "0.96".into()]);
+        t.row(vec!["Top 250".into(), "0.86".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("Sports"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn series_renders_points() {
+        let s = render_series(
+            "Fig",
+            &[("e#".to_string(), vec![(0.0, 1.0), (1.0, 0.5)])],
+        );
+        assert!(s.contains("-- e#"));
+        assert!(s.contains("0.5000"));
+    }
+
+    #[test]
+    fn save_json_writes_file() {
+        let dir = std::env::temp_dir().join("esharp_eval_test");
+        let path = dir.join("x.json");
+        save_json(&path, &vec![1, 2, 3]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains('2'));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

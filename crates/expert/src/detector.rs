@@ -1,0 +1,269 @@
+//! The end-to-end baseline detector: candidate selection → features →
+//! normalization → weighted ranking → z-score threshold (§3).
+
+use crate::cluster_filter::cluster_filter;
+use crate::features::{collect_candidates, compute_features, Features};
+use crate::features_ext::{collect_extended, compute_extended, ExtendedWeights};
+use crate::normalize::{normalize_feature, z_scores};
+use esharp_microblog::{Corpus, TweetId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// Detector configuration. Defaults follow the paper: the three features
+/// the authors "present as important", aggregated by a weighted sum with a
+/// TS-dominant weighting, up to 15 experts per query (the crowdsourcing
+/// setup), and the expensive cluster-analysis filter disabled ("it is
+/// contrary to our objective of improving recall … we discarded it").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Weights of (TS, MI, RI) in the aggregated score.
+    pub weights: (f64, f64, f64),
+    /// Reject candidates whose aggregated score is below this threshold —
+    /// the tuning knob swept in Figure 9.
+    pub min_zscore: f64,
+    /// Cap on returned experts ("we generated up to 15 experts per
+    /// algorithm").
+    pub max_results: usize,
+    /// Additive epsilon inside the log transform.
+    pub log_epsilon: f64,
+    /// Enable Pal & Counts' optional cluster-analysis filter (ablation;
+    /// the paper's production version runs without it).
+    pub cluster_filter: bool,
+    /// Fold in the fuller WSDM'11 feature tier (SS/NCS/RT/HUB) that e#'s
+    /// production simplification dropped (ablation; `None` reproduces the
+    /// paper's detector exactly).
+    pub extended: Option<ExtendedWeights>,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            weights: (1.0, 0.5, 0.5),
+            min_zscore: 0.0,
+            max_results: 15,
+            log_epsilon: 1e-6,
+            cluster_filter: false,
+            extended: None,
+        }
+    }
+}
+
+/// One ranked expert.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpertResult {
+    /// The account.
+    pub user: UserId,
+    /// Aggregated (weighted z-score) score.
+    pub score: f64,
+    /// Raw feature ratios.
+    pub features: Features,
+}
+
+/// The Pal & Counts detector over a fixed corpus.
+#[derive(Debug, Clone)]
+pub struct Detector<'c> {
+    corpus: &'c Corpus,
+    config: DetectorConfig,
+}
+
+impl<'c> Detector<'c> {
+    /// Create a detector over a corpus.
+    pub fn new(corpus: &'c Corpus, config: DetectorConfig) -> Self {
+        Detector { corpus, config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Search experts for a single query string (baseline behaviour: no
+    /// expansion).
+    pub fn search(&self, query: &str) -> Vec<ExpertResult> {
+        let matching = self.corpus.match_query(query);
+        self.rank_candidates(&matching)
+    }
+
+    /// Rank the candidates induced by an explicit set of matching tweets.
+    /// e#'s query expansion unions several match sets and calls this once,
+    /// so baseline and expanded searches share one scoring path.
+    pub fn rank_candidates(&self, matching: &[TweetId]) -> Vec<ExpertResult> {
+        let candidate_counts = collect_candidates(self.corpus, matching);
+        if candidate_counts.is_empty() {
+            return Vec::new();
+        }
+        // Deterministic candidate order before any numeric work.
+        let mut entries: Vec<(UserId, Features)> = candidate_counts
+            .iter()
+            .map(|(&user, counts)| (user, compute_features(self.corpus, user, counts)))
+            .collect();
+        entries.sort_by_key(|&(user, _)| user);
+
+        let ts: Vec<f64> = entries.iter().map(|(_, f)| f.ts).collect();
+        let mi: Vec<f64> = entries.iter().map(|(_, f)| f.mi).collect();
+        let ri: Vec<f64> = entries.iter().map(|(_, f)| f.ri).collect();
+        let zts = normalize_feature(&ts, self.config.log_epsilon);
+        let zmi = normalize_feature(&mi, self.config.log_epsilon);
+        let zri = normalize_feature(&ri, self.config.log_epsilon);
+
+        // Optional extended feature tier (SS/NCS/RT/HUB).
+        let extended_contrib: Vec<f64> = match &self.config.extended {
+            None => vec![0.0; entries.len()],
+            Some(weights) => {
+                let ext_counts = collect_extended(self.corpus, matching);
+                let ext: Vec<crate::features_ext::ExtendedFeatures> = entries
+                    .iter()
+                    .map(|&(user, _)| {
+                        let counts = ext_counts.get(&user).copied().unwrap_or_default();
+                        compute_extended(
+                            self.corpus,
+                            user,
+                            &counts,
+                            candidate_counts.get(&user).expect("candidate present"),
+                        )
+                    })
+                    .collect();
+                let zss = z_scores(&ext.iter().map(|f| f.ss).collect::<Vec<_>>());
+                let zncs = z_scores(&ext.iter().map(|f| f.ncs).collect::<Vec<_>>());
+                let zrt = z_scores(&ext.iter().map(|f| f.rt).collect::<Vec<_>>());
+                let zhub = z_scores(&ext.iter().map(|f| f.hub).collect::<Vec<_>>());
+                (0..entries.len())
+                    .map(|i| weights.combine(zss[i], zncs[i], zrt[i], zhub[i]))
+                    .collect()
+            }
+        };
+
+        let (w_ts, w_mi, w_ri) = self.config.weights;
+        let mut results: Vec<ExpertResult> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(user, features))| ExpertResult {
+                user,
+                score: w_ts * zts[i] + w_mi * zmi[i] + w_ri * zri[i] + extended_contrib[i],
+                features,
+            })
+            .collect();
+
+        if self.config.cluster_filter && results.len() >= 4 {
+            results = cluster_filter(results);
+        }
+
+        results.retain(|r| r.score >= self.config.min_zscore);
+        results.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.user.cmp(&b.user)));
+        results.truncate(self.config.max_results);
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esharp_microblog::{generate_corpus, CorpusConfig};
+    use esharp_querylog::{World, WorldConfig};
+
+    fn build() -> (World, Corpus) {
+        let world = World::generate(&WorldConfig::tiny(31));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(31));
+        (world, corpus)
+    }
+
+    #[test]
+    fn finds_the_planted_experts_first() {
+        let (world, corpus) = build();
+        let detector = Detector::new(&corpus, DetectorConfig::default());
+        let results = detector.search("diabetes");
+        assert!(!results.is_empty(), "no candidates for diabetes");
+        let diabetes = world.domain_by_label("diabetes").unwrap();
+        // The top result should be a planted diabetes expert.
+        let top = corpus.user(results[0].user);
+        assert!(
+            top.expert_domains.contains(&diabetes.id),
+            "top hit {} is not a diabetes expert",
+            top.handle
+        );
+    }
+
+    #[test]
+    fn unknown_query_returns_empty() {
+        let (_, corpus) = build();
+        let detector = Detector::new(&corpus, DetectorConfig::default());
+        assert!(detector.search("zzzzqqq").is_empty());
+    }
+
+    #[test]
+    fn results_are_sorted_capped_and_deterministic() {
+        let (_, corpus) = build();
+        let config = DetectorConfig {
+            max_results: 5,
+            min_zscore: -10.0,
+            ..Default::default()
+        };
+        let detector = Detector::new(&corpus, config);
+        let a = detector.search("football");
+        let b = detector.search("football");
+        assert_eq!(a, b);
+        assert!(a.len() <= 5);
+        for pair in a.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn min_zscore_is_monotone_in_result_count() {
+        let (_, corpus) = build();
+        let counts: Vec<usize> = [-1.0, 0.0, 1.0, 2.0, 4.0]
+            .iter()
+            .map(|&threshold| {
+                let config = DetectorConfig {
+                    min_zscore: threshold,
+                    max_results: usize::MAX,
+                    ..Default::default()
+                };
+                Detector::new(&corpus, config).search("football").len()
+            })
+            .collect();
+        for pair in counts.windows(2) {
+            assert!(pair[0] >= pair[1], "counts not monotone: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn extended_features_change_ranking_but_not_the_contract() {
+        let (_, corpus) = build();
+        let plain = Detector::new(&corpus, DetectorConfig::default());
+        let extended = Detector::new(
+            &corpus,
+            DetectorConfig {
+                extended: Some(crate::features_ext::ExtendedWeights::default()),
+                min_zscore: f64::NEG_INFINITY,
+                max_results: usize::MAX,
+                ..Default::default()
+            },
+        );
+        let a = plain.search("football");
+        let b = extended.search("football");
+        assert!(!b.is_empty());
+        // Same candidate universe, possibly different order/scores.
+        let mut ua: Vec<u32> = plain
+            .rank_candidates(&corpus.match_query("football"))
+            .iter()
+            .map(|e| e.user)
+            .collect();
+        let mut ub: Vec<u32> = b.iter().map(|e| e.user).collect();
+        ua.sort_unstable();
+        ub.sort_unstable();
+        // The plain detector filters at z >= 0; compare against its
+        // unfiltered universe instead.
+        assert!(ua.iter().all(|u| ub.contains(u)));
+        // Determinism.
+        assert_eq!(b, extended.search("football"));
+        let _ = a;
+    }
+
+    #[test]
+    fn rank_candidates_over_union_equals_search_for_single_query() {
+        let (_, corpus) = build();
+        let detector = Detector::new(&corpus, DetectorConfig::default());
+        let matching = corpus.match_query("football");
+        assert_eq!(detector.rank_candidates(&matching), detector.search("football"));
+    }
+}

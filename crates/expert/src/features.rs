@@ -1,0 +1,157 @@
+//! Candidate selection and the three textual-evidence features of Pal &
+//! Counts, as simplified for production in e# (§3).
+//!
+//! * `TS` — topical signal: `#tweets by user on topic / #tweets by user`.
+//! * `MI` — mention impact: `#mentions of user on topic / #mentions`.
+//! * `RI` — retweet impact: `#retweets of user's tweets on topic /
+//!   #retweets of user's tweets`.
+
+use esharp_microblog::{Corpus, TweetId, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The raw feature triple for one candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Features {
+    /// Topical signal.
+    pub ts: f64,
+    /// Mention impact.
+    pub mi: f64,
+    /// Retweet impact.
+    pub ri: f64,
+}
+
+/// Per-candidate on-topic counts, before normalization by user totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TopicCounts {
+    /// Matching tweets authored by the user.
+    pub tweets_on_topic: u64,
+    /// Mentions of the user inside matching tweets.
+    pub mentions_on_topic: u64,
+    /// Matching retweets of the user's content.
+    pub retweets_on_topic: u64,
+}
+
+/// Candidate selection (§3): "a candidate expert is either an author of a
+/// tweet, or a person mentioned in a tweet. In both cases, the tweet must
+/// match the query." Returns each candidate's on-topic counts.
+pub fn collect_candidates(
+    corpus: &Corpus,
+    matching: &[TweetId],
+) -> HashMap<UserId, TopicCounts> {
+    let mut candidates: HashMap<UserId, TopicCounts> = HashMap::new();
+    for &tid in matching {
+        let tweet = corpus.tweet(tid);
+        candidates
+            .entry(tweet.author)
+            .or_default()
+            .tweets_on_topic += 1;
+        for &mentioned in &tweet.mentions {
+            candidates.entry(mentioned).or_default().mentions_on_topic += 1;
+        }
+        if let Some(original_author) = tweet.retweet_of {
+            candidates
+                .entry(original_author)
+                .or_default()
+                .retweets_on_topic += 1;
+        }
+    }
+    candidates
+}
+
+/// Turn on-topic counts into the TS/MI/RI ratios. A zero denominator
+/// yields a zero feature (the user has no activity of that kind at all).
+pub fn compute_features(corpus: &Corpus, user: UserId, counts: &TopicCounts) -> Features {
+    let ratio = |num: u64, den: u64| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
+    Features {
+        ts: ratio(counts.tweets_on_topic, corpus.tweets_by(user)),
+        mi: ratio(counts.mentions_on_topic, corpus.mentions_of(user)),
+        ri: ratio(counts.retweets_on_topic, corpus.retweets_of(user)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esharp_microblog::{Tweet, User};
+
+    fn user(id: UserId, handle: &str) -> User {
+        User {
+            id,
+            handle: handle.to_string(),
+            display_name: handle.to_string(),
+            description: String::new(),
+            followers: 0,
+            verified: false,
+            expert_domains: vec![],
+            spam: false,
+        }
+    }
+
+    fn corpus() -> Corpus {
+        let users = vec![user(0, "alice"), user(1, "bob"), user(2, "carol")];
+        let resolve = |h: &str| match h {
+            "alice" => Some(0),
+            "bob" => Some(1),
+            "carol" => Some(2),
+            _ => None,
+        };
+        let tweets = vec![
+            Tweet::parse(0, 0, "niners win today", resolve),
+            Tweet::parse(1, 0, "pasta recipe thread", resolve),
+            Tweet::parse(2, 1, "rt @alice: niners win today", resolve),
+            Tweet::parse(3, 2, "watching the niners with @alice", resolve),
+            Tweet::parse(4, 2, "niners niners niners", resolve),
+        ];
+        Corpus::new(users, tweets)
+    }
+
+    #[test]
+    fn candidates_include_authors_mentioned_and_retweeted() {
+        let c = corpus();
+        let matching = c.match_query("niners");
+        assert_eq!(matching, vec![0, 2, 3, 4]);
+        let candidates = collect_candidates(&c, &matching);
+        // Authors 0,1,2 plus alice via mention/retweet.
+        assert_eq!(candidates.len(), 3);
+        let alice = candidates[&0];
+        assert_eq!(alice.tweets_on_topic, 1);
+        assert_eq!(alice.mentions_on_topic, 2); // RT text + explicit mention
+        assert_eq!(alice.retweets_on_topic, 1);
+    }
+
+    #[test]
+    fn features_are_ratios_of_totals() {
+        let c = corpus();
+        let matching = c.match_query("niners");
+        let candidates = collect_candidates(&c, &matching);
+        let f = compute_features(&c, 0, &candidates[&0]);
+        assert!((f.ts - 0.5).abs() < 1e-12); // 1 of alice's 2 tweets
+        assert!((f.mi - 1.0).abs() < 1e-12); // both mentions on topic
+        assert!((f.ri - 1.0).abs() < 1e-12); // her only retweet on topic
+    }
+
+    #[test]
+    fn zero_denominators_yield_zero_features() {
+        let c = corpus();
+        let matching = c.match_query("niners");
+        let candidates = collect_candidates(&c, &matching);
+        // Carol is never mentioned or retweeted.
+        let f = compute_features(&c, 2, &candidates[&2]);
+        assert_eq!(f.mi, 0.0);
+        assert_eq!(f.ri, 0.0);
+        assert!(f.ts > 0.0);
+    }
+
+    #[test]
+    fn empty_match_set_yields_no_candidates() {
+        let c = corpus();
+        assert!(collect_candidates(&c, &[]).is_empty());
+    }
+}

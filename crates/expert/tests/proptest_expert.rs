@@ -1,0 +1,112 @@
+//! Property-based tests of normalization and ranking invariants.
+
+use esharp_expert::{normalize_feature, z_scores, Detector, DetectorConfig};
+use esharp_microblog::{Corpus, Tweet, User};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn z_scores_center_and_scale(values in prop::collection::vec(-1e3f64..1e3, 2..50)) {
+        let z = z_scores(&values);
+        prop_assert_eq!(z.len(), values.len());
+        let mean: f64 = z.iter().sum::<f64>() / z.len() as f64;
+        prop_assert!(mean.abs() < 1e-6, "mean = {}", mean);
+        // Either all-zero (degenerate sample) or unit variance.
+        let var: f64 = z.iter().map(|x| x * x).sum::<f64>() / z.len() as f64;
+        prop_assert!(var.abs() < 1e-9 || (var - 1.0).abs() < 1e-6, "var = {}", var);
+    }
+
+    #[test]
+    fn z_scores_preserve_order(values in prop::collection::vec(-1e3f64..1e3, 2..50)) {
+        let z = z_scores(&values);
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if values[i] < values[j] {
+                    prop_assert!(z[i] <= z[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_feature_is_finite_on_ratios(values in prop::collection::vec(0.0f64..=1.0, 1..40)) {
+        for z in normalize_feature(&values, 1e-6) {
+            prop_assert!(z.is_finite());
+        }
+    }
+}
+
+/// Build a corpus where user `i` posts `counts[i]` on-topic tweets and
+/// `off[i]` off-topic ones.
+fn corpus_from_counts(counts: &[u8], off: &[u8]) -> Corpus {
+    let users: Vec<User> = (0..counts.len() as u32)
+        .map(|id| User {
+            id,
+            handle: format!("u{id}"),
+            display_name: String::new(),
+            description: String::new(),
+            followers: 0,
+            verified: false,
+            expert_domains: vec![],
+            spam: false,
+        })
+        .collect();
+    let mut tweets = Vec::new();
+    for (uid, (&on, &off_count)) in counts.iter().zip(off).enumerate() {
+        for _ in 0..on {
+            let id = tweets.len() as u32;
+            tweets.push(Tweet::parse(id, uid as u32, "topic post", |_| None));
+        }
+        for _ in 0..off_count {
+            let id = tweets.len() as u32;
+            tweets.push(Tweet::parse(id, uid as u32, "something else", |_| None));
+        }
+    }
+    Corpus::new(users, tweets)
+}
+
+proptest! {
+    #[test]
+    fn detector_respects_threshold_monotonicity(
+        counts in prop::collection::vec(0u8..6, 2..10),
+        off in prop::collection::vec(0u8..6, 2..10),
+    ) {
+        prop_assume!(counts.iter().any(|&c| c > 0));
+        let n = counts.len().min(off.len());
+        let corpus = corpus_from_counts(&counts[..n], &off[..n]);
+        let mut last = usize::MAX;
+        for threshold in [-5.0, 0.0, 1.0, 3.0] {
+            let config = DetectorConfig {
+                min_zscore: threshold,
+                max_results: usize::MAX,
+                ..Default::default()
+            };
+            let hits = Detector::new(&corpus, config).search("topic").len();
+            prop_assert!(hits <= last);
+            last = hits;
+        }
+    }
+
+    #[test]
+    fn detector_scores_are_finite_and_sorted(
+        counts in prop::collection::vec(0u8..6, 2..10),
+        off in prop::collection::vec(0u8..6, 2..10),
+    ) {
+        prop_assume!(counts.iter().any(|&c| c > 0));
+        let n = counts.len().min(off.len());
+        let corpus = corpus_from_counts(&counts[..n], &off[..n]);
+        let config = DetectorConfig {
+            min_zscore: f64::NEG_INFINITY,
+            max_results: usize::MAX,
+            ..Default::default()
+        };
+        let results = Detector::new(&corpus, config).search("topic");
+        for r in &results {
+            prop_assert!(r.score.is_finite());
+            prop_assert!((0.0..=1.0).contains(&r.features.ts));
+        }
+        for pair in results.windows(2) {
+            prop_assert!(pair[0].score >= pair[1].score);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Building the similarity graph from an aggregated log (§4.1).
+//!
+//! Naive all-pairs cosine is quadratic in the vocabulary; the practical
+//! construction (after Baeza-Yates & Tiberi, the paper's [1]) accumulates
+//! dot products *through the URL inverted index*: two queries only share a
+//! dot-product term if they clicked the same URL, so iterating URLs and
+//! emitting per-URL pair contributions visits exactly the non-zero entries
+//! of the similarity matrix. URLs clicked by a huge number of distinct
+//! queries (hubs) are capped — they carry little discriminative signal and
+//! would otherwise make the pair generation quadratic again.
+
+use crate::graph::{Edge, NodeId, SimilarityGraph};
+use crate::vector::ClickVector;
+use esharp_querylog::{AggregatedLog, TermId, World};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Graph construction parameters.
+#[derive(Debug, Clone)]
+pub struct GraphConfig {
+    /// Minimum cosine similarity for an edge to be kept.
+    pub min_similarity: f64,
+    /// URLs clicked by more than this many distinct queries are skipped in
+    /// pair generation (hub suppression).
+    pub max_url_fanout: usize,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        GraphConfig {
+            min_similarity: 0.02,
+            max_url_fanout: 400,
+        }
+    }
+}
+
+/// Intermediate per-pair accumulation statistics, reported for Table 9
+/// style accounting.
+#[derive(Debug, Clone, Default)]
+pub struct BuildStats {
+    /// Distinct queries that survived the support filter and got a vector.
+    pub num_queries: usize,
+    /// Candidate pairs accumulated through the inverted index.
+    pub candidate_pairs: usize,
+    /// Edges kept after the similarity threshold.
+    pub edges_kept: usize,
+    /// URLs skipped by the fanout cap.
+    pub urls_skipped: usize,
+}
+
+/// Build the term-similarity graph from an aggregated (and already
+/// support-filtered) log. Node labels are term texts resolved through the
+/// world.
+pub fn build_graph(
+    log: &AggregatedLog,
+    world: &World,
+    config: &GraphConfig,
+) -> (SimilarityGraph, BuildStats) {
+    let mut stats = BuildStats::default();
+
+    // 1. Dense node ids for the surviving terms, in term-id order.
+    let mut node_of_term: HashMap<TermId, NodeId> = HashMap::new();
+    let mut labels: Vec<Arc<str>> = Vec::new();
+    for record in &log.records {
+        node_of_term.entry(record.term).or_insert_with(|| {
+            let id = labels.len() as NodeId;
+            labels.push(Arc::from(world.term_text(record.term)));
+            id
+        });
+    }
+    stats.num_queries = labels.len();
+
+    // 2. Normalized click vector per node.
+    let mut pairs_per_node: Vec<Vec<(esharp_querylog::UrlId, f64)>> =
+        vec![Vec::new(); labels.len()];
+    for record in &log.records {
+        let node = node_of_term[&record.term];
+        pairs_per_node[node as usize].push((record.url, record.clicks as f64));
+    }
+    let vectors: Vec<ClickVector> = pairs_per_node
+        .into_iter()
+        .map(|pairs| {
+            let mut v = ClickVector::from_pairs(pairs);
+            v.normalize();
+            v
+        })
+        .collect();
+
+    // 3. URL inverted index over normalized weights.
+    let mut inverted: HashMap<esharp_querylog::UrlId, Vec<(NodeId, f64)>> = HashMap::new();
+    for (node, vector) in vectors.iter().enumerate() {
+        for &(url, weight) in vector.components() {
+            inverted
+                .entry(url)
+                .or_default()
+                .push((node as NodeId, weight));
+        }
+    }
+
+    // 4. Accumulate cosine contributions per candidate pair.
+    let mut sims: HashMap<(NodeId, NodeId), f64> = HashMap::new();
+    let mut posting_lists: Vec<(&esharp_querylog::UrlId, &Vec<(NodeId, f64)>)> =
+        inverted.iter().collect();
+    // Deterministic iteration order keyed by the (unique) URL id — float
+    // accumulation order must not depend on HashMap iteration.
+    posting_lists.sort_by_key(|&(url, _)| *url);
+    for (_, postings) in posting_lists {
+        if postings.len() > config.max_url_fanout {
+            stats.urls_skipped += 1;
+            continue;
+        }
+        for i in 0..postings.len() {
+            let (ni, wi) = postings[i];
+            for &(nj, wj) in &postings[i + 1..] {
+                let key = (ni.min(nj), ni.max(nj));
+                *sims.entry(key).or_insert(0.0) += wi * wj;
+            }
+        }
+    }
+    stats.candidate_pairs = sims.len();
+
+    // 5. Threshold into edges.
+    let edges: Vec<Edge> = sims
+        .into_iter()
+        .filter(|&(_, w)| w >= config.min_similarity)
+        .map(|((a, b), weight)| Edge {
+            a,
+            b,
+            weight: weight.min(1.0),
+        })
+        .collect();
+    stats.edges_kept = edges.len();
+
+    (SimilarityGraph::new(labels, edges), stats)
+}
+
+/// Reference implementation: all-pairs cosine over the same vectors.
+/// Quadratic; exists to validate `build_graph` in tests and to serve as
+/// the baseline in the `graph_build` ablation bench.
+pub fn build_graph_naive(
+    log: &AggregatedLog,
+    world: &World,
+    config: &GraphConfig,
+) -> SimilarityGraph {
+    let mut node_of_term: HashMap<TermId, NodeId> = HashMap::new();
+    let mut labels: Vec<Arc<str>> = Vec::new();
+    for record in &log.records {
+        node_of_term.entry(record.term).or_insert_with(|| {
+            let id = labels.len() as NodeId;
+            labels.push(Arc::from(world.term_text(record.term)));
+            id
+        });
+    }
+    let mut pairs_per_node: Vec<Vec<(esharp_querylog::UrlId, f64)>> =
+        vec![Vec::new(); labels.len()];
+    for record in &log.records {
+        let node = node_of_term[&record.term];
+        pairs_per_node[node as usize].push((record.url, record.clicks as f64));
+    }
+    let vectors: Vec<ClickVector> = pairs_per_node
+        .into_iter()
+        .map(ClickVector::from_pairs)
+        .collect();
+    let mut edges = Vec::new();
+    for i in 0..vectors.len() {
+        for j in i + 1..vectors.len() {
+            let sim = vectors[i].cosine(&vectors[j]);
+            if sim >= config.min_similarity {
+                edges.push(Edge {
+                    a: i as NodeId,
+                    b: j as NodeId,
+                    weight: sim,
+                });
+            }
+        }
+    }
+    SimilarityGraph::new(labels, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esharp_querylog::{LogConfig, LogGenerator, WorldConfig};
+
+    fn build_inputs() -> (World, AggregatedLog) {
+        let world = World::generate(&WorldConfig::tiny(11));
+        let log = AggregatedLog::from_events(
+            LogGenerator::new(&world, &LogConfig::tiny(11)),
+            world.terms.len(),
+        );
+        let (filtered, _) = log.filter_min_support(10);
+        (world, filtered)
+    }
+
+    #[test]
+    fn inverted_index_matches_naive_all_pairs() {
+        let (world, log) = build_inputs();
+        let config = GraphConfig {
+            min_similarity: 0.10,
+            max_url_fanout: usize::MAX, // no cap ⇒ must agree exactly
+        };
+        let (fast, _) = build_graph(&log, &world, &config);
+        let naive = build_graph_naive(&log, &world, &config);
+        assert_eq!(fast.num_nodes(), naive.num_nodes());
+        assert_eq!(fast.num_edges(), naive.num_edges());
+        for (a, b) in fast.edges().iter().zip(naive.edges()) {
+            assert_eq!(a.a, b.a);
+            assert_eq!(a.b, b.b);
+            assert!((a.weight - b.weight).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn same_domain_terms_are_strongly_connected() {
+        let (world, log) = build_inputs();
+        let (graph, _) = build_graph(&log, &world, &GraphConfig::default());
+        let niners = graph.node_by_label("49ers");
+        let draft = graph.node_by_label("49ers draft");
+        let (Some(a), Some(b)) = (niners, draft) else {
+            panic!("showcase terms missing from graph");
+        };
+        let weight = graph
+            .neighbors(a)
+            .iter()
+            .find(|&&(v, _)| v == b)
+            .map(|&(_, w)| w);
+        assert!(
+            weight.unwrap_or(0.0) > 0.3,
+            "expected strong intra-domain similarity, got {weight:?}"
+        );
+    }
+
+    #[test]
+    fn cross_category_terms_are_not_connected_strongly() {
+        let (world, log) = build_inputs();
+        let (graph, _) = build_graph(&log, &world, &GraphConfig::default());
+        if let (Some(a), Some(b)) = (
+            graph.node_by_label("49ers"),
+            graph.node_by_label("diabetes"),
+        ) {
+            let weight = graph
+                .neighbors(a)
+                .iter()
+                .find(|&&(v, _)| v == b)
+                .map(|&(_, w)| w)
+                .unwrap_or(0.0);
+            assert!(weight < 0.2, "49ers–diabetes similarity {weight}");
+        }
+    }
+
+    #[test]
+    fn fanout_cap_skips_hub_urls() {
+        let (world, log) = build_inputs();
+        let config = GraphConfig {
+            min_similarity: 0.02,
+            max_url_fanout: 5,
+        };
+        let (_, stats) = build_graph(&log, &world, &config);
+        assert!(stats.urls_skipped > 0);
+    }
+
+    #[test]
+    fn stats_are_coherent() {
+        let (world, log) = build_inputs();
+        let (graph, stats) = build_graph(&log, &world, &GraphConfig::default());
+        assert_eq!(stats.num_queries, graph.num_nodes());
+        assert_eq!(stats.edges_kept, graph.num_edges());
+        assert!(stats.candidate_pairs >= stats.edges_kept);
+    }
+}

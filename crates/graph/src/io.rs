@@ -1,0 +1,147 @@
+//! Graph persistence.
+//!
+//! The paper's pipeline runs weekly; the similarity graph (2.6 GB in
+//! production) is persisted between stages. Graphs are stored as two
+//! binary relations (`nodes(id, label)`, `edges(a, b, weight)`) in
+//! `esharp-relation`'s compact table format, length-prefixed in one file.
+
+use crate::graph::{Edge, NodeId, SimilarityGraph};
+use esharp_relation::binfmt::{decode_table, encode_table};
+use esharp_relation::{DataType, Schema, Table, TableBuilder, Value};
+use std::io::{self, Read as _, Write as _};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Persist a graph to `path`.
+pub fn save_graph(graph: &SimilarityGraph, path: impl AsRef<Path>) -> io::Result<()> {
+    let nodes_schema = Schema::of(&[("id", DataType::Int), ("label", DataType::Str)]);
+    let mut nodes = TableBuilder::with_capacity(nodes_schema, graph.num_nodes());
+    for (id, label) in graph.labels().iter().enumerate() {
+        nodes
+            .push_row(vec![Value::Int(id as i64), Value::Str(Arc::clone(label))])
+            .map_err(io::Error::other)?;
+    }
+    let edges_schema = Schema::of(&[
+        ("a", DataType::Int),
+        ("b", DataType::Int),
+        ("weight", DataType::Float),
+    ]);
+    let mut edges = TableBuilder::with_capacity(edges_schema, graph.num_edges());
+    for e in graph.edges() {
+        edges
+            .push_row(vec![
+                Value::Int(e.a as i64),
+                Value::Int(e.b as i64),
+                Value::Float(e.weight),
+            ])
+            .map_err(io::Error::other)?;
+    }
+
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for table in [nodes.finish(), edges.finish()] {
+        let bytes = encode_table(&table);
+        file.write_all(&(bytes.len() as u64).to_le_bytes())?;
+        file.write_all(&bytes)?;
+    }
+    file.flush()
+}
+
+/// Load a graph persisted by [`save_graph`].
+pub fn load_graph(path: impl AsRef<Path>) -> io::Result<SimilarityGraph> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+    let read_table = |file: &mut std::io::BufReader<std::fs::File>| -> io::Result<Table> {
+        let mut len_bytes = [0u8; 8];
+        file.read_exact(&mut len_bytes)?;
+        let len = u64::from_le_bytes(len_bytes) as usize;
+        let mut payload = vec![0u8; len];
+        file.read_exact(&mut payload)?;
+        decode_table(payload.into()).map_err(io::Error::other)
+    };
+    let nodes = read_table(&mut file)?;
+    let edges = read_table(&mut file)?;
+
+    let label_col = nodes.column_by_name("label").map_err(io::Error::other)?;
+    let id_col = nodes.column_by_name("id").map_err(io::Error::other)?;
+    let mut labels: Vec<Arc<str>> = vec![Arc::from(""); nodes.num_rows()];
+    for row in 0..nodes.num_rows() {
+        let id = id_col
+            .value(row)
+            .as_int()
+            .ok_or_else(|| io::Error::other("non-int node id"))? as usize;
+        if id >= labels.len() {
+            return Err(io::Error::other("node id out of range"));
+        }
+        let Value::Str(label) = label_col.value(row) else {
+            return Err(io::Error::other("non-string label"));
+        };
+        labels[id] = label;
+    }
+
+    let mut edge_list = Vec::with_capacity(edges.num_rows());
+    let a_col = edges.column_by_name("a").map_err(io::Error::other)?;
+    let b_col = edges.column_by_name("b").map_err(io::Error::other)?;
+    let w_col = edges.column_by_name("weight").map_err(io::Error::other)?;
+    for row in 0..edges.num_rows() {
+        let get = |v: Value| v.as_int().ok_or_else(|| io::Error::other("non-int endpoint"));
+        edge_list.push(Edge {
+            a: get(a_col.value(row))? as NodeId,
+            b: get(b_col.value(row))? as NodeId,
+            weight: w_col
+                .value(row)
+                .as_float()
+                .ok_or_else(|| io::Error::other("non-float weight"))?,
+        });
+    }
+    Ok(SimilarityGraph::new(labels, edge_list))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimilarityGraph {
+        SimilarityGraph::new(
+            vec![Arc::from("49ers"), Arc::from("nfl"), Arc::from("orphan")],
+            vec![Edge {
+                a: 0,
+                b: 1,
+                weight: 0.29,
+            }],
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_graph_including_isolated_nodes() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("esharp_graph_io_test");
+        let path = dir.join("graph.bin");
+        save_graph(&g, &path).unwrap();
+        let back = load_graph(&path).unwrap();
+        assert_eq!(back.num_nodes(), 3);
+        assert_eq!(back.num_edges(), 1);
+        assert_eq!(back.label(2), "orphan");
+        assert_eq!(back.edges()[0], g.edges()[0]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(load_graph("/nonexistent/esharp/graph.bin").is_err());
+    }
+
+    #[test]
+    fn truncated_file_errors() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("esharp_graph_io_trunc");
+        let path = dir.join("graph.bin");
+        save_graph(&g, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(load_graph(&path).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,161 @@
+//! Conversions between graph structures and relational tables, so the
+//! SQL-based community detection (Figure 4) can run on the engine.
+
+use crate::graph::{MultiGraph, NodeId, SimilarityGraph};
+use esharp_querylog::{AggregatedLog, World};
+use esharp_relation::{DataType, RelResult, Schema, Table, TableBuilder, Value};
+
+/// The aggregated log as a `log(query, url, clicks)` table — the relational
+/// starting point of the offline pipeline (998 GB in the paper's Table 9).
+pub fn log_to_table(log: &AggregatedLog, world: &World) -> RelResult<Table> {
+    let schema = Schema::of(&[
+        ("query", DataType::Str),
+        ("url", DataType::Str),
+        ("clicks", DataType::Int),
+    ]);
+    let mut builder = TableBuilder::with_capacity(schema, log.records.len());
+    for r in &log.records {
+        builder.push_row(vec![
+            Value::str(world.term_text(r.term)),
+            Value::str(world.url_text(r.url)),
+            Value::Int(r.clicks as i64),
+        ])?;
+    }
+    Ok(builder.finish())
+}
+
+/// The similarity graph as the paper's `Graph(query1, query2, distance)`
+/// table. Each undirected edge is emitted in **both** directions, which is
+/// what Figure 4's joins assume ("for each community, list all the
+/// neighbor communities").
+pub fn graph_to_table(graph: &SimilarityGraph) -> RelResult<Table> {
+    let schema = Schema::of(&[
+        ("query1", DataType::Str),
+        ("query2", DataType::Str),
+        ("distance", DataType::Float),
+    ]);
+    let mut builder = TableBuilder::with_capacity(schema, graph.num_edges() * 2);
+    for e in graph.edges() {
+        let (qa, qb) = (graph.label(e.a), graph.label(e.b));
+        builder.push_row(vec![Value::str(qa), Value::str(qb), Value::Float(e.weight)])?;
+        builder.push_row(vec![Value::str(qb), Value::str(qa), Value::Float(e.weight)])?;
+    }
+    Ok(builder.finish())
+}
+
+/// The discretized multigraph as a `graph(node1, node2, multiplicity)`
+/// table over integer node ids (both directions, like [`graph_to_table`]).
+pub fn multigraph_to_table(graph: &MultiGraph) -> RelResult<Table> {
+    let schema = Schema::of(&[
+        ("node1", DataType::Int),
+        ("node2", DataType::Int),
+        ("multiplicity", DataType::Int),
+    ]);
+    let mut builder = TableBuilder::with_capacity(schema, graph.edges().len() * 2);
+    for &(a, b, k) in graph.edges() {
+        builder.push_row(vec![
+            Value::Int(a as i64),
+            Value::Int(b as i64),
+            Value::Int(k as i64),
+        ])?;
+        builder.push_row(vec![
+            Value::Int(b as i64),
+            Value::Int(a as i64),
+            Value::Int(k as i64),
+        ])?;
+    }
+    Ok(builder.finish())
+}
+
+/// A node→community assignment as the paper's
+/// `Communities(comm_name, query)` table over integer ids.
+pub fn assignment_to_table(assignment: &[NodeId]) -> RelResult<Table> {
+    let schema = Schema::of(&[("comm_name", DataType::Int), ("query", DataType::Int)]);
+    let mut builder = TableBuilder::with_capacity(schema, assignment.len());
+    for (node, &comm) in assignment.iter().enumerate() {
+        builder.push_row(vec![Value::Int(comm as i64), Value::Int(node as i64)])?;
+    }
+    Ok(builder.finish())
+}
+
+/// Read a `Communities(comm_name, query)` table back into a node→community
+/// vector of length `num_nodes`.
+pub fn table_to_assignment(table: &Table, num_nodes: usize) -> RelResult<Vec<NodeId>> {
+    let comm_col = table.column_by_name("comm_name")?;
+    let node_col = table.column_by_name("query")?;
+    let mut assignment = vec![0 as NodeId; num_nodes];
+    let mut seen = vec![false; num_nodes];
+    for row in 0..table.num_rows() {
+        let node = node_col
+            .value(row)
+            .as_int()
+            .ok_or_else(|| esharp_relation::RelError::Eval("non-int node id".into()))?
+            as usize;
+        let comm = comm_col
+            .value(row)
+            .as_int()
+            .ok_or_else(|| esharp_relation::RelError::Eval("non-int community id".into()))?;
+        if node >= num_nodes {
+            return Err(esharp_relation::RelError::Eval(format!(
+                "node id {node} out of range ({num_nodes} nodes)"
+            )));
+        }
+        assignment[node] = comm as NodeId;
+        seen[node] = true;
+    }
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(esharp_relation::RelError::Eval(format!(
+            "node {missing} missing from communities table"
+        )));
+    }
+    Ok(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Edge;
+    use std::sync::Arc;
+
+    fn graph() -> SimilarityGraph {
+        SimilarityGraph::new(
+            vec![Arc::from("a"), Arc::from("b"), Arc::from("c")],
+            vec![
+                Edge { a: 0, b: 1, weight: 0.5 },
+                Edge { a: 1, b: 2, weight: 0.25 },
+            ],
+        )
+    }
+
+    #[test]
+    fn graph_table_is_symmetric() {
+        let t = graph_to_table(&graph()).unwrap();
+        assert_eq!(t.num_rows(), 4);
+        let rows = t.sorted_rows();
+        assert!(rows.contains(&vec![Value::str("a"), Value::str("b"), Value::Float(0.5)]));
+        assert!(rows.contains(&vec![Value::str("b"), Value::str("a"), Value::Float(0.5)]));
+    }
+
+    #[test]
+    fn assignment_round_trips() {
+        let assignment: Vec<NodeId> = vec![0, 0, 2];
+        let t = assignment_to_table(&assignment).unwrap();
+        assert_eq!(t.num_rows(), 3);
+        let back = table_to_assignment(&t, 3).unwrap();
+        assert_eq!(back, assignment);
+    }
+
+    #[test]
+    fn table_to_assignment_validates_coverage() {
+        let assignment: Vec<NodeId> = vec![0, 1];
+        let t = assignment_to_table(&assignment).unwrap();
+        assert!(table_to_assignment(&t, 3).is_err());
+    }
+
+    #[test]
+    fn multigraph_table_has_both_directions() {
+        let mg = MultiGraph::from_edges(3, vec![(0, 1, 4)]);
+        let t = multigraph_to_table(&mg).unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests of click vectors, graph normalization and
+//! discretization.
+
+use esharp_graph::{ClickVector, Edge, MultiGraph, SimilarityGraph};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_vector(max_nnz: usize) -> impl Strategy<Value = ClickVector> {
+    prop::collection::vec((0u32..40, 1.0f64..50.0), 0..max_nnz)
+        .prop_map(ClickVector::from_pairs)
+}
+
+fn arb_edges(nodes: u32, max_edges: usize) -> impl Strategy<Value = Vec<Edge>> {
+    prop::collection::vec(
+        (0u32..nodes, 0u32..nodes, 0.01f64..1.0),
+        0..max_edges,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(a, b, weight)| Edge { a, b, weight })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn cosine_is_symmetric_and_bounded(a in arb_vector(15), b in arb_vector(15)) {
+        let ab = a.cosine(&b);
+        let ba = b.cosine(&a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn cosine_self_is_one_for_nonempty(a in arb_vector(15)) {
+        prop_assume!(!a.is_empty());
+        prop_assert!((a.cosine(&a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization_preserves_direction(a in arb_vector(15), b in arb_vector(15)) {
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        let before = a.cosine(&b);
+        let mut na = a.clone();
+        let mut nb = b.clone();
+        na.normalize();
+        nb.normalize();
+        // After normalization, cosine equals the plain dot product.
+        prop_assert!((na.dot(&nb) - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn graph_normalization_invariants(edges in arb_edges(12, 50)) {
+        let labels: Vec<Arc<str>> = (0..12).map(|i| Arc::from(format!("t{i}").as_str())).collect();
+        let g = SimilarityGraph::new(labels, edges);
+        // No self loops, endpoints ordered, no duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for e in g.edges() {
+            prop_assert!(e.a < e.b);
+            prop_assert!(seen.insert((e.a, e.b)));
+        }
+        // CSR adjacency is symmetric and consistent with the edge list.
+        let mut degree_sum = 0usize;
+        for v in 0..g.num_nodes() as u32 {
+            degree_sum += g.degree(v);
+            for &(w, weight) in g.neighbors(v) {
+                let back = g.neighbors(w).iter().any(|&(x, xw)| x == v && xw == weight);
+                prop_assert!(back, "asymmetric adjacency {v}-{w}");
+            }
+        }
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn discretization_conserves_totals(edges in arb_edges(10, 40), scale in 1.0f64..100.0) {
+        let labels: Vec<Arc<str>> = (0..10).map(|i| Arc::from(format!("t{i}").as_str())).collect();
+        let g = SimilarityGraph::new(labels, edges);
+        let mg = MultiGraph::from_similarity(&g, scale);
+        prop_assert_eq!(mg.num_nodes(), g.num_nodes());
+        // Edges rounding to zero are dropped; the rest keep multiplicity ≥ 1
+        // and degree sum = 2 m_G.
+        prop_assert!(mg.edges().len() <= g.num_edges());
+        let expected_kept = g
+            .edges()
+            .iter()
+            .filter(|e| (e.weight * scale).round() as u64 >= 1)
+            .count();
+        prop_assert_eq!(mg.edges().len(), expected_kept);
+        let mut total = 0u64;
+        for &(_, _, k) in mg.edges() {
+            prop_assert!(k >= 1);
+            total += k;
+        }
+        prop_assert_eq!(total, mg.total_edges());
+        prop_assert_eq!(mg.degrees().iter().sum::<u64>(), mg.total_degree());
+    }
+}

@@ -1,0 +1,265 @@
+//! The corpus: users, tweets and the indexes the expert detector needs.
+
+use crate::tokenize::tokenize;
+use crate::types::{Tweet, TweetId, User, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An indexed microblog corpus.
+///
+/// Besides the raw tables, the corpus maintains:
+/// * a token inverted index for all-terms query matching (§3),
+/// * per-user totals (#tweets, #mentions received, #retweets received) —
+///   the denominators of the TS / MI / RI features.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Corpus {
+    users: Vec<User>,
+    tweets: Vec<Tweet>,
+    /// token → sorted tweet ids containing it.
+    token_postings: HashMap<String, Vec<TweetId>>,
+    /// handle → user id.
+    handle_index: HashMap<String, UserId>,
+    /// Per-user totals.
+    tweets_by_user: Vec<u64>,
+    mentions_of_user: Vec<u64>,
+    retweets_of_user: Vec<u64>,
+}
+
+impl Corpus {
+    /// Build an indexed corpus from users and tweets. Tweet and user ids
+    /// must equal their indices.
+    pub fn new(users: Vec<User>, tweets: Vec<Tweet>) -> Corpus {
+        let mut handle_index = HashMap::with_capacity(users.len());
+        for u in &users {
+            handle_index.insert(u.handle.clone(), u.id);
+        }
+        let mut token_postings: HashMap<String, Vec<TweetId>> = HashMap::new();
+        let mut tweets_by_user = vec![0u64; users.len()];
+        let mut mentions_of_user = vec![0u64; users.len()];
+        let mut retweets_of_user = vec![0u64; users.len()];
+        for t in &tweets {
+            debug_assert_eq!(t.id as usize, token_postings_len_check(t.id as usize));
+            tweets_by_user[t.author as usize] += 1;
+            for &m in &t.mentions {
+                mentions_of_user[m as usize] += 1;
+            }
+            if let Some(orig) = t.retweet_of {
+                retweets_of_user[orig as usize] += 1;
+            }
+            let mut seen: Vec<&str> = Vec::with_capacity(t.tokens.len());
+            for token in &t.tokens {
+                if seen.contains(&token.as_str()) {
+                    continue; // postings hold each tweet once per token
+                }
+                seen.push(token);
+                token_postings.entry(token.clone()).or_default().push(t.id);
+            }
+        }
+        Corpus {
+            users,
+            tweets,
+            token_postings,
+            handle_index,
+            tweets_by_user,
+            mentions_of_user,
+            retweets_of_user,
+        }
+    }
+
+    /// All users.
+    pub fn users(&self) -> &[User] {
+        &self.users
+    }
+
+    /// All tweets.
+    pub fn tweets(&self) -> &[Tweet] {
+        &self.tweets
+    }
+
+    /// One user.
+    pub fn user(&self, id: UserId) -> &User {
+        &self.users[id as usize]
+    }
+
+    /// One tweet.
+    pub fn tweet(&self, id: TweetId) -> &Tweet {
+        &self.tweets[id as usize]
+    }
+
+    /// Resolve a handle to a user id.
+    pub fn user_by_handle(&self, handle: &str) -> Option<UserId> {
+        self.handle_index.get(handle).copied()
+    }
+
+    /// Total tweets authored by `user`.
+    pub fn tweets_by(&self, user: UserId) -> u64 {
+        self.tweets_by_user[user as usize]
+    }
+
+    /// Total mentions received by `user`.
+    pub fn mentions_of(&self, user: UserId) -> u64 {
+        self.mentions_of_user[user as usize]
+    }
+
+    /// Total retweets received by `user`.
+    pub fn retweets_of(&self, user: UserId) -> u64 {
+        self.retweets_of_user[user as usize]
+    }
+
+    /// Tweets matching a query: the tweet must contain **all** the query's
+    /// tokens after lower-casing (§3). Implemented as a sorted-postings
+    /// intersection starting from the rarest token.
+    pub fn match_query(&self, query: &str) -> Vec<TweetId> {
+        let tokens = tokenize(query);
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        let mut postings: Vec<&Vec<TweetId>> = Vec::with_capacity(tokens.len());
+        for token in &tokens {
+            match self.token_postings.get(token) {
+                Some(list) => postings.push(list),
+                None => return Vec::new(),
+            }
+        }
+        postings.sort_by_key(|list| list.len());
+        let mut result: Vec<TweetId> = postings[0].clone();
+        for list in &postings[1..] {
+            result = intersect_sorted(&result, list);
+            if result.is_empty() {
+                break;
+            }
+        }
+        result
+    }
+
+    /// Approximate corpus payload size in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.tweets.iter().map(|t| t.text.len() as u64).sum()
+    }
+
+    /// Persist the corpus to a JSON file (indexes are rebuilt on load, so
+    /// only users and tweets pay serialization cost).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let payload = (&self.users, &self.tweets);
+        let json = serde_json::to_string(&payload).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Load a corpus persisted by [`Corpus::save`], rebuilding all indexes.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Corpus> {
+        let json = std::fs::read_to_string(path)?;
+        let (users, tweets): (Vec<User>, Vec<Tweet>) =
+            serde_json::from_str(&json).map_err(std::io::Error::other)?;
+        Ok(Corpus::new(users, tweets))
+    }
+}
+
+fn intersect_sorted(a: &[TweetId], b: &[TweetId]) -> Vec<TweetId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Debug-only placeholder so the assert in `new` stays readable.
+fn token_postings_len_check(id: usize) -> usize {
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn user(id: UserId, handle: &str) -> User {
+        User {
+            id,
+            handle: handle.to_string(),
+            display_name: handle.to_uppercase(),
+            description: String::new(),
+            followers: 10,
+            verified: false,
+            expert_domains: vec![],
+            spam: false,
+        }
+    }
+
+    fn corpus() -> Corpus {
+        let users = vec![user(0, "alice"), user(1, "bob"), user(2, "carol")];
+        let resolve = |h: &str| match h {
+            "alice" => Some(0),
+            "bob" => Some(1),
+            "carol" => Some(2),
+            _ => None,
+        };
+        let tweets = vec![
+            Tweet::parse(0, 0, "the 49ers draft was exciting", resolve),
+            Tweet::parse(1, 1, "RT @alice: the 49ers draft was exciting", resolve),
+            Tweet::parse(2, 1, "niners game today with @carol", resolve),
+            Tweet::parse(3, 2, "cooking pasta tonight", resolve),
+        ];
+        Corpus::new(users, tweets)
+    }
+
+    #[test]
+    fn match_query_is_conjunctive_and_case_insensitive() {
+        let c = corpus();
+        assert_eq!(c.match_query("49ers DRAFT"), vec![0, 1]);
+        assert_eq!(c.match_query("49ers pasta"), Vec::<TweetId>::new());
+        assert_eq!(c.match_query("niners"), vec![2]);
+        assert!(c.match_query("").is_empty());
+        assert!(c.match_query("unknowntoken").is_empty());
+    }
+
+    #[test]
+    fn totals_count_mentions_and_retweets() {
+        let c = corpus();
+        assert_eq!(c.tweets_by(1), 2);
+        assert_eq!(c.mentions_of(0), 1); // from the RT text
+        assert_eq!(c.mentions_of(2), 1);
+        assert_eq!(c.retweets_of(0), 1);
+        assert_eq!(c.retweets_of(1), 0);
+    }
+
+    #[test]
+    fn duplicate_tokens_index_once() {
+        let users = vec![user(0, "a")];
+        let tweets = vec![Tweet::parse(0, 0, "go go go niners", |_| None)];
+        let c = Corpus::new(users, tweets);
+        assert_eq!(c.match_query("go"), vec![0]);
+    }
+
+    #[test]
+    fn save_load_round_trip_rebuilds_indexes() {
+        let c = corpus();
+        let dir = std::env::temp_dir().join("esharp_corpus_io_test");
+        let path = dir.join("corpus.json");
+        c.save(&path).unwrap();
+        let back = Corpus::load(&path).unwrap();
+        assert_eq!(back.users().len(), c.users().len());
+        assert_eq!(back.tweets().len(), c.tweets().len());
+        assert_eq!(back.match_query("49ers draft"), c.match_query("49ers draft"));
+        assert_eq!(back.mentions_of(0), c.mentions_of(0));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn handle_lookup() {
+        let c = corpus();
+        assert_eq!(c.user_by_handle("bob"), Some(1));
+        assert_eq!(c.user_by_handle("nobody"), None);
+    }
+}

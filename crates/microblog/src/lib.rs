@@ -1,0 +1,26 @@
+//! # esharp-microblog
+//!
+//! Microblog (Twitter-like) corpus substrate for the e# reproduction
+//! (EDBT 2016). The paper's detector consumes tweet text, authorship,
+//! mentions and retweets; its corpus is proprietary, so this crate
+//! provides both the data model and a synthetic generator driven by the
+//! same ground-truth `World` as the search log (DESIGN.md §1).
+//!
+//! * [`User`], [`Tweet`] — entities, with mention/retweet parsing.
+//! * [`Corpus`] — indexed corpus: token inverted index, conjunctive
+//!   all-terms query matching (§3), per-user totals for the TS/MI/RI
+//!   feature denominators.
+//! * [`generate_corpus`] — expert/regular/spam account generation with
+//!   topically concentrated experts and short posts (the recall problem
+//!   e# exists to fix).
+
+#![warn(missing_docs)]
+
+mod corpus;
+mod synth;
+pub mod tokenize;
+mod types;
+
+pub use corpus::Corpus;
+pub use synth::{generate_corpus, CorpusConfig};
+pub use types::{Tweet, TweetId, User, UserId};

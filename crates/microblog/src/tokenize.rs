@@ -1,0 +1,117 @@
+//! Tweet tokenization.
+//!
+//! Matching in the baseline detector is defined over lower-cased tokens
+//! ("a tweet matches a query if it contains all of its terms after
+//! lower-casing", §3), so the tokenizer is deliberately simple: lowercase,
+//! split on whitespace, trim surrounding punctuation but preserve leading
+//! `#` and `@` sigils (hashtags and mentions are first-class tokens on
+//! microblogs).
+
+/// Tokenize tweet text or a query into lower-case tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split_whitespace()
+        .filter_map(|raw| {
+            let token = trim_token(&raw.to_lowercase());
+            if token.is_empty() {
+                None
+            } else {
+                Some(token)
+            }
+        })
+        .collect()
+}
+
+/// Trim punctuation from both ends. A leading `#` or `@` survives only
+/// when the rest is a well-formed tag/handle (alphanumeric or `_`, like
+/// real Twitter handles); otherwise the token degrades to its plain word.
+fn trim_token(token: &str) -> String {
+    let (sigil, body) = match token.chars().next() {
+        Some(c @ ('#' | '@')) => (Some(c), &token[c.len_utf8()..]),
+        _ => (None, token),
+    };
+    let trimmed = body.trim_matches(|c: char| !c.is_alphanumeric());
+    if trimmed.is_empty() {
+        return String::new();
+    }
+    match sigil {
+        Some(c) if trimmed.chars().all(|ch| ch.is_alphanumeric() || ch == '_') => {
+            format!("{c}{trimmed}")
+        }
+        _ => trimmed.to_string(),
+    }
+}
+
+/// Extract `@mention` handles (without the sigil) from tokens.
+pub fn mentions(tokens: &[String]) -> Vec<&str> {
+    tokens
+        .iter()
+        .filter_map(|t| t.strip_prefix('@'))
+        .filter(|h| !h.is_empty())
+        .collect()
+}
+
+/// If the token stream is a retweet (`rt @handle …`), the retweeted handle.
+pub fn retweeted_handle(tokens: &[String]) -> Option<&str> {
+    match tokens {
+        [rt, second, ..] if rt == "rt" => second.strip_prefix('@'),
+        _ => None,
+    }
+}
+
+/// True if the tweet's token set contains **all** the query's tokens — the
+/// baseline's matching rule (§3).
+pub fn matches_all(tweet_tokens: &[String], query_tokens: &[String]) -> bool {
+    query_tokens
+        .iter()
+        .all(|q| tweet_tokens.iter().any(|t| t == q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_strips_punctuation() {
+        assert_eq!(
+            tokenize("Go NINERS! Great win, 49ers..."),
+            vec!["go", "niners", "great", "win", "49ers"]
+        );
+    }
+
+    #[test]
+    fn preserves_hashtags_and_mentions() {
+        assert_eq!(
+            tokenize("RT @NinersFan: #49ers win!"),
+            vec!["rt", "@ninersfan", "#49ers", "win"]
+        );
+    }
+
+    #[test]
+    fn mention_extraction() {
+        let toks = tokenize("thanks @Alice and @bob!");
+        assert_eq!(mentions(&toks), vec!["alice", "bob"]);
+    }
+
+    #[test]
+    fn retweet_detection() {
+        let toks = tokenize("RT @sports_guy: niners looking sharp");
+        assert_eq!(retweeted_handle(&toks), Some("sports_guy"));
+        let plain = tokenize("no retweet here @sports_guy");
+        assert_eq!(retweeted_handle(&plain), None);
+    }
+
+    #[test]
+    fn matches_all_requires_every_term() {
+        let tweet = tokenize("the 49ers draft looks great");
+        assert!(matches_all(&tweet, &tokenize("49ers draft")));
+        assert!(matches_all(&tweet, &tokenize("DRAFT")));
+        assert!(!matches_all(&tweet, &tokenize("49ers nfl")));
+        assert!(matches_all(&tweet, &[])); // empty query matches everything
+    }
+
+    #[test]
+    fn degenerate_tokens_drop() {
+        assert!(tokenize("!!! ... @ #").is_empty());
+        assert_eq!(tokenize("  spaced   out  "), vec!["spaced", "out"]);
+    }
+}

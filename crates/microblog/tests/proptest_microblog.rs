@@ -1,0 +1,83 @@
+//! Property-based tests of tokenization and query matching.
+
+use esharp_microblog::tokenize::{matches_all, mentions, retweeted_handle, tokenize};
+use esharp_microblog::{Corpus, Tweet, User};
+use proptest::prelude::*;
+
+fn user(id: u32, handle: &str) -> User {
+    User {
+        id,
+        handle: handle.to_string(),
+        display_name: handle.to_string(),
+        description: String::new(),
+        followers: 0,
+        verified: false,
+        expert_domains: vec![],
+        spam: false,
+    }
+}
+
+proptest! {
+    #[test]
+    fn tokens_are_lowercase_and_nonempty(text in ".{0,120}") {
+        for token in tokenize(&text) {
+            prop_assert!(!token.is_empty());
+            prop_assert_eq!(token.clone(), token.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn tokenize_is_idempotent_on_its_own_output(text in "[a-zA-Z0-9#@ !,.]{0,80}") {
+        let once = tokenize(&text);
+        let again = tokenize(&once.join(" "));
+        prop_assert_eq!(once, again);
+    }
+
+    #[test]
+    fn every_tweet_matches_its_own_tokens(words in prop::collection::vec("[a-z0-9]{1,8}", 1..10)) {
+        let text = words.join(" ");
+        let tokens = tokenize(&text);
+        for token in &tokens {
+            prop_assert!(matches_all(&tokens, std::slice::from_ref(token)));
+        }
+        prop_assert!(matches_all(&tokens, &tokens));
+    }
+
+    #[test]
+    fn mentions_subset_of_tokens(text in "[a-z@# ]{0,60}") {
+        let tokens = tokenize(&text);
+        let ms = mentions(&tokens);
+        prop_assert!(ms.len() <= tokens.len());
+        for m in ms {
+            prop_assert!(!m.contains('@'));
+        }
+        // retweeted_handle only fires on rt-prefixed streams.
+        if retweeted_handle(&tokens).is_some() {
+            prop_assert_eq!(tokens[0].as_str(), "rt");
+        }
+    }
+
+    #[test]
+    fn corpus_matching_agrees_with_linear_scan(
+        tweet_words in prop::collection::vec(
+            prop::collection::vec("[a-d]{1,2}", 1..6), 1..20),
+        query_words in prop::collection::vec("[a-d]{1,2}", 1..3),
+    ) {
+        let users = vec![user(0, "u0")];
+        let tweets: Vec<Tweet> = tweet_words
+            .iter()
+            .enumerate()
+            .map(|(i, words)| Tweet::parse(i as u32, 0, words.join(" "), |_| None))
+            .collect();
+        let corpus = Corpus::new(users, tweets.clone());
+        let query = query_words.join(" ");
+        let via_index = corpus.match_query(&query);
+        let query_tokens = tokenize(&query);
+        let via_scan: Vec<u32> = tweets
+            .iter()
+            .filter(|t| matches_all(&t.tokens, &query_tokens))
+            .map(|t| t.id)
+            .collect();
+        prop_assert_eq!(via_index, via_scan);
+    }
+}

@@ -1,0 +1,169 @@
+//! Samplers for the heavy-tailed distributions the synthetic log needs.
+//!
+//! Implemented on top of `rand` directly (rather than pulling `rand_distr`)
+//! to keep the dependency set at the workspace-approved minimum.
+
+use rand::Rng;
+
+/// A Zipf sampler over ranks `0..n` with exponent `s`.
+///
+/// Web query popularity is famously Zipfian; the paper's pipeline depends
+/// on this shape twice — the ≥50 clicks/month support filter only bites
+/// when there is a long tail, and the "Top 250" query set only makes sense
+/// when the head is heavy.
+///
+/// Uses a precomputed cumulative table and binary search: O(n) memory,
+/// O(log n) per sample, exact (no rejection).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s` (s=1.0 is classic
+    /// Zipf; larger s is more skewed).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over zero items");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the sampler covers no ranks (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Sample a rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability mass of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+/// A log-normal sampler (`exp(mu + sigma * N(0,1))`).
+///
+/// The paper observes that the expert features (TS/MI/RI) "appear to be
+/// log-normally distributed"; the corpus generator uses this shape so that
+/// the detector's log-transform + z-score normalization does what the
+/// paper expects.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// A sampler with the given location `mu` and scale `sigma > 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive");
+        LogNormal { mu, sigma }
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// One standard-normal draw via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_head_dominates() {
+        let z = Zipf::new(1000, 1.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut head = 0;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With s=1.1 the top-10 ranks carry a large share of the mass.
+        assert!(head as f64 / N as f64 > 0.35, "head share {head}/{N}");
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.0);
+        let total: f64 = (0..50).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.pmf(0) > z.pmf(1));
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let ln = LogNormal::new(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples: Vec<f64> = (0..10_000).map(|_| ln.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        // Log-normal: mean > median.
+        assert!(mean > median);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let z = Zipf::new(100, 1.0);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

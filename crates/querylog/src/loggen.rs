@@ -1,0 +1,234 @@
+//! Synthetic search-log generation.
+//!
+//! Stands in for the paper's "998 GB of Web search query logs" (May 2014,
+//! US): a stream of `(query, clicked URL)` events sampled from the
+//! ground-truth [`World`]. The generator preserves the statistical
+//! properties the pipeline depends on — Zipfian query popularity, clicks
+//! concentrated on the owning domain's URLs (high within-domain cosine
+//! similarity), weaker clicks on category hub URLs (weak cross-domain
+//! edges), and a floor of uniform noise.
+
+use crate::world::{DomainId, TermId, UrlId, World};
+use crate::dist::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One raw search event: a query was issued and a URL clicked.
+/// Stored as interned ids — the raw log is by far the largest artifact in
+/// the pipeline (998 GB in the paper) and ids keep it compact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawEvent {
+    /// The query term.
+    pub term: TermId,
+    /// The clicked URL.
+    pub url: UrlId,
+}
+
+/// Log-generator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogConfig {
+    /// Number of raw events to emit.
+    pub events: usize,
+    /// Zipf exponent over domain popularity ranks.
+    pub domain_zipf_s: f64,
+    /// Zipf exponent over terms within a domain (head term dominates).
+    pub term_zipf_s: f64,
+    /// Zipf exponent over a domain's own URLs.
+    pub url_zipf_s: f64,
+    /// Probability that a click lands on a category hub URL instead of a
+    /// domain URL.
+    pub hub_click_prob: f64,
+    /// Probability that a click is uniform noise over all URLs.
+    pub noise_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig {
+            events: 500_000,
+            domain_zipf_s: 1.05,
+            term_zipf_s: 0.8,
+            url_zipf_s: 0.7,
+            hub_click_prob: 0.12,
+            noise_prob: 0.02,
+            seed: 0x106,
+        }
+    }
+}
+
+impl LogConfig {
+    /// A small configuration for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        LogConfig {
+            events: 20_000,
+            seed,
+            ..LogConfig::default()
+        }
+    }
+}
+
+/// Streaming generator of raw search events.
+pub struct LogGenerator<'w> {
+    world: &'w World,
+    rng: StdRng,
+    /// Domains ordered by descending popularity; Zipf ranks map onto this.
+    domain_order: Vec<DomainId>,
+    domain_zipf: Zipf,
+    term_zipf_s: f64,
+    url_zipf_s: f64,
+    hub_click_prob: f64,
+    noise_prob: f64,
+    remaining: usize,
+}
+
+impl<'w> LogGenerator<'w> {
+    /// Create a generator over `world` with the given configuration.
+    pub fn new(world: &'w World, config: &LogConfig) -> Self {
+        let mut domain_order: Vec<DomainId> = (0..world.num_domains() as DomainId).collect();
+        domain_order.sort_by(|&a, &b| {
+            world.domains[b as usize]
+                .popularity
+                .total_cmp(&world.domains[a as usize].popularity)
+        });
+        LogGenerator {
+            world,
+            rng: StdRng::seed_from_u64(config.seed),
+            domain_zipf: Zipf::new(domain_order.len(), config.domain_zipf_s),
+            domain_order,
+            term_zipf_s: config.term_zipf_s,
+            url_zipf_s: config.url_zipf_s,
+            hub_click_prob: config.hub_click_prob,
+            noise_prob: config.noise_prob,
+            remaining: config.events,
+        }
+    }
+
+    fn sample_event(&mut self) -> RawEvent {
+        let rank = self.domain_zipf.sample(&mut self.rng);
+        let domain = &self.world.domains[self.domain_order[rank] as usize];
+
+        // Term within the domain, head-skewed.
+        let term_rank = zipf_rank(domain.terms.len(), self.term_zipf_s, &mut self.rng);
+        let term = domain.terms[term_rank];
+
+        // Click target: noise, hub, or owned URL.
+        let url = if self.rng.gen_bool(self.noise_prob) {
+            self.rng.gen_range(0..self.world.urls.len()) as UrlId
+        } else if !domain.hub_urls.is_empty() && self.rng.gen_bool(self.hub_click_prob) {
+            domain.hub_urls[self.rng.gen_range(0..domain.hub_urls.len())]
+        } else {
+            let url_rank = zipf_rank(domain.urls.len(), self.url_zipf_s, &mut self.rng);
+            domain.urls[url_rank]
+        };
+        RawEvent { term, url }
+    }
+}
+
+/// Cheap inline Zipf over a small `n` — avoids building a table per domain.
+fn zipf_rank(n: usize, s: f64, rng: &mut impl Rng) -> usize {
+    debug_assert!(n > 0);
+    if n == 1 {
+        return 0;
+    }
+    // Inverse-CDF on the truncated zeta, computed incrementally. Domains
+    // hold at most a few dozen terms, so the linear scan is cheap.
+    let total: f64 = (1..=n).map(|r| 1.0 / (r as f64).powf(s)).sum();
+    let mut u = rng.gen::<f64>() * total;
+    for r in 1..=n {
+        u -= 1.0 / (r as f64).powf(s);
+        if u <= 0.0 {
+            return r - 1;
+        }
+    }
+    n - 1
+}
+
+impl Iterator for LogGenerator<'_> {
+    type Item = RawEvent;
+
+    fn next(&mut self) -> Option<RawEvent> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.sample_event())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for LogGenerator<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{World, WorldConfig};
+
+    fn world() -> World {
+        World::generate(&WorldConfig::tiny(1))
+    }
+
+    #[test]
+    fn emits_exactly_the_requested_events() {
+        let w = world();
+        let config = LogConfig::tiny(2);
+        let events: Vec<RawEvent> = LogGenerator::new(&w, &config).collect();
+        assert_eq!(events.len(), config.events);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let w = world();
+        let a: Vec<RawEvent> = LogGenerator::new(&w, &LogConfig::tiny(3)).take(100).collect();
+        let b: Vec<RawEvent> = LogGenerator::new(&w, &LogConfig::tiny(3)).take(100).collect();
+        assert_eq!(a, b);
+        let c: Vec<RawEvent> = LogGenerator::new(&w, &LogConfig::tiny(4)).take(100).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn same_domain_terms_click_same_urls() {
+        let w = world();
+        let niners = w.domain_by_label("49ers").unwrap();
+        let config = LogConfig {
+            events: 100_000,
+            noise_prob: 0.0,
+            hub_click_prob: 0.0,
+            ..LogConfig::tiny(5)
+        };
+        let domain_urls: std::collections::HashSet<_> = niners.urls.iter().copied().collect();
+        for ev in LogGenerator::new(&w, &config) {
+            if niners.terms.contains(&ev.term)
+                && w.terms[ev.term as usize].domains == vec![niners.id]
+            {
+                assert!(
+                    domain_urls.contains(&ev.url),
+                    "unambiguous 49ers term clicked a foreign URL"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn popularity_is_head_heavy() {
+        let w = world();
+        let config = LogConfig::tiny(6);
+        let mut counts = vec![0u64; w.terms.len()];
+        for ev in LogGenerator::new(&w, &config) {
+            counts[ev.term as usize] += 1;
+        }
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = sorted.iter().sum();
+        let top10: u64 = sorted.iter().take(10).sum();
+        assert!(
+            top10 as f64 / total as f64 > 0.2,
+            "expected a heavy head, got {top10}/{total}"
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Surface-form variant generation.
+//!
+//! §4.1 of the paper: "the same term can appear with dozens, sometimes
+//! hundreds of variants (e.g., san francisco, #sanfrancisco, sf, …). We
+//! leave these queries unchanged (no stemming, or correcting), in order to
+//! capture as many different cases as possible." The synthetic world
+//! therefore mints realistic variants for its canonical terms, and the
+//! pipeline is expected to cluster them back together via click behaviour
+//! — never via string similarity.
+
+use rand::Rng;
+
+/// The kinds of variants the generator can mint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VariantKind {
+    /// `san francisco` → `#sanfrancisco`.
+    Hashtag,
+    /// `san francisco` → `sf` (initials).
+    Initials,
+    /// `san francisco` → `sanfrancisco` (squashed).
+    Squash,
+    /// One dropped character: `francisco` → `fancisco`.
+    DropChar,
+    /// Two adjacent characters swapped: `football` → `footblal`.
+    SwapChars,
+    /// Truncation: `football` → `footbal`.
+    Truncate,
+}
+
+/// All kinds, in the order the generator cycles through them.
+pub const ALL_KINDS: [VariantKind; 6] = [
+    VariantKind::Hashtag,
+    VariantKind::Initials,
+    VariantKind::Squash,
+    VariantKind::DropChar,
+    VariantKind::SwapChars,
+    VariantKind::Truncate,
+];
+
+/// Produce one variant of `term`, or `None` when the kind does not apply
+/// (e.g. initials of a single short word).
+pub fn variant(term: &str, kind: VariantKind, rng: &mut impl Rng) -> Option<String> {
+    let term = term.trim();
+    if term.is_empty() {
+        return None;
+    }
+    match kind {
+        VariantKind::Hashtag => Some(format!("#{}", term.replace(' ', ""))),
+        VariantKind::Initials => {
+            let words: Vec<&str> = term.split_whitespace().collect();
+            if words.len() < 2 {
+                return None;
+            }
+            Some(
+                words
+                    .iter()
+                    .filter_map(|w| w.chars().next())
+                    .collect::<String>(),
+            )
+        }
+        VariantKind::Squash => {
+            if !term.contains(' ') {
+                return None;
+            }
+            Some(term.replace(' ', ""))
+        }
+        VariantKind::DropChar => {
+            let chars: Vec<char> = term.chars().collect();
+            if chars.len() < 4 {
+                return None;
+            }
+            // Never drop the first character: real typos rarely do, and it
+            // keeps variants recognizable in the demo output.
+            let idx = rng.gen_range(1..chars.len());
+            let mut out: String = chars[..idx].iter().collect();
+            out.extend(&chars[idx + 1..]);
+            Some(out)
+        }
+        VariantKind::SwapChars => {
+            let mut chars: Vec<char> = term.chars().collect();
+            if chars.len() < 4 {
+                return None;
+            }
+            let idx = rng.gen_range(1..chars.len() - 1);
+            chars.swap(idx, idx + 1);
+            Some(chars.into_iter().collect())
+        }
+        VariantKind::Truncate => {
+            let chars: Vec<char> = term.chars().collect();
+            if chars.len() < 5 {
+                return None;
+            }
+            Some(chars[..chars.len() - 1].iter().collect())
+        }
+    }
+}
+
+/// Mint up to `count` distinct variants of `term` (excluding the term
+/// itself), cycling through the variant kinds.
+pub fn mint_variants(term: &str, count: usize, rng: &mut impl Rng) -> Vec<String> {
+    let term = term.trim(); // variant() trims too; compare like with like
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0;
+    while out.len() < count && attempts < count * 8 {
+        let kind = ALL_KINDS[attempts % ALL_KINDS.len()];
+        attempts += 1;
+        if let Some(v) = variant(term, kind, rng) {
+            if v != term && !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hashtag_and_squash() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            variant("san francisco", VariantKind::Hashtag, &mut rng),
+            Some("#sanfrancisco".into())
+        );
+        assert_eq!(
+            variant("san francisco", VariantKind::Squash, &mut rng),
+            Some("sanfrancisco".into())
+        );
+        assert_eq!(variant("nfl", VariantKind::Squash, &mut rng), None);
+    }
+
+    #[test]
+    fn initials_need_multiple_words() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            variant("san francisco", VariantKind::Initials, &mut rng),
+            Some("sf".into())
+        );
+        assert_eq!(variant("football", VariantKind::Initials, &mut rng), None);
+    }
+
+    #[test]
+    fn typo_variants_differ_but_preserve_first_char() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let v = variant("football", VariantKind::DropChar, &mut rng).unwrap();
+            assert_ne!(v, "football");
+            assert!(v.starts_with('f'));
+            assert_eq!(v.chars().count(), 7);
+        }
+    }
+
+    #[test]
+    fn mint_produces_distinct_variants() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let vs = mint_variants("baltimore ravens", 5, &mut rng);
+        assert!(vs.len() >= 4, "got {vs:?}");
+        let mut dedup = vs.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), vs.len());
+        assert!(!vs.contains(&"baltimore ravens".to_string()));
+    }
+
+    #[test]
+    fn short_terms_do_not_panic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for kind in ALL_KINDS {
+            let _ = variant("ab", kind, &mut rng);
+            let _ = variant("", kind, &mut rng);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests of the distribution samplers, variant minting and
+//! log aggregation.
+
+use esharp_querylog::dist::{LogNormal, Zipf};
+use esharp_querylog::variants::{mint_variants, variant, ALL_KINDS};
+use esharp_querylog::{AggregatedLog, RawEvent};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn zipf_pmf_is_a_distribution(n in 1usize..200, s in 0.1f64..3.0) {
+        let z = Zipf::new(n, s);
+        let total: f64 = (0..n).map(|i| z.pmf(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        // PMF is non-increasing in rank.
+        for i in 1..n {
+            prop_assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_range(n in 1usize..50, s in 0.1f64..3.0, seed in 0u64..1000) {
+        let z = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn lognormal_is_positive(mu in -2.0f64..4.0, sigma in 0.1f64..2.0, seed in 0u64..1000) {
+        let ln = LogNormal::new(mu, sigma);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let x = ln.sample(&mut rng);
+            prop_assert!(x > 0.0 && x.is_finite());
+        }
+    }
+
+    #[test]
+    fn variants_never_panic_and_differ(term in "[a-z0-9 ]{0,24}", seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for kind in ALL_KINDS {
+            if let Some(v) = variant(&term, kind, &mut rng) {
+                prop_assert!(!v.is_empty());
+            }
+        }
+        let minted = mint_variants(&term, 4, &mut rng);
+        let mut dedup = minted.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), minted.len(), "duplicate variants");
+        prop_assert!(!minted.iter().any(|v| *v == term.trim()));
+    }
+
+    #[test]
+    fn aggregation_conserves_events(
+        events in prop::collection::vec((0u32..10, 0u32..10), 0..200),
+        min_support in 0u64..20,
+    ) {
+        let raw: Vec<RawEvent> = events
+            .iter()
+            .map(|&(term, url)| RawEvent { term, url })
+            .collect();
+        let log = AggregatedLog::from_events(raw.iter().copied(), 10);
+        // Total clicks equal raw event count.
+        let total: u64 = log.records.iter().map(|r| r.clicks).sum();
+        prop_assert_eq!(total, raw.len() as u64);
+        prop_assert_eq!(log.term_totals.iter().sum::<u64>(), raw.len() as u64);
+        // Records are sorted and unique on (term, url).
+        for pair in log.records.windows(2) {
+            prop_assert!((pair[0].term, pair[0].url) < (pair[1].term, pair[1].url));
+        }
+        // Filtering keeps exactly the qualifying terms' records.
+        let (filtered, dropped) = log.filter_min_support(min_support);
+        for r in &filtered.records {
+            prop_assert!(log.term_totals[r.term as usize] >= min_support);
+        }
+        let kept = filtered.num_terms();
+        prop_assert_eq!(kept + dropped, log.num_terms());
+    }
+}

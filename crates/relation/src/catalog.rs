@@ -1,0 +1,76 @@
+//! Named-table catalog.
+
+use crate::error::{RelError, RelResult};
+use crate::table::Table;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A mutable, thread-safe registry of named tables.
+///
+/// The community-detection driver re-registers the `communities` table on
+/// every iteration, so registration replaces silently.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: Arc<RwLock<HashMap<String, Table>>>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a table under a case-insensitive name.
+    pub fn register(&self, name: impl AsRef<str>, table: Table) {
+        self.tables
+            .write()
+            .insert(name.as_ref().to_lowercase(), table);
+    }
+
+    /// Fetch a table by case-insensitive name (clones the handle; column
+    /// payloads are shared `Arc`s for strings and copied vectors for
+    /// numerics).
+    pub fn get(&self, name: &str) -> RelResult<Table> {
+        self.tables
+            .read()
+            .get(&name.to_lowercase())
+            .cloned()
+            .ok_or_else(|| RelError::UnknownTable(name.to_string()))
+    }
+
+    /// Remove a table; returns it if present.
+    pub fn remove(&self, name: &str) -> Option<Table> {
+        self.tables.write().remove(&name.to_lowercase())
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    #[test]
+    fn register_get_replace() {
+        let cat = Catalog::new();
+        let t = Table::empty(Schema::of(&[("x", DataType::Int)]));
+        cat.register("Graph", t.clone());
+        assert!(cat.get("graph").is_ok());
+        assert!(cat.get("GRAPH").is_ok());
+        assert!(cat.get("missing").is_err());
+        let t2 = Table::empty(Schema::of(&[("y", DataType::Str)]));
+        cat.register("graph", t2.clone());
+        assert_eq!(cat.get("graph").unwrap(), t2);
+        assert_eq!(cat.names(), vec!["graph".to_string()]);
+        assert!(cat.remove("graph").is_some());
+        assert!(cat.get("graph").is_err());
+    }
+}

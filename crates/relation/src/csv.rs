@@ -1,0 +1,262 @@
+//! CSV import/export for tables.
+//!
+//! The adoption path for real data: a `(query, url, clicks)` log exported
+//! from any warehouse loads straight into the pipeline. RFC-4180-style
+//! quoting (quoted fields, doubled quotes, embedded commas/newlines);
+//! column types are declared by the caller or inferred (Int → Float →
+//! Str, never Bool — ambiguous in the wild).
+
+use crate::error::{RelError, RelResult};
+use crate::schema::{Field, Schema, SchemaRef};
+use crate::table::{Table, TableBuilder};
+use crate::value::{DataType, Value};
+use std::sync::Arc;
+
+/// Serialize a table to CSV with a header row.
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = table
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| escape(&f.name))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in table.iter_rows() {
+        let cells: Vec<String> = row.iter().map(|v| escape(&v.to_string())).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Parse CSV text (with header) into a table using an explicit schema.
+/// Numeric fields are parsed strictly; row width must match the schema.
+pub fn from_csv_with_schema(text: &str, schema: SchemaRef) -> RelResult<Table> {
+    let mut rows = parse_rows(text)?;
+    if rows.is_empty() {
+        return Err(RelError::Parse("CSV has no header row".into()));
+    }
+    let header = rows.remove(0);
+    if header.len() != schema.len() {
+        return Err(RelError::Parse(format!(
+            "CSV header has {} columns, schema expects {}",
+            header.len(),
+            schema.len()
+        )));
+    }
+    let mut builder = TableBuilder::with_capacity(Arc::clone(&schema), rows.len());
+    for (line, row) in rows.into_iter().enumerate() {
+        if row.len() != schema.len() {
+            return Err(RelError::Parse(format!(
+                "CSV row {} has {} fields, expected {}",
+                line + 2,
+                row.len(),
+                schema.len()
+            )));
+        }
+        let values = row
+            .into_iter()
+            .zip(schema.fields())
+            .map(|(cell, field)| parse_cell(&cell, field.dtype, line + 2))
+            .collect::<RelResult<Vec<_>>>()?;
+        builder.push_row(values)?;
+    }
+    Ok(builder.finish())
+}
+
+/// Parse CSV text (with header), inferring each column's type from its
+/// values: all-Int → INT, all-numeric → FLOAT, otherwise STR.
+pub fn from_csv(text: &str) -> RelResult<Table> {
+    let rows = parse_rows(text)?;
+    let Some(header) = rows.first() else {
+        return Err(RelError::Parse("CSV has no header row".into()));
+    };
+    let cols = header.len();
+    let mut kinds = vec![DataType::Int; cols];
+    for row in &rows[1..] {
+        if row.len() != cols {
+            return Err(RelError::Parse(format!(
+                "ragged CSV row: {} fields, expected {cols}",
+                row.len()
+            )));
+        }
+        for (i, cell) in row.iter().enumerate() {
+            kinds[i] = match (kinds[i], classify(cell)) {
+                (DataType::Str, _) | (_, DataType::Str) => DataType::Str,
+                (DataType::Float, _) | (_, DataType::Float) => DataType::Float,
+                _ => DataType::Int,
+            };
+        }
+    }
+    let fields: Vec<Field> = header
+        .iter()
+        .zip(&kinds)
+        .map(|(name, &dtype)| Field::new(name.clone(), dtype))
+        .collect();
+    let schema = Arc::new(Schema::new(fields)?);
+    from_csv_with_schema(text, schema)
+}
+
+fn classify(cell: &str) -> DataType {
+    if cell.parse::<i64>().is_ok() {
+        DataType::Int
+    } else if cell.parse::<f64>().is_ok() {
+        DataType::Float
+    } else {
+        DataType::Str
+    }
+}
+
+fn parse_cell(cell: &str, dtype: DataType, line: usize) -> RelResult<Value> {
+    let err = |what: &str| RelError::Parse(format!("CSV line {line}: {what} from {cell:?}"));
+    Ok(match dtype {
+        DataType::Int => Value::Int(cell.parse().map_err(|_| err("cannot parse INT"))?),
+        DataType::Float => Value::Float(cell.parse().map_err(|_| err("cannot parse FLOAT"))?),
+        DataType::Bool => match cell.to_ascii_lowercase().as_str() {
+            "true" | "1" => Value::Bool(true),
+            "false" | "0" => Value::Bool(false),
+            _ => return Err(err("cannot parse BOOL")),
+        },
+        DataType::Str => Value::str(cell),
+    })
+}
+
+/// Split CSV text into rows of unescaped cells (RFC-4180 quoting).
+fn parse_rows(text: &str) -> RelResult<Vec<Vec<String>>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut cell = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cell.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => cell.push(other),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !cell.is_empty() {
+                        return Err(RelError::Parse(
+                            "quote inside unquoted CSV cell".into(),
+                        ));
+                    }
+                    in_quotes = true;
+                }
+                ',' => {
+                    row.push(std::mem::take(&mut cell));
+                }
+                '\n' => {
+                    row.push(std::mem::take(&mut cell));
+                    rows.push(std::mem::take(&mut row));
+                }
+                '\r' => {} // tolerate CRLF
+                other => cell.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(RelError::Parse("unterminated quoted CSV cell".into()));
+    }
+    if any && (!cell.is_empty() || !row.is_empty()) {
+        row.push(cell);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let schema = Schema::of(&[
+            ("query", DataType::Str),
+            ("url", DataType::Str),
+            ("clicks", DataType::Int),
+        ]);
+        Table::from_rows(
+            schema,
+            vec![
+                vec![Value::str("49ers"), Value::str("49ers.com"), Value::Int(25)],
+                vec![
+                    Value::str("dow, futures"),
+                    Value::str("markets\"live\".com"),
+                    Value::Int(7),
+                ],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_with_quoting() {
+        let t = sample();
+        let csv = to_csv(&t);
+        assert!(csv.contains("\"dow, futures\""));
+        assert!(csv.contains("\"markets\"\"live\"\".com\""));
+        let back = from_csv_with_schema(&csv, Arc::clone(t.schema())).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn inference_picks_narrowest_type() {
+        let csv = "a,b,c\n1,1.5,x\n2,2,y\n";
+        let t = from_csv(csv).unwrap();
+        assert_eq!(t.schema().field(0).dtype, DataType::Int);
+        assert_eq!(t.schema().field(1).dtype, DataType::Float);
+        assert_eq!(t.schema().field(2).dtype, DataType::Str);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.row(0)[1], Value::Float(1.5));
+        // Ints in a float column widen.
+        assert_eq!(t.row(1)[1], Value::Float(2.0));
+    }
+
+    #[test]
+    fn errors_are_precise() {
+        assert!(from_csv("").is_err());
+        assert!(from_csv("a,b\n1\n").is_err()); // ragged
+        let schema = Schema::of(&[("n", DataType::Int)]);
+        let err = from_csv_with_schema("n\nxyz\n", schema).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        assert!(from_csv("a\n\"unterminated").is_err());
+    }
+
+    #[test]
+    fn embedded_newlines_survive() {
+        let csv = "text\n\"line one\nline two\"\n";
+        let t = from_csv(csv).unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.row(0)[0], Value::str("line one\nline two"));
+        // And back out.
+        let again = from_csv(&to_csv(&t)).unwrap();
+        assert_eq!(again, t);
+    }
+
+    #[test]
+    fn crlf_is_tolerated() {
+        let t = from_csv("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.row(0), vec![Value::Int(1), Value::Int(2)]);
+    }
+}

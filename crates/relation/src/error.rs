@@ -1,0 +1,64 @@
+//! Error type shared by every layer of the relational engine.
+
+use std::fmt;
+
+/// Errors produced by the relational engine.
+///
+/// The engine is deliberately strict: schema mismatches, unknown columns and
+/// type errors are reported eagerly instead of being papered over, because
+/// the community-detection pipeline built on top of it (see
+/// `esharp-community`) iterates the same plan many times and a silent
+/// mis-bind would corrupt every iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// A referenced column does not exist in the input schema.
+    UnknownColumn(String),
+    /// A referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// A referenced scalar function or aggregate does not exist.
+    UnknownFunction(String),
+    /// Two values or columns had incompatible types for the operation.
+    TypeMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it actually received.
+        actual: String,
+        /// Short description of the operation that failed.
+        context: String,
+    },
+    /// The SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// A plan was structurally invalid (e.g. join key arity mismatch).
+    InvalidPlan(String),
+    /// Row-level evaluation failure (e.g. division by zero).
+    Eval(String),
+    /// Schema construction failure (e.g. duplicate column names).
+    Schema(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            RelError::UnknownTable(name) => write!(f, "unknown table: {name}"),
+            RelError::UnknownFunction(name) => write!(f, "unknown function: {name}"),
+            RelError::TypeMismatch {
+                expected,
+                actual,
+                context,
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            RelError::Parse(msg) => write!(f, "SQL parse error: {msg}"),
+            RelError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            RelError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            RelError::Schema(msg) => write!(f, "schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// Convenience result alias used across the crate.
+pub type RelResult<T> = Result<T, RelError>;

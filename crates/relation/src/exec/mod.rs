@@ -1,0 +1,9 @@
+//! Parallel execution: partitioning, worker pools, per-stage statistics.
+
+mod parallel;
+mod partition;
+mod stats;
+
+pub use parallel::{Cluster, JoinStrategy};
+pub use partition::{chunk_partition, hash_key, hash_partition, FixedHasher};
+pub use stats::{StageStats, StatsRegistry};

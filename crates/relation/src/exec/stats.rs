@@ -1,0 +1,138 @@
+//! Per-stage resource accounting, in the shape of the paper's Table 9
+//! (step, workers, runtime, bytes read, bytes written).
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Resource consumption of one named pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStats {
+    /// Stage name (e.g. "extraction", "clustering iteration 3").
+    pub stage: String,
+    /// Degree of parallelism used (the paper's "VMs" column).
+    pub workers: usize,
+    /// Wall-clock time.
+    pub wall: Duration,
+    /// Rows consumed.
+    pub rows_read: u64,
+    /// Rows produced.
+    pub rows_written: u64,
+    /// Payload bytes consumed.
+    pub bytes_read: u64,
+    /// Payload bytes produced.
+    pub bytes_written: u64,
+}
+
+impl StageStats {
+    /// A zeroed stats record for a stage.
+    pub fn new(stage: impl Into<String>, workers: usize) -> Self {
+        StageStats {
+            stage: stage.into(),
+            workers,
+            wall: Duration::ZERO,
+            rows_read: 0,
+            rows_written: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+        }
+    }
+}
+
+impl fmt::Display for StageStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<28} workers={:<3} wall={:>10.3?} read={} rows/{} B written={} rows/{} B",
+            self.stage,
+            self.workers,
+            self.wall,
+            self.rows_read,
+            self.bytes_read,
+            self.rows_written,
+            self.bytes_written
+        )
+    }
+}
+
+/// Thread-safe collector of stage statistics.
+///
+/// Cloning shares the underlying registry, so operators deep in the
+/// executor can record into the same log the pipeline driver reads.
+#[derive(Debug, Clone, Default)]
+pub struct StatsRegistry {
+    inner: Arc<Mutex<Vec<StageStats>>>,
+}
+
+impl StatsRegistry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a finished stage record.
+    pub fn record(&self, stats: StageStats) {
+        self.inner.lock().push(stats);
+    }
+
+    /// Snapshot all records so far.
+    pub fn snapshot(&self) -> Vec<StageStats> {
+        self.inner.lock().clone()
+    }
+
+    /// Drop all records.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+
+    /// Sum of records whose stage name starts with `prefix`, under the
+    /// given merged name. Returns `None` if nothing matched.
+    pub fn rollup(&self, prefix: &str, merged_name: &str) -> Option<StageStats> {
+        let records = self.inner.lock();
+        let mut merged: Option<StageStats> = None;
+        for r in records.iter().filter(|r| r.stage.starts_with(prefix)) {
+            let m = merged.get_or_insert_with(|| StageStats::new(merged_name, r.workers));
+            m.workers = m.workers.max(r.workers);
+            m.wall += r.wall;
+            m.rows_read += r.rows_read;
+            m.rows_written += r.rows_written;
+            m.bytes_read += r.bytes_read;
+            m.bytes_written += r.bytes_written;
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let reg = StatsRegistry::new();
+        reg.record(StageStats::new("extraction", 4));
+        let shared = reg.clone();
+        shared.record(StageStats::new("clustering", 4));
+        assert_eq!(reg.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn rollup_merges_by_prefix() {
+        let reg = StatsRegistry::new();
+        let mut a = StageStats::new("clustering iteration 1", 2);
+        a.rows_read = 10;
+        a.wall = Duration::from_millis(5);
+        let mut b = StageStats::new("clustering iteration 2", 4);
+        b.rows_read = 7;
+        b.wall = Duration::from_millis(3);
+        reg.record(a);
+        reg.record(b);
+        reg.record(StageStats::new("extraction", 1));
+        let merged = reg.rollup("clustering", "clustering").unwrap();
+        assert_eq!(merged.rows_read, 17);
+        assert_eq!(merged.workers, 4);
+        assert_eq!(merged.wall, Duration::from_millis(8));
+        assert!(reg.rollup("nothing", "x").is_none());
+    }
+}

@@ -1,0 +1,145 @@
+//! EXPLAIN-style rendering of logical plans.
+
+use crate::expr::Expr;
+use crate::plan::{AggCall, LogicalPlan};
+use std::fmt::Write as _;
+
+/// Render a logical plan as an indented operator tree, top-down:
+///
+/// ```text
+/// Project: query1, distance
+///   Filter: distance > 0.25
+///     Scan: graph
+/// ```
+pub fn explain(plan: &LogicalPlan) -> String {
+    let mut out = String::new();
+    render(plan, 0, &mut out);
+    out
+}
+
+fn render(plan: &LogicalPlan, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match plan {
+        LogicalPlan::Scan { table } => {
+            let _ = writeln!(out, "{pad}Scan: {table}");
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let _ = writeln!(out, "{pad}Filter: {}", expr_text(predicate));
+            render(input, depth + 1, out);
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let cols: Vec<String> = exprs
+                .iter()
+                .map(|(e, alias)| match alias {
+                    Some(a) if *a != e.default_name() => {
+                        format!("{} AS {a}", expr_text(e))
+                    }
+                    _ => expr_text(e),
+                })
+                .collect();
+            let _ = writeln!(out, "{pad}Project: {}", cols.join(", "));
+            render(input, depth + 1, out);
+        }
+        LogicalPlan::Join { left, right, on } => {
+            let _ = writeln!(out, "{pad}Join: {}", expr_text(on));
+            render(left, depth + 1, out);
+            render(right, depth + 1, out);
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let aggs_text: Vec<String> = aggs.iter().map(agg_text).collect();
+            let _ = writeln!(
+                out,
+                "{pad}Aggregate: group by [{}], compute [{}]",
+                group_by.join(", "),
+                aggs_text.join(", ")
+            );
+            render(input, depth + 1, out);
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let keys_text: Vec<String> = keys
+                .iter()
+                .map(|(name, asc)| format!("{name} {}", if *asc { "ASC" } else { "DESC" }))
+                .collect();
+            let _ = writeln!(out, "{pad}Sort: {}", keys_text.join(", "));
+            render(input, depth + 1, out);
+        }
+        LogicalPlan::Limit { input, n } => {
+            let _ = writeln!(out, "{pad}Limit: {n}");
+            render(input, depth + 1, out);
+        }
+        LogicalPlan::Distinct { input } => {
+            let _ = writeln!(out, "{pad}Distinct");
+            render(input, depth + 1, out);
+        }
+        LogicalPlan::UnionAll { inputs } => {
+            let _ = writeln!(out, "{pad}UnionAll ({} inputs)", inputs.len());
+            for input in inputs {
+                render(input, depth + 1, out);
+            }
+        }
+    }
+}
+
+fn expr_text(expr: &Expr) -> String {
+    expr.default_name()
+}
+
+fn agg_text(call: &AggCall) -> String {
+    format!(
+        "{:?}({}) AS {}",
+        call.func,
+        call.args.join(", "),
+        call.alias
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::ops::AggFunc;
+
+    #[test]
+    fn renders_nested_plans() {
+        let plan = LogicalPlan::scan("graph")
+            .filter(Expr::col("distance").gt(Expr::lit(0.25)))
+            .project(vec![(Expr::col("query1"), Some("q".into()))])
+            .limit(5);
+        let text = explain(&plan);
+        assert!(text.contains("Limit: 5"));
+        assert!(text.contains("Project: query1 AS q"));
+        assert!(text.contains("Filter: distance > 0.25"));
+        assert!(text.contains("    Scan: graph"));
+        // Indentation deepens monotonically.
+        let depths: Vec<usize> = text
+            .lines()
+            .map(|l| l.len() - l.trim_start().len())
+            .collect();
+        assert_eq!(depths, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn renders_aggregates_and_joins() {
+        let plan = LogicalPlan::scan("graph")
+            .join(
+                LogicalPlan::scan("communities"),
+                Expr::col("query2").eq(Expr::col("query")),
+            )
+            .aggregate(
+                vec!["comm_name".into()],
+                vec![AggCall {
+                    func: AggFunc::ArgMax,
+                    args: vec!["distance".into(), "query1".into()],
+                    alias: "owner".into(),
+                }],
+            );
+        let text = explain(&plan);
+        assert!(text.contains("Aggregate: group by [comm_name]"));
+        assert!(text.contains("ArgMax(distance, query1) AS owner"));
+        assert!(text.contains("Join: query2 = query"));
+    }
+}

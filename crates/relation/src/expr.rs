@@ -1,0 +1,440 @@
+//! Scalar expressions: a small logical expression language plus a compiled,
+//! index-resolved form evaluated row-at-a-time over columns.
+
+use crate::error::{RelError, RelResult};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::udf::UdfRegistry;
+use crate::value::{DataType, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// Binary operators supported by the expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Equality (`=`).
+    Eq,
+    /// Inequality (`<>` / `!=`).
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Logical AND.
+    And,
+    /// Logical OR.
+    Or,
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A logical scalar expression over named columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a column by name.
+    Col(String),
+    /// A literal value.
+    Lit(Value),
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// A scalar function call, resolved against the [`UdfRegistry`] at
+    /// compile time. Built-ins (`lower`, `abs`, `ln`) are registered by
+    /// default; pipelines add their own (e.g. `ModulGain` in Figure 4).
+    Call {
+        /// Function name (case-insensitive).
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Column reference helper.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Col(name.into())
+    }
+
+    /// Literal helper.
+    pub fn lit(value: impl Into<Value>) -> Expr {
+        Expr::Lit(value.into())
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        self.binary(BinOp::Eq, other)
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        self.binary(BinOp::Gt, other)
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        self.binary(BinOp::Ge, other)
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        self.binary(BinOp::Lt, other)
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        self.binary(BinOp::And, other)
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        self.binary(BinOp::Or, other)
+    }
+
+    /// Generic binary combinator.
+    pub fn binary(self, op: BinOp, other: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// Function call helper.
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call {
+            name: name.into(),
+            args,
+        }
+    }
+
+    /// Compile against a schema, resolving column names to indices and
+    /// function names to UDF handles.
+    pub fn compile(&self, schema: &Schema, udfs: &UdfRegistry) -> RelResult<CompiledExpr> {
+        Ok(match self {
+            Expr::Col(name) => CompiledExpr::Col(schema.index_of(name)?),
+            Expr::Lit(v) => CompiledExpr::Lit(v.clone()),
+            Expr::Binary { op, left, right } => CompiledExpr::Binary {
+                op: *op,
+                left: Box::new(left.compile(schema, udfs)?),
+                right: Box::new(right.compile(schema, udfs)?),
+            },
+            Expr::Not(inner) => CompiledExpr::Not(Box::new(inner.compile(schema, udfs)?)),
+            Expr::Call { name, args } => {
+                let udf = udfs.get(name)?;
+                let compiled = args
+                    .iter()
+                    .map(|a| a.compile(schema, udfs))
+                    .collect::<RelResult<Vec<_>>>()?;
+                CompiledExpr::Call {
+                    udf,
+                    args: compiled,
+                }
+            }
+        })
+    }
+
+    /// Infer the output type against a schema (UDFs report their own).
+    pub fn output_type(&self, schema: &Schema, udfs: &UdfRegistry) -> RelResult<DataType> {
+        Ok(match self {
+            Expr::Col(name) => schema.dtype_of(name)?,
+            Expr::Lit(v) => v.data_type(),
+            Expr::Binary { op, left, right } => match op {
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    DataType::Bool
+                }
+                BinOp::And | BinOp::Or => DataType::Bool,
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                    let lt = left.output_type(schema, udfs)?;
+                    let rt = right.output_type(schema, udfs)?;
+                    if lt == DataType::Float || rt == DataType::Float || *op == BinOp::Div {
+                        DataType::Float
+                    } else {
+                        DataType::Int
+                    }
+                }
+            },
+            Expr::Not(_) => DataType::Bool,
+            Expr::Call { name, .. } => udfs.get(name)?.output_type(),
+        })
+    }
+
+    /// A display name used when a projection has no explicit alias.
+    pub fn default_name(&self) -> String {
+        match self {
+            Expr::Col(name) => name.clone(),
+            Expr::Lit(v) => v.to_string(),
+            Expr::Binary { op, left, right } => {
+                format!("{} {} {}", left.default_name(), op, right.default_name())
+            }
+            Expr::Not(inner) => format!("NOT {}", inner.default_name()),
+            Expr::Call { name, args } => {
+                let inner: Vec<String> = args.iter().map(Expr::default_name).collect();
+                format!("{}({})", name, inner.join(", "))
+            }
+        }
+    }
+}
+
+/// An expression with column indices and UDF handles resolved.
+#[derive(Clone)]
+pub enum CompiledExpr {
+    /// Column by position.
+    Col(usize),
+    /// Constant.
+    Lit(Value),
+    /// Binary op.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<CompiledExpr>,
+        /// Right operand.
+        right: Box<CompiledExpr>,
+    },
+    /// Logical negation.
+    Not(Box<CompiledExpr>),
+    /// Resolved scalar function call.
+    Call {
+        /// The function implementation.
+        udf: Arc<dyn crate::udf::ScalarUdf>,
+        /// Compiled arguments.
+        args: Vec<CompiledExpr>,
+    },
+}
+
+impl CompiledExpr {
+    /// Evaluate over row `row` of `table`.
+    pub fn eval(&self, table: &Table, row: usize) -> RelResult<Value> {
+        match self {
+            CompiledExpr::Col(idx) => Ok(table.column(*idx).value(row)),
+            CompiledExpr::Lit(v) => Ok(v.clone()),
+            CompiledExpr::Binary { op, left, right } => {
+                // Short-circuit logical operators before evaluating the
+                // right side.
+                if *op == BinOp::And || *op == BinOp::Or {
+                    let l = expect_bool(left.eval(table, row)?, "AND/OR")?;
+                    return match (op, l) {
+                        (BinOp::And, false) => Ok(Value::Bool(false)),
+                        (BinOp::Or, true) => Ok(Value::Bool(true)),
+                        _ => {
+                            let r = expect_bool(right.eval(table, row)?, "AND/OR")?;
+                            Ok(Value::Bool(r))
+                        }
+                    };
+                }
+                let l = left.eval(table, row)?;
+                let r = right.eval(table, row)?;
+                eval_binary(*op, l, r)
+            }
+            CompiledExpr::Not(inner) => {
+                let v = expect_bool(inner.eval(table, row)?, "NOT")?;
+                Ok(Value::Bool(!v))
+            }
+            CompiledExpr::Call { udf, args } => {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(a.eval(table, row)?);
+                }
+                udf.invoke(&values)
+            }
+        }
+    }
+
+    /// Evaluate over every row, producing one value per row.
+    pub fn eval_all(&self, table: &Table) -> RelResult<Vec<Value>> {
+        (0..table.num_rows())
+            .map(|row| self.eval(table, row))
+            .collect()
+    }
+}
+
+fn expect_bool(v: Value, context: &str) -> RelResult<bool> {
+    v.as_bool().ok_or_else(|| RelError::TypeMismatch {
+        expected: "BOOL".into(),
+        actual: v.data_type().to_string(),
+        context: context.into(),
+    })
+}
+
+fn eval_binary(op: BinOp, l: Value, r: Value) -> RelResult<Value> {
+    use BinOp::*;
+    match op {
+        Eq => Ok(Value::Bool(l == r)),
+        Ne => Ok(Value::Bool(l != r)),
+        Lt => Ok(Value::Bool(l < r)),
+        Le => Ok(Value::Bool(l <= r)),
+        Gt => Ok(Value::Bool(l > r)),
+        Ge => Ok(Value::Bool(l >= r)),
+        Add | Sub | Mul | Div => eval_arith(op, l, r),
+        And | Or => unreachable!("handled with short-circuit"),
+    }
+}
+
+fn eval_arith(op: BinOp, l: Value, r: Value) -> RelResult<Value> {
+    // Integer arithmetic stays integral except for division, which always
+    // produces a float (matching the modularity formulas' expectations).
+    if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
+        return Ok(match op {
+            BinOp::Add => Value::Int(a.wrapping_add(*b)),
+            BinOp::Sub => Value::Int(a.wrapping_sub(*b)),
+            BinOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            BinOp::Div => {
+                if *b == 0 {
+                    return Err(RelError::Eval("division by zero".into()));
+                }
+                Value::Float(*a as f64 / *b as f64)
+            }
+            _ => unreachable!(),
+        });
+    }
+    let (a, b) = match (l.as_float(), r.as_float()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(RelError::TypeMismatch {
+                expected: "numeric".into(),
+                actual: format!("{} {} {}", l.data_type(), op, r.data_type()),
+                context: "arithmetic".into(),
+            })
+        }
+    };
+    Ok(Value::Float(match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => {
+            if b == 0.0 {
+                return Err(RelError::Eval("division by zero".into()));
+            }
+            a / b
+        }
+        _ => unreachable!(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn table() -> Table {
+        let schema = Schema::of(&[("name", DataType::Str), ("n", DataType::Int)]);
+        Table::from_rows(
+            schema,
+            vec![
+                vec![Value::str("NFL"), Value::Int(3)],
+                vec![Value::str("49ers"), Value::Int(10)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn compile(e: &Expr, t: &Table) -> CompiledExpr {
+        e.compile(t.schema(), &UdfRegistry::with_builtins()).unwrap()
+    }
+
+    #[test]
+    fn comparison_and_arithmetic() {
+        let t = table();
+        let e = Expr::col("n").gt(Expr::lit(5_i64));
+        let c = compile(&e, &t);
+        assert_eq!(c.eval(&t, 0).unwrap(), Value::Bool(false));
+        assert_eq!(c.eval(&t, 1).unwrap(), Value::Bool(true));
+
+        let sum = Expr::col("n").binary(BinOp::Add, Expr::lit(1_i64));
+        assert_eq!(compile(&sum, &t).eval(&t, 0).unwrap(), Value::Int(4));
+    }
+
+    #[test]
+    fn division_is_float_and_checked() {
+        let t = table();
+        let div = Expr::col("n").binary(BinOp::Div, Expr::lit(4_i64));
+        assert_eq!(compile(&div, &t).eval(&t, 1).unwrap(), Value::Float(2.5));
+        let by_zero = Expr::col("n").binary(BinOp::Div, Expr::lit(0_i64));
+        assert!(compile(&by_zero, &t).eval(&t, 0).is_err());
+    }
+
+    #[test]
+    fn short_circuit_avoids_rhs_errors() {
+        let t = table();
+        // RHS would be a type error (Int where BOOL expected); AND must not
+        // reach it when LHS is false.
+        let e = Expr::lit(false).and(Expr::col("n"));
+        assert_eq!(compile(&e, &t).eval(&t, 0).unwrap(), Value::Bool(false));
+        let e = Expr::lit(true).or(Expr::col("n"));
+        assert_eq!(compile(&e, &t).eval(&t, 0).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn builtin_lower_applies() {
+        let t = table();
+        let e = Expr::call("lower", vec![Expr::col("name")]);
+        assert_eq!(compile(&e, &t).eval(&t, 0).unwrap(), Value::str("nfl"));
+    }
+
+    #[test]
+    fn unknown_column_fails_compile() {
+        let t = table();
+        let e = Expr::col("missing");
+        assert!(e
+            .compile(t.schema(), &UdfRegistry::with_builtins())
+            .is_err());
+    }
+
+    #[test]
+    fn output_type_inference() {
+        let t = table();
+        let udfs = UdfRegistry::with_builtins();
+        assert_eq!(
+            Expr::col("n")
+                .gt(Expr::lit(1_i64))
+                .output_type(t.schema(), &udfs)
+                .unwrap(),
+            DataType::Bool
+        );
+        assert_eq!(
+            Expr::col("n")
+                .binary(BinOp::Div, Expr::lit(2_i64))
+                .output_type(t.schema(), &udfs)
+                .unwrap(),
+            DataType::Float
+        );
+    }
+}

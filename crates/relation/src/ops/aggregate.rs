@@ -1,0 +1,348 @@
+//! Hash aggregation with grouping.
+//!
+//! Includes the non-standard `argmax(order, value)` aggregate that the
+//! paper's community-detection SQL (Figure 4) uses for the neighborhood
+//! separation step: per group, return `value` of the row where `order` is
+//! maximal (deterministic tie-break on the smaller `value`).
+
+use crate::column::Column;
+use crate::error::{RelError, RelResult};
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Row count (`count(*)`).
+    Count,
+    /// Sum of a numeric column.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Arithmetic mean (always FLOAT).
+    Avg,
+    /// `argmax(order, value)`: the `value` at the maximal `order`.
+    ArgMax,
+}
+
+/// One aggregate output column.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Input column (the value column; `None` only for `Count`).
+    pub col: Option<usize>,
+    /// Ordering column for `ArgMax`.
+    pub by: Option<usize>,
+    /// Output column name.
+    pub name: String,
+}
+
+impl AggSpec {
+    /// `count(*) as name`.
+    pub fn count(name: impl Into<String>) -> Self {
+        AggSpec {
+            func: AggFunc::Count,
+            col: None,
+            by: None,
+            name: name.into(),
+        }
+    }
+
+    /// A single-column aggregate.
+    pub fn on(func: AggFunc, col: usize, name: impl Into<String>) -> Self {
+        AggSpec {
+            func,
+            col: Some(col),
+            by: None,
+            name: name.into(),
+        }
+    }
+
+    /// `argmax(by, col) as name`.
+    pub fn argmax(by: usize, col: usize, name: impl Into<String>) -> Self {
+        AggSpec {
+            func: AggFunc::ArgMax,
+            col: Some(col),
+            by: Some(by),
+            name: name.into(),
+        }
+    }
+
+    fn output_type(&self, input: &Schema) -> RelResult<DataType> {
+        Ok(match self.func {
+            AggFunc::Count => DataType::Int,
+            AggFunc::Avg => DataType::Float,
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max | AggFunc::ArgMax => {
+                let col = self.col.ok_or_else(|| {
+                    RelError::InvalidPlan(format!("aggregate {} needs a column", self.name))
+                })?;
+                input.field(col).dtype
+            }
+        })
+    }
+}
+
+/// Per-group accumulator state.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    SumInt(i64),
+    SumFloat(f64),
+    MinMax(Option<Value>),
+    Avg { sum: f64, n: i64 },
+    ArgMax { best: Option<(Value, Value)> },
+}
+
+impl AggState {
+    fn new(spec: &AggSpec, input: &Schema) -> RelResult<Self> {
+        Ok(match spec.func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => match input.field(spec.col.unwrap()).dtype {
+                DataType::Int => AggState::SumInt(0),
+                DataType::Float => AggState::SumFloat(0.0),
+                other => {
+                    return Err(RelError::TypeMismatch {
+                        expected: "numeric".into(),
+                        actual: other.to_string(),
+                        context: "sum".into(),
+                    })
+                }
+            },
+            AggFunc::Min | AggFunc::Max => AggState::MinMax(None),
+            AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
+            AggFunc::ArgMax => AggState::ArgMax { best: None },
+        })
+    }
+
+    fn update(&mut self, spec: &AggSpec, table: &Table, row: usize) -> RelResult<()> {
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::SumInt(acc) => {
+                let v = table.column(spec.col.unwrap()).value(row);
+                *acc += v.as_int().ok_or_else(|| type_err("sum", &v))?;
+            }
+            AggState::SumFloat(acc) => {
+                let v = table.column(spec.col.unwrap()).value(row);
+                *acc += v.as_float().ok_or_else(|| type_err("sum", &v))?;
+            }
+            AggState::MinMax(best) => {
+                let v = table.column(spec.col.unwrap()).value(row);
+                let replace = match (&*best, spec.func) {
+                    (None, _) => true,
+                    (Some(b), AggFunc::Min) => v < *b,
+                    (Some(b), AggFunc::Max) => v > *b,
+                    _ => unreachable!(),
+                };
+                if replace {
+                    *best = Some(v);
+                }
+            }
+            AggState::Avg { sum, n } => {
+                let v = table.column(spec.col.unwrap()).value(row);
+                *sum += v.as_float().ok_or_else(|| type_err("avg", &v))?;
+                *n += 1;
+            }
+            AggState::ArgMax { best } => {
+                let order = table.column(spec.by.unwrap()).value(row);
+                let value = table.column(spec.col.unwrap()).value(row);
+                let replace = match best {
+                    None => true,
+                    // Strictly greater order wins; on equal order, the
+                    // smaller value wins so results do not depend on input
+                    // order (the paper's Step 2 just says "keep the
+                    // closest"; we need determinism for the SQL-vs-native
+                    // equivalence tests).
+                    Some((bo, bv)) => order > *bo || (order == *bo && value < *bv),
+                };
+                if replace {
+                    *best = Some((order, value));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self, spec: &AggSpec) -> RelResult<Value> {
+        Ok(match self {
+            AggState::Count(n) => Value::Int(n),
+            AggState::SumInt(acc) => Value::Int(acc),
+            AggState::SumFloat(acc) => Value::Float(acc),
+            AggState::MinMax(best) => best.ok_or_else(|| {
+                RelError::Eval(format!("{}: empty group", spec.name))
+            })?,
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    return Err(RelError::Eval(format!("{}: empty group", spec.name)));
+                }
+                Value::Float(sum / n as f64)
+            }
+            AggState::ArgMax { best } => {
+                best.map(|(_, v)| v).ok_or_else(|| {
+                    RelError::Eval(format!("{}: empty group", spec.name))
+                })?
+            }
+        })
+    }
+}
+
+fn type_err(context: &str, v: &Value) -> RelError {
+    RelError::TypeMismatch {
+        expected: "numeric".into(),
+        actual: v.data_type().to_string(),
+        context: context.into(),
+    }
+}
+
+/// Group `input` by the given key columns and evaluate the aggregates.
+///
+/// Output columns are the group keys (original names) followed by one
+/// column per aggregate. Groups are emitted in ascending key order, making
+/// the operator fully deterministic.
+pub fn aggregate(input: &Table, group_keys: &[usize], aggs: &[AggSpec]) -> RelResult<Table> {
+    let in_schema = input.schema();
+    let mut fields: Vec<Field> = group_keys
+        .iter()
+        .map(|&k| in_schema.field(k).clone())
+        .collect();
+    for spec in aggs {
+        fields.push(Field::new(spec.name.clone(), spec.output_type(in_schema)?));
+    }
+    let out_schema = Arc::new(Schema::new(fields)?);
+
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    for row in 0..input.num_rows() {
+        let key: Vec<Value> = group_keys
+            .iter()
+            .map(|&k| input.column(k).value(row))
+            .collect();
+        let states = match groups.get_mut(&key) {
+            Some(s) => s,
+            None => {
+                let fresh = aggs
+                    .iter()
+                    .map(|spec| AggState::new(spec, in_schema))
+                    .collect::<RelResult<Vec<_>>>()?;
+                groups.entry(key.clone()).or_insert(fresh)
+            }
+        };
+        for (state, spec) in states.iter_mut().zip(aggs) {
+            state.update(spec, input, row)?;
+        }
+    }
+
+    // Deterministic output order.
+    let mut entries: Vec<(Vec<Value>, Vec<AggState>)> = groups.into_iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut columns: Vec<Column> = out_schema
+        .fields()
+        .iter()
+        .map(|f| Column::with_capacity(f.dtype, entries.len()))
+        .collect();
+    for (key, states) in entries {
+        for (i, v) in key.into_iter().enumerate() {
+            columns[i].push(v)?;
+        }
+        for (i, (state, spec)) in states.into_iter().zip(aggs).enumerate() {
+            columns[group_keys.len() + i].push(state.finish(spec)?)?;
+        }
+    }
+    Table::new(out_schema, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input() -> Table {
+        let schema = Schema::of(&[
+            ("grp", DataType::Str),
+            ("x", DataType::Int),
+            ("w", DataType::Float),
+        ]);
+        Table::from_rows(
+            schema,
+            vec![
+                vec![Value::str("a"), Value::Int(1), Value::Float(0.5)],
+                vec![Value::str("a"), Value::Int(5), Value::Float(0.1)],
+                vec![Value::str("b"), Value::Int(2), Value::Float(0.9)],
+                vec![Value::str("a"), Value::Int(3), Value::Float(0.7)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn count_sum_avg_min_max() {
+        let t = input();
+        let out = aggregate(
+            &t,
+            &[0],
+            &[
+                AggSpec::count("n"),
+                AggSpec::on(AggFunc::Sum, 1, "sx"),
+                AggSpec::on(AggFunc::Avg, 1, "ax"),
+                AggSpec::on(AggFunc::Min, 1, "mn"),
+                AggSpec::on(AggFunc::Max, 1, "mx"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 2);
+        // Group "a" comes first (sorted output).
+        assert_eq!(
+            out.row(0),
+            vec![
+                Value::str("a"),
+                Value::Int(3),
+                Value::Int(9),
+                Value::Float(3.0),
+                Value::Int(1),
+                Value::Int(5)
+            ]
+        );
+    }
+
+    #[test]
+    fn argmax_picks_value_at_max_order() {
+        let t = input();
+        // Per group: x at maximal w.
+        let out = aggregate(&t, &[0], &[AggSpec::argmax(2, 1, "best")]).unwrap();
+        assert_eq!(out.row(0), vec![Value::str("a"), Value::Int(3)]); // w=0.7
+        assert_eq!(out.row(1), vec![Value::str("b"), Value::Int(2)]);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_on_smaller_value() {
+        let schema = Schema::of(&[("g", DataType::Int), ("v", DataType::Str), ("w", DataType::Float)]);
+        let t = Table::from_rows(
+            schema,
+            vec![
+                vec![Value::Int(0), Value::str("zzz"), Value::Float(1.0)],
+                vec![Value::Int(0), Value::str("aaa"), Value::Float(1.0)],
+            ],
+        )
+        .unwrap();
+        let out = aggregate(&t, &[0], &[AggSpec::argmax(2, 1, "best")]).unwrap();
+        assert_eq!(out.row(0)[1], Value::str("aaa"));
+    }
+
+    #[test]
+    fn global_aggregate_with_no_keys() {
+        let t = input();
+        let out = aggregate(&t, &[], &[AggSpec::count("n")]).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.row(0), vec![Value::Int(4)]);
+    }
+
+    #[test]
+    fn sum_over_strings_rejected() {
+        let t = input();
+        assert!(aggregate(&t, &[], &[AggSpec::on(AggFunc::Sum, 0, "s")]).is_err());
+    }
+}

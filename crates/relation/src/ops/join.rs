@@ -1,0 +1,196 @@
+//! Hash equi-join.
+
+use crate::error::{RelError, RelResult};
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which side the hash table is built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinSide {
+    /// Build on the left input, probe with the right.
+    BuildLeft,
+    /// Build on the right input, probe with the left (the default: in the
+    /// pipeline the right side is the small `communities` table).
+    BuildRight,
+}
+
+/// Inner hash equi-join of `left` and `right` on the given key columns.
+///
+/// Output schema is `left ++ right` with colliding right-side names suffixed
+/// by `_r` (the SQL binder projects/aliases on top of this). Output row
+/// order follows the probe side, which makes the operator deterministic for
+/// a given build side.
+pub fn hash_join(
+    left: &Table,
+    right: &Table,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    side: JoinSide,
+) -> RelResult<Table> {
+    if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+        return Err(RelError::InvalidPlan(format!(
+            "join key arity mismatch: {} vs {}",
+            left_keys.len(),
+            right_keys.len()
+        )));
+    }
+    for (&lk, &rk) in left_keys.iter().zip(right_keys) {
+        let lt = left.schema().field(lk).dtype;
+        let rt = right.schema().field(rk).dtype;
+        if lt != rt {
+            return Err(RelError::TypeMismatch {
+                expected: lt.to_string(),
+                actual: rt.to_string(),
+                context: "join keys".into(),
+            });
+        }
+    }
+
+    let (build, probe, build_keys, probe_keys, build_is_left) = match side {
+        JoinSide::BuildLeft => (left, right, left_keys, right_keys, true),
+        JoinSide::BuildRight => (right, left, right_keys, left_keys, false),
+    };
+
+    // Build phase: key -> row indices.
+    let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.num_rows());
+    for row in 0..build.num_rows() {
+        let key: Vec<Value> = build_keys
+            .iter()
+            .map(|&k| build.column(k).value(row))
+            .collect();
+        index.entry(key).or_default().push(row);
+    }
+
+    // Probe phase: collect matching (left_row, right_row) index pairs.
+    let mut left_idx = Vec::new();
+    let mut right_idx = Vec::new();
+    let mut key = Vec::with_capacity(probe_keys.len());
+    for row in 0..probe.num_rows() {
+        key.clear();
+        key.extend(probe_keys.iter().map(|&k| probe.column(k).value(row)));
+        if let Some(matches) = index.get(&key) {
+            for &b in matches {
+                if build_is_left {
+                    left_idx.push(b);
+                    right_idx.push(row);
+                } else {
+                    left_idx.push(row);
+                    right_idx.push(b);
+                }
+            }
+        }
+    }
+
+    let out_schema = Arc::new(left.schema().join(right.schema(), "_r")?);
+    let mut columns = Vec::with_capacity(out_schema.len());
+    for col in left.columns() {
+        columns.push(col.gather(&left_idx));
+    }
+    for col in right.columns() {
+        columns.push(col.gather(&right_idx));
+    }
+    Table::new(out_schema, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn graph() -> Table {
+        let schema = Schema::of(&[
+            ("query1", DataType::Str),
+            ("query2", DataType::Str),
+            ("distance", DataType::Float),
+        ]);
+        Table::from_rows(
+            schema,
+            vec![
+                vec![Value::str("49ers"), Value::str("nfl"), Value::Float(0.29)],
+                vec![
+                    Value::str("nfl"),
+                    Value::str("football"),
+                    Value::Float(0.4),
+                ],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn communities() -> Table {
+        let schema = Schema::of(&[("comm_name", DataType::Str), ("query", DataType::Str)]);
+        Table::from_rows(
+            schema,
+            vec![
+                vec![Value::str("c1"), Value::str("49ers")],
+                vec![Value::str("c2"), Value::str("nfl")],
+                vec![Value::str("c2"), Value::str("football")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_join_matches_keys() {
+        let g = graph();
+        let c = communities();
+        // graph.query1 = communities.query
+        let out = hash_join(&g, &c, &[0], &[1], JoinSide::BuildRight).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        let names: Vec<_> = out
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["query1", "query2", "distance", "comm_name", "query"]
+        );
+    }
+
+    #[test]
+    fn join_output_agrees_across_build_sides() {
+        let g = graph();
+        let c = communities();
+        let a = hash_join(&g, &c, &[1], &[1], JoinSide::BuildRight).unwrap();
+        let b = hash_join(&g, &c, &[1], &[1], JoinSide::BuildLeft).unwrap();
+        assert_eq!(a.sorted_rows(), b.sorted_rows());
+    }
+
+    #[test]
+    fn join_duplicates_multiply() {
+        let schema = Schema::of(&[("k", DataType::Int)]);
+        let l = Table::from_rows(
+            Arc::clone(&schema),
+            vec![vec![Value::Int(1)], vec![Value::Int(1)]],
+        )
+        .unwrap();
+        let r = Table::from_rows(
+            schema,
+            vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]],
+        )
+        .unwrap();
+        let out = hash_join(&l, &r, &[0], &[0], JoinSide::BuildRight).unwrap();
+        assert_eq!(out.num_rows(), 4);
+    }
+
+    #[test]
+    fn join_key_type_mismatch_rejected() {
+        let l = Table::empty(Schema::of(&[("k", DataType::Int)]));
+        let r = Table::empty(Schema::of(&[("k", DataType::Str)]));
+        assert!(hash_join(&l, &r, &[0], &[0], JoinSide::BuildRight).is_err());
+    }
+
+    #[test]
+    fn empty_probe_yields_empty() {
+        let l = Table::empty(Schema::of(&[("k", DataType::Int)]));
+        let r = Table::from_rows(Schema::of(&[("k", DataType::Int)]), vec![vec![Value::Int(1)]])
+            .unwrap();
+        let out = hash_join(&l, &r, &[0], &[0], JoinSide::BuildRight).unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! SQL abstract syntax tree.
+
+use crate::expr::BinOp;
+use crate::value::Value;
+
+/// A SQL scalar expression (pre-binding: columns may be qualified).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Literal value.
+    Lit(Value),
+    /// Column reference, optionally qualified by a table alias.
+    Col {
+        /// Table alias qualifier (`c1` in `c1.query`).
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<AstExpr>,
+        /// Right operand.
+        right: Box<AstExpr>,
+    },
+    /// Logical negation.
+    Not(Box<AstExpr>),
+    /// Function call. At binding time this is resolved to either an
+    /// aggregate (`count`, `sum`, `min`, `max`, `avg`, `argmax`) or a
+    /// scalar UDF.
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments. Empty plus `is_star` for `count(*)`.
+        args: Vec<AstExpr>,
+        /// True for `f(*)`.
+        is_star: bool,
+    },
+}
+
+/// One item of a SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — all columns in scope.
+    Star,
+    /// An expression with an optional alias.
+    Expr {
+        /// The expression.
+        expr: AstExpr,
+        /// Optional `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference with an optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Catalog table name.
+    pub name: String,
+    /// Alias (defaults to the table name at binding time).
+    pub alias: Option<String>,
+}
+
+/// An `INNER JOIN … ON …` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// The joined table.
+    pub table: TableRef,
+    /// The join condition.
+    pub on: AstExpr,
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// The ordering expression (a column reference).
+    pub expr: AstExpr,
+    /// True for ascending.
+    pub ascending: bool,
+}
+
+/// A parsed SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// SELECT list.
+    pub items: Vec<SelectItem>,
+    /// True if `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// FROM table.
+    pub from: TableRef,
+    /// Zero or more joins, applied left to right.
+    pub joins: Vec<JoinClause>,
+    /// Optional WHERE predicate.
+    pub where_clause: Option<AstExpr>,
+    /// GROUP BY column references.
+    pub group_by: Vec<AstExpr>,
+    /// Optional HAVING predicate over the grouped output (references
+    /// output column names, e.g. `having n >= 5`).
+    pub having: Option<AstExpr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// Optional LIMIT.
+    pub limit: Option<usize>,
+}
+
+/// A full statement: one query, or several combined with `UNION ALL`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    /// The SELECT branches, in order.
+    pub queries: Vec<Query>,
+}

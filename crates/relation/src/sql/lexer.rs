@@ -1,0 +1,276 @@
+//! SQL lexer.
+
+use crate::error::{RelError, RelResult};
+use std::fmt;
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognized by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (with `''` escaping).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `;`
+    Semicolon,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Comma => f.write_str(","),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Dot => f.write_str("."),
+            Token::Star => f.write_str("*"),
+            Token::Eq => f.write_str("="),
+            Token::Ne => f.write_str("<>"),
+            Token::Lt => f.write_str("<"),
+            Token::Le => f.write_str("<="),
+            Token::Gt => f.write_str(">"),
+            Token::Ge => f.write_str(">="),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Slash => f.write_str("/"),
+            Token::Semicolon => f.write_str(";"),
+        }
+    }
+}
+
+/// Tokenize SQL text. `--` line comments are skipped.
+pub fn tokenize(sql: &str) -> RelResult<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(RelError::Parse("unexpected '!'".into()));
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(RelError::Parse("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        // '' is an escaped quote.
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || (bytes[i] == b'.'
+                            && i + 1 < bytes.len()
+                            && (bytes[i + 1] as char).is_ascii_digit()))
+                {
+                    if bytes[i] == b'.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text = &sql[start..i];
+                if is_float {
+                    let x: f64 = text
+                        .parse()
+                        .map_err(|_| RelError::Parse(format!("bad float literal: {text}")))?;
+                    tokens.push(Token::Float(x));
+                } else {
+                    let n: i64 = text
+                        .parse()
+                        .map_err(|_| RelError::Parse(format!("bad int literal: {text}")))?;
+                    tokens.push(Token::Int(n));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(sql[start..i].to_string()));
+            }
+            other => {
+                return Err(RelError::Parse(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_figure4_style_sql() {
+        let toks = tokenize(
+            "select c1.query as query1, distance from graph \
+             inner join communities c1 on c1.query = graph.query2 \
+             where ModulGain(query1, query2) > 0;",
+        )
+        .unwrap();
+        assert!(toks.contains(&Token::Ident("ModulGain".into())));
+        assert!(toks.contains(&Token::Gt));
+        assert_eq!(*toks.last().unwrap(), Token::Semicolon);
+    }
+
+    #[test]
+    fn string_escapes_and_comments() {
+        let toks = tokenize("select 'it''s' -- trailing comment\n, 2.5, 42").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("select".into()),
+                Token::Str("it's".into()),
+                Token::Comma,
+                Token::Float(2.5),
+                Token::Comma,
+                Token::Int(42),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("a <> b != c <= d >= e").unwrap();
+        assert_eq!(
+            toks.iter().filter(|t| **t == Token::Ne).count(),
+            2,
+            "both <> and != lex to Ne"
+        );
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Ge));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("select @").is_err());
+        assert!(tokenize("'unterminated").is_err());
+    }
+}

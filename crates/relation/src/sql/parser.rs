@@ -1,0 +1,552 @@
+//! Recursive-descent SQL parser.
+//!
+//! Grammar (enough for the Figure 4 pipeline queries and the test suite):
+//!
+//! ```text
+//! query    := SELECT [DISTINCT] items FROM tableref join* [WHERE expr]
+//!             [GROUP BY cols [HAVING expr]] [ORDER BY keys] [LIMIT n] [;]
+//! statement:= query (UNION ALL query)*
+//! items    := item (',' item)*      item := '*' | expr [[AS] ident]
+//! tableref := ident [ident]
+//! join     := [INNER] JOIN tableref ON expr
+//! expr     := or ; or := and (OR and)* ; and := not (AND not)*
+//! not      := NOT not | cmp
+//! cmp      := add ((= | <> | != | < | <= | > | >=) add)?
+//! add      := mul ((+|-) mul)*  ; mul := unary ((*|/) unary)*
+//! unary    := '-' unary | primary
+//! primary  := literal | ident ['.' ident] | ident '(' [args|'*'] ')'
+//!           | '(' expr ')' | TRUE | FALSE
+//! ```
+
+use crate::error::{RelError, RelResult};
+use crate::expr::BinOp;
+use crate::sql::ast::*;
+use crate::sql::lexer::{tokenize, Token};
+use crate::value::Value;
+
+/// Parse one statement: a SELECT, or a `UNION ALL` chain of SELECTs.
+pub fn parse(sql: &str) -> RelResult<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut queries = vec![parser.query()?];
+    while parser.eat_keyword("union") {
+        parser.expect_keyword("all")?;
+        queries.push(parser.query()?);
+    }
+    parser.eat_if(&Token::Semicolon);
+    if !parser.at_end() {
+        return Err(RelError::Parse(format!(
+            "trailing tokens after statement, starting at {}",
+            parser.peek_desc()
+        )));
+    }
+    Ok(Statement { queries })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_desc(&self) -> String {
+        self.peek()
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "end of input".into())
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_if(&mut self, token: &Token) -> bool {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume a keyword (case-insensitive identifier match).
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> RelResult<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(RelError::Parse(format!(
+                "expected {kw}, found {}",
+                self.peek_desc()
+            )))
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// True when the next identifier is any SQL keyword (so it cannot be an
+    /// implicit alias).
+    fn peek_any_keyword(&self) -> bool {
+        const KEYWORDS: &[&str] = &[
+            "select", "distinct", "from", "where", "group", "by", "having", "order", "limit",
+            "join", "inner", "on", "as", "and", "or", "not", "asc", "desc", "true", "false",
+            "union",
+        ];
+        matches!(self.peek(), Some(Token::Ident(s))
+            if KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)))
+    }
+
+    fn ident(&mut self) -> RelResult<String> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(RelError::Parse(format!(
+                "expected identifier, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "EOF".into())
+            ))),
+        }
+    }
+
+    fn query(&mut self) -> RelResult<Query> {
+        self.expect_keyword("select")?;
+        let distinct = self.eat_keyword("distinct");
+        let mut items = vec![self.select_item()?];
+        while self.eat_if(&Token::Comma) {
+            items.push(self.select_item()?);
+        }
+        self.expect_keyword("from")?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let inner = self.peek_keyword("inner");
+            if inner {
+                self.pos += 1;
+                self.expect_keyword("join")?;
+            } else if !self.eat_keyword("join") {
+                break;
+            }
+            let table = self.table_ref()?;
+            self.expect_keyword("on")?;
+            let on = self.expr()?;
+            joins.push(JoinClause { table, on });
+        }
+        let where_clause = if self.eat_keyword("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        let mut having = None;
+        if self.eat_keyword("group") {
+            self.expect_keyword("by")?;
+            group_by.push(self.expr()?);
+            while self.eat_if(&Token::Comma) {
+                group_by.push(self.expr()?);
+            }
+            if self.eat_keyword("having") {
+                having = Some(self.expr()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            loop {
+                let expr = self.expr()?;
+                let ascending = if self.eat_keyword("desc") {
+                    false
+                } else {
+                    self.eat_keyword("asc");
+                    true
+                };
+                order_by.push(OrderKey { expr, ascending });
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("limit") {
+            match self.advance() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => {
+                    return Err(RelError::Parse(format!(
+                        "LIMIT expects a non-negative integer, found {}",
+                        other.map(|t| t.to_string()).unwrap_or_else(|| "EOF".into())
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            items,
+            distinct,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> RelResult<SelectItem> {
+        if self.eat_if(&Token::Star) {
+            return Ok(SelectItem::Star);
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_keyword("as") {
+            Some(self.ident()?)
+        } else if !self.peek_any_keyword() {
+            // Implicit alias: `select distance d from …`.
+            match self.peek() {
+                Some(Token::Ident(_)) => Some(self.ident()?),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> RelResult<TableRef> {
+        let name = self.ident()?;
+        let alias = if !self.peek_any_keyword() {
+            match self.peek() {
+                Some(Token::Ident(_)) => Some(self.ident()?),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    fn expr(&mut self) -> RelResult<AstExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> RelResult<AstExpr> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("or") {
+            let right = self.and_expr()?;
+            left = AstExpr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> RelResult<AstExpr> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("and") {
+            let right = self.not_expr()?;
+            left = AstExpr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> RelResult<AstExpr> {
+        if self.eat_keyword("not") {
+            Ok(AstExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> RelResult<AstExpr> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::Ne) => Some(BinOp::Ne),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Le) => Some(BinOp::Le),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.add_expr()?;
+            Ok(AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            })
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn add_expr(&mut self) -> RelResult<AstExpr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.mul_expr()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> RelResult<AstExpr> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary_expr()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> RelResult<AstExpr> {
+        if self.eat_if(&Token::Minus) {
+            let inner = self.unary_expr()?;
+            // Constant-fold negated literals; otherwise 0 - x.
+            return Ok(match inner {
+                AstExpr::Lit(Value::Int(i)) => AstExpr::Lit(Value::Int(-i)),
+                AstExpr::Lit(Value::Float(x)) => AstExpr::Lit(Value::Float(-x)),
+                other => AstExpr::Binary {
+                    op: BinOp::Sub,
+                    left: Box::new(AstExpr::Lit(Value::Int(0))),
+                    right: Box::new(other),
+                },
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> RelResult<AstExpr> {
+        match self.advance() {
+            Some(Token::Int(n)) => Ok(AstExpr::Lit(Value::Int(n))),
+            Some(Token::Float(x)) => Ok(AstExpr::Lit(Value::Float(x))),
+            Some(Token::Str(s)) => Ok(AstExpr::Lit(Value::str(s))),
+            Some(Token::LParen) => {
+                let inner = self.expr()?;
+                if !self.eat_if(&Token::RParen) {
+                    return Err(RelError::Parse("expected ')'".into()));
+                }
+                Ok(inner)
+            }
+            Some(Token::Ident(name)) => {
+                if name.eq_ignore_ascii_case("true") {
+                    return Ok(AstExpr::Lit(Value::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    return Ok(AstExpr::Lit(Value::Bool(false)));
+                }
+                if self.eat_if(&Token::LParen) {
+                    // Function call.
+                    if self.eat_if(&Token::Star) {
+                        if !self.eat_if(&Token::RParen) {
+                            return Err(RelError::Parse("expected ')' after '*'".into()));
+                        }
+                        return Ok(AstExpr::Call {
+                            name,
+                            args: vec![],
+                            is_star: true,
+                        });
+                    }
+                    let mut args = Vec::new();
+                    if !self.eat_if(&Token::RParen) {
+                        args.push(self.expr()?);
+                        while self.eat_if(&Token::Comma) {
+                            args.push(self.expr()?);
+                        }
+                        if !self.eat_if(&Token::RParen) {
+                            return Err(RelError::Parse("expected ')'".into()));
+                        }
+                    }
+                    return Ok(AstExpr::Call {
+                        name,
+                        args,
+                        is_star: false,
+                    });
+                }
+                if self.eat_if(&Token::Dot) {
+                    let col = self.ident()?;
+                    return Ok(AstExpr::Col {
+                        qualifier: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(AstExpr::Col {
+                    qualifier: None,
+                    name,
+                })
+            }
+            other => Err(RelError::Parse(format!(
+                "unexpected token {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "EOF".into())
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Parse a single-query statement.
+    fn parse_one(sql: &str) -> RelResult<Query> {
+        parse(sql).map(|mut s| s.queries.remove(0))
+    }
+
+    #[test]
+    fn parses_figure4_neighbors_query() {
+        let q = parse_one(
+            "select c1.query as query1, c2.query as query2, distance \
+             from graph \
+             inner join communities c1 on c1.query = graph.query2 \
+             inner join communities c2 on c2.query = graph.query1 \
+             where ModulGain(c1.query, c2.query) > 0;",
+        )
+        .unwrap();
+        assert_eq!(q.items.len(), 3);
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.from.name, "graph");
+        assert_eq!(q.joins[0].table.alias.as_deref(), Some("c1"));
+        assert!(q.where_clause.is_some());
+    }
+
+    #[test]
+    fn parses_figure4_partitions_query() {
+        let q = parse_one(
+            "select query2, argmax(distance, query1) as comm \
+             from neighbors group by query2",
+        )
+        .unwrap();
+        assert_eq!(q.group_by.len(), 1);
+        match &q.items[1] {
+            SelectItem::Expr { expr, alias } => {
+                assert_eq!(alias.as_deref(), Some("comm"));
+                assert!(matches!(expr, AstExpr::Call { name, args, .. }
+                    if name == "argmax" && args.len() == 2));
+            }
+            _ => panic!("expected expression item"),
+        }
+    }
+
+    #[test]
+    fn parses_count_star_order_limit() {
+        let q = parse_one(
+            "select comm_name, count(*) as n from communities \
+             group by comm_name order by n desc, comm_name limit 10",
+        )
+        .unwrap();
+        assert_eq!(q.order_by.len(), 2);
+        assert!(!q.order_by[0].ascending);
+        assert!(q.order_by[1].ascending);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let q = parse_one("select a + b * 2 from t where x > 1 and y < 2 or z = 3").unwrap();
+        // a + (b*2)
+        match &q.items[0] {
+            SelectItem::Expr { expr, .. } => match expr {
+                AstExpr::Binary { op: BinOp::Add, right, .. } => {
+                    assert!(matches!(right.as_ref(), AstExpr::Binary { op: BinOp::Mul, .. }))
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            _ => panic!(),
+        }
+        // (x>1 AND y<2) OR z=3
+        match q.where_clause.as_ref().unwrap() {
+            AstExpr::Binary { op: BinOp::Or, left, .. } => {
+                assert!(matches!(left.as_ref(), AstExpr::Binary { op: BinOp::And, .. }))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let q = parse_one("select -3, -2.5 from t").unwrap();
+        assert_eq!(
+            q.items[0],
+            SelectItem::Expr {
+                expr: AstExpr::Lit(Value::Int(-3)),
+                alias: None
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_tokens_and_bad_limit() {
+        assert!(parse_one("select a from t extra garbage ,").is_err());
+        assert!(parse_one("select a from t limit x").is_err());
+        assert!(parse_one("select from t").is_err());
+    }
+
+    #[test]
+    fn select_star_and_distinct() {
+        let q = parse_one("select distinct * from graph").unwrap();
+        assert!(q.distinct);
+        assert_eq!(q.items, vec![SelectItem::Star]);
+    }
+}
+
+#[cfg(test)]
+mod union_tests {
+    use super::*;
+
+    #[test]
+    fn union_all_chains_queries() {
+        let s = parse("select a from t union all select a from u union all select a from v")
+            .unwrap();
+        assert_eq!(s.queries.len(), 3);
+        assert_eq!(s.queries[1].from.name, "u");
+    }
+
+    #[test]
+    fn bare_union_is_rejected() {
+        assert!(parse("select a from t union select a from u").is_err());
+    }
+}

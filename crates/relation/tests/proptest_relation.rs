@@ -1,0 +1,172 @@
+//! Property-based tests of the relational operators against naive models.
+
+use esharp_relation::ops::{aggregate, distinct, hash_join, limit, sort, AggFunc, AggSpec, JoinSide, SortKey};
+use esharp_relation::exec::{hash_partition, Cluster, JoinStrategy};
+use esharp_relation::{Catalog, DataType, ExecContext, Expr, Schema, Table, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A random two-column table: small integer key, arbitrary value.
+fn arb_table(max_rows: usize) -> impl Strategy<Value = Table> {
+    prop::collection::vec((0i64..8, -100i64..100), 0..max_rows).prop_map(|rows| {
+        let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]);
+        Table::from_rows(
+            schema,
+            rows.into_iter()
+                .map(|(k, v)| vec![Value::Int(k), Value::Int(v)])
+                .collect(),
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn filter_returns_subset_and_matches_model(t in arb_table(60), threshold in -100i64..100) {
+        let ctx = ExecContext::new(Catalog::new());
+        let pred = Expr::col("v").ge(Expr::lit(threshold)).compile(t.schema(), &ctx.udfs).unwrap();
+        let out = esharp_relation::ops::filter(&t, &pred).unwrap();
+        let expected = t
+            .iter_rows()
+            .filter(|r| r[1].as_int().unwrap() >= threshold)
+            .count();
+        prop_assert_eq!(out.num_rows(), expected);
+        for row in out.iter_rows() {
+            prop_assert!(row[1].as_int().unwrap() >= threshold);
+        }
+    }
+
+    #[test]
+    fn join_row_count_matches_key_multiplicity_product(
+        l in arb_table(40),
+        r in arb_table(40),
+    ) {
+        let out = hash_join(&l, &r, &[0], &[0], JoinSide::BuildRight).unwrap();
+        let mut left_counts: HashMap<i64, usize> = HashMap::new();
+        for row in l.iter_rows() {
+            *left_counts.entry(row[0].as_int().unwrap()).or_insert(0) += 1;
+        }
+        let mut expected = 0usize;
+        for row in r.iter_rows() {
+            expected += left_counts.get(&row[0].as_int().unwrap()).copied().unwrap_or(0);
+        }
+        prop_assert_eq!(out.num_rows(), expected);
+    }
+
+    #[test]
+    fn join_is_build_side_invariant(l in arb_table(30), r in arb_table(30)) {
+        let a = hash_join(&l, &r, &[0], &[0], JoinSide::BuildRight).unwrap();
+        let b = hash_join(&l, &r, &[0], &[0], JoinSide::BuildLeft).unwrap();
+        prop_assert_eq!(a.sorted_rows(), b.sorted_rows());
+    }
+
+    #[test]
+    fn parallel_join_matches_serial_for_all_strategies(
+        l in arb_table(50),
+        r in arb_table(50),
+        workers in 2usize..6,
+    ) {
+        let serial = hash_join(&l, &r, &[0], &[0], JoinSide::BuildRight).unwrap();
+        for strategy in [JoinStrategy::Broadcast, JoinStrategy::CoPartitioned] {
+            let par = Cluster::new(workers).join(&l, &r, &[0], &[0], strategy).unwrap();
+            prop_assert_eq!(serial.sorted_rows(), par.sorted_rows());
+        }
+    }
+
+    #[test]
+    fn aggregate_sum_count_match_model(t in arb_table(80)) {
+        let out = aggregate(
+            &t,
+            &[0],
+            &[AggSpec::count("n"), AggSpec::on(AggFunc::Sum, 1, "s")],
+        )
+        .unwrap();
+        let mut model: HashMap<i64, (i64, i64)> = HashMap::new();
+        for row in t.iter_rows() {
+            let e = model.entry(row[0].as_int().unwrap()).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += row[1].as_int().unwrap();
+        }
+        prop_assert_eq!(out.num_rows(), model.len());
+        for row in out.iter_rows() {
+            let (n, s) = model[&row[0].as_int().unwrap()];
+            prop_assert_eq!(row[1].as_int().unwrap(), n);
+            prop_assert_eq!(row[2].as_int().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn parallel_aggregate_matches_serial(t in arb_table(80), workers in 2usize..6) {
+        let aggs = [
+            AggSpec::count("n"),
+            AggSpec::on(AggFunc::Min, 1, "mn"),
+            AggSpec::on(AggFunc::Max, 1, "mx"),
+            AggSpec::argmax(1, 1, "am"),
+        ];
+        let serial = aggregate(&t, &[0], &aggs).unwrap();
+        let par = Cluster::new(workers).aggregate(&t, &[0], &aggs).unwrap();
+        prop_assert_eq!(serial.sorted_rows(), par.sorted_rows());
+    }
+
+    #[test]
+    fn sort_is_an_ordered_permutation(t in arb_table(50)) {
+        let out = sort(&t, &[SortKey::asc(1), SortKey::asc(0)]).unwrap();
+        prop_assert_eq!(out.num_rows(), t.num_rows());
+        prop_assert_eq!(out.sorted_rows(), t.sorted_rows());
+        let values: Vec<i64> = out.iter_rows().map(|r| r[1].as_int().unwrap()).collect();
+        for pair in values.windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+    }
+
+    #[test]
+    fn distinct_then_distinct_is_idempotent(t in arb_table(50)) {
+        let once = distinct(&t).unwrap();
+        let twice = distinct(&once).unwrap();
+        prop_assert_eq!(once.sorted_rows(), twice.sorted_rows());
+        prop_assert!(once.num_rows() <= t.num_rows());
+    }
+
+    #[test]
+    fn limit_never_exceeds(t in arb_table(40), n in 0usize..60) {
+        let out = limit(&t, n).unwrap();
+        prop_assert_eq!(out.num_rows(), n.min(t.num_rows()));
+    }
+
+    #[test]
+    fn hash_partition_is_a_colocated_partition(t in arb_table(60), parts in 1usize..6) {
+        let partitions = hash_partition(&t, &[0], parts);
+        prop_assert_eq!(partitions.len(), parts);
+        let total: usize = partitions.iter().map(Table::num_rows).sum();
+        prop_assert_eq!(total, t.num_rows());
+        // Each key appears in exactly one partition.
+        for key in 0i64..8 {
+            let holders = partitions
+                .iter()
+                .filter(|p| p.iter_rows().any(|r| r[0] == Value::Int(key)))
+                .count();
+            prop_assert!(holders <= 1);
+        }
+    }
+
+    #[test]
+    fn sql_where_group_matches_operators(t in arb_table(60), threshold in -100i64..100) {
+        let catalog = Catalog::new();
+        catalog.register("t", t.clone());
+        let ctx = ExecContext::new(catalog);
+        let sql = format!(
+            "select k, count(*) as n, sum(v) as s from t where v >= {threshold} group by k"
+        );
+        let via_sql = esharp_relation::run_sql(&sql, &ctx).unwrap();
+
+        let pred = Expr::col("v").ge(Expr::lit(threshold)).compile(t.schema(), &ctx.udfs).unwrap();
+        let filtered = esharp_relation::ops::filter(&t, &pred).unwrap();
+        let via_ops = aggregate(
+            &filtered,
+            &[0],
+            &[AggSpec::count("n"), AggSpec::on(AggFunc::Sum, 1, "s")],
+        )
+        .unwrap();
+        prop_assert_eq!(via_sql.sorted_rows(), via_ops.sorted_rows());
+    }
+}

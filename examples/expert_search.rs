@@ -1,0 +1,69 @@
+//! The paper's motivating scenario (§1): searching Twitter-like data for
+//! American-football expertise. Compares the Pal & Counts baseline with
+//! e# on the showcase queries and reports what expansion recovered —
+//! including experts hidden behind surface variants like `niners`.
+//!
+//! ```sh
+//! cargo run --example expert_search
+//! ```
+
+use esharp_eval::{Crowd, EvalScale, Testbed};
+
+fn main() {
+    let tb = Testbed::build(EvalScale::Small, 49);
+    let queries = [
+        "49ers",
+        "49ers draft",
+        "niners",
+        "bluetooth speakers",
+        "dow futures",
+        "diabetes",
+        "world war i",
+        "sarah palin",
+    ];
+
+    println!(
+        "{:<20} {:>9} {:>9} {:>10} {:>10}  expansion",
+        "query", "base hits", "e# hits", "base prec", "e# prec"
+    );
+    for query in queries {
+        let baseline = tb.esharp.search_baseline(&tb.corpus, query);
+        let expanded = tb.esharp.search(&tb.corpus, query);
+        let precision = |experts: &[esharp_expert::ExpertResult]| {
+            if experts.is_empty() {
+                return f64::NAN;
+            }
+            let relevant = experts
+                .iter()
+                .filter(|e| Crowd::ground_truth(&tb.world, &tb.corpus, query, e.user))
+                .count();
+            relevant as f64 / experts.len() as f64
+        };
+        println!(
+            "{:<20} {:>9} {:>9} {:>10.2} {:>10.2}  {}",
+            query,
+            baseline.experts.len(),
+            expanded.experts.len(),
+            precision(&baseline.experts),
+            precision(&expanded.experts),
+            if expanded.expansion.len() > 1 {
+                format!("+{} related terms", expanded.expansion.len() - 1)
+            } else {
+                "(none)".to_string()
+            }
+        );
+    }
+
+    // Show who expansion recovered for the flagship query.
+    let query = "49ers";
+    let baseline = tb.esharp.search_baseline(&tb.corpus, query);
+    let expanded = tb.esharp.search(&tb.corpus, query);
+    let baseline_users: Vec<u32> = baseline.experts.iter().map(|e| e.user).collect();
+    println!("\nexperts only e# finds for {query:?}:");
+    for e in &expanded.experts {
+        if !baseline_users.contains(&e.user) {
+            let u = tb.corpus.user(e.user);
+            println!("  @{:<24} {}", u.handle, u.description);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Inspect the offline stage: convergence (Figure 5), community sizes
+//! (Figure 6), and the communities around "49ers" (Figure 7).
+//!
+//! ```sh
+//! cargo run --release --example offline_pipeline
+//! ```
+
+use esharp_eval::experiments::figures;
+use esharp_eval::{EvalScale, Testbed};
+
+fn main() {
+    let tb = Testbed::build(EvalScale::Small, 7);
+
+    println!("{}", figures::fig5(&tb).render());
+    println!("{}", figures::fig6(&tb).render());
+    match figures::fig7(&tb, "49ers", 3) {
+        Some(fig7) => println!("{}", fig7.render()),
+        None => println!("'49ers' did not survive the support filter at this scale"),
+    }
+
+    println!("== Stage statistics (Table 9 shape) ==");
+    for stage in &tb.artifacts.stages {
+        println!("{stage}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: build e# end to end on a small synthetic world and search
+//! for experts.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use esharp_core::{run_offline, Esharp, EsharpConfig};
+use esharp_microblog::{generate_corpus, CorpusConfig};
+use esharp_querylog::{AggregatedLog, LogConfig, LogGenerator, World, WorldConfig};
+
+fn main() {
+    // 1. Ground truth world (stands in for reality): topics, keyword
+    //    variants, URLs. Includes the paper's running examples.
+    let world = World::generate(&WorldConfig::tiny(2016));
+    println!(
+        "world: {} domains, {} terms, {} urls",
+        world.num_domains(),
+        world.terms.len(),
+        world.urls.len()
+    );
+
+    // 2. Offline: synthetic search log → similarity graph → communities →
+    //    domain collection (Figure 1, left).
+    let events = LogGenerator::new(&world, &LogConfig::tiny(2016));
+    let log = AggregatedLog::from_events(events, world.terms.len());
+    let config = EsharpConfig::tiny();
+    let artifacts = run_offline(&log, &world, &config).expect("offline pipeline");
+    println!(
+        "offline: {} graph nodes, {} edges, {} expertise domains ({} clustering iterations)",
+        artifacts.graph.num_nodes(),
+        artifacts.graph.num_edges(),
+        artifacts.domains.len(),
+        artifacts.outcome.iterations(),
+    );
+
+    // 3. Online: microblog corpus → expert search with query expansion
+    //    (Figure 1, right).
+    let corpus = generate_corpus(&world, &CorpusConfig::tiny(2016));
+    let esharp = Esharp::new(artifacts.domains, config);
+
+    let query = "49ers";
+    let baseline = esharp.search_baseline(&corpus, query);
+    let expanded = esharp.search(&corpus, query);
+    println!("\nquery: {query:?}");
+    println!("expansion: {:?}", expanded.expansion);
+    println!(
+        "baseline matched {} tweets → {} experts; e# matched {} tweets → {} experts",
+        baseline.matched_tweets,
+        baseline.experts.len(),
+        expanded.matched_tweets,
+        expanded.experts.len()
+    );
+    println!("\ntop e# experts:");
+    for result in expanded.experts.iter().take(5) {
+        let user = corpus.user(result.user);
+        println!(
+            "  @{:<24} score {:+.2}  (TS {:.2} MI {:.2} RI {:.2})  {} followers — {}",
+            user.handle,
+            result.score,
+            result.features.ts,
+            result.features.mi,
+            result.features.ri,
+            user.followers,
+            user.description
+        );
+    }
+}

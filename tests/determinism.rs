@@ -1,0 +1,47 @@
+//! Everything in the pipeline is seeded; two builds with the same seeds
+//! must agree bit for bit, and different seeds must actually differ.
+
+use esharp_eval::{EvalScale, Testbed};
+
+#[test]
+fn same_seed_same_world_same_results() {
+    let a = Testbed::build(EvalScale::Tiny, 301);
+    let b = Testbed::build(EvalScale::Tiny, 301);
+
+    assert_eq!(a.world.terms.len(), b.world.terms.len());
+    assert_eq!(a.log.records, b.log.records);
+    assert_eq!(
+        a.artifacts.outcome.assignment, b.artifacts.outcome.assignment,
+        "clustering diverged across identical builds"
+    );
+    assert_eq!(a.artifacts.outcome.trace, b.artifacts.outcome.trace);
+    assert_eq!(a.esharp.domains().len(), b.esharp.domains().len());
+
+    for query in ["49ers", "diabetes", "dow futures", "football"] {
+        let ra = a.esharp.search(&a.corpus, query);
+        let rb = b.esharp.search(&b.corpus, query);
+        assert_eq!(ra.expansion, rb.expansion, "{query}: expansions differ");
+        assert_eq!(ra.experts, rb.experts, "{query}: rankings differ");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = Testbed::build(EvalScale::Tiny, 303);
+    let b = Testbed::build(EvalScale::Tiny, 304);
+    // Generated vocabulary differs (showcase terms are shared by design).
+    let a_terms: Vec<&String> = a.world.terms.iter().map(|t| &t.text).collect();
+    let b_terms: Vec<&String> = b.world.terms.iter().map(|t| &t.text).collect();
+    assert_ne!(a_terms, b_terms);
+}
+
+#[test]
+fn repeated_searches_are_stable() {
+    let tb = Testbed::build(EvalScale::Tiny, 305);
+    let first = tb.esharp.search(&tb.corpus, "49ers");
+    for _ in 0..5 {
+        let again = tb.esharp.search(&tb.corpus, "49ers");
+        assert_eq!(first.experts, again.experts);
+        assert_eq!(first.matched_tweets, again.matched_tweets);
+    }
+}

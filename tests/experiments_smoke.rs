@@ -1,0 +1,170 @@
+//! Every experiment module runs end to end at Tiny scale and produces
+//! structurally sane, renderable output.
+
+use esharp_eval::experiments::{ablation, figures, recall_precision, runs, tables};
+use esharp_eval::{CrowdConfig, EvalScale, Testbed};
+
+fn testbed() -> Testbed {
+    Testbed::build(EvalScale::Tiny, 401)
+}
+
+#[test]
+fn fig5_fig6_fig7_produce_paper_shapes() {
+    let tb = testbed();
+
+    let f5 = figures::fig5(&tb);
+    assert!(f5.points.len() >= 2);
+    assert!(f5.points[0].1 >= f5.points.last().unwrap().1);
+    assert!(f5.render().contains("Figure 5"));
+
+    let f6 = figures::fig6(&tb);
+    assert_eq!(
+        f6.histogram.total(),
+        tb.artifacts.outcome.assignment.num_communities()
+    );
+    let share_sum: f64 = f6.shares.iter().sum();
+    assert!((share_sum - 1.0).abs() < 1e-9);
+    assert!(f6.render().contains("2 to 10"));
+
+    let f7 = figures::fig7(&tb, "49ers", 3).expect("49ers must be clustered");
+    assert!(f7.seed.members.iter().any(|m| m == "49ers"));
+    assert!(!f7.neighbors.is_empty());
+    assert!(f7.render().contains("49ers"));
+}
+
+#[test]
+fn table1_and_examples_render() {
+    let tb = testbed();
+    let t1 = tables::table1(&tb);
+    assert_eq!(t1.sets.len(), 6);
+    assert!(t1.render().contains("Top 250"));
+
+    let examples = tables::example_tables(&tb, 3);
+    assert_eq!(examples.entries.len(), 6);
+    let rendered = examples.render();
+    assert!(rendered.contains("49ers"));
+    assert!(rendered.contains("e#"));
+}
+
+#[test]
+fn table8_and_fig8_are_consistent() {
+    let tb = testbed();
+    let set_runs = runs::run_all_sets(&tb);
+    let t8 = tables::table8(&set_runs);
+    assert_eq!(t8.rows.len(), 6);
+    for row in &t8.rows {
+        assert!((0.0..=1.0).contains(&row.baseline));
+        assert!((0.0..=1.0).contains(&row.esharp));
+        assert!(row.esharp >= row.baseline - 1e-12, "{row:?}");
+    }
+
+    let f8 = recall_precision::fig8(&set_runs);
+    for (set, baseline, esharp) in &f8.curves {
+        assert_eq!(baseline.len(), 15);
+        // Coverage (n=1 point of the curve) must match Table 8.
+        let row = t8.rows.iter().find(|r| &r.set == set).unwrap();
+        assert!((baseline[1] / 100.0 - row.baseline).abs() < 1e-9);
+        assert!((esharp[1] / 100.0 - row.esharp).abs() < 1e-9);
+        // Curves are non-increasing in n and e# dominates the baseline.
+        for pair in esharp.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        for (b, e) in baseline.iter().zip(esharp) {
+            assert!(e >= b, "{set}: e# curve dips below the baseline");
+        }
+    }
+}
+
+#[test]
+fn fig9_threshold_sweep_is_monotone() {
+    let tb = testbed();
+    let f9 = recall_precision::fig9(&tb);
+    assert!(f9.points.len() >= 10);
+    for pair in f9.points.windows(2) {
+        assert!(pair[1].1 <= pair[0].1 + 1e-9, "baseline not monotone");
+        assert!(pair[1].2 <= pair[0].2 + 1e-9, "e# not monotone");
+    }
+    // e# dominates at the loose end of the sweep and on average. (At high
+    // thresholds both curves approach zero and may cross: expansion grows
+    // the candidate pool the z-scores are normalized over.)
+    let first = f9.points.first().unwrap();
+    assert!(first.2 >= first.1 - 1e-9, "e# below baseline at z=0");
+    let mean_baseline: f64 =
+        f9.points.iter().map(|p| p.1).sum::<f64>() / f9.points.len() as f64;
+    let mean_esharp: f64 =
+        f9.points.iter().map(|p| p.2).sum::<f64>() / f9.points.len() as f64;
+    assert!(mean_esharp >= mean_baseline - 1e-9);
+    assert!(f9.render().contains("Figure 9"));
+}
+
+#[test]
+fn fig10_impurity_is_bounded_and_close_between_algorithms() {
+    let tb = testbed();
+    let f10 = recall_precision::fig10(&tb, &CrowdConfig::default());
+    assert_eq!(f10.curves.len(), 6);
+    let mut gaps = Vec::new();
+    for (_, baseline, esharp) in &f10.curves {
+        for &(avg, impurity) in baseline.iter().chain(esharp) {
+            assert!(avg >= 0.0);
+            assert!((0.0..=1.0).contains(&impurity));
+        }
+        // Compare impurity at the loosest threshold (first point).
+        if let (Some(b), Some(e)) = (baseline.first(), esharp.first()) {
+            gaps.push((e.1 - b.1).abs());
+        }
+    }
+    // "The difference between the algorithms is very subtle": mean gap
+    // bounded.
+    let mean_gap: f64 = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    assert!(mean_gap < 0.3, "impurity gap too large: {mean_gap}");
+}
+
+#[test]
+fn table9_reports_all_stages() {
+    let tb = testbed();
+    let queries: Vec<String> = tables::SHOWCASE_QUERIES.iter().map(|s| s.to_string()).collect();
+    let t9 = tables::table9(&tb, &queries);
+    assert_eq!(t9.offline.len(), 2);
+    assert_eq!(t9.offline[0].0, "extraction");
+    assert_eq!(t9.offline[1].0, "clustering");
+    // Table 9 ordering: raw log in ≫ graph out; expansion ≪ detection is
+    // not guaranteed at tiny scale, but both are interactive.
+    assert!(t9.offline[0].3 > t9.offline[0].4);
+    assert!(t9.expansion_avg.as_millis() < 100);
+    assert!(t9.detection_avg.as_secs() < 1);
+    assert!(t9.render().contains("Table 9"));
+}
+
+#[test]
+fn ablations_run() {
+    let tb = testbed();
+    let scores = ablation::backend_comparison(&tb);
+    assert_eq!(scores.len(), 5);
+    let sql = scores.iter().find(|s| s.backend == "Sql").unwrap();
+    let parallel = scores.iter().find(|s| s.backend == "Parallel").unwrap();
+    assert!((sql.nmi - parallel.nmi).abs() < 1e-9, "SQL ≠ native quality");
+    for s in &scores {
+        assert!((0.0..=1.0).contains(&s.nmi), "{s:?}");
+        assert!(s.communities > 0);
+    }
+    assert!(ablation::render_backend_comparison(&scores).contains("NMI"));
+
+    let queries: Vec<String> = tables::SHOWCASE_QUERIES.iter().map(|s| s.to_string()).collect();
+    let filter = ablation::filter_ablation(&tb, &queries);
+    assert!(
+        filter.experts_with <= filter.experts_without,
+        "the precision filter must not increase recall"
+    );
+    assert!(ablation::render_filter_ablation(&filter).contains("filter"));
+
+    let support = ablation::support_ablation(&tb, &[1, 10, 40]);
+    assert_eq!(support.len(), 3);
+    for pair in support.windows(2) {
+        assert!(
+            pair[1].queries_kept <= pair[0].queries_kept,
+            "higher support must not keep more queries"
+        );
+        assert!(pair[1].graph_edges <= pair[0].graph_edges);
+    }
+    assert!(ablation::render_support_ablation(&support).contains("Min support"));
+}

@@ -1,0 +1,69 @@
+//! The §7.1 pluggability claim: e# "can work with any Expertise Retrieval
+//! system". Swap the ranking strategy behind the expansion and verify the
+//! seam behaves.
+
+use esharp_core::{ExpertiseRetriever, FrequencyRetriever, PalCountsRetriever};
+use esharp_eval::{Crowd, EvalScale, Testbed};
+
+#[test]
+fn default_search_equals_pal_counts_through_the_seam() {
+    let tb = Testbed::build(EvalScale::Tiny, 701);
+    let retriever = PalCountsRetriever::new(tb.config.detector.clone());
+    for query in ["49ers", "diabetes", "football"] {
+        let via_seam = tb.esharp.search_with(&tb.corpus, query, &retriever);
+        let direct = tb.esharp.search(&tb.corpus, query);
+        assert_eq!(via_seam.experts, direct.experts, "{query}");
+        assert_eq!(via_seam.matched_tweets, direct.matched_tweets);
+    }
+}
+
+#[test]
+fn frequency_retriever_plugs_in_but_ranks_worse() {
+    let tb = Testbed::build(EvalScale::Small, 703);
+    let pal = PalCountsRetriever::new(tb.config.detector.clone());
+    let freq = FrequencyRetriever::default();
+
+    let queries = ["49ers", "diabetes", "dow futures", "bluetooth speakers"];
+    let mut pal_rel = 0usize;
+    let mut pal_tot = 0usize;
+    let mut freq_rel = 0usize;
+    let mut freq_tot = 0usize;
+    for query in queries {
+        let a = tb.esharp.search_with(&tb.corpus, query, &pal);
+        let b = tb.esharp.search_with(&tb.corpus, query, &freq);
+        // Same expansion and match set — only the ranking differs.
+        assert_eq!(a.expansion, b.expansion);
+        assert_eq!(a.matched_tweets, b.matched_tweets);
+        for e in &a.experts {
+            pal_tot += 1;
+            if Crowd::ground_truth(&tb.world, &tb.corpus, query, e.user) {
+                pal_rel += 1;
+            }
+        }
+        for e in &b.experts {
+            freq_tot += 1;
+            if Crowd::ground_truth(&tb.world, &tb.corpus, query, e.user) {
+                freq_rel += 1;
+            }
+        }
+    }
+    let pal_precision = pal_rel as f64 / pal_tot.max(1) as f64;
+    let freq_precision = freq_rel as f64 / freq_tot.max(1) as f64;
+    // The specialization-aware detector should beat raw volume; allow a
+    // tie, never a collapse of the seam itself.
+    assert!(
+        pal_precision >= freq_precision - 0.05,
+        "Pal&Counts {pal_precision:.2} vs frequency {freq_precision:.2}"
+    );
+    assert!(freq_tot > 0, "frequency retriever returned nothing at all");
+}
+
+#[test]
+fn retriever_names_are_stable_identifiers() {
+    let retrievers: Vec<Box<dyn ExpertiseRetriever>> = vec![
+        Box::new(PalCountsRetriever::default()),
+        Box::new(FrequencyRetriever::default()),
+    ];
+    let names: Vec<&str> = retrievers.iter().map(|r| r.name()).collect();
+    assert_eq!(names, vec!["pal-counts", "frequency"]);
+}

@@ -1,0 +1,121 @@
+//! The paper's central engineering claim is that the offline pipeline is
+//! expressible in a SQL-like declarative language (§4.2.2). These tests
+//! run pieces of the pipeline *as SQL* on the bundled engine and compare
+//! against the native implementations.
+
+use esharp_graph::relation_io::{graph_to_table, log_to_table};
+use esharp_querylog::{AggregatedLog, LogConfig, LogGenerator, World, WorldConfig};
+use esharp_relation::{run_sql, Catalog, ExecContext, Value};
+
+fn inputs() -> (World, AggregatedLog) {
+    let world = World::generate(&WorldConfig::tiny(501));
+    let log = AggregatedLog::from_events(
+        LogGenerator::new(&world, &LogConfig::tiny(501)),
+        world.terms.len(),
+    );
+    (world, log)
+}
+
+#[test]
+fn support_filter_in_sql_matches_native() {
+    let (world, log) = inputs();
+    let min_support = 25u64;
+
+    // Native path (§4.1).
+    let (filtered, _) = log.filter_min_support(min_support);
+    let native = log_to_table(&filtered, &world).unwrap();
+
+    // SQL path: HAVING on the per-query click total, then re-join to keep
+    // the surviving (query, url, clicks) rows.
+    let catalog = Catalog::new();
+    catalog.register("log", log_to_table(&log, &world).unwrap());
+    let ctx = ExecContext::new(catalog);
+    let totals = run_sql(
+        &format!(
+            "select query, sum(clicks) as total from log group by query \
+             having total >= {min_support}"
+        ),
+        &ctx,
+    )
+    .unwrap();
+    ctx.catalog.register("qualifying", totals);
+    let via_sql = run_sql(
+        "select l.query as query, l.url as url, l.clicks as clicks \
+         from log l inner join qualifying q on q.query = l.query",
+        &ctx,
+    )
+    .unwrap();
+
+    assert_eq!(native.sorted_rows(), via_sql.sorted_rows());
+}
+
+#[test]
+fn vocabulary_statistics_via_sql() {
+    let (world, log) = inputs();
+    let catalog = Catalog::new();
+    catalog.register("log", log_to_table(&log, &world).unwrap());
+    let ctx = ExecContext::new(catalog);
+
+    // Distinct queries via SQL == native count.
+    let queries = run_sql("select distinct query from log", &ctx).unwrap();
+    assert_eq!(queries.num_rows(), log.num_terms());
+
+    // Total clicks via SQL == raw event count.
+    let totals = run_sql("select query, sum(clicks) as total from log group by query", &ctx)
+        .unwrap();
+    let sql_total: i64 = totals
+        .iter_rows()
+        .map(|r| r[1].as_int().unwrap())
+        .sum();
+    assert_eq!(sql_total as u64, log.raw_events);
+}
+
+#[test]
+fn graph_table_top_neighbors_match_graph_structure() {
+    let (world, log) = inputs();
+    let (filtered, _) = log.filter_min_support(10);
+    let (graph, _) = esharp_graph::build_graph(&filtered, &world, &Default::default());
+    let catalog = Catalog::new();
+    catalog.register("graph", graph_to_table(&graph).unwrap());
+    let ctx = ExecContext::new(catalog);
+
+    // For the 49ers node: the SQL top-neighbor equals the CSR max-weight
+    // neighbor.
+    let Some(node) = graph.node_by_label("49ers") else {
+        panic!("49ers not in graph");
+    };
+    let best_native = graph
+        .neighbors(node)
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+        .map(|&(v, _)| graph.label(v).to_string())
+        .expect("49ers has neighbors");
+    let out = run_sql(
+        "select query2, distance from graph where query1 = '49ers' \
+         order by distance desc, query2 limit 1",
+        &ctx,
+    )
+    .unwrap();
+    assert_eq!(out.row(0)[0], Value::str(&best_native));
+}
+
+#[test]
+fn union_all_reassembles_partitioned_tables() {
+    let (world, log) = inputs();
+    let catalog = Catalog::new();
+    let table = log_to_table(&log, &world).unwrap();
+    let parts = esharp_relation::exec::hash_partition(&table, &[0], 3);
+    catalog.register("p0", parts[0].clone());
+    catalog.register("p1", parts[1].clone());
+    catalog.register("p2", parts[2].clone());
+    catalog.register("whole", table.clone());
+    let ctx = ExecContext::new(catalog);
+    let reassembled = run_sql(
+        "select query, url, clicks from p0 union all \
+         select query, url, clicks from p1 union all \
+         select query, url, clicks from p2",
+        &ctx,
+    )
+    .unwrap();
+    assert_eq!(reassembled.sorted_rows(), table.sorted_rows());
+}
