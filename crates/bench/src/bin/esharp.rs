@@ -15,6 +15,11 @@
 //! esharp sql "<select …>" [--scale …] [--seed N]
 //!     Run SQL against the pipeline tables (log, graph, communities) on
 //!     the bundled engine; prints EXPLAIN and the result.
+//!
+//! esharp bench [--json] [--seed N] [--events N] [--out DIR]
+//!     Measure offline kernel throughput (graph build, clustering,
+//!     relational exec) at 1/2/4/8 workers; --json additionally writes
+//!     BENCH_offline.json.
 //! ```
 
 use esharp_eval::{EvalScale, Testbed};
@@ -33,9 +38,10 @@ fn main() {
         "search" => search(&opts),
         "inspect" => inspect(&opts),
         "sql" => sql(&opts),
+        "bench" => bench(&opts),
         "--help" | "-h" | "help" => {
-            println!("subcommands: build, search, inspect, sql");
-            println!("flags: --scale tiny|small|paper, --seed N, --out DIR, --baseline, --top K, -k N");
+            println!("subcommands: build, search, inspect, sql, bench");
+            println!("flags: --scale tiny|small|paper, --seed N, --out DIR, --baseline, --top K, -k N, --json, --events N");
         }
         other => {
             eprintln!("unknown subcommand {other:?}");
@@ -49,6 +55,8 @@ struct Options {
     seed: u64,
     out: Option<String>,
     baseline: bool,
+    json: bool,
+    events: u64,
     top: usize,
     k: usize,
     positional: Vec<String>,
@@ -61,6 +69,8 @@ impl Options {
             seed: 2016,
             out: None,
             baseline: false,
+            json: false,
+            events: 100_000,
             top: 5,
             k: 3,
             positional: Vec::new(),
@@ -82,6 +92,8 @@ impl Options {
                 "--seed" => opts.seed = next_num(&mut iter, "--seed"),
                 "--out" => opts.out = iter.next().cloned(),
                 "--baseline" => opts.baseline = true,
+                "--json" => opts.json = true,
+                "--events" => opts.events = next_num(&mut iter, "--events"),
                 "--top" => opts.top = next_num(&mut iter, "--top") as usize,
                 "-k" => opts.k = next_num(&mut iter, "-k") as usize,
                 other => opts.positional.push(other.to_string()),
@@ -178,6 +190,22 @@ fn inspect(opts: &Options) {
     match esharp_eval::experiments::figures::fig7(&tb, term, opts.k) {
         Some(fig) => println!("{}", fig.render()),
         None => println!("{term:?} is not a node of the similarity graph at this scale"),
+    }
+}
+
+fn bench(opts: &Options) {
+    eprintln!(
+        "measuring offline throughput ({} events, seed {})…",
+        opts.events, opts.seed
+    );
+    let workload = esharp_bench::offline::OfflineWorkload::generate(opts.events, opts.seed);
+    let report = workload.measure(&[1, 2, 4, 8]);
+    print!("{}", report.render_table());
+    if opts.json {
+        let dir = opts.out.as_deref().unwrap_or(".");
+        let path = format!("{dir}/BENCH_offline.json");
+        std::fs::write(&path, report.to_json()).expect("write BENCH_offline.json");
+        println!("wrote {path}");
     }
 }
 

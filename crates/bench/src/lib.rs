@@ -13,8 +13,13 @@
 //!   rows).
 //! * `pipeline_stages` — extraction and clustering wall time (Table 9's
 //!   offline rows).
+//! * `offline_throughput` — the three parallel offline kernels at
+//!   1/2/4/8 workers; `esharp bench --json` writes the same measurement
+//!   to `BENCH_offline.json` (see the [`offline`] module).
 
 #![warn(missing_docs)]
+
+pub mod offline;
 
 use esharp_graph::MultiGraph;
 use rand::rngs::StdRng;

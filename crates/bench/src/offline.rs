@@ -1,0 +1,443 @@
+//! Offline-pipeline throughput measurement — the data behind
+//! `esharp bench` and the committed `BENCH_offline.json` datapoints.
+//!
+//! Three kernels are timed at each requested worker count, mirroring the
+//! three offline hot paths (§4, Figure 1 left half):
+//!
+//! 1. **Graph build** — inverted-index pair accumulation with flat
+//!    per-worker buffers (nodes/sec, edges/sec).
+//! 2. **Clustering** — the 3-step parallel algorithm with dense
+//!    community accumulators (iterations/sec).
+//! 3. **Relational exec** — the communities⋈graph broadcast join plus a
+//!    grouped aggregation on the persistent `Cluster` pool (rows/sec).
+//!
+//! All three are deterministic in their outputs at any worker count, so
+//! the samples differ only in wall clock. The report additionally times a
+//! `HashMap`-entry reference implementation of the pair accumulation —
+//! the single-thread speedup of the flat path is meaningful even on a
+//! one-core host, where thread scaling is not (the JSON records
+//! `host_cpus` so readers can judge the scaling rows accordingly).
+
+use esharp_community::{cluster_parallel, ParallelConfig};
+use esharp_graph::relation_io::multigraph_to_table;
+use esharp_graph::{build_graph, GraphConfig, MultiGraph, SimilarityGraph};
+use esharp_querylog::{AggregatedLog, LogConfig, LogGenerator, World, WorldConfig};
+use esharp_relation::{Cluster, DataType, JoinStrategy, Schema, Table, TableBuilder, Value};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Measurements for one worker count.
+#[derive(Debug, Clone)]
+pub struct WorkerSample {
+    /// Worker threads used for all three kernels.
+    pub workers: usize,
+    /// Graph-build wall time in seconds.
+    pub graph_build_secs: f64,
+    /// Graph nodes produced per second.
+    pub nodes_per_sec: f64,
+    /// Graph edges produced per second.
+    pub edges_per_sec: f64,
+    /// Clustering wall time in seconds.
+    pub cluster_secs: f64,
+    /// Clustering iterations per second.
+    pub iters_per_sec: f64,
+    /// Join + aggregation wall time in seconds.
+    pub relation_secs: f64,
+    /// Joined rows processed per second.
+    pub relation_rows_per_sec: f64,
+}
+
+/// A full offline-throughput report, serializable to JSON without any
+/// external dependency (see [`OfflineBenchReport::to_json`]).
+#[derive(Debug, Clone)]
+pub struct OfflineBenchReport {
+    /// Logical CPUs of the measuring host — scaling rows are only
+    /// meaningful when this exceeds the worker count.
+    pub host_cpus: usize,
+    /// Raw log events the workload was generated from.
+    pub events: u64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Nodes of the similarity graph under measurement.
+    pub graph_nodes: usize,
+    /// Edges of the similarity graph under measurement.
+    pub graph_edges: usize,
+    /// Wall seconds of the `HashMap`-entry reference accumulator
+    /// (single-threaded).
+    pub hashmap_reference_secs: f64,
+    /// Wall seconds of the flat-buffer accumulator at workers = 1.
+    pub flat_accumulator_secs: f64,
+    /// `hashmap_reference_secs / flat_accumulator_secs` — the
+    /// implementation speedup independent of thread scaling.
+    pub flat_vs_hashmap_speedup: f64,
+    /// One row per measured worker count.
+    pub samples: Vec<WorkerSample>,
+}
+
+impl OfflineBenchReport {
+    /// Render the report as a stable, human-diffable JSON document.
+    /// Hand-rolled so the bench binary works without a JSON crate.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"offline_throughput\",\n");
+        out.push_str(&format!("  \"host_cpus\": {},\n", self.host_cpus));
+        out.push_str(&format!("  \"events\": {},\n", self.events));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"graph_nodes\": {},\n", self.graph_nodes));
+        out.push_str(&format!("  \"graph_edges\": {},\n", self.graph_edges));
+        out.push_str(&format!(
+            "  \"hashmap_reference_secs\": {:.6},\n",
+            self.hashmap_reference_secs
+        ));
+        out.push_str(&format!(
+            "  \"flat_accumulator_secs\": {:.6},\n",
+            self.flat_accumulator_secs
+        ));
+        out.push_str(&format!(
+            "  \"flat_vs_hashmap_speedup\": {:.3},\n",
+            self.flat_vs_hashmap_speedup
+        ));
+        out.push_str("  \"samples\": [\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workers\": {}, \"graph_build_secs\": {:.6}, \"nodes_per_sec\": {:.1}, \
+                 \"edges_per_sec\": {:.1}, \"cluster_secs\": {:.6}, \"iters_per_sec\": {:.3}, \
+                 \"relation_secs\": {:.6}, \"relation_rows_per_sec\": {:.1}}}{}\n",
+                s.workers,
+                s.graph_build_secs,
+                s.nodes_per_sec,
+                s.edges_per_sec,
+                s.cluster_secs,
+                s.iters_per_sec,
+                s.relation_secs,
+                s.relation_rows_per_sec,
+                if i + 1 < self.samples.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// One row per sample, formatted for terminal output.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "offline throughput — {} events, {} nodes / {} edges, host_cpus={}\n",
+            self.events, self.graph_nodes, self.graph_edges, self.host_cpus
+        ));
+        out.push_str(&format!(
+            "flat vs HashMap accumulator (1 thread): {:.2}x ({:.1} ms → {:.1} ms)\n",
+            self.flat_vs_hashmap_speedup,
+            self.hashmap_reference_secs * 1e3,
+            self.flat_accumulator_secs * 1e3
+        ));
+        out.push_str(
+            "workers  nodes/s      edges/s      iters/s   join rows/s\n",
+        );
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{:>7}  {:>11.0}  {:>11.0}  {:>8.2}  {:>12.0}\n",
+                s.workers, s.nodes_per_sec, s.edges_per_sec, s.iters_per_sec, s.relation_rows_per_sec
+            ));
+        }
+        out
+    }
+}
+
+/// The fixed workload every sample runs against: one generated log plus
+/// the derived multigraph and relational tables, built once so the timed
+/// sections measure only the kernels.
+pub struct OfflineWorkload {
+    world: World,
+    filtered: AggregatedLog,
+    events: u64,
+    seed: u64,
+    multigraph: MultiGraph,
+    communities: Table,
+    graph_table: Table,
+}
+
+impl OfflineWorkload {
+    /// Generate the workload: a development-scale world (the `Small`
+    /// preset's vocabulary — large enough that the candidate-pair space
+    /// spills the cache, which is the regime the flat accumulator
+    /// targets) with `events` raw log events, support-filtered exactly
+    /// like the pipeline's extraction stage.
+    pub fn generate(events: u64, seed: u64) -> OfflineWorkload {
+        let world = World::generate(&WorldConfig {
+            domains_per_category: 15,
+            seed,
+            ..WorldConfig::default()
+        });
+        let log = AggregatedLog::from_events(
+            LogGenerator::new(
+                &world,
+                &LogConfig {
+                    events: events as usize,
+                    seed,
+                    ..LogConfig::default()
+                },
+            ),
+            world.terms.len(),
+        );
+        let (filtered, _) = log.filter_min_support(10);
+        let config = GraphConfig::default();
+        let (graph, _) = build_graph(&filtered, &world, &config);
+        let multigraph = MultiGraph::from_similarity(&graph, 20.0);
+        let (communities, graph_table) = relation_inputs(&multigraph);
+        OfflineWorkload {
+            world,
+            filtered,
+            events,
+            seed,
+            multigraph,
+            communities,
+            graph_table,
+        }
+    }
+
+    /// Build the similarity graph at the given worker count.
+    pub fn build(&self, workers: usize) -> SimilarityGraph {
+        let config = GraphConfig {
+            workers,
+            ..GraphConfig::default()
+        };
+        build_graph(&self.filtered, &self.world, &config).0
+    }
+
+    /// Build the graph through the `HashMap`-entry reference accumulator.
+    pub fn reference_build(&self) -> SimilarityGraph {
+        hashmap_reference_graph(&self.filtered, &self.world)
+    }
+
+    /// Cluster the multigraph at the given worker count.
+    pub fn cluster(&self, workers: usize) -> esharp_community::ClusteringOutcome {
+        cluster_parallel(
+            &self.multigraph,
+            &ParallelConfig {
+                workers,
+                ..ParallelConfig::default()
+            },
+        )
+    }
+
+    /// The communities⋈graph broadcast join plus a grouped aggregation on
+    /// the persistent pool; returns (joined rows, grouped rows).
+    pub fn join_aggregate(&self, workers: usize) -> (usize, usize) {
+        let cluster = Cluster::new(workers);
+        let joined = cluster
+            .join(
+                &self.graph_table,
+                &self.communities,
+                &[0],
+                &[0],
+                JoinStrategy::Broadcast,
+            )
+            .expect("bench join");
+        // Joined columns: node1, node2, multiplicity, node, comm — group
+        // by the community, summing edge multiplicities into it.
+        let grouped = cluster
+            .aggregate(
+                &joined,
+                &[4],
+                &[esharp_relation::ops::AggSpec::on(
+                    esharp_relation::ops::AggFunc::Sum,
+                    2,
+                    "mass",
+                )],
+            )
+            .expect("bench aggregate");
+        (joined.num_rows(), grouped.num_rows())
+    }
+
+    /// Run every kernel at each worker count and assemble the report.
+    pub fn measure(&self, worker_counts: &[usize]) -> OfflineBenchReport {
+        let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+        // Implementation comparison, single-threaded on both sides.
+        let started = Instant::now();
+        let reference = self.reference_build();
+        let hashmap_reference_secs = started.elapsed().as_secs_f64();
+        let started = Instant::now();
+        let graph = self.build(1);
+        let flat_accumulator_secs = started.elapsed().as_secs_f64();
+        assert_eq!(
+            graph.num_edges(),
+            reference.num_edges(),
+            "flat and HashMap accumulators must agree"
+        );
+
+        let samples = worker_counts
+            .iter()
+            .map(|&workers| {
+                let started = Instant::now();
+                let g = self.build(workers);
+                let graph_build_secs = started.elapsed().as_secs_f64();
+
+                let started = Instant::now();
+                let outcome = self.cluster(workers);
+                let cluster_secs = started.elapsed().as_secs_f64();
+
+                let started = Instant::now();
+                let (joined_rows, grouped_rows) = self.join_aggregate(workers);
+                let relation_secs = started.elapsed().as_secs_f64();
+                assert!(grouped_rows > 0);
+
+                WorkerSample {
+                    workers,
+                    graph_build_secs,
+                    nodes_per_sec: g.num_nodes() as f64 / graph_build_secs,
+                    edges_per_sec: g.num_edges() as f64 / graph_build_secs,
+                    cluster_secs,
+                    iters_per_sec: outcome.iterations().max(1) as f64 / cluster_secs,
+                    relation_secs,
+                    relation_rows_per_sec: joined_rows as f64 / relation_secs,
+                }
+            })
+            .collect();
+
+        OfflineBenchReport {
+            host_cpus,
+            events: self.events,
+            seed: self.seed,
+            graph_nodes: graph.num_nodes(),
+            graph_edges: graph.num_edges(),
+            hashmap_reference_secs,
+            flat_accumulator_secs,
+            flat_vs_hashmap_speedup: hashmap_reference_secs / flat_accumulator_secs,
+            samples,
+        }
+    }
+}
+
+/// The multigraph edge table plus a `(node, comm)` assignment table — the
+/// two inputs of the clustering join, shaped like `sqlimpl`'s relations.
+fn relation_inputs(multigraph: &MultiGraph) -> (Table, Table) {
+    let assignment = cluster_parallel(multigraph, &ParallelConfig::default()).assignment;
+    let schema = Schema::of(&[("node", DataType::Int), ("comm", DataType::Int)]);
+    let mut builder = TableBuilder::with_capacity(schema, multigraph.num_nodes());
+    for node in 0..multigraph.num_nodes() as u32 {
+        builder
+            .push_row(vec![
+                Value::Int(node as i64),
+                Value::Int(assignment.community_of(node) as i64),
+            ])
+            .expect("communities table");
+    }
+    let communities = builder.finish();
+    let graph_table = multigraph_to_table(multigraph).expect("graph table");
+    (communities, graph_table)
+}
+
+/// The pre-refactor pair accumulator: one shared
+/// `HashMap<(node, node), f64>` entry per candidate pair, updated in
+/// URL-id order. Kept here (bench-only) as the baseline the flat-buffer
+/// kernel is measured against; edge sets are identical and weights agree
+/// up to f64 associativity.
+pub fn hashmap_reference_graph(log: &AggregatedLog, world: &World) -> SimilarityGraph {
+    use esharp_graph::ClickVector;
+    use std::sync::Arc;
+
+    let config = GraphConfig::default();
+    let mut node_of_term: HashMap<u32, u32> = HashMap::new();
+    let mut labels: Vec<Arc<str>> = Vec::new();
+    for record in &log.records {
+        node_of_term.entry(record.term).or_insert_with(|| {
+            let id = labels.len() as u32;
+            labels.push(Arc::from(world.term_text(record.term)));
+            id
+        });
+    }
+    let mut pairs_per_node: Vec<Vec<(u32, f64)>> = vec![Vec::new(); labels.len()];
+    for record in &log.records {
+        let node = node_of_term[&record.term];
+        pairs_per_node[node as usize].push((record.url, record.clicks as f64));
+    }
+    let vectors: Vec<ClickVector> = pairs_per_node
+        .into_iter()
+        .map(|pairs| {
+            let mut v = ClickVector::from_pairs(pairs);
+            v.normalize();
+            v
+        })
+        .collect();
+    let mut inverted: HashMap<u32, Vec<(u32, f64)>> = HashMap::new();
+    for (node, vector) in vectors.iter().enumerate() {
+        for &(url, weight) in vector.components() {
+            inverted
+                .entry(url)
+                .or_default()
+                .push((node as u32, weight));
+        }
+    }
+    let mut sims: HashMap<(u32, u32), f64> = HashMap::new();
+    let mut posting_lists: Vec<(&u32, &Vec<(u32, f64)>)> = inverted.iter().collect();
+    posting_lists.sort_by_key(|&(url, _)| *url);
+    for (_, postings) in posting_lists {
+        if postings.len() > config.max_url_fanout {
+            continue;
+        }
+        for i in 0..postings.len() {
+            let (ni, wi) = postings[i];
+            for &(nj, wj) in &postings[i + 1..] {
+                let key = (ni.min(nj), ni.max(nj));
+                *sims.entry(key).or_insert(0.0) += wi * wj;
+            }
+        }
+    }
+    let edges: Vec<esharp_graph::Edge> = sims
+        .into_iter()
+        .filter(|&(_, w)| w >= config.min_similarity)
+        .map(|((a, b), weight)| esharp_graph::Edge {
+            a,
+            b,
+            weight: weight.min(1.0),
+        })
+        .collect();
+    SimilarityGraph::new(labels, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_measures_and_serializes() {
+        let workload = OfflineWorkload::generate(20_000, 7);
+        let report = workload.measure(&[1, 2]);
+        assert_eq!(report.samples.len(), 2);
+        assert!(report.graph_nodes > 0 && report.graph_edges > 0);
+        assert!(report.flat_vs_hashmap_speedup > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"offline_throughput\""));
+        assert!(json.contains("\"workers\": 2"));
+        assert!(json.ends_with("}\n"));
+        // Balanced braces/brackets — the emitter is hand-rolled.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count()
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count()
+        );
+    }
+
+    #[test]
+    fn reference_accumulator_matches_flat_kernel() {
+        let workload = OfflineWorkload::generate(20_000, 7);
+        let flat = workload.build(4);
+        let reference = hashmap_reference_graph(&workload.filtered, &workload.world);
+        assert_eq!(flat.num_nodes(), reference.num_nodes());
+        assert_eq!(flat.num_edges(), reference.num_edges());
+        // Same edge set; weights agree up to f64 associativity (the flat
+        // kernel pre-folds per chunk, so its addition tree differs from
+        // the reference's strict left-to-right order). Bit-exactness
+        // across *worker counts* is asserted in esharp-graph.
+        for (a, b) in flat.edges().iter().zip(reference.edges()) {
+            assert_eq!((a.a, a.b), (b.a, b.b));
+            assert!((a.weight - b.weight).abs() < 1e-9);
+        }
+    }
+}

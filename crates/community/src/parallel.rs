@@ -16,13 +16,17 @@
 //!
 //! The expensive part of each iteration — accumulating per-community
 //! degree sums and inter-community edge counts — is embarrassingly
-//! parallel over edge chunks; with `workers > 1` it fans out on scoped
-//! threads and merges per-thread maps, the same shape as the map-reduce
-//! execution the paper targets.
+//! parallel over edge chunks; with `workers > 1` it fans out on the
+//! process-wide persistent [`esharp_par`] pool (no per-iteration thread
+//! spawns) into dense per-worker accumulators, the same map-reduce shape
+//! the paper targets. All merged quantities are `u64` counts, whose sums
+//! are exact and order-independent, so the clustering result is identical
+//! at any worker count.
 
 use crate::assignment::Assignment;
 use crate::modularity::PartitionStats;
 use esharp_graph::MultiGraph;
+use esharp_par::shared_pool;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -179,57 +183,74 @@ pub fn choose_owners(stats: &PartitionStats) -> HashMap<u32, u32> {
 }
 
 /// Partition statistics, optionally computed with `workers` threads over
-/// edge chunks.
+/// edge chunks on the persistent shared pool.
+///
+/// Community ids are node-id representatives (always `< num_nodes`), so
+/// per-worker accumulators are dense `Vec<u64>` indexed by community —
+/// no hash probes on the hot edge loop, and the fold/reduce merge is a
+/// branch-free element-wise add. Inter-community counts, whose key space
+/// is quadratic, use flat `(packed pair, count)` buffers merged by
+/// sort + fold instead. All counts are `u64` (exact, order-independent
+/// addition), so the result is identical at any worker count.
 pub fn compute_stats(graph: &MultiGraph, assignment: &Assignment, workers: usize) -> PartitionStats {
     if workers <= 1 || graph.edges().len() < 4 * workers {
         return PartitionStats::compute(graph, assignment);
     }
+    let num_nodes = graph.num_nodes();
+    let pool = shared_pool(workers);
+    // One chunk per worker: chunk *count*, not edge count, bounds the
+    // transient dense-accumulator memory.
     let chunk = graph.edges().len().div_ceil(workers);
-    type PartialStats = (HashMap<u32, u64>, HashMap<(u32, u32), u64>);
-    let partials: Vec<PartialStats> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = graph
-                .edges()
-                .chunks(chunk)
-                .map(|edges| {
-                    scope.spawn(move |_| {
-                        let mut internal: HashMap<u32, u64> = HashMap::new();
-                        let mut between: HashMap<(u32, u32), u64> = HashMap::new();
-                        for &(a, b, k) in edges {
-                            let (ca, cb) =
-                                (assignment.community_of(a), assignment.community_of(b));
-                            if ca == cb {
-                                *internal.entry(ca).or_insert(0) += k;
-                            } else {
-                                *between.entry((ca.min(cb), ca.max(cb))).or_insert(0) += k;
-                            }
-                        }
-                        (internal, between)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("stats worker panicked"))
-                .collect()
-        })
-        .expect("thread scope failed");
+    let partials = pool.map_chunks(graph.edges(), chunk, |edges| {
+        let mut internal = vec![0u64; num_nodes];
+        let mut between: Vec<(u64, u64)> = Vec::new();
+        for &(a, b, k) in edges {
+            let (ca, cb) = (assignment.community_of(a), assignment.community_of(b));
+            if ca == cb {
+                internal[ca as usize] += k;
+            } else {
+                let pair = ((ca.min(cb) as u64) << 32) | ca.max(cb) as u64;
+                between.push((pair, k));
+            }
+        }
+        (internal, between)
+    });
 
-    let mut internal_edges: HashMap<u32, u64> = HashMap::new();
-    let mut between_edges: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut internal_dense = vec![0u64; num_nodes];
+    let mut between_flat: Vec<(u64, u64)> = Vec::new();
     for (internal, between) in partials {
-        for (c, k) in internal {
-            *internal_edges.entry(c).or_insert(0) += k;
+        for (total, partial) in internal_dense.iter_mut().zip(internal) {
+            *total += partial;
         }
-        for (pair, k) in between {
-            *between_edges.entry(pair).or_insert(0) += k;
-        }
+        between_flat.extend(between);
     }
-    // Degree sums are a cheap O(n) pass; no need to parallelize.
+    between_flat.sort_unstable_by_key(|&(pair, _)| pair);
+    let mut between_edges: HashMap<(u32, u32), u64> = HashMap::new();
+    for (pair, k) in between_flat {
+        *between_edges
+            .entry(((pair >> 32) as u32, pair as u32))
+            .or_insert(0) += k;
+    }
+
+    // Degree sums and community occupancy in one dense O(n) pass. A
+    // community exists when any node maps to it (even at degree 0), which
+    // is exactly the key set the serial HashMap pass produces.
+    let mut degree_dense = vec![0u64; num_nodes];
+    let mut occupied = vec![false; num_nodes];
+    for node in 0..num_nodes {
+        let c = assignment.community_of(node as u32) as usize;
+        occupied[c] = true;
+        degree_dense[c] += graph.degree(node as u32);
+    }
     let mut degree_sum: HashMap<u32, u64> = HashMap::new();
-    for node in 0..graph.num_nodes() {
-        let c = assignment.community_of(node as u32);
-        *degree_sum.entry(c).or_insert(0) += graph.degree(node as u32);
+    let mut internal_edges: HashMap<u32, u64> = HashMap::new();
+    for c in 0..num_nodes {
+        if occupied[c] {
+            degree_sum.insert(c as u32, degree_dense[c]);
+        }
+        if internal_dense[c] > 0 {
+            internal_edges.insert(c as u32, internal_dense[c]);
+        }
     }
     PartitionStats {
         degree_sum,
@@ -293,6 +314,45 @@ mod tests {
         assert_eq!(serial.degree_sum, par.degree_sum);
         assert_eq!(serial.internal_edges, par.internal_edges);
         assert_eq!(serial.between_edges, par.between_edges);
+    }
+
+    /// A weighted graph large enough (≥ 4·workers edges) to force the
+    /// parallel dense-accumulator path rather than the serial fallback.
+    fn weighted_ring_of_cliques() -> MultiGraph {
+        let mut edges = Vec::new();
+        for clique in 0..6u32 {
+            let base = clique * 5;
+            for i in 0..5 {
+                for j in i + 1..5 {
+                    edges.push((base + i, base + j, 1 + ((i + j) % 3) as u64));
+                }
+            }
+            let next = ((clique + 1) % 6) * 5;
+            edges.push((base + 4, next, 2));
+        }
+        MultiGraph::from_edges(30, edges)
+    }
+
+    #[test]
+    fn dense_stats_match_hashmap_reference() {
+        let g = weighted_ring_of_cliques();
+        // Communities with varied sizes, including a degree-carrying merge
+        // of nodes across cliques and sparse representative ids.
+        let communities: Vec<u32> = (0..30u32).map(|n| (n / 7) * 7).collect();
+        let a = Assignment::from_vec(communities);
+        let reference = PartitionStats::compute(&g, &a);
+        for workers in [2, 4, 8] {
+            assert!(g.edges().len() >= 4 * workers || workers == 8);
+            let dense = compute_stats(&g, &a, workers);
+            assert_eq!(dense.degree_sum, reference.degree_sum, "workers={workers}");
+            assert_eq!(dense.internal_edges, reference.internal_edges);
+            assert_eq!(dense.between_edges, reference.between_edges);
+            assert_eq!(dense.total_edges, reference.total_edges);
+            assert_eq!(
+                dense.total_modularity().to_bits(),
+                reference.total_modularity().to_bits()
+            );
+        }
     }
 
     #[test]

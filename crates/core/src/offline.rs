@@ -53,7 +53,13 @@ pub fn run_offline(
     // --- Extraction: support filter + similarity graph (§4.1).
     let started = Instant::now();
     let (filtered, dropped_terms) = log.filter_min_support(config.min_support);
-    let (graph, build_stats) = build_graph(&filtered, world, &config.graph);
+    // The pipeline-level worker knob governs every offline stage; the
+    // nested graph config only overrides it when set explicitly.
+    let graph_config = esharp_graph::GraphConfig {
+        workers: config.graph.workers.max(config.workers),
+        ..config.graph.clone()
+    };
+    let (graph, build_stats) = build_graph(&filtered, world, &graph_config);
     let mut extraction = StageStats::new("extraction", config.workers);
     extraction.wall = started.elapsed();
     extraction.rows_read = log.raw_events;

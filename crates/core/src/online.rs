@@ -32,12 +32,20 @@ pub struct SearchOutcome {
 pub struct Esharp {
     domains: DomainCollection,
     config: EsharpConfig,
+    /// Default retriever, built once at assembly time so the per-query
+    /// path does not re-clone the detector configuration on every search.
+    retriever: crate::retriever::PalCountsRetriever,
 }
 
 impl Esharp {
     /// Assemble the online system from offline artifacts.
     pub fn new(domains: DomainCollection, config: EsharpConfig) -> Self {
-        Esharp { domains, config }
+        let retriever = crate::retriever::PalCountsRetriever::new(config.detector.clone());
+        Esharp {
+            domains,
+            config,
+            retriever,
+        }
     }
 
     /// The domain collection.
@@ -55,8 +63,7 @@ impl Esharp {
     /// the results and rank once with the configured Pal & Counts
     /// detector.
     pub fn search(&self, corpus: &Corpus, query: &str) -> SearchOutcome {
-        let retriever = crate::retriever::PalCountsRetriever::new(self.config.detector.clone());
-        self.search_with(corpus, query, &retriever)
+        self.search_with(corpus, query, &self.retriever)
     }
 
     /// e# search through any [`ExpertiseRetriever`] — the §7.1 seam:

@@ -11,6 +11,7 @@
 
 use crate::graph::{Edge, NodeId, SimilarityGraph};
 use crate::vector::ClickVector;
+use esharp_par::{default_chunk, shared_pool};
 use esharp_querylog::{AggregatedLog, TermId, World};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -23,6 +24,10 @@ pub struct GraphConfig {
     /// URLs clicked by more than this many distinct queries are skipped in
     /// pair generation (hub suppression).
     pub max_url_fanout: usize,
+    /// Worker threads for the pair-accumulation kernel. The output is
+    /// bit-identical at any value (see the determinism note on
+    /// [`build_graph`]); this knob only trades wall clock.
+    pub workers: usize,
 }
 
 impl Default for GraphConfig {
@@ -30,6 +35,7 @@ impl Default for GraphConfig {
         GraphConfig {
             min_similarity: 0.02,
             max_url_fanout: 400,
+            workers: 1,
         }
     }
 }
@@ -51,6 +57,18 @@ pub struct BuildStats {
 /// Build the term-similarity graph from an aggregated (and already
 /// support-filtered) log. Node labels are term texts resolved through the
 /// world.
+///
+/// # Determinism
+///
+/// Pair accumulation runs on `config.workers` threads but is bit-identical
+/// at every worker count: posting lists are processed in URL-id order over
+/// chunks whose boundaries depend only on the list count — never on the
+/// worker count — and each chunk reduces its own flat buffer of
+/// `(packed pair, contribution)` tuples by stable sort + left-to-right
+/// fold (contributions to a pair summed in URL order). The per-chunk
+/// partial sums are then concatenated in chunk order and folded the same
+/// way, so the final per-pair sum is always the identical f64 addition
+/// tree regardless of how many threads executed the chunks.
 pub fn build_graph(
     log: &AggregatedLog,
     world: &World,
@@ -97,41 +115,86 @@ pub fn build_graph(
         }
     }
 
-    // 4. Accumulate cosine contributions per candidate pair.
-    let mut sims: HashMap<(NodeId, NodeId), f64> = HashMap::new();
+    // 4. Accumulate cosine contributions per candidate pair. Posting
+    //    lists are visited in URL-id order — float accumulation order must
+    //    not depend on HashMap iteration or on the worker count — and each
+    //    worker fills a flat `(packed pair, contribution)` buffer instead
+    //    of hammering a shared map.
     let mut posting_lists: Vec<(&esharp_querylog::UrlId, &Vec<(NodeId, f64)>)> =
         inverted.iter().collect();
-    // Deterministic iteration order keyed by the (unique) URL id — float
-    // accumulation order must not depend on HashMap iteration.
     posting_lists.sort_by_key(|&(url, _)| *url);
-    for (_, postings) in posting_lists {
-        if postings.len() > config.max_url_fanout {
-            stats.urls_skipped += 1;
-            continue;
-        }
-        for i in 0..postings.len() {
-            let (ni, wi) = postings[i];
-            for &(nj, wj) in &postings[i + 1..] {
-                let key = (ni.min(nj), ni.max(nj));
-                *sims.entry(key).or_insert(0.0) += wi * wj;
+    let kept_lists: Vec<&[(NodeId, f64)]> = posting_lists
+        .iter()
+        .filter(|(_, postings)| postings.len() <= config.max_url_fanout)
+        .map(|(_, postings)| postings.as_slice())
+        .collect();
+    stats.urls_skipped = posting_lists.len() - kept_lists.len();
+
+    let pool = shared_pool(config.workers);
+    let buffers = pool.map_chunks(&kept_lists, default_chunk(kept_lists.len()), |lists| {
+        let mut buffer: Vec<(u64, f64)> = Vec::new();
+        for postings in lists {
+            for i in 0..postings.len() {
+                let (ni, wi) = postings[i];
+                for &(nj, wj) in &postings[i + 1..] {
+                    buffer.push((pack_pair(ni, nj), wi * wj));
+                }
             }
         }
+        // Reduce inside the chunk: the merge then handles one partial sum
+        // per (chunk, pair) instead of every raw contribution.
+        fold_sorted_contributions(&mut buffer);
+        buffer
+    });
+    let mut contributions: Vec<(u64, f64)> = Vec::with_capacity(
+        buffers.iter().map(Vec::len).sum(),
+    );
+    for buffer in buffers {
+        contributions.extend(buffer);
     }
-    stats.candidate_pairs = sims.len();
+    fold_sorted_contributions(&mut contributions);
+    stats.candidate_pairs = contributions.len();
 
     // 5. Threshold into edges.
-    let edges: Vec<Edge> = sims
+    let edges: Vec<Edge> = contributions
         .into_iter()
         .filter(|&(_, w)| w >= config.min_similarity)
-        .map(|((a, b), weight)| Edge {
-            a,
-            b,
+        .map(|(pair, weight)| Edge {
+            a: (pair >> 32) as NodeId,
+            b: pair as NodeId,
             weight: weight.min(1.0),
         })
         .collect();
     stats.edges_kept = edges.len();
 
     (SimilarityGraph::new(labels, edges), stats)
+}
+
+/// Canonical (unordered) pair packed into one u64: smaller id in the high
+/// half, so sorting packed keys orders pairs lexicographically by (a, b).
+#[inline]
+fn pack_pair(a: NodeId, b: NodeId) -> u64 {
+    ((a.min(b) as u64) << 32) | a.max(b) as u64
+}
+
+/// Stable-sort by pair and fold each equal-key run left-to-right in place.
+/// Stability matters: contributions to the same pair keep their original
+/// (URL / chunk) order, which pins the f64 addition sequence.
+fn fold_sorted_contributions(contributions: &mut Vec<(u64, f64)>) {
+    contributions.sort_by_key(|&(pair, _)| pair);
+    let mut write = 0;
+    let mut read = 0;
+    while read < contributions.len() {
+        let (pair, mut sum) = contributions[read];
+        read += 1;
+        while read < contributions.len() && contributions[read].0 == pair {
+            sum += contributions[read].1;
+            read += 1;
+        }
+        contributions[write] = (pair, sum);
+        write += 1;
+    }
+    contributions.truncate(write);
 }
 
 /// Reference implementation: all-pairs cosine over the same vectors.
@@ -198,6 +261,7 @@ mod tests {
         let config = GraphConfig {
             min_similarity: 0.10,
             max_url_fanout: usize::MAX, // no cap ⇒ must agree exactly
+            workers: 1,
         };
         let (fast, _) = build_graph(&log, &world, &config);
         let naive = build_graph_naive(&log, &world, &config);
@@ -207,6 +271,31 @@ mod tests {
             assert_eq!(a.a, b.a);
             assert_eq!(a.b, b.b);
             assert!((a.weight - b.weight).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitexact() {
+        let (world, log) = build_inputs();
+        let mut config = GraphConfig::default();
+        let (serial, serial_stats) = build_graph(&log, &world, &config);
+        for workers in [2, 4, 8] {
+            config.workers = workers;
+            let (parallel, stats) = build_graph(&log, &world, &config);
+            assert_eq!(parallel.num_nodes(), serial.num_nodes());
+            assert_eq!(stats.candidate_pairs, serial_stats.candidate_pairs);
+            assert_eq!(stats.urls_skipped, serial_stats.urls_skipped);
+            assert_eq!(parallel.num_edges(), serial.num_edges(), "workers={workers}");
+            for (p, s) in parallel.edges().iter().zip(serial.edges()) {
+                assert_eq!((p.a, p.b), (s.a, s.b));
+                assert_eq!(
+                    p.weight.to_bits(),
+                    s.weight.to_bits(),
+                    "workers={workers}: edge ({}, {}) weight drifted",
+                    p.a,
+                    p.b
+                );
+            }
         }
     }
 
@@ -254,6 +343,7 @@ mod tests {
         let config = GraphConfig {
             min_similarity: 0.02,
             max_url_fanout: 5,
+            workers: 1,
         };
         let (_, stats) = build_graph(&log, &world, &config);
         assert!(stats.urls_skipped > 0);

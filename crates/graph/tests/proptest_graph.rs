@@ -1,7 +1,8 @@
-//! Property-based tests of click vectors, graph normalization and
-//! discretization.
+//! Property-based tests of click vectors, graph normalization,
+//! discretization, and the parallel builder's determinism.
 
-use esharp_graph::{ClickVector, Edge, MultiGraph, SimilarityGraph};
+use esharp_graph::{build_graph, ClickVector, Edge, GraphConfig, MultiGraph, SimilarityGraph};
+use esharp_querylog::{AggregatedLog, LogConfig, LogGenerator, World, WorldConfig};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -93,5 +94,50 @@ proptest! {
         }
         prop_assert_eq!(total, mg.total_edges());
         prop_assert_eq!(mg.degrees().iter().sum::<u64>(), mg.total_degree());
+    }
+}
+
+proptest! {
+    // Each case generates a fresh world + log, so keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The flat-buffer builder must be bit-identical at any worker count:
+    /// chunk boundaries depend only on the input length, and the merge
+    /// folds chunks in order, so thread scheduling never reaches the f64
+    /// sums. Any seed, any worker count ⇒ same graph as `workers = 1`.
+    #[test]
+    fn parallel_build_bitexact_for_any_seed(
+        seed in 0u64..1024,
+        workers in 2usize..=8,
+        events in 1_000usize..6_000,
+    ) {
+        let world = World::generate(&WorldConfig::tiny(seed));
+        let log = AggregatedLog::from_events(
+            LogGenerator::new(
+                &world,
+                &LogConfig { events, ..LogConfig::tiny(seed ^ 1) },
+            ),
+            world.terms.len(),
+        );
+        let (filtered, _) = log.filter_min_support(5);
+
+        let serial_config = GraphConfig::default();
+        let (serial, serial_stats) = build_graph(&filtered, &world, &serial_config);
+        let parallel_config = GraphConfig { workers, ..serial_config };
+        let (parallel, stats) = build_graph(&filtered, &world, &parallel_config);
+
+        prop_assert_eq!(parallel.num_nodes(), serial.num_nodes());
+        prop_assert_eq!(stats.candidate_pairs, serial_stats.candidate_pairs);
+        prop_assert_eq!(stats.urls_skipped, serial_stats.urls_skipped);
+        prop_assert_eq!(parallel.num_edges(), serial.num_edges());
+        for (p, s) in parallel.edges().iter().zip(serial.edges()) {
+            prop_assert_eq!((p.a, p.b), (s.a, s.b));
+            prop_assert_eq!(
+                p.weight.to_bits(),
+                s.weight.to_bits(),
+                "workers={}: edge ({}, {}) weight drifted",
+                workers, p.a, p.b
+            );
+        }
     }
 }

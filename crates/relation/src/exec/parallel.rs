@@ -12,7 +12,8 @@ use crate::error::RelResult;
 use crate::exec::partition::{chunk_partition, hash_partition};
 use crate::ops::{aggregate, hash_join, AggSpec, JoinSide};
 use crate::table::Table;
-use crossbeam::thread;
+use esharp_par::{shared_pool, ThreadPool};
+use std::sync::Arc;
 
 /// Which physical join strategy to use (§4.2.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,20 +28,23 @@ pub enum JoinStrategy {
     CoPartitioned,
 }
 
-/// A pool of logical workers. Thread-scoped: every call spawns short-lived
-/// scoped threads, mirroring the paper's elastic VM allocation where "a
-/// relational operator can use between one and hundreds of virtual
-/// machines".
-#[derive(Debug, Clone, Copy)]
+/// A pool of logical workers backed by the process-wide persistent
+/// [`esharp_par`] pool: threads are built once per worker count and reused
+/// across every join and aggregation — mirroring the paper's elastic VM
+/// allocation where "a relational operator can use between one and
+/// hundreds of virtual machines", minus the per-operator start-up cost.
+/// Cloning a `Cluster` shares the pool; it never spawns.
+#[derive(Debug, Clone)]
 pub struct Cluster {
-    workers: usize,
+    pool: Arc<ThreadPool>,
 }
 
 impl Cluster {
-    /// A cluster with the given worker count (minimum 1).
+    /// A cluster with the given worker count (minimum 1), attached to the
+    /// shared pool for that count.
     pub fn new(workers: usize) -> Self {
         Cluster {
-            workers: workers.max(1),
+            pool: shared_pool(workers),
         }
     }
 
@@ -51,7 +55,7 @@ impl Cluster {
 
     /// Number of workers.
     pub fn workers(&self) -> usize {
-        self.workers
+        self.pool.workers()
     }
 
     /// Apply `f` to every partition concurrently, preserving partition
@@ -60,26 +64,20 @@ impl Cluster {
     where
         F: Fn(usize, Table) -> RelResult<Table> + Sync,
     {
-        if self.workers == 1 || parts.len() <= 1 {
+        if self.workers() == 1 || parts.len() <= 1 {
             return parts
                 .into_iter()
                 .enumerate()
                 .map(|(i, p)| f(i, p))
                 .collect();
         }
-        let results = thread::scope(|scope| {
-            let handles: Vec<_> = parts
-                .into_iter()
-                .enumerate()
-                .map(|(i, part)| { let f = &f; scope.spawn(move |_| f(i, part)) })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect::<Vec<_>>()
-        })
-        .expect("thread scope failed");
-        results.into_iter().collect()
+        let f = &f;
+        let tasks: Vec<_> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, part)| move || f(i, part))
+            .collect();
+        self.pool.run(tasks).into_iter().collect()
     }
 
     /// Parallel inner hash equi-join.
@@ -91,20 +89,20 @@ impl Cluster {
         right_keys: &[usize],
         strategy: JoinStrategy,
     ) -> RelResult<Table> {
-        if self.workers == 1 {
+        if self.workers() == 1 {
             return hash_join(left, right, left_keys, right_keys, JoinSide::BuildRight);
         }
         let parts = match strategy {
             JoinStrategy::Broadcast => {
                 // Replicate `right` (build side); chunk `left` (probe side).
-                let chunks = chunk_partition(left, self.workers);
+                let chunks = chunk_partition(left, self.workers());
                 self.map_partitions(chunks, |_, chunk| {
                     hash_join(&chunk, right, left_keys, right_keys, JoinSide::BuildRight)
                 })?
             }
             JoinStrategy::CoPartitioned => {
-                let left_parts = hash_partition(left, left_keys, self.workers);
-                let right_parts = hash_partition(right, right_keys, self.workers);
+                let left_parts = hash_partition(left, left_keys, self.workers());
+                let right_parts = hash_partition(right, right_keys, self.workers());
                 // Pair up partitions; the closure indexes the co-partition.
                 self.map_partitions(left_parts, |i, lpart| {
                     hash_join(
@@ -129,10 +127,10 @@ impl Cluster {
         group_keys: &[usize],
         aggs: &[AggSpec],
     ) -> RelResult<Table> {
-        if self.workers == 1 || group_keys.is_empty() {
+        if self.workers() == 1 || group_keys.is_empty() {
             return aggregate(input, group_keys, aggs);
         }
-        let parts = hash_partition(input, group_keys, self.workers);
+        let parts = hash_partition(input, group_keys, self.workers());
         let results = self.map_partitions(parts, |_, part| aggregate(&part, group_keys, aggs))?;
         Table::concat(&results)
     }

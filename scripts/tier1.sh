@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything a PR must keep green.
+#
+#   build   release build of the whole workspace
+#   test    the full test suite (unit + property + integration)
+#   bench   all Criterion bench targets compile (not run)
+#   clippy  workspace lints, warnings are errors
+#
+# Usage: scripts/tier1.sh   (from the repo root or anywhere inside it)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release"
+cargo build --release
+
+echo "== tier-1: cargo test -q"
+cargo test -q
+
+echo "== tier-1: cargo bench --no-run"
+cargo bench --no-run
+
+echo "== tier-1: cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "== tier-1: OK"
