@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! esharp build  [--scale tiny|small|paper] [--seed N] [--out DIR]
+//!               [--checkpoint-dir DIR] [--resume]
 //!     Run the offline pipeline, print stage stats, persist the domain
-//!     collection (domains.json) and similarity graph (graph.bin).
+//!     collection (domains.bin) and similarity graph (graph.bin) — both
+//!     checksummed and written atomically. With --checkpoint-dir every
+//!     stage is checkpointed; --resume additionally reuses checkpoints
+//!     left by a previous (possibly crashed) run instead of starting
+//!     fresh.
 //!
 //! esharp search <query>… [--scale …] [--seed N] [--baseline] [--top K]
 //!     Build the testbed and search each query, printing ranked experts
@@ -41,7 +46,7 @@ fn main() {
         "bench" => bench(&opts),
         "--help" | "-h" | "help" => {
             println!("subcommands: build, search, inspect, sql, bench");
-            println!("flags: --scale tiny|small|paper, --seed N, --out DIR, --baseline, --top K, -k N, --json, --events N");
+            println!("flags: --scale tiny|small|paper, --seed N, --out DIR, --checkpoint-dir DIR, --resume, --baseline, --top K, -k N, --json, --events N");
         }
         other => {
             eprintln!("unknown subcommand {other:?}");
@@ -54,6 +59,8 @@ struct Options {
     scale: EvalScale,
     seed: u64,
     out: Option<String>,
+    checkpoint_dir: Option<String>,
+    resume: bool,
     baseline: bool,
     json: bool,
     events: u64,
@@ -68,6 +75,8 @@ impl Options {
             scale: EvalScale::Small,
             seed: 2016,
             out: None,
+            checkpoint_dir: None,
+            resume: false,
             baseline: false,
             json: false,
             events: 100_000,
@@ -91,6 +100,8 @@ impl Options {
                 }
                 "--seed" => opts.seed = next_num(&mut iter, "--seed"),
                 "--out" => opts.out = iter.next().cloned(),
+                "--checkpoint-dir" => opts.checkpoint_dir = iter.next().cloned(),
+                "--resume" => opts.resume = true,
                 "--baseline" => opts.baseline = true,
                 "--json" => opts.json = true,
                 "--events" => opts.events = next_num(&mut iter, "--events"),
@@ -110,10 +121,37 @@ fn next_num(iter: &mut std::slice::Iter<'_, String>, flag: &str) -> u64 {
     })
 }
 
+/// Exit with a clean message instead of a panic backtrace: the CLI's
+/// contract is "errors to stderr, nonzero exit", never `unwrap`/`expect`.
+fn fail(context: &str, error: impl std::fmt::Display) -> ! {
+    eprintln!("esharp: {context}: {error}");
+    std::process::exit(1);
+}
+
 fn testbed(opts: &Options) -> Testbed {
     eprintln!("building testbed (scale {:?}, seed {})…", opts.scale, opts.seed);
     let started = std::time::Instant::now();
-    let tb = Testbed::build(opts.scale, opts.seed);
+    let tb = match &opts.checkpoint_dir {
+        Some(dir) => {
+            let ckpt = esharp_core::CheckpointDir::new(dir)
+                .unwrap_or_else(|e| fail("open checkpoint dir", e));
+            if opts.resume {
+                eprintln!("resuming from checkpoints in {dir}…");
+            } else {
+                // A fresh run must not silently reuse last week's stages.
+                ckpt.clear().unwrap_or_else(|e| fail("clear checkpoint dir", e));
+            }
+            Testbed::build_resumable(opts.scale, opts.seed, &ckpt)
+                .unwrap_or_else(|e| fail("offline pipeline", e))
+        }
+        None => {
+            if opts.resume {
+                eprintln!("esharp: --resume requires --checkpoint-dir");
+                std::process::exit(2);
+            }
+            Testbed::build(opts.scale, opts.seed)
+        }
+    };
     eprintln!(
         "ready in {:.1?}: {} domains · {} graph nodes · {} tweets",
         started.elapsed(),
@@ -136,13 +174,14 @@ fn build(opts: &Options) {
         tb.artifacts.outcome.iterations()
     );
     if let Some(dir) = &opts.out {
-        let domains_path = format!("{dir}/domains.json");
+        let domains_path = format!("{dir}/domains.bin");
         let graph_path = format!("{dir}/graph.bin");
         tb.esharp
             .domains()
             .save(&domains_path)
-            .expect("write domains");
-        esharp_graph::io::save_graph(&tb.artifacts.graph, &graph_path).expect("write graph");
+            .unwrap_or_else(|e| fail("write domains", e));
+        esharp_graph::io::save_graph(&tb.artifacts.graph, &graph_path)
+            .unwrap_or_else(|e| fail("write graph", e));
         println!("persisted {domains_path} and {graph_path}");
     }
 }
@@ -204,7 +243,8 @@ fn bench(opts: &Options) {
     if opts.json {
         let dir = opts.out.as_deref().unwrap_or(".");
         let path = format!("{dir}/BENCH_offline.json");
-        std::fs::write(&path, report.to_json()).expect("write BENCH_offline.json");
+        std::fs::write(&path, report.to_json())
+            .unwrap_or_else(|e| fail("write BENCH_offline.json", e));
         println!("wrote {path}");
     }
 }
@@ -218,11 +258,11 @@ fn sql(opts: &Options) {
     let catalog = Catalog::new();
     catalog.register(
         "log",
-        log_to_table(&tb.log, &tb.world).expect("log table"),
+        log_to_table(&tb.log, &tb.world).unwrap_or_else(|e| fail("build log table", e)),
     );
     catalog.register(
         "graph",
-        graph_to_table(&tb.artifacts.graph).expect("graph table"),
+        graph_to_table(&tb.artifacts.graph).unwrap_or_else(|e| fail("build graph table", e)),
     );
     // communities(comm_name, query) over term texts.
     let schema = Schema::of(&[("comm_name", DataType::Int), ("query", DataType::Str)]);
@@ -233,7 +273,7 @@ fn sql(opts: &Options) {
                 Value::Int(tb.artifacts.outcome.assignment.community_of(node) as i64),
                 Value::str(tb.artifacts.graph.label(node)),
             ])
-            .expect("push row");
+            .unwrap_or_else(|e| fail("build communities table", e));
     }
     catalog.register("communities", builder.finish());
 

@@ -44,8 +44,8 @@ pub use modularity::{delta_mod, PartitionStats};
 pub use neighborhood::{neighborhood_of_term, CommunityView};
 pub use newman::{cluster_newman, NewmanConfig};
 pub use parallel::{
-    choose_owners, cluster_parallel, compute_stats, ClusteringOutcome, IterationStat,
-    ParallelConfig,
+    choose_owners, cluster_parallel, cluster_parallel_resumable, compute_stats,
+    ClusteringOutcome, IterationStat, ParallelConfig,
 };
 pub use sqlimpl::{cluster_sql, SqlClusterConfig, NEIGHBORS_SQL, PARTITIONS_SQL};
 pub use stats::SizeHistogram;

@@ -85,17 +85,56 @@ impl ClusteringOutcome {
 
 /// Run the paper's 3-step algorithm to convergence.
 pub fn cluster_parallel(graph: &MultiGraph, config: &ParallelConfig) -> ClusteringOutcome {
-    let mut assignment = Assignment::singletons(graph.num_nodes());
-    let mut trace = Vec::with_capacity(config.max_iterations + 1);
-    let initial_stats = compute_stats(graph, &assignment, config.workers);
-    trace.push(IterationStat {
-        iteration: 0,
-        communities: graph.num_nodes(),
-        total_modularity: initial_stats.total_modularity(),
-        merges: 0,
-    });
+    match cluster_parallel_resumable(graph, config, None, |_, _| {
+        Ok::<(), std::convert::Infallible>(())
+    }) {
+        Ok(outcome) => outcome,
+        Err(never) => match never {},
+    }
+}
 
-    for iteration in 1..=config.max_iterations {
+/// Resumable, observer-carrying variant of [`cluster_parallel`] — the
+/// crash-safe pipeline's entry point.
+///
+/// `on_iteration` fires after the initialization row and after every
+/// completed iteration, receiving the assignment and the trace so far;
+/// a checkpointing caller persists that pair and propagates its own error
+/// type `E` out of the loop. After a crash, the last persisted pair comes
+/// back in as `resume` and the loop continues from
+/// `trace.last().iteration + 1` — a run killed at iteration 4 restarts at
+/// 4, not 0.
+///
+/// Determinism: one iteration is a pure function of `(graph, assignment)`
+/// (the [`compute_stats`] merge order is fixed and worker-count
+/// independent), so a resumed run reproduces the uninterrupted run's
+/// assignment and trace bit for bit. A `resume` whose assignment does not
+/// match the graph's node count (stale checkpoint) is ignored and the run
+/// starts clean.
+pub fn cluster_parallel_resumable<E>(
+    graph: &MultiGraph,
+    config: &ParallelConfig,
+    resume: Option<(Assignment, Vec<IterationStat>)>,
+    mut on_iteration: impl FnMut(&Assignment, &[IterationStat]) -> Result<(), E>,
+) -> Result<ClusteringOutcome, E> {
+    let resume = resume.filter(|(a, t)| a.len() == graph.num_nodes() && !t.is_empty());
+    let (mut assignment, mut trace) = match resume {
+        Some(state) => state,
+        None => {
+            let assignment = Assignment::singletons(graph.num_nodes());
+            let initial_stats = compute_stats(graph, &assignment, config.workers);
+            let trace = vec![IterationStat {
+                iteration: 0,
+                communities: graph.num_nodes(),
+                total_modularity: initial_stats.total_modularity(),
+                merges: 0,
+            }];
+            on_iteration(&assignment, &trace)?;
+            (assignment, trace)
+        }
+    };
+
+    let first = trace.last().map_or(0, |s| s.iteration) + 1;
+    for iteration in first..=config.max_iterations {
         let stats = compute_stats(graph, &assignment, config.workers);
         let owners = choose_owners(&stats);
         if owners.is_empty() {
@@ -131,9 +170,10 @@ pub fn cluster_parallel(graph: &MultiGraph, config: &ParallelConfig) -> Clusteri
             total_modularity: after.total_modularity(),
             merges,
         });
+        on_iteration(&assignment, &trace)?;
     }
 
-    ClusteringOutcome { assignment, trace }
+    Ok(ClusteringOutcome { assignment, trace })
 }
 
 /// Steps 1+2: for each community, the best (`argmax ΔMod`) positive-gain
@@ -381,5 +421,77 @@ mod tests {
         let out = cluster_parallel(&g, &ParallelConfig::default());
         assert_eq!(out.iterations(), 0);
         assert_eq!(out.assignment.num_communities(), 3);
+    }
+
+    #[test]
+    fn resume_from_any_iteration_is_bit_identical() {
+        let g = weighted_ring_of_cliques();
+        let config = ParallelConfig::default();
+        let reference = cluster_parallel(&g, &config);
+        assert!(reference.iterations() >= 2, "graph converges too fast to test resume");
+
+        // Record the state after every iteration, then restart from each
+        // as if the process had died right after persisting it.
+        let mut states: Vec<(Assignment, Vec<IterationStat>)> = Vec::new();
+        cluster_parallel_resumable(&g, &config, None, |a, t| {
+            states.push((a.clone(), t.to_vec()));
+            Ok::<(), std::convert::Infallible>(())
+        })
+        .unwrap();
+        for (i, state) in states.into_iter().enumerate() {
+            let resumed =
+                cluster_parallel_resumable(&g, &config, Some(state), |_, _| {
+                    Ok::<(), std::convert::Infallible>(())
+                })
+                .unwrap();
+            assert_eq!(
+                resumed.assignment.as_slice(),
+                reference.assignment.as_slice(),
+                "resume after callback {i} diverged"
+            );
+            assert_eq!(resumed.trace, reference.trace, "trace after callback {i} diverged");
+            for (a, b) in resumed.trace.iter().zip(&reference.trace) {
+                assert_eq!(
+                    a.total_modularity.to_bits(),
+                    b.total_modularity.to_bits(),
+                    "modularity not bit-identical at iteration {}",
+                    a.iteration
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stale_resume_state_is_ignored() {
+        let g = two_cliques();
+        let stale = (
+            Assignment::singletons(3), // wrong node count
+            vec![IterationStat { iteration: 7, communities: 3, total_modularity: 0.0, merges: 0 }],
+        );
+        let out = cluster_parallel_resumable(
+            &g,
+            &ParallelConfig::default(),
+            Some(stale),
+            |_, _| Ok::<(), std::convert::Infallible>(()),
+        )
+        .unwrap();
+        let reference = cluster_parallel(&g, &ParallelConfig::default());
+        assert_eq!(out.trace, reference.trace);
+    }
+
+    #[test]
+    fn callback_errors_abort_the_loop() {
+        let g = two_cliques();
+        let mut calls = 0;
+        let out = cluster_parallel_resumable(&g, &ParallelConfig::default(), None, |_, t| {
+            calls += 1;
+            if t.last().map_or(0, |s| s.iteration) >= 1 {
+                Err("disk full")
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(out.unwrap_err(), "disk full");
+        assert_eq!(calls, 2, "must stop at the first failing persist");
     }
 }

@@ -2,6 +2,7 @@
 
 use esharp_relation::RelError;
 use std::fmt;
+use std::io;
 
 /// Errors surfaced by the e# pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -10,6 +11,15 @@ pub enum EsharpError {
     Relation(RelError),
     /// A configuration was internally inconsistent.
     Config(String),
+    /// Persistence failed (checkpoint write, artifact save/load). The kind
+    /// is preserved so callers can distinguish transient I/O from
+    /// corruption; the message carries the failing site/path.
+    Io {
+        /// The underlying [`io::ErrorKind`].
+        kind: io::ErrorKind,
+        /// Human-readable context (site, path, cause).
+        message: String,
+    },
 }
 
 impl fmt::Display for EsharpError {
@@ -17,6 +27,7 @@ impl fmt::Display for EsharpError {
         match self {
             EsharpError::Relation(e) => write!(f, "relational engine: {e}"),
             EsharpError::Config(msg) => write!(f, "configuration: {msg}"),
+            EsharpError::Io { kind, message } => write!(f, "i/o ({kind:?}): {message}"),
         }
     }
 }
@@ -25,7 +36,7 @@ impl std::error::Error for EsharpError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EsharpError::Relation(e) => Some(e),
-            EsharpError::Config(_) => None,
+            EsharpError::Config(_) | EsharpError::Io { .. } => None,
         }
     }
 }
@@ -33,6 +44,15 @@ impl std::error::Error for EsharpError {
 impl From<RelError> for EsharpError {
     fn from(e: RelError) -> Self {
         EsharpError::Relation(e)
+    }
+}
+
+impl From<io::Error> for EsharpError {
+    fn from(e: io::Error) -> Self {
+        EsharpError::Io {
+            kind: e.kind(),
+            message: e.to_string(),
+        }
     }
 }
 
@@ -50,5 +70,22 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let c = EsharpError::Config("bad".into());
         assert!(std::error::Error::source(&c).is_none());
+    }
+
+    #[test]
+    fn io_errors_preserve_kind_and_context() {
+        let io = io::Error::new(io::ErrorKind::InvalidData, "crc mismatch in graph.ck");
+        let e = EsharpError::from(io);
+        assert_eq!(
+            e,
+            EsharpError::Io {
+                kind: io::ErrorKind::InvalidData,
+                message: "crc mismatch in graph.ck".into()
+            }
+        );
+        assert!(e.to_string().contains("graph.ck"));
+        // Clone + PartialEq survive the new variant (the CLI compares and
+        // caches errors).
+        assert_eq!(e.clone(), e);
     }
 }

@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod config;
 mod domains;
 mod error;
@@ -44,9 +45,10 @@ mod offline;
 mod online;
 mod retriever;
 
+pub use checkpoint::{CheckpointDir, Fingerprint};
 pub use config::{ClusterBackend, EsharpConfig};
 pub use domains::{DomainCollection, DomainIdx};
 pub use error::{EsharpError, EsharpResult};
-pub use offline::{run_clustering, run_offline, OfflineArtifacts};
-pub use online::{Esharp, SearchOutcome};
+pub use offline::{run_clustering, run_offline, run_offline_resumable, OfflineArtifacts};
+pub use online::{Degradation, Esharp, SearchOutcome};
 pub use retriever::{ExpertiseRetriever, FrequencyRetriever, PalCountsRetriever};

@@ -5,13 +5,14 @@
 //! Every stage is timed and sized so the pipeline can print its own
 //! Table 9 analog.
 
+use crate::checkpoint::{CheckpointDir, Fingerprint};
 use crate::config::{ClusterBackend, EsharpConfig};
 use crate::domains::DomainCollection;
 use crate::error::{EsharpError, EsharpResult};
 use esharp_community::{
-    cluster_label_propagation, cluster_louvain, cluster_newman, cluster_parallel, cluster_sql,
-    ClusteringOutcome, IterationStat, LabelPropConfig, LouvainConfig, NewmanConfig,
-    ParallelConfig, PartitionStats, SqlClusterConfig,
+    cluster_label_propagation, cluster_louvain, cluster_newman, cluster_parallel,
+    cluster_parallel_resumable, cluster_sql, ClusteringOutcome, IterationStat, LabelPropConfig,
+    LouvainConfig, NewmanConfig, ParallelConfig, PartitionStats, SqlClusterConfig,
 };
 use esharp_graph::{build_graph, BuildStats, MultiGraph, SimilarityGraph};
 use esharp_querylog::{AggregatedLog, World};
@@ -73,6 +74,135 @@ pub fn run_offline(
     let multigraph = MultiGraph::from_similarity(&graph, config.discretize_scale);
     let outcome = run_clustering(&multigraph, config)?;
     let domains = DomainCollection::from_clustering(&graph, &outcome.assignment);
+    let mut clustering = StageStats::new("clustering", config.workers);
+    clustering.wall = started.elapsed();
+    clustering.rows_read = graph.num_edges() as u64;
+    clustering.bytes_read = graph.byte_size();
+    clustering.rows_written = domains.len() as u64;
+    clustering.bytes_written = domains.byte_size();
+    stages.push(clustering);
+
+    Ok(OfflineArtifacts {
+        graph,
+        multigraph,
+        outcome,
+        domains,
+        build_stats,
+        dropped_terms,
+        stages,
+    })
+}
+
+/// Crash-safe variant of [`run_offline`]: every stage (filtered log →
+/// graph → multigraph → clustering → domains) is persisted to `ckpt` as a
+/// checksummed, atomically-written checkpoint, and stages whose checkpoint
+/// validates against the current configuration and inputs are *loaded*
+/// instead of recomputed. The parallel clustering backend additionally
+/// checkpoints its per-iteration trace, so a run killed at iteration 4
+/// restarts at 4, not 0.
+///
+/// Determinism: the pipeline is bit-deterministic (see the `esharp-par`
+/// contract), and each stage's loader reconstructs exactly what its saver
+/// observed — so a run killed and resumed at *any* boundary produces
+/// artifacts bit-identical to an uninterrupted run
+/// (`tests/crashsafety.rs` proves this for every stage and iteration).
+///
+/// Invalid, stale or corrupt checkpoints are silently recomputed; write
+/// failures surface as [`EsharpError::Io`].
+pub fn run_offline_resumable(
+    log: &AggregatedLog,
+    world: &World,
+    config: &EsharpConfig,
+    ckpt: &CheckpointDir,
+) -> EsharpResult<OfflineArtifacts> {
+    let fp = Fingerprint::new(config, log, world);
+    let mut stages = Vec::new();
+
+    // --- Stage 1: support filter.
+    let started = Instant::now();
+    let (filtered, dropped_terms) = match ckpt.load_filtered(&fp) {
+        Some(cached) => cached,
+        None => {
+            let (filtered, dropped) = log.filter_min_support(config.min_support);
+            ckpt.store_filtered(&fp, &filtered, dropped)?;
+            (filtered, dropped)
+        }
+    };
+    ckpt.kill_point("stage:filtered")?;
+
+    // --- Stage 2: similarity graph.
+    let graph_config = esharp_graph::GraphConfig {
+        workers: config.graph.workers.max(config.workers),
+        ..config.graph.clone()
+    };
+    let (graph, build_stats) = match ckpt.load_graph(&fp) {
+        Some(cached) => cached,
+        None => {
+            let (graph, stats) = build_graph(&filtered, world, &graph_config);
+            ckpt.store_graph(&fp, &graph, &stats)?;
+            (graph, stats)
+        }
+    };
+    ckpt.kill_point("stage:graph")?;
+    let mut extraction = StageStats::new("extraction", config.workers);
+    extraction.wall = started.elapsed();
+    extraction.rows_read = log.raw_events;
+    extraction.bytes_read = log.raw_events * RAW_EVENT_BYTES;
+    extraction.rows_written = graph.num_edges() as u64;
+    extraction.bytes_written = graph.byte_size();
+    stages.push(extraction);
+
+    // --- Stage 3: discretized multigraph.
+    let started = Instant::now();
+    let multigraph = match ckpt.load_multigraph(&fp) {
+        Some(cached) => cached,
+        None => {
+            let mg = MultiGraph::from_similarity(&graph, config.discretize_scale);
+            ckpt.store_multigraph(&fp, &mg)?;
+            mg
+        }
+    };
+    ckpt.kill_point("stage:multigraph")?;
+
+    // --- Stage 4: clustering. The parallel backend resumes mid-stage from
+    // its iteration trace; the others checkpoint at stage granularity.
+    let outcome = match ckpt.load_clustering_final(&fp) {
+        Some(cached) => cached,
+        None => {
+            let outcome = if config.backend == ClusterBackend::Parallel {
+                let resume = ckpt.load_clustering_progress(&fp);
+                cluster_parallel_resumable(
+                    &multigraph,
+                    &ParallelConfig {
+                        max_iterations: config.max_iterations,
+                        workers: config.workers,
+                    },
+                    resume,
+                    |assignment, trace| {
+                        ckpt.store_clustering_progress(&fp, assignment, trace)?;
+                        let last = trace.last().map_or(0, |s| s.iteration);
+                        ckpt.kill_point(&format!("iter:{last}"))
+                    },
+                )?
+            } else {
+                run_clustering(&multigraph, config)?
+            };
+            ckpt.store_clustering_final(&fp, &outcome)?;
+            outcome
+        }
+    };
+    ckpt.kill_point("stage:clustering")?;
+
+    // --- Stage 5: domain collection.
+    let domains = match ckpt.load_domains(&fp) {
+        Some(cached) => cached,
+        None => {
+            let domains = DomainCollection::from_clustering(&graph, &outcome.assignment);
+            ckpt.store_domains(&fp, &domains)?;
+            domains
+        }
+    };
+    ckpt.kill_point("stage:domains")?;
     let mut clustering = StageStats::new("clustering", config.workers);
     clustering.wall = started.elapsed();
     clustering.rows_read = graph.num_edges() as u64;

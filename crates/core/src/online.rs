@@ -3,11 +3,34 @@
 
 use crate::config::EsharpConfig;
 use crate::domains::DomainCollection;
+use crate::error::EsharpResult;
 use crate::retriever::ExpertiseRetriever;
 use esharp_expert::{Detector, ExpertResult};
 use esharp_microblog::{Corpus, TweetId};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 use std::time::{Duration, Instant};
+
+/// Degraded-service state surfaced in [`SearchOutcome`] metadata when the
+/// weekly domain refresh fails: e# keeps answering queries — the paper's
+/// fallback position is always plain Pal & Counts — but callers can see
+/// (and alert on) the degradation instead of silently serving stale or
+/// unexpanded results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Degradation {
+    /// A domain reload failed; results come from the last known-good
+    /// collection (stale by one refresh cycle or more).
+    StaleDomains {
+        /// Why the reload failed.
+        error: String,
+    },
+    /// No domain collection has ever loaded; expansion is disabled and
+    /// results are plain (unexpanded) Pal & Counts.
+    NoDomains {
+        /// Why the load failed.
+        error: String,
+    },
+}
 
 /// The result of one online search, with the per-phase timings the
 /// paper reports in Table 9 (expansion < 100 ms, detection < 1 s).
@@ -24,6 +47,9 @@ pub struct SearchOutcome {
     pub expansion_time: Duration,
     /// Time spent matching and ranking.
     pub detection_time: Duration,
+    /// Present when the system is running degraded (stale or missing
+    /// domain collection); `None` on the healthy path.
+    pub degradation: Option<Degradation>,
 }
 
 /// The e# online system: a domain collection plus a detector
@@ -31,6 +57,9 @@ pub struct SearchOutcome {
 #[derive(Debug, Clone)]
 pub struct Esharp {
     domains: DomainCollection,
+    /// Sticky service state: set when a domain load/reload failed, cleared
+    /// by the next successful reload, copied into every outcome.
+    degradation: Option<Degradation>,
     config: EsharpConfig,
     /// Default retriever, built once at assembly time so the per-query
     /// path does not re-clone the detector configuration on every search.
@@ -43,14 +72,66 @@ impl Esharp {
         let retriever = crate::retriever::PalCountsRetriever::new(config.detector.clone());
         Esharp {
             domains,
+            degradation: None,
             config,
             retriever,
         }
     }
 
-    /// The domain collection.
+    /// Assemble from a persisted domain collection, strictly: a missing or
+    /// corrupt file is an error.
+    pub fn from_domains_file(path: impl AsRef<Path>, config: EsharpConfig) -> EsharpResult<Self> {
+        let domains = DomainCollection::load(path)?;
+        Ok(Esharp::new(domains, config))
+    }
+
+    /// Assemble from a persisted domain collection, degrading instead of
+    /// failing: when the file is missing or corrupt the system starts with
+    /// an empty collection (searches run unexpanded Pal & Counts) and
+    /// every outcome carries [`Degradation::NoDomains`].
+    pub fn from_domains_file_or_degraded(path: impl AsRef<Path>, config: EsharpConfig) -> Self {
+        match Self::from_domains_file(path, config.clone()) {
+            Ok(esharp) => esharp,
+            Err(e) => {
+                let mut esharp = Esharp::new(DomainCollection::default(), config);
+                esharp.degradation = Some(Degradation::NoDomains { error: e.to_string() });
+                esharp
+            }
+        }
+    }
+
+    /// Swap in a freshly persisted domain collection (the weekly refresh
+    /// hand-off). On failure the last known-good collection stays active,
+    /// subsequent outcomes carry [`Degradation::StaleDomains`] (or
+    /// [`Degradation::NoDomains`] if none ever loaded), and the error is
+    /// returned for logging — the serving path never goes down.
+    pub fn reload_domains(&mut self, path: impl AsRef<Path>) -> EsharpResult<()> {
+        match DomainCollection::load(path) {
+            Ok(domains) => {
+                self.domains = domains;
+                self.degradation = None;
+                Ok(())
+            }
+            Err(e) => {
+                let error = e.to_string();
+                self.degradation = Some(match self.degradation {
+                    Some(Degradation::NoDomains { .. }) => Degradation::NoDomains { error },
+                    _ => Degradation::StaleDomains { error },
+                });
+                Err(e.into())
+            }
+        }
+    }
+
+    /// The active domain collection (empty while running in
+    /// [`Degradation::NoDomains`] mode).
     pub fn domains(&self) -> &DomainCollection {
         &self.domains
+    }
+
+    /// Current degraded-service state, if any.
+    pub fn degradation(&self) -> Option<&Degradation> {
+        self.degradation.as_ref()
     }
 
     /// The configuration.
@@ -99,6 +180,7 @@ impl Esharp {
             matched_tweets: matched.len(),
             expansion_time,
             detection_time,
+            degradation: self.degradation.clone(),
         }
     }
 
@@ -116,6 +198,7 @@ impl Esharp {
             matched_tweets: matched.len(),
             expansion_time: Duration::ZERO,
             detection_time,
+            degradation: None,
         }
     }
 }
@@ -186,6 +269,61 @@ mod tests {
             plain.search(&corpus, q).experts,
             esharp.search_baseline(&corpus, q).experts
         );
+    }
+
+    #[test]
+    fn reload_failure_keeps_last_known_good_domains() {
+        let (_, corpus, mut esharp) = system();
+        let healthy = esharp.search(&corpus, "49ers");
+        assert!(healthy.degradation.is_none());
+
+        // Point the refresh at a corrupt file: the reload errors, the old
+        // collection keeps serving, and outcomes say so.
+        let dir = std::env::temp_dir().join("esharp_online_reload");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("domains.bin");
+        std::fs::write(&bad, b"ESRT garbage").unwrap();
+        assert!(esharp.reload_domains(&bad).is_err());
+
+        let degraded = esharp.search(&corpus, "49ers");
+        assert_eq!(degraded.expansion, healthy.expansion, "stale domains must keep serving");
+        assert_eq!(degraded.experts, healthy.experts);
+        assert!(
+            matches!(degraded.degradation, Some(Degradation::StaleDomains { .. })),
+            "got {:?}",
+            degraded.degradation
+        );
+
+        // A successful reload restores the healthy state.
+        esharp.domains().save(dir.join("good.bin")).unwrap();
+        esharp.reload_domains(dir.join("good.bin")).unwrap();
+        assert!(esharp.search(&corpus, "49ers").degradation.is_none());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn missing_domains_degrade_to_unexpanded_pal_counts() {
+        let (_, corpus, esharp) = system();
+        let degraded = Esharp::from_domains_file_or_degraded(
+            "/nonexistent/esharp/domains.bin",
+            esharp.config().clone(),
+        );
+        assert!(matches!(
+            degraded.degradation(),
+            Some(Degradation::NoDomains { .. })
+        ));
+        let out = degraded.search(&corpus, "49ers");
+        let baseline = esharp.search_baseline(&corpus, "49ers");
+        assert_eq!(out.expansion.len(), 1, "no-domains mode must not expand");
+        assert_eq!(out.experts, baseline.experts);
+        assert!(matches!(out.degradation, Some(Degradation::NoDomains { .. })));
+        // Strict constructor errors instead.
+        assert!(Esharp::from_domains_file(
+            "/nonexistent/esharp/domains.bin",
+            esharp.config().clone()
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! The crash-safety contract, end to end: kill the offline pipeline at
+//! every stage boundary, every clustering iteration, and every artifact
+//! write; restart it; and require artifacts **bit-identical** to an
+//! uninterrupted run. All kills are deterministic seed-driven injections
+//! (`esharp-fault`) — no real signals, no subprocesses, fully replayable.
+
+use esharp_core::{
+    run_offline_resumable, CheckpointDir, EsharpConfig, EsharpError, OfflineArtifacts,
+};
+use esharp_fault::{Fault, FaultPlan, RetryPolicy};
+use esharp_querylog::{AggregatedLog, LogConfig, LogGenerator, World, WorldConfig};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+fn inputs() -> (World, AggregatedLog, EsharpConfig) {
+    let world = World::generate(&WorldConfig::tiny(41));
+    let log = AggregatedLog::from_events(
+        LogGenerator::new(&world, &LogConfig::tiny(41)),
+        world.terms.len(),
+    );
+    (world, log, EsharpConfig::tiny())
+}
+
+fn fresh_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every checkpoint file in `dir`, by name, byte for byte.
+fn file_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let entry = entry.unwrap();
+        out.insert(
+            entry.file_name().to_string_lossy().into_owned(),
+            std::fs::read(entry.path()).unwrap(),
+        );
+    }
+    out
+}
+
+fn assert_artifacts_match(site: &str, got: &OfflineArtifacts, want: &OfflineArtifacts) {
+    assert_eq!(
+        got.domains.domains(),
+        want.domains.domains(),
+        "{site}: domains diverged after resume"
+    );
+    assert_eq!(
+        got.outcome.assignment.as_slice(),
+        want.outcome.assignment.as_slice(),
+        "{site}: assignment diverged"
+    );
+    assert_eq!(got.outcome.trace, want.outcome.trace, "{site}: trace diverged");
+    for (a, b) in got.outcome.trace.iter().zip(&want.outcome.trace) {
+        assert_eq!(
+            a.total_modularity.to_bits(),
+            b.total_modularity.to_bits(),
+            "{site}: modularity not bit-identical at iteration {}",
+            a.iteration
+        );
+    }
+    assert_eq!(got.graph.num_nodes(), want.graph.num_nodes(), "{site}");
+    assert_eq!(got.graph.edges(), want.graph.edges(), "{site}: graph edges diverged");
+    assert_eq!(got.dropped_terms, want.dropped_terms, "{site}");
+}
+
+#[test]
+fn killed_at_every_stage_resumes_bit_identical() {
+    let (world, log, config) = inputs();
+
+    // Reference: one uninterrupted checkpointed run.
+    let ref_dir = fresh_dir("esharp_crash_ref");
+    let ref_ckpt = CheckpointDir::new(&ref_dir).unwrap();
+    let reference = run_offline_resumable(&log, &world, &config, &ref_ckpt).unwrap();
+    let ref_files = file_bytes(&ref_dir);
+    assert_eq!(ref_files.len(), 5, "expected one checkpoint per stage: {ref_files:?}");
+
+    // Kill sites: every stage boundary, every artifact write, and every
+    // clustering iteration the reference run actually executed.
+    let mut sites: Vec<String> = [
+        "stage:filtered",
+        "stage:graph",
+        "stage:multigraph",
+        "stage:clustering",
+        "stage:domains",
+        "write:filtered.ck",
+        "write:graph.ck",
+        "write:multigraph.ck",
+        "write:clustering.progress",
+        "write:clustering.ck",
+        "write:domains.ck",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    for stat in &reference.outcome.trace {
+        sites.push(format!("iter:{}", stat.iteration));
+    }
+    assert!(
+        sites.iter().any(|s| s == "iter:1"),
+        "reference run converged without iterating; the matrix would not cover mid-stage kills"
+    );
+
+    for site in &sites {
+        let dir = fresh_dir(&format!("esharp_crash_{}", site.replace([':', '.'], "_")));
+
+        // Run 1: dies at the planned site.
+        let killer = CheckpointDir::new(&dir)
+            .unwrap()
+            .with_faults(Arc::new(FaultPlan::new(9).kill_at(site)), RetryPolicy::none());
+        let err = run_offline_resumable(&log, &world, &config, &killer)
+            .expect_err(&format!("{site}: planned kill did not fire"));
+        assert!(matches!(err, EsharpError::Io { .. }), "{site}: {err:?}");
+
+        // Run 2: restarts with no faults and must finish from what survived.
+        let resumer = CheckpointDir::new(&dir).unwrap();
+        let resumed = run_offline_resumable(&log, &world, &config, &resumer)
+            .unwrap_or_else(|e| panic!("{site}: resume failed: {e}"));
+
+        assert_artifacts_match(site, &resumed, &reference);
+        assert_eq!(
+            file_bytes(&dir),
+            ref_files,
+            "{site}: on-disk checkpoints differ from the uninterrupted run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+#[test]
+fn clustering_killed_mid_run_restarts_from_its_iteration_not_zero() {
+    let (world, log, config) = inputs();
+    let dir = fresh_dir("esharp_crash_iter_resume");
+
+    // Die right after iteration 1's progress persists.
+    let killer = CheckpointDir::new(&dir)
+        .unwrap()
+        .with_faults(Arc::new(FaultPlan::new(3).kill_at("iter:1")), RetryPolicy::none());
+    run_offline_resumable(&log, &world, &config, &killer).unwrap_err();
+
+    // The resumed run must re-enter clustering at iteration 2: observing a
+    // kill plan for iterations 0 and 1 proves neither site is consulted
+    // again (the trace checkpoint carried the loop past them).
+    let no_replay = FaultPlan::new(3).kill_at("iter:0").kill_at("iter:1");
+    let resumer = CheckpointDir::new(&dir)
+        .unwrap()
+        .with_faults(Arc::new(no_replay), RetryPolicy::none());
+    let resumed = run_offline_resumable(&log, &world, &config, &resumer)
+        .expect("resume must skip already-persisted iterations");
+
+    let reference = {
+        let ref_dir = fresh_dir("esharp_crash_iter_ref");
+        let ckpt = CheckpointDir::new(&ref_dir).unwrap();
+        let artifacts = run_offline_resumable(&log, &world, &config, &ckpt).unwrap();
+        let _ = std::fs::remove_dir_all(&ref_dir);
+        artifacts
+    };
+    assert_artifacts_match("iter-resume", &resumed, &reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_checkpoint_writes_never_corrupt_resume() {
+    let (world, log, config) = inputs();
+    let dir = fresh_dir("esharp_crash_torn");
+
+    // Tear the graph checkpoint write mid-stream: the run fails, but the
+    // destination file is never shadowed by the partial temp file.
+    let plan = FaultPlan::new(11).trigger(
+        "write:graph.ck",
+        0,
+        Fault::TornWrite { numerator: 1, denominator: 2 },
+    );
+    let torn = CheckpointDir::new(&dir)
+        .unwrap()
+        .with_faults(Arc::new(plan), RetryPolicy::none());
+    run_offline_resumable(&log, &world, &config, &torn).unwrap_err();
+    assert!(
+        !dir.join("graph.ck").exists(),
+        "torn write must not publish a graph checkpoint"
+    );
+
+    // A clean restart recomputes the torn stage and completes.
+    let resumed =
+        run_offline_resumable(&log, &world, &config, &CheckpointDir::new(&dir).unwrap()).unwrap();
+    assert!(resumed.domains.len() > 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transient_write_faults_are_retried_to_success() {
+    let (world, log, config) = inputs();
+    let dir = fresh_dir("esharp_crash_retry");
+
+    // Transient I/O errors on the first two attempts of every checkpoint
+    // write; the bounded retry (3 attempts) absorbs them and the pipeline
+    // completes in one go.
+    let mut plan = FaultPlan::new(5);
+    for file in ["filtered.ck", "graph.ck", "multigraph.ck", "clustering.ck", "domains.ck"] {
+        for attempt in 0..2 {
+            plan = plan.trigger(
+                &format!("write:{file}"),
+                attempt,
+                Fault::IoError { transient: true },
+            );
+        }
+    }
+    let ckpt = CheckpointDir::new(&dir)
+        .unwrap()
+        .with_faults(Arc::new(plan), RetryPolicy { max_attempts: 3 });
+    let artifacts = run_offline_resumable(&log, &world, &config, &ckpt).unwrap();
+    assert!(artifacts.domains.len() > 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,7 +1,10 @@
 //! The evaluation testbed: one coherent world, search log, corpus and
 //! trained e# instance shared by every experiment.
 
-use esharp_core::{run_offline, Esharp, EsharpConfig, OfflineArtifacts};
+use esharp_core::{
+    run_offline, run_offline_resumable, CheckpointDir, Esharp, EsharpConfig, EsharpResult,
+    OfflineArtifacts,
+};
 use esharp_microblog::{generate_corpus, Corpus, CorpusConfig};
 use esharp_querylog::{AggregatedLog, LogConfig, LogGenerator, World, WorldConfig};
 use serde::{Deserialize, Serialize};
@@ -57,6 +60,34 @@ impl Testbed {
             config: esharp_cfg,
             scale,
         }
+    }
+
+    /// [`Testbed::build`] through the crash-safe offline pipeline: every
+    /// stage is checkpointed into `ckpt`, and a rerun (same scale + seed)
+    /// resumes from whatever validated checkpoints survive. Unlike
+    /// [`Testbed::build`] this propagates persistence failures instead of
+    /// panicking — the CLI turns them into a nonzero exit.
+    pub fn build_resumable(
+        scale: EvalScale,
+        seed: u64,
+        ckpt: &CheckpointDir,
+    ) -> EsharpResult<Testbed> {
+        let (world_cfg, log_cfg, corpus_cfg, esharp_cfg) = presets(scale, seed);
+        let world = World::generate(&world_cfg);
+        let events = LogGenerator::new(&world, &log_cfg);
+        let log = AggregatedLog::from_events(events, world.terms.len());
+        let artifacts = run_offline_resumable(&log, &world, &esharp_cfg, ckpt)?;
+        let corpus = generate_corpus(&world, &corpus_cfg);
+        let esharp = Esharp::new(artifacts.domains.clone(), esharp_cfg.clone());
+        Ok(Testbed {
+            world,
+            log,
+            artifacts,
+            corpus,
+            esharp,
+            config: esharp_cfg,
+            scale,
+        })
     }
 
     /// Rebuild the online system with a different detector threshold
@@ -136,6 +167,29 @@ mod tests {
         assert!(!tb.corpus.tweets().is_empty());
         let out = tb.esharp.search(&tb.corpus, "49ers");
         assert!(!out.expansion.is_empty());
+    }
+
+    #[test]
+    fn resumable_build_matches_plain_build() {
+        let dir = std::env::temp_dir().join("esharp_harness_resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        let ckpt = CheckpointDir::new(&dir).unwrap();
+        let plain = Testbed::build(EvalScale::Tiny, 61);
+        // Cold: every stage computed and checkpointed. Warm: every stage
+        // loaded back. Both must match the checkpoint-free build exactly.
+        let cold = Testbed::build_resumable(EvalScale::Tiny, 61, &ckpt).unwrap();
+        let warm = Testbed::build_resumable(EvalScale::Tiny, 61, &ckpt).unwrap();
+        for (name, tb) in [("cold", &cold), ("warm", &warm)] {
+            assert_eq!(
+                tb.artifacts.domains.domains(),
+                plain.artifacts.domains.domains(),
+                "{name} domains diverged"
+            );
+            assert_eq!(tb.artifacts.outcome.trace, plain.artifacts.outcome.trace);
+            assert_eq!(tb.artifacts.graph.num_edges(), plain.artifacts.graph.num_edges());
+            assert_eq!(tb.artifacts.dropped_terms, plain.artifacts.dropped_terms);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -5,15 +5,25 @@
 //! iterations); JSON is ~4× larger and slower for numeric columns. Format:
 //!
 //! ```text
-//! magic "ESRT" | version u16 | columns u32 | rows u64
+//! magic "ESRT" | version u16 | crc32 u32 (v2+) | columns u32 | rows u64
 //! per column: name (u16 len + utf8) | dtype u8 | payload
 //!   Bool : rows bytes (0/1)
 //!   Int  : rows × i64 LE
 //!   Float: rows × f64 LE
 //!   Str  : rows × (u32 len + utf8)
 //! ```
+//!
+//! Version 2 (current) adds a CRC32 over everything after the checksum
+//! field, so a torn write, truncation, or silent single-bit flip anywhere
+//! in the frame is detected at decode time instead of yielding a
+//! plausible-but-wrong table. Version 1 frames (no checksum) remain
+//! readable for artifacts persisted by older runs.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::atomic::{atomic_write, atomic_write_with, crc32};
 use crate::column::Column;
+use esharp_fault::{FaultInjector, RetryPolicy};
 use crate::error::{RelError, RelResult};
 use crate::schema::{Field, Schema};
 use crate::table::Table;
@@ -22,47 +32,54 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"ESRT";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
-/// Serialize a table into the binary format.
+/// Serialize a table into the binary format (v2: checksummed).
 pub fn encode_table(table: &Table) -> Bytes {
-    let mut buf = BytesMut::with_capacity(table.byte_size() + 64);
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u32_le(table.schema().len() as u32);
-    buf.put_u64_le(table.num_rows() as u64);
+    // The checksum covers everything after the crc field, so the payload
+    // is built first and the header prepended once the crc is known.
+    let mut payload = BytesMut::with_capacity(table.byte_size() + 64);
+    payload.put_u32_le(table.schema().len() as u32);
+    payload.put_u64_le(table.num_rows() as u64);
     for (field, column) in table.schema().fields().iter().zip(table.columns()) {
-        buf.put_u16_le(field.name.len() as u16);
-        buf.put_slice(field.name.as_bytes());
-        buf.put_u8(dtype_tag(field.dtype));
+        payload.put_u16_le(field.name.len() as u16);
+        payload.put_slice(field.name.as_bytes());
+        payload.put_u8(dtype_tag(field.dtype));
         match column {
             Column::Bool(v) => {
                 for &b in v {
-                    buf.put_u8(b as u8);
+                    payload.put_u8(b as u8);
                 }
             }
             Column::Int(v) => {
                 for &i in v {
-                    buf.put_i64_le(i);
+                    payload.put_i64_le(i);
                 }
             }
             Column::Float(v) => {
                 for &x in v {
-                    buf.put_f64_le(x);
+                    payload.put_f64_le(x);
                 }
             }
             Column::Str(v) => {
                 for s in v {
-                    buf.put_u32_le(s.len() as u32);
-                    buf.put_slice(s.as_bytes());
+                    payload.put_u32_le(s.len() as u32);
+                    payload.put_slice(s.as_bytes());
                 }
             }
         }
     }
+    let payload = payload.freeze();
+    let mut buf = BytesMut::with_capacity(payload.len() + 10);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(crc32(&payload));
+    buf.put_slice(&payload);
     buf.freeze()
 }
 
-/// Deserialize a table from the binary format.
+/// Deserialize a table from the binary format. Accepts the current
+/// checksummed v2 frames and legacy v1 frames (no checksum).
 pub fn decode_table(mut data: Bytes) -> RelResult<Table> {
     let err = |msg: &str| RelError::Eval(format!("binary table decode: {msg}"));
     if data.remaining() < 4 + 2 + 4 + 8 {
@@ -74,8 +91,18 @@ pub fn decode_table(mut data: Bytes) -> RelResult<Table> {
         return Err(err("bad magic"));
     }
     let version = data.get_u16_le();
-    if version != VERSION {
-        return Err(err(&format!("unsupported version {version}")));
+    match version {
+        1 => {}
+        2 => {
+            if data.remaining() < 4 + 4 + 8 {
+                return Err(err("truncated header"));
+            }
+            let expected = data.get_u32_le();
+            if crc32(&data[..]) != expected {
+                return Err(err("checksum mismatch"));
+            }
+        }
+        other => return Err(err(&format!("unsupported version {other}"))),
     }
     let columns = data.get_u32_le() as usize;
     let rows = data.get_u64_le() as usize;
@@ -147,7 +174,89 @@ pub fn decode_table(mut data: Bytes) -> RelResult<Table> {
         fields.push(Field::new(name, dtype));
         cols.push(column);
     }
+    if data.remaining() > 0 {
+        return Err(err("trailing bytes after the last column"));
+    }
     Table::new(Arc::new(Schema::new(fields)?), cols)
+}
+
+/// Concatenate tables into one buffer of length-prefixed frames
+/// (`u64 LE frame length | frame` per table) — the on-disk container the
+/// graph file and the checkpoint artifacts use.
+pub fn encode_frames(tables: &[Table]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for table in tables {
+        let bytes = encode_table(table);
+        out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&bytes);
+    }
+    out
+}
+
+/// Decode a buffer of length-prefixed frames produced by
+/// [`encode_frames`]. Strict: a truncated prefix, an overlong length, or
+/// trailing bytes after the final frame all error — extra bytes after a
+/// valid prefix are how a torn append masquerades as a good artifact.
+pub fn decode_frames(data: &[u8]) -> RelResult<Vec<Table>> {
+    let err = |msg: &str| RelError::Eval(format!("binary container decode: {msg}"));
+    let mut tables = Vec::new();
+    let mut rest = data;
+    while !rest.is_empty() {
+        if rest.len() < 8 {
+            return Err(err("trailing bytes where a frame length was expected"));
+        }
+        let (len_bytes, tail) = rest.split_at(8);
+        let len = u64::from_le_bytes(
+            len_bytes
+                .try_into()
+                .map_err(|_| err("unreadable frame length"))?,
+        ) as usize;
+        if len > tail.len() {
+            return Err(err("frame length exceeds remaining bytes"));
+        }
+        let (frame, tail) = tail.split_at(len);
+        tables.push(decode_table(Bytes::copy_from_slice(frame))?);
+        rest = tail;
+    }
+    Ok(tables)
+}
+
+/// Decode exactly `expect` frames; anything else (including trailing
+/// bytes, which [`decode_frames`] already rejects) errors.
+pub fn decode_frames_exact(data: &[u8], expect: usize) -> RelResult<Vec<Table>> {
+    let tables = decode_frames(data)?;
+    if tables.len() != expect {
+        return Err(RelError::Eval(format!(
+            "binary container decode: expected {expect} frames, found {}",
+            tables.len()
+        )));
+    }
+    Ok(tables)
+}
+
+/// Export a table to `path` atomically (write-temp-then-rename) in the
+/// checksummed binary format.
+pub fn save_table(table: &Table, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    atomic_write(path, &encode_table(table))
+}
+
+/// [`save_table`] with fault injection and bounded retry.
+pub fn save_table_with(
+    table: &Table,
+    path: impl AsRef<std::path::Path>,
+    injector: &dyn FaultInjector,
+    site: &str,
+    retry: &RetryPolicy,
+) -> std::io::Result<()> {
+    atomic_write_with(path, &encode_table(table), injector, site, retry)
+}
+
+/// Load a table exported by [`save_table`]. Corruption (truncation, bit
+/// flips, trailing garbage) surfaces as an error, never a panic.
+pub fn load_table(path: impl AsRef<std::path::Path>) -> std::io::Result<Table> {
+    let data = std::fs::read(path)?;
+    decode_table(Bytes::from(data))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
 fn dtype_tag(dtype: DataType) -> u8 {
@@ -229,6 +338,85 @@ mod tests {
             let prefix = Bytes::copy_from_slice(&encoded[..cut]);
             assert!(decode_table(prefix).is_err(), "cut at {cut} accepted");
         }
+    }
+
+    #[test]
+    fn v1_frames_remain_readable() {
+        let t = sample();
+        let v2 = encode_table(&t);
+        // A v1 frame is the same payload without the crc field.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(b"ESRT");
+        v1.extend_from_slice(&1u16.to_le_bytes());
+        v1.extend_from_slice(&v2[10..]);
+        let decoded = decode_table(Bytes::from(v1)).unwrap();
+        assert_eq!(decoded, t);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let encoded = encode_table(&sample());
+        for byte in 0..encoded.len() {
+            for bit in 0..8 {
+                let mut bad = encoded.to_vec();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode_table(Bytes::from(bad)).is_err(),
+                    "bit flip at byte {byte} bit {bit} accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_table(&sample()).to_vec();
+        bytes.push(0);
+        assert!(decode_table(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn frame_container_round_trips_and_rejects_corruption() {
+        let a = sample();
+        let b = Table::empty(Schema::of(&[("x", DataType::Int)]));
+        let buf = encode_frames(&[a.clone(), b.clone()]);
+        let back = decode_frames_exact(&buf, 2).unwrap();
+        assert_eq!(back[0], a);
+        assert_eq!(back[1], b);
+        // Truncation at every byte boundary errors under the expected
+        // frame count (a cut exactly at a frame boundary is a *valid
+        // shorter* container, which only the count check can reject —
+        // that is why every consumer states its frame count).
+        for cut in 0..buf.len() {
+            assert!(
+                decode_frames_exact(&buf[..cut], 2).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+        // Trailing garbage errors.
+        let mut extra = buf.clone();
+        extra.extend_from_slice(&[1, 2, 3]);
+        assert!(decode_frames(&extra).is_err());
+        // Wrong frame count errors.
+        assert!(decode_frames_exact(&buf, 1).is_err());
+    }
+
+    #[test]
+    fn table_file_export_round_trips_and_detects_bit_flips() {
+        let dir = std::env::temp_dir().join("esharp_binfmt_file_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("table.tbl");
+        let t = sample();
+        save_table(&t, &path).unwrap();
+        assert_eq!(load_table(&path).unwrap(), t);
+        let good = std::fs::read(&path).unwrap();
+        for byte in 0..good.len() {
+            let mut bad = good.clone();
+            bad[byte] ^= 0x10;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(load_table(&path).is_err(), "flip in byte {byte} accepted");
+        }
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

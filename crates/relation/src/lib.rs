@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod atomic;
 pub mod binfmt;
 mod catalog;
 pub mod csv;

@@ -3,8 +3,10 @@
 #
 #   build   release build of the whole workspace
 #   test    the full test suite (unit + property + integration)
+#   crash   the kill/resume fault matrix (ROBUSTNESS.md)
 #   bench   all Criterion bench targets compile (not run)
 #   clippy  workspace lints, warnings are errors
+#   panic   persistence/checkpoint modules keep their no-panic lint gate
 #
 # Usage: scripts/tier1.sh   (from the repo root or anywhere inside it)
 set -euo pipefail
@@ -16,10 +18,23 @@ cargo build --release
 echo "== tier-1: cargo test -q"
 cargo test -q
 
+echo "== tier-1: cargo test -q -p esharp-core --test crashsafety"
+cargo test -q -p esharp-core --test crashsafety
+
 echo "== tier-1: cargo bench --no-run"
 cargo bench --no-run
 
 echo "== tier-1: cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
+
+echo "== tier-1: no-panic gate on the durability layer"
+for f in crates/relation/src/atomic.rs crates/relation/src/binfmt.rs \
+         crates/graph/src/io.rs crates/core/src/domains.rs \
+         crates/core/src/checkpoint.rs; do
+  grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' "$f" || {
+    echo "missing unwrap/expect deny gate in $f" >&2
+    exit 1
+  }
+done
 
 echo "== tier-1: OK"
