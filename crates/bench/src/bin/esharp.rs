@@ -25,6 +25,17 @@
 //!     Measure offline kernel throughput (graph build, clustering,
 //!     relational exec) at 1/2/4/8 workers; --json additionally writes
 //!     BENCH_offline.json.
+//!
+//! esharp bench --serve [--json] [--seed N] [--requests N] [--out DIR]
+//!     Closed-loop load generation against an in-process server: a steady
+//!     phase (4 workers) and an overload phase (1 worker, 2-deep queue)
+//!     replaying a Zipf query mix; --json writes BENCH_serve.json.
+//!
+//! esharp serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]
+//!              [--queue-depth N] [--domains FILE] [--scale …] [--seed N]
+//!     Build the testbed and serve it over HTTP: GET /search?q=…,
+//!     GET /healthz, GET /metrics, POST /reload (hot domain reload from
+//!     --domains). Runs until killed.
 //! ```
 
 use esharp_eval::{EvalScale, Testbed};
@@ -44,14 +55,15 @@ fn main() {
         "inspect" => inspect(&opts),
         "sql" => sql(&opts),
         "bench" => bench(&opts),
+        "serve" => serve(&opts),
         "--help" | "-h" | "help" => {
-            println!("subcommands: build, search, inspect, sql, bench");
-            println!("flags: --scale tiny|small|paper, --seed N, --out DIR, --checkpoint-dir DIR, --resume, --baseline, --top K, -k N, --json, --events N");
+            println!("subcommands: build, search, inspect, sql, bench, serve");
+            println!("flags: --scale tiny|small|paper, --seed N, --out DIR, --checkpoint-dir DIR, --resume, --baseline, --top K, -k N, --json, --events N, --serve, --requests N, --addr HOST:PORT, --workers N, --cache-capacity N, --queue-depth N, --domains FILE");
         }
-        other => {
-            eprintln!("unknown subcommand {other:?}");
-            std::process::exit(2);
-        }
+        other => fail(
+            "parse arguments",
+            format!("unknown subcommand {other:?} (run esharp --help)"),
+        ),
     }
 }
 
@@ -66,6 +78,13 @@ struct Options {
     events: u64,
     top: usize,
     k: usize,
+    serve_bench: bool,
+    requests: u64,
+    addr: String,
+    workers: usize,
+    cache_capacity: usize,
+    queue_depth: usize,
+    domains: Option<String>,
     positional: Vec<String>,
 }
 
@@ -82,6 +101,13 @@ impl Options {
             events: 100_000,
             top: 5,
             k: 3,
+            serve_bench: false,
+            requests: 20_000,
+            addr: "127.0.0.1:8080".to_string(),
+            workers: 4,
+            cache_capacity: 1024,
+            queue_depth: 64,
+            domains: None,
             positional: Vec::new(),
         };
         let mut iter = args.iter();
@@ -107,6 +133,27 @@ impl Options {
                 "--events" => opts.events = next_num(&mut iter, "--events"),
                 "--top" => opts.top = next_num(&mut iter, "--top") as usize,
                 "-k" => opts.k = next_num(&mut iter, "-k") as usize,
+                "--serve" => opts.serve_bench = true,
+                "--requests" => opts.requests = next_num(&mut iter, "--requests"),
+                "--addr" => {
+                    opts.addr = iter
+                        .next()
+                        .cloned()
+                        .unwrap_or_else(|| fail("parse arguments", "--addr expects HOST:PORT"))
+                }
+                "--workers" => opts.workers = next_num(&mut iter, "--workers") as usize,
+                "--cache-capacity" => {
+                    opts.cache_capacity = next_num(&mut iter, "--cache-capacity") as usize
+                }
+                "--queue-depth" => opts.queue_depth = next_num(&mut iter, "--queue-depth") as usize,
+                "--domains" => opts.domains = iter.next().cloned(),
+                // Unknown flags are hard errors (a typo silently becoming
+                // a positional argument is how `--bsaeline` runs the wrong
+                // experiment); only non-dash tokens are positionals.
+                other if other.starts_with('-') => fail(
+                    "parse arguments",
+                    format!("unknown flag {other:?} (run esharp --help)"),
+                ),
                 other => opts.positional.push(other.to_string()),
             }
         }
@@ -233,6 +280,23 @@ fn inspect(opts: &Options) {
 }
 
 fn bench(opts: &Options) {
+    if opts.serve_bench {
+        eprintln!(
+            "load-testing the serving layer ({} steady requests, seed {})…",
+            opts.requests, opts.seed
+        );
+        let report = esharp_bench::serve::run(opts.seed, opts.requests)
+            .unwrap_or_else(|e| fail("serve bench", e));
+        print!("{}", report.render_table());
+        if opts.json {
+            let dir = opts.out.as_deref().unwrap_or(".");
+            let path = format!("{dir}/BENCH_serve.json");
+            std::fs::write(&path, report.to_json())
+                .unwrap_or_else(|e| fail("write BENCH_serve.json", e));
+            println!("wrote {path}");
+        }
+        return;
+    }
     eprintln!(
         "measuring offline throughput ({} events, seed {})…",
         opts.events, opts.seed
@@ -246,6 +310,44 @@ fn bench(opts: &Options) {
         std::fs::write(&path, report.to_json())
             .unwrap_or_else(|e| fail("write BENCH_offline.json", e));
         println!("wrote {path}");
+    }
+}
+
+fn serve(opts: &Options) {
+    use esharp_serve::{ServeConfig, Server};
+    let tb = testbed(opts);
+    let config = ServeConfig {
+        workers: opts.workers,
+        cache_capacity: opts.cache_capacity,
+        queue_depth: opts.queue_depth,
+        domains_path: opts.domains.clone().map(std::path::PathBuf::from),
+    };
+    if let Some(path) = &config.domains_path {
+        // Fail fast on an unusable reload source rather than at the first
+        // POST /reload in production.
+        if !path.exists() {
+            eprintln!("esharp: warning: --domains {} does not exist yet; POST /reload will fail until it does", path.display());
+        }
+    } else {
+        eprintln!("esharp: note: no --domains file; POST /reload will answer 400");
+    }
+    let server = Server::start(
+        &opts.addr,
+        config,
+        std::sync::Arc::new(tb.corpus),
+        std::sync::Arc::new(esharp_core::SharedEsharp::new(tb.esharp)),
+    )
+    .unwrap_or_else(|e| fail("bind server", e));
+    println!(
+        "serving on http://{} ({} workers, cache {}, queue {}) — Ctrl-C to stop",
+        server.local_addr(),
+        opts.workers,
+        opts.cache_capacity,
+        opts.queue_depth
+    );
+    println!("endpoints: GET /search?q=…  GET /healthz  GET /metrics  POST /reload");
+    loop {
+        std::thread::park();
     }
 }
 

@@ -16,10 +16,14 @@
 //! * `offline_throughput` — the three parallel offline kernels at
 //!   1/2/4/8 workers; `esharp bench --json` writes the same measurement
 //!   to `BENCH_offline.json` (see the [`offline`] module).
+//! * `esharp bench --serve` — closed-loop load generation against the
+//!   serving layer (steady + overload phases), writing `BENCH_serve.json`
+//!   (see the [`serve`] module).
 
 #![warn(missing_docs)]
 
 pub mod offline;
+pub mod serve;
 
 use esharp_graph::MultiGraph;
 use rand::rngs::StdRng;

@@ -1,0 +1,429 @@
+//! Closed-loop load generator for the serving layer (`esharp bench
+//! --serve`).
+//!
+//! Boots an in-process [`esharp_serve::Server`] on an ephemeral port and
+//! replays a Zipf-distributed query mix from closed-loop client threads
+//! (each client issues its next request only after reading the previous
+//! response — throughput is an *achieved* number, not an offered one).
+//! Two phases:
+//!
+//! * **steady** — 4 workers, default queue: measures throughput and the
+//!   Table 9 budget (p99 detection-inclusive latency < 1 s).
+//! * **overload** — 1 worker, a 2-deep queue, 4× the clients: drives the
+//!   admission queue into saturation and measures the shed rate plus the
+//!   latency of the requests that *were* admitted (shedding must protect
+//!   them, not just the server).
+//!
+//! `to_json` renders `BENCH_serve.json` by hand, like the offline report.
+
+use esharp_core::SharedEsharp;
+use esharp_eval::{EvalScale, Testbed};
+use esharp_serve::http::percent_encode;
+use esharp_serve::{ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Measured results of one load phase.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Phase name (`steady` / `overload`).
+    pub name: &'static str,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Admission queue depth.
+    pub queue_depth: usize,
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Requests completed with `200`.
+    pub ok: u64,
+    /// Requests answered `503` (shed).
+    pub shed: u64,
+    /// Transport or unexpected-status failures.
+    pub errors: u64,
+    /// Wall time of the phase in seconds.
+    pub elapsed_secs: f64,
+    /// Completed (`200`) requests per second.
+    pub throughput_rps: f64,
+    /// Median latency of `200` responses, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile latency of `200` responses, microseconds.
+    pub p99_us: u64,
+    /// Worst `200` latency, microseconds.
+    pub max_us: u64,
+}
+
+/// The full `esharp bench --serve` report.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// Logical CPUs of the measuring host.
+    pub host_cpus: usize,
+    /// Testbed seed (corpus, domains, and query mix all derive from it).
+    pub seed: u64,
+    /// Distinct queries in the Zipf mix.
+    pub distinct_queries: usize,
+    /// Cache hit rate scraped from `/metrics` after the steady phase.
+    pub steady_hit_rate: f64,
+    /// One entry per phase, steady first.
+    pub phases: Vec<PhaseReport>,
+}
+
+impl ServeBenchReport {
+    /// Render the report as a stable, human-diffable JSON document
+    /// (hand-rolled, same contract as `BENCH_offline.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"serve\",\n");
+        out.push_str(&format!("  \"host_cpus\": {},\n", self.host_cpus));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!(
+            "  \"distinct_queries\": {},\n",
+            self.distinct_queries
+        ));
+        out.push_str(&format!(
+            "  \"steady_hit_rate\": {:.4},\n",
+            self.steady_hit_rate
+        ));
+        out.push_str("  \"phases\": [\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"workers\": {}, \"queue_depth\": {}, \"clients\": {}, \
+                 \"ok\": {}, \"shed\": {}, \"errors\": {}, \"elapsed_secs\": {:.3}, \
+                 \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}{}\n",
+                p.name,
+                p.workers,
+                p.queue_depth,
+                p.clients,
+                p.ok,
+                p.shed,
+                p.errors,
+                p.elapsed_secs,
+                p.throughput_rps,
+                p.p50_us,
+                p.p99_us,
+                p.max_us,
+                if i + 1 < self.phases.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// One row per phase, formatted for terminal output.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "serve bench — {} distinct queries (Zipf), seed {}, host_cpus={}, steady hit rate {:.1}%\n",
+            self.distinct_queries,
+            self.seed,
+            self.host_cpus,
+            self.steady_hit_rate * 100.0
+        ));
+        out.push_str("phase     wrk  queue  clients  ok      shed    req/s      p50        p99\n");
+        for p in &self.phases {
+            out.push_str(&format!(
+                "{:<9} {:>3}  {:>5}  {:>7}  {:>6}  {:>6}  {:>8.0}  {:>7}µs  {:>7}µs\n",
+                p.name, p.workers, p.queue_depth, p.clients, p.ok, p.shed, p.throughput_rps,
+                p.p50_us, p.p99_us
+            ));
+        }
+        out
+    }
+}
+
+/// A Zipf(s≈1.1) sampler over the testbed's canonical domain terms,
+/// implemented with integer cumulative weights so it only needs the
+/// integer `gen_range` the rest of the bench crate already uses.
+struct ZipfQueries {
+    /// Percent-encoded queries, most popular first.
+    encoded: Vec<String>,
+    cumulative: Vec<u64>,
+    total: u64,
+}
+
+impl ZipfQueries {
+    fn new(testbed: &Testbed) -> ZipfQueries {
+        let encoded: Vec<String> = testbed
+            .world
+            .domains
+            .iter()
+            .take(32)
+            .map(|d| percent_encode(&testbed.world.terms[d.terms[0] as usize].text))
+            .collect();
+        let mut cumulative = Vec::with_capacity(encoded.len());
+        let mut total = 0u64;
+        for rank in 0..encoded.len() {
+            // 1e6 / rank^1.1, precomputed in fixed point.
+            let weight = (1e6 / ((rank + 1) as f64).powf(1.1)) as u64;
+            total += weight.max(1);
+            cumulative.push(total);
+        }
+        ZipfQueries {
+            encoded,
+            cumulative,
+            total,
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> &str {
+        let ticket = rng.gen_range(0..self.total);
+        let index = self
+            .cumulative
+            .partition_point(|&c| c <= ticket)
+            .min(self.encoded.len() - 1);
+        &self.encoded[index]
+    }
+}
+
+struct PhaseOutcome {
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    elapsed: Duration,
+    /// Sorted latencies of `200` responses, microseconds.
+    latencies_us: Vec<u64>,
+}
+
+/// Run one closed-loop phase: `clients` threads draw `requests` total
+/// from a shared budget, each completing its request (connect → send →
+/// full response) before drawing the next.
+fn run_phase(
+    addr: SocketAddr,
+    queries: &Arc<ZipfQueries>,
+    seed: u64,
+    clients: usize,
+    requests: u64,
+) -> PhaseOutcome {
+    let budget = Arc::new(AtomicU64::new(requests));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let budget = Arc::clone(&budget);
+            let queries = Arc::clone(queries);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e37));
+                let mut ok = 0u64;
+                let mut shed = 0u64;
+                let mut errors = 0u64;
+                let mut latencies = Vec::new();
+                let mut response = Vec::with_capacity(4096);
+                while budget
+                    .fetch_update(SeqCst, SeqCst, |b| b.checked_sub(1))
+                    .is_ok()
+                {
+                    let query = queries.sample(&mut rng);
+                    let request_started = Instant::now();
+                    let status = (|| -> std::io::Result<u16> {
+                        let mut stream = TcpStream::connect(addr)?;
+                        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+                        stream.write_all(
+                            format!("GET /search?q={query} HTTP/1.1\r\nHost: bench\r\n\r\n")
+                                .as_bytes(),
+                        )?;
+                        response.clear();
+                        stream.read_to_end(&mut response)?;
+                        std::str::from_utf8(&response)
+                            .ok()
+                            .and_then(|t| t.split(' ').nth(1)?.parse().ok())
+                            .ok_or_else(|| {
+                                std::io::Error::new(std::io::ErrorKind::InvalidData, "no status")
+                            })
+                    })();
+                    match status {
+                        Ok(200) => {
+                            ok += 1;
+                            let us = u64::try_from(request_started.elapsed().as_micros())
+                                .unwrap_or(u64::MAX);
+                            latencies.push(us);
+                        }
+                        Ok(503) => shed += 1,
+                        _ => errors += 1,
+                    }
+                }
+                (ok, shed, errors, latencies)
+            })
+        })
+        .collect();
+
+    let mut ok = 0;
+    let mut shed = 0;
+    let mut errors = 0;
+    let mut latencies_us = Vec::new();
+    for handle in handles {
+        if let Ok((o, s, e, l)) = handle.join() {
+            ok += o;
+            shed += s;
+            errors += e;
+            latencies_us.extend(l);
+        } else {
+            errors += 1;
+        }
+    }
+    latencies_us.sort_unstable();
+    PhaseOutcome {
+        ok,
+        shed,
+        errors,
+        elapsed: started.elapsed(),
+        latencies_us,
+    }
+}
+
+/// Exact quantile over sorted samples (nearest-rank).
+fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+fn phase_report(
+    name: &'static str,
+    config: &ServeConfig,
+    clients: usize,
+    outcome: &PhaseOutcome,
+) -> PhaseReport {
+    let elapsed_secs = outcome.elapsed.as_secs_f64().max(1e-9);
+    PhaseReport {
+        name,
+        workers: config.workers,
+        queue_depth: config.queue_depth,
+        clients,
+        ok: outcome.ok,
+        shed: outcome.shed,
+        errors: outcome.errors,
+        elapsed_secs,
+        throughput_rps: outcome.ok as f64 / elapsed_secs,
+        p50_us: quantile(&outcome.latencies_us, 0.50),
+        p99_us: quantile(&outcome.latencies_us, 0.99),
+        max_us: outcome.latencies_us.last().copied().unwrap_or(0),
+    }
+}
+
+/// Scrape `"hit_rate":X` out of a `/metrics` body without a JSON parser.
+fn scrape_hit_rate(addr: SocketAddr) -> f64 {
+    let scrape = || -> std::io::Result<String> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n")?;
+        let mut out = String::new();
+        stream.read_to_string(&mut out)?;
+        Ok(out)
+    };
+    scrape()
+        .ok()
+        .and_then(|text| {
+            let (_, rest) = text.split_once("\"hit_rate\":")?;
+            rest.split(|c: char| c != '.' && !c.is_ascii_digit())
+                .next()?
+                .parse()
+                .ok()
+        })
+        .unwrap_or(0.0)
+}
+
+/// Run both phases against a tiny-corpus server and collect the report.
+/// `requests` is the steady-phase budget; overload runs half of it.
+pub fn run(seed: u64, requests: u64) -> std::io::Result<ServeBenchReport> {
+    let testbed = Testbed::build(EvalScale::Tiny, seed);
+    let corpus = Arc::new(testbed.corpus.clone());
+    let queries = Arc::new(ZipfQueries::new(&testbed));
+    let mut phases = Vec::new();
+
+    // Steady phase: the acceptance configuration (4 workers).
+    let steady_config = ServeConfig {
+        workers: 4,
+        queue_depth: 64,
+        cache_capacity: 1024,
+        domains_path: None,
+    };
+    let server = Server::start(
+        "127.0.0.1:0",
+        steady_config.clone(),
+        Arc::clone(&corpus),
+        Arc::new(SharedEsharp::new(testbed.esharp.clone())),
+    )?;
+    let outcome = run_phase(server.local_addr(), &queries, seed, 8, requests);
+    let steady_hit_rate = scrape_hit_rate(server.local_addr());
+    phases.push(phase_report("steady", &steady_config, 8, &outcome));
+    server.shutdown();
+
+    // Overload phase: strangle the server (1 worker, 2-deep queue) and
+    // offer 4× the concurrency — saturation must shed, not collapse.
+    let overload_config = ServeConfig {
+        workers: 1,
+        queue_depth: 2,
+        cache_capacity: 1024,
+        domains_path: None,
+    };
+    let server = Server::start(
+        "127.0.0.1:0",
+        overload_config.clone(),
+        Arc::clone(&corpus),
+        Arc::new(SharedEsharp::new(testbed.esharp.clone())),
+    )?;
+    let outcome = run_phase(server.local_addr(), &queries, seed, 32, requests / 2);
+    phases.push(phase_report("overload", &overload_config, 32, &outcome));
+    server.shutdown();
+
+    Ok(ServeBenchReport {
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        seed,
+        distinct_queries: queries.encoded.len(),
+        steady_hit_rate,
+        phases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_mix_is_skewed_and_deterministic() {
+        let testbed = Testbed::build(EvalScale::Tiny, 5);
+        let queries = ZipfQueries::new(&testbed);
+        assert!(queries.encoded.len() > 1);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let draws: Vec<&str> = (0..200).map(|_| queries.sample(&mut a)).collect();
+        let replay: Vec<&str> = (0..200).map(|_| queries.sample(&mut b)).collect();
+        assert_eq!(draws, replay, "sampling must be seed-deterministic");
+        let head_hits = draws.iter().filter(|q| **q == queries.encoded[0]).count();
+        let tail = queries.encoded.last().expect("nonempty");
+        let tail_hits = draws.iter().filter(|q| *q == tail).count();
+        assert!(head_hits > tail_hits, "rank 1 must dominate the tail");
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank_exact() {
+        assert_eq!(quantile(&[], 0.99), 0);
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile(&sorted, 0.50), 50);
+        assert_eq!(quantile(&sorted, 0.99), 99);
+        assert_eq!(quantile(&sorted, 1.0), 100);
+        assert_eq!(quantile(&[7], 0.5), 7);
+    }
+
+    #[test]
+    fn a_small_run_completes_with_sane_numbers() {
+        let report = run(13, 200).expect("bench run");
+        assert_eq!(report.phases.len(), 2);
+        let steady = &report.phases[0];
+        assert_eq!(steady.ok + steady.shed + steady.errors, 200);
+        assert_eq!(steady.errors, 0, "steady phase must not error");
+        assert!(steady.throughput_rps > 0.0);
+        assert!(steady.p50_us <= steady.p99_us && steady.p99_us <= steady.max_us);
+        let json = report.to_json();
+        for needle in ["\"bench\": \"serve\"", "\"name\": \"steady\"", "\"name\": \"overload\""] {
+            assert!(json.contains(needle), "missing {needle}");
+        }
+        assert!(!report.render_table().is_empty());
+    }
+}

@@ -44,6 +44,7 @@ mod error;
 mod offline;
 mod online;
 mod retriever;
+mod shared;
 
 pub use checkpoint::{CheckpointDir, Fingerprint};
 pub use config::{ClusterBackend, EsharpConfig};
@@ -52,3 +53,4 @@ pub use error::{EsharpError, EsharpResult};
 pub use offline::{run_clustering, run_offline, run_offline_resumable, OfflineArtifacts};
 pub use online::{Degradation, Esharp, SearchOutcome};
 pub use retriever::{ExpertiseRetriever, FrequencyRetriever, PalCountsRetriever};
+pub use shared::{SharedEsharp, RELOAD_SITE};

@@ -5,7 +5,7 @@ use crate::config::EsharpConfig;
 use crate::domains::DomainCollection;
 use crate::error::EsharpResult;
 use crate::retriever::ExpertiseRetriever;
-use esharp_expert::{Detector, ExpertResult};
+use esharp_expert::ExpertResult;
 use esharp_microblog::{Corpus, TweetId};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -113,14 +113,22 @@ impl Esharp {
                 Ok(())
             }
             Err(e) => {
-                let error = e.to_string();
-                self.degradation = Some(match self.degradation {
-                    Some(Degradation::NoDomains { .. }) => Degradation::NoDomains { error },
-                    _ => Degradation::StaleDomains { error },
-                });
+                self.note_reload_failure(e.to_string());
                 Err(e.into())
             }
         }
+    }
+
+    /// Record a reload failure without touching the collection: the last
+    /// known-good state keeps serving, subsequent outcomes carry the
+    /// degradation. Shared with the fault-injection seam in
+    /// [`crate::shared::SharedEsharp`], which fails reloads before any
+    /// file I/O happens.
+    pub(crate) fn note_reload_failure(&mut self, error: String) {
+        self.degradation = Some(match self.degradation {
+            Some(Degradation::NoDomains { .. }) => Degradation::NoDomains { error },
+            _ => Degradation::StaleDomains { error },
+        });
     }
 
     /// The active domain collection (empty while running in
@@ -189,8 +197,10 @@ impl Esharp {
     pub fn search_baseline(&self, corpus: &Corpus, query: &str) -> SearchOutcome {
         let detection_started = Instant::now();
         let matched = corpus.match_query(query);
-        let detector = Detector::new(corpus, self.config.detector.clone());
-        let experts = detector.rank_candidates(&matched);
+        // The assembly-time retriever, not a per-call `Detector`: cloning
+        // the detector configuration on every baseline call was the same
+        // per-query allocation `search` shed in PR 1.
+        let experts = self.retriever.retrieve(corpus, &matched);
         let detection_time = detection_started.elapsed();
         SearchOutcome {
             experts,

@@ -1,0 +1,211 @@
+//! The sharded, epoch-keyed LRU result cache.
+//!
+//! Keys are `(normalized query, epoch)` pairs: the epoch comes from the
+//! same [`SharedEsharp`](esharp_core::SharedEsharp) snapshot the response
+//! was computed against, and every reload attempt advances it, so an
+//! entry can only ever be hit by a request seeing the *same* collection
+//! and degradation state — stale expansions are structurally impossible
+//! rather than merely unlikely. Entries from dead epochs age out through
+//! ordinary LRU pressure; no explicit invalidation pass is needed.
+//!
+//! Sharding bounds contention: a key maps to one of [`SHARDS`] mutexed
+//! maps, so concurrent workers serialize only when they touch the same
+//! shard. Recency is tracked with a per-shard monotonic tick; eviction
+//! scans the full shard for the minimum tick, which is O(shard size) but
+//! runs only on insertion into a full shard — for the few-thousand-entry
+//! caches this serves, that is noise against a search.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Cache key: `(normalized query, domains epoch)`.
+pub type CacheKey = (String, u64);
+
+/// Shard count (fixed; keys hash across shards).
+pub const SHARDS: usize = 8;
+
+#[derive(Debug)]
+struct Entry {
+    body: Arc<Vec<u8>>,
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+}
+
+/// A sharded LRU over rendered response bodies.
+#[derive(Debug)]
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard entry budget; 0 disables the cache entirely.
+    shard_capacity: usize,
+}
+
+impl ResultCache {
+    /// A cache holding about `capacity` bodies in total. `capacity = 0`
+    /// disables caching (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity: capacity.div_ceil(SHARDS),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> MutexGuard<'_, Shard> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        let index = (hasher.finish() as usize) % SHARDS;
+        self.shards[index].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The cached body for `key`, refreshing its recency.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<u8>>> {
+        if self.shard_capacity == 0 {
+            return None;
+        }
+        let mut shard = self.shard(key);
+        shard.tick += 1;
+        let tick = shard.tick;
+        let entry = shard.map.get_mut(key)?;
+        entry.tick = tick;
+        Some(Arc::clone(&entry.body))
+    }
+
+    /// Insert (or refresh) `key`, evicting the least-recently-used entry
+    /// of its shard when the shard is at capacity.
+    pub fn insert(&self, key: CacheKey, body: Arc<Vec<u8>>) {
+        if self.shard_capacity == 0 {
+            return;
+        }
+        let capacity = self.shard_capacity;
+        let mut shard = self.shard(&key);
+        shard.tick += 1;
+        let tick = shard.tick;
+        if !shard.map.contains_key(&key) && shard.map.len() >= capacity {
+            if let Some(victim) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&victim);
+            }
+        }
+        shard.map.insert(key, Entry { body, tick });
+    }
+
+    /// Total entries across all shards (for `/metrics`).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured total capacity (rounded up to a shard multiple).
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * SHARDS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Arc<Vec<u8>> {
+        Arc::new(s.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn hits_are_exact_on_query_and_epoch() {
+        let cache = ResultCache::new(64);
+        cache.insert(("49ers".into(), 0), body("epoch0"));
+        assert_eq!(*cache.get(&("49ers".into(), 0)).unwrap(), b"epoch0");
+        // Same query, newer epoch: a different key entirely.
+        assert!(cache.get(&("49ers".into(), 1)).is_none());
+        assert!(cache.get(&("niners".into(), 0)).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = ResultCache::new(0);
+        cache.insert(("q".into(), 0), body("x"));
+        assert!(cache.get(&("q".into(), 0)).is_none());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.capacity(), 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry_per_shard() {
+        // One-entry shards make recency observable deterministically.
+        let cache = ResultCache::new(SHARDS);
+        assert_eq!(cache.shard_capacity, 1);
+        // Find two keys in the same shard.
+        let in_shard = |k: &CacheKey| {
+            let mut h = DefaultHasher::new();
+            k.hash(&mut h);
+            (h.finish() as usize) % SHARDS
+        };
+        let a: CacheKey = ("a".into(), 0);
+        let mut n = 0u64;
+        let b = loop {
+            let candidate: CacheKey = (format!("b{n}"), 0);
+            if in_shard(&candidate) == in_shard(&a) {
+                break candidate;
+            }
+            n += 1;
+        };
+        cache.insert(a.clone(), body("A"));
+        cache.insert(b.clone(), body("B"));
+        assert!(cache.get(&a).is_none(), "A was the LRU victim");
+        assert_eq!(*cache.get(&b).unwrap(), b"B");
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_evicting() {
+        let cache = ResultCache::new(SHARDS);
+        let key: CacheKey = ("q".into(), 3);
+        cache.insert(key.clone(), body("one"));
+        cache.insert(key.clone(), body("two"));
+        assert_eq!(*cache.get(&key).unwrap(), b"two");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = Arc::new(ResultCache::new(128));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let key = (format!("q{}", i % 40), i % 3);
+                        if let Some(hit) = cache.get(&key) {
+                            assert_eq!(*hit, format!("body{}:{}", i % 40, i % 3).into_bytes());
+                        } else {
+                            cache.insert(
+                                key.clone(),
+                                Arc::new(format!("body{}:{}", i % 40, i % 3).into_bytes()),
+                            );
+                        }
+                        let _ = t;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(cache.len() <= cache.capacity());
+    }
+}

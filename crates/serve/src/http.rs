@@ -1,0 +1,310 @@
+//! A deliberately small HTTP/1.1 subset on std sockets.
+//!
+//! Enough protocol for the four serving endpoints and their load
+//! generator: request-line + headers parsing with hard size caps, query
+//! string decoding, and one-shot responses (`Connection: close` on every
+//! reply — the serving layer trades keep-alive for a trivially fair
+//! bounded admission queue, see `server`).
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Max bytes of request head (request line + headers) before 431.
+const MAX_HEAD: usize = 16 * 1024;
+/// Max request body bytes read (and discarded) before rejection.
+const MAX_BODY: usize = 64 * 1024;
+
+/// A parsed request: method, decoded path, decoded query parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, … (upper-case as sent).
+    pub method: String,
+    /// The path component, percent-decoded (`/search`).
+    pub path: String,
+    /// Query parameters in order of appearance, percent-decoded.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of query parameter `name`, if present.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read and parse one request from the stream. Returns `Ok(None)` when
+/// the peer closed before sending anything (a clean no-request
+/// connection); malformed or oversized requests are `Err`.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 1024];
+    let (head_end, mut overflow) = loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            if head.is_empty() {
+                return Ok(None);
+            }
+            return Err(bad("connection closed mid-request"));
+        }
+        head.extend_from_slice(&buf[..n]);
+        if let Some(pos) = find_head_end(&head) {
+            let overflow = head.split_off(pos + 4);
+            break (pos, overflow);
+        }
+        if head.len() > MAX_HEAD {
+            return Err(bad("request head too large"));
+        }
+    };
+    let _ = head_end;
+
+    let text = std::str::from_utf8(&head).map_err(|_| bad("non-UTF-8 request head"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().ok_or_else(|| bad("empty request"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().ok_or_else(|| bad("missing method"))?;
+    let target = parts.next().ok_or_else(|| bad("missing target"))?;
+    let version = parts.next().ok_or_else(|| bad("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("unsupported HTTP version"));
+    }
+
+    // The only header the subset needs: a body to drain.
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("invalid content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(bad("request body too large"));
+    }
+    // Drain the body so the response isn't sent into a half-written
+    // request (clients that pipeline a body expect it consumed).
+    while overflow.len() < content_length {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-body"));
+        }
+        overflow.extend_from_slice(&buf[..n]);
+    }
+
+    let (path_raw, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(path_raw).ok_or_else(|| bad("malformed path encoding"))?;
+    let mut query = Vec::new();
+    if let Some(q) = query_raw {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            let k = percent_decode(k).ok_or_else(|| bad("malformed query encoding"))?;
+            let v = percent_decode(v).ok_or_else(|| bad("malformed query encoding"))?;
+            query.push((k, v));
+        }
+    }
+    Ok(Some(Request {
+        method: method.to_string(),
+        path,
+        query,
+    }))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Decode `%XX` escapes and `+`-as-space. `None` on malformed escapes or
+/// non-UTF-8 results.
+pub fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = hex(*bytes.get(i + 1)?)?;
+                let lo = hex(*bytes.get(i + 2)?)?;
+                out.push(hi * 16 + lo);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Encode a query-parameter value: everything but unreserved characters
+/// becomes `%XX` (the load generator's counterpart to [`percent_decode`]).
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b => {
+                out.push('%');
+                let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{b:02X}"));
+            }
+        }
+    }
+    out
+}
+
+fn hex(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Write a complete response and flush. Every response closes the
+/// connection (`Connection: close`), which is what makes the admission
+/// queue's unit of work "one request" rather than "one client".
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_roundtrip() {
+        for s in ["49ers", "golden gate", "a+b", "tête-à-tête", "%&?=/"] {
+            assert_eq!(percent_decode(&percent_encode(s)).as_deref(), Some(s));
+        }
+        assert_eq!(percent_decode("a+b").as_deref(), Some("a b"));
+        assert_eq!(percent_decode("%2"), None);
+        assert_eq!(percent_decode("%zz"), None);
+        assert_eq!(percent_decode("%ff"), None, "lone 0xff is not UTF-8");
+    }
+
+    #[test]
+    fn requests_parse_over_a_real_socket() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(
+                b"GET /search?q=golden%20gate&top=3 HTTP/1.1\r\nHost: x\r\n\r\n",
+            )
+            .unwrap();
+            let mut out = String::new();
+            c.read_to_string(&mut out).unwrap();
+            out
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = read_request(&mut stream).unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/search");
+        assert_eq!(req.param("q"), Some("golden gate"));
+        assert_eq!(req.param("top"), Some("3"));
+        assert_eq!(req.param("missing"), None);
+        write_response(&mut stream, 200, &[("x-test", "1")], b"{}").unwrap();
+        drop(stream);
+        let reply = client.join().unwrap();
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.contains("x-test: 1"));
+        assert!(reply.ends_with("{}"));
+    }
+
+    #[test]
+    fn post_bodies_are_drained() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(b"POST /reload HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+                .unwrap();
+            let mut out = String::new();
+            c.read_to_string(&mut out).unwrap();
+            out
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = read_request(&mut stream).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/reload");
+        write_response(&mut stream, 200, &[], b"{}").unwrap();
+        drop(stream);
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_requests_error_cleanly() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        for payload in ["garbage\r\n\r\n", "GET /x%zz HTTP/1.1\r\n\r\n", "GET / SPDY/3\r\n\r\n"] {
+            let sent = payload.to_string();
+            let client = std::thread::spawn(move || {
+                let mut c = TcpStream::connect(addr).unwrap();
+                c.write_all(sent.as_bytes()).unwrap();
+                let mut out = Vec::new();
+                let _ = c.read_to_end(&mut out);
+            });
+            let (mut stream, _) = listener.accept().unwrap();
+            assert!(read_request(&mut stream).is_err(), "{payload:?}");
+            drop(stream);
+            client.join().unwrap();
+        }
+        // Clean EOF before any bytes → Ok(None).
+        let client = std::thread::spawn(move || {
+            let c = TcpStream::connect(addr).unwrap();
+            drop(c);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        client.join().unwrap();
+        assert!(matches!(read_request(&mut stream), Ok(None)));
+    }
+}

@@ -1,0 +1,90 @@
+//! Minimal hand-rolled JSON emission.
+//!
+//! The serving path produces every body through these helpers, mirroring
+//! the repository's bench-report idiom: output is a pure function of the
+//! input values (stable field order, shortest-roundtrip floats), which is
+//! what lets the result cache promise byte-identical hits, and the crate
+//! stays free of serialization dependencies.
+
+use std::fmt::Write as _;
+
+/// Append `s` as a JSON string literal (quotes included), escaping
+/// control characters, quotes and backslashes per RFC 8259.
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a finite `f64` in shortest-roundtrip form; non-finite values
+/// (which JSON cannot carry) become `null`.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append a comma-separated list of JSON string literals inside `[…]`.
+pub fn push_str_array(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str(out, item);
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(f: impl Fn(&mut String)) -> String {
+        let mut out = String::new();
+        f(&mut out);
+        out
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(s(|o| push_str(o, "plain")), "\"plain\"");
+        assert_eq!(s(|o| push_str(o, "a\"b\\c")), "\"a\\\"b\\\\c\"");
+        assert_eq!(s(|o| push_str(o, "x\n\t\u{1}")), "\"x\\n\\t\\u0001\"");
+        assert_eq!(s(|o| push_str(o, "49ers ✓")), "\"49ers ✓\"");
+    }
+
+    #[test]
+    fn floats_roundtrip_or_null() {
+        assert_eq!(s(|o| push_f64(o, 1.25)), "1.25");
+        assert_eq!(s(|o| push_f64(o, -0.5)), "-0.5");
+        assert_eq!(s(|o| push_f64(o, f64::NAN)), "null");
+        assert_eq!(s(|o| push_f64(o, f64::INFINITY)), "null");
+        // Shortest-roundtrip is deterministic: same bits, same text.
+        let v = 0.1 + 0.2;
+        assert_eq!(s(|o| push_f64(o, v)), s(|o| push_f64(o, v)));
+    }
+
+    #[test]
+    fn string_arrays() {
+        assert_eq!(s(|o| push_str_array(o, &[])), "[]");
+        assert_eq!(
+            s(|o| push_str_array(o, &["a".into(), "b\"".into()])),
+            "[\"a\",\"b\\\"\"]"
+        );
+    }
+}

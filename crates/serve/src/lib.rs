@@ -1,0 +1,58 @@
+//! # esharp-serve
+//!
+//! The concurrent query-serving layer for e# — the piece that turns the
+//! one-shot library calls of `esharp-core` into the interactive *service*
+//! the paper budgets for (§5, Table 9: expansion < 100 ms, detection
+//! < 1 s per query). Production expert-search systems serve rankings from
+//! precomputed artifacts behind a caching service layer (Spasojevic et
+//! al., "Mining Half a Billion Topical Experts"); this crate is that
+//! layer for the e# reproduction, std-only so the build stays hermetic.
+//!
+//! ## Shape
+//!
+//! A multi-threaded HTTP/1.1 server: one accept loop fans accepted
+//! connections out to a fixed worker pool through a **bounded admission
+//! queue** (the `esharp-par` caller/worker idiom, adapted from batch to
+//! streaming). Four endpoints:
+//!
+//! | Endpoint          | Purpose                                          |
+//! |-------------------|--------------------------------------------------|
+//! | `GET /search?q=…` | e# search, JSON body, result-cached              |
+//! | `GET /healthz`    | liveness + degradation state                     |
+//! | `GET /metrics`    | counters, cache stats, latency histograms        |
+//! | `POST /reload`    | hot domain reload (the weekly refresh hand-off)  |
+//!
+//! ## Correctness anchors
+//!
+//! * **Epoch-keyed caching** — the result cache keys on `(normalized
+//!   query, epoch)` where the epoch comes from the same
+//!   [`SharedEsharp`](esharp_core::SharedEsharp) snapshot as the
+//!   collection searched, and *every* reload attempt advances it. A
+//!   cached body is therefore always byte-identical to a cold search
+//!   against the collection that was live when it was cached; stale
+//!   expansions (or stale degradation states) can never be served.
+//! * **Load shedding** — when the admission queue is full the accept
+//!   loop answers `503 Retry-After` immediately instead of queueing
+//!   unboundedly: under overload the server sheds, it does not collapse,
+//!   and admitted requests keep their latency.
+//! * **Degraded serving** — a failed reload keeps the last known-good
+//!   collection serving; outcomes carry the
+//!   [`Degradation`](esharp_core::Degradation) in the JSON body and
+//!   `/healthz` flips to `"degraded"`. Reload failures are injectable
+//!   through `esharp-fault` (site `reload:domains`) for tests.
+//!
+//! All JSON is hand-rolled ([`json`]): deterministic output, no
+//! serialization dependency on the serving path.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use metrics::{Histogram, Metrics};
+pub use server::{render_search_body, ServeConfig, Server};

@@ -1,0 +1,224 @@
+//! Serving metrics: request counters, cache statistics, and per-phase
+//! latency histograms — the observability half of the Table 9 budget
+//! (expansion < 100 ms, detection < 1 s): the budget only means
+//! something in production if the service can show its p99s.
+//!
+//! Everything is lock-free atomics so recording never contends with the
+//! serving path; rendering (`/metrics`) reads whatever snapshot the
+//! relaxed loads happen to see, which is the usual monitoring contract.
+
+use crate::json;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// Power-of-two microsecond buckets: bucket *i* counts samples in
+/// `[2^i, 2^(i+1))` µs, bucket 0 additionally absorbs sub-microsecond
+/// samples. 32 buckets reach ~71 minutes — far past any request.
+pub const BUCKETS: usize = 32;
+
+/// A fixed-bucket latency histogram with exact count/sum/max.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&self, d: Duration) {
+        let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        let index = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[index].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum_us.fetch_add(us, Relaxed);
+        self.max_us.fetch_max(us, Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Mean in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let count = self.count.load(Relaxed);
+        if count == 0 {
+            return 0.0;
+        }
+        self.sum_us.load(Relaxed) as f64 / count as f64
+    }
+
+    /// Largest sample in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Relaxed)
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`, reported as the upper bound
+    /// of the bucket holding the `⌈q·count⌉`-th sample (clamped by the
+    /// exact max). Bucket bounds are powers of two, so the estimate is
+    /// within 2× — plenty for "is p99 under a second".
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let count = self.count.load(Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Relaxed);
+            if seen >= target {
+                return (1u64 << (i + 1)).min(self.max_us());
+            }
+        }
+        self.max_us()
+    }
+
+    fn render(&self, out: &mut String) {
+        out.push_str("{\"count\":");
+        out.push_str(&self.count().to_string());
+        out.push_str(",\"mean_us\":");
+        json::push_f64(out, (self.mean_us() * 10.0).round() / 10.0);
+        out.push_str(",\"p50_us\":");
+        out.push_str(&self.quantile_us(0.50).to_string());
+        out.push_str(",\"p99_us\":");
+        out.push_str(&self.quantile_us(0.99).to_string());
+        out.push_str(",\"max_us\":");
+        out.push_str(&self.max_us().to_string());
+        out.push('}');
+    }
+}
+
+/// All serving counters and histograms, shared by every worker.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// `GET /search` requests admitted to a worker.
+    pub search_requests: AtomicU64,
+    /// `GET /healthz` requests.
+    pub healthz_requests: AtomicU64,
+    /// `GET /metrics` requests.
+    pub metrics_requests: AtomicU64,
+    /// `POST /reload` requests.
+    pub reload_requests: AtomicU64,
+    /// Requests answered 4xx (bad path, method, or parameters).
+    pub client_errors: AtomicU64,
+    /// Connections answered `503` by the accept loop (queue full).
+    pub shed_total: AtomicU64,
+    /// Search responses served from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Search responses computed cold.
+    pub cache_misses: AtomicU64,
+    /// Successful reloads.
+    pub reload_ok: AtomicU64,
+    /// Failed reloads (now serving degraded).
+    pub reload_failed: AtomicU64,
+    /// Query-expansion phase latency (cache misses only).
+    pub expansion: Histogram,
+    /// Detection (match + rank) phase latency (cache misses only).
+    pub detection: Histogram,
+    /// Whole-request latency, parse to flush, hits and misses alike.
+    pub total: Histogram,
+}
+
+impl Metrics {
+    /// Cache hit rate in `[0, 1]` (0 when no search has been served).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.cache_hits.load(Relaxed);
+        let misses = self.cache_misses.load(Relaxed);
+        if hits + misses == 0 {
+            return 0.0;
+        }
+        hits as f64 / (hits + misses) as f64
+    }
+
+    /// Render the `/metrics` JSON document. `epoch` and cache occupancy
+    /// come from the server (they live outside the counter set).
+    pub fn render(&self, epoch: u64, cache_entries: usize, cache_capacity: usize) -> String {
+        let c = |a: &AtomicU64| a.load(Relaxed).to_string();
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"requests\":{\"search\":");
+        out.push_str(&c(&self.search_requests));
+        out.push_str(",\"healthz\":");
+        out.push_str(&c(&self.healthz_requests));
+        out.push_str(",\"metrics\":");
+        out.push_str(&c(&self.metrics_requests));
+        out.push_str(",\"reload\":");
+        out.push_str(&c(&self.reload_requests));
+        out.push_str(",\"client_errors\":");
+        out.push_str(&c(&self.client_errors));
+        out.push_str("},\"shed_total\":");
+        out.push_str(&c(&self.shed_total));
+        out.push_str(",\"cache\":{\"hits\":");
+        out.push_str(&c(&self.cache_hits));
+        out.push_str(",\"misses\":");
+        out.push_str(&c(&self.cache_misses));
+        out.push_str(",\"hit_rate\":");
+        json::push_f64(&mut out, (self.hit_rate() * 1e4).round() / 1e4);
+        out.push_str(",\"entries\":");
+        out.push_str(&cache_entries.to_string());
+        out.push_str(",\"capacity\":");
+        out.push_str(&cache_capacity.to_string());
+        out.push_str("},\"reload\":{\"ok\":");
+        out.push_str(&c(&self.reload_ok));
+        out.push_str(",\"failed\":");
+        out.push_str(&c(&self.reload_failed));
+        out.push_str(",\"epoch\":");
+        out.push_str(&epoch.to_string());
+        out.push_str("},\"latency_us\":{\"expansion\":");
+        self.expansion.render(&mut out);
+        out.push_str(",\"detection\":");
+        self.detection.render(&mut out);
+        out.push_str(",\"total\":");
+        self.total.render(&mut out);
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.99), 0, "empty histogram");
+        for us in [1u64, 2, 3, 100, 1000, 100_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max_us(), 100_000);
+        // p50 of {1,2,3,100,1000,100000}: the 3rd sample (3µs) lives in
+        // bucket [2,4) whose upper bound is 4.
+        assert_eq!(h.quantile_us(0.5), 4);
+        // p99 → the max sample's bucket, clamped by the exact max.
+        assert_eq!(h.quantile_us(0.99), 100_000);
+        assert!(h.mean_us() > 0.0);
+        // Sub-microsecond samples land in bucket 0 without panicking.
+        h.record(Duration::from_nanos(10));
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn render_is_valid_shaped_json() {
+        let m = Metrics::default();
+        m.search_requests.fetch_add(3, Relaxed);
+        m.cache_hits.fetch_add(1, Relaxed);
+        m.cache_misses.fetch_add(2, Relaxed);
+        m.total.record(Duration::from_micros(250));
+        let doc = m.render(7, 2, 512);
+        for needle in [
+            "\"requests\":{\"search\":3",
+            "\"shed_total\":0",
+            "\"hit_rate\":0.3333",
+            "\"epoch\":7",
+            "\"entries\":2",
+            "\"latency_us\":{\"expansion\":{\"count\":0",
+            "\"p99_us\":",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in {doc}");
+        }
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+}

@@ -1,0 +1,552 @@
+//! The serving core: accept loop → bounded admission queue → worker
+//! pool → endpoint handlers.
+//!
+//! Threading follows the `esharp-par` worker-loop idiom (mutex + condvar
+//! queue, named threads, shutdown flag checked under the lock), adapted
+//! from batch fan-out to streaming: the queue's elements are accepted
+//! connections, its bound is the *admission control* — when the queue is
+//! full the accept loop answers `503` inline and moves on, so overload
+//! degrades into explicit shed responses instead of unbounded memory
+//! growth and latency collapse for everyone (the paper's <1 s budget is
+//! only defensible for requests the server actually admits).
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::http::{self, Request};
+use crate::json;
+use crate::metrics::Metrics;
+use esharp_core::{Degradation, Esharp, SearchOutcome, SharedEsharp};
+use esharp_fault::{FaultInjector, NoFaults};
+use esharp_microblog::Corpus;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering::SeqCst};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Serving knobs (`esharp serve` flags map onto this 1:1).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads handling admitted requests.
+    pub workers: usize,
+    /// Total result-cache bodies (0 disables caching).
+    pub cache_capacity: usize,
+    /// Admission-queue bound; connections beyond it are shed with `503`.
+    pub queue_depth: usize,
+    /// The domains file `POST /reload` re-reads (the weekly refresh
+    /// hand-off); `None` makes reload a `400`.
+    pub domains_path: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            cache_capacity: 1024,
+            queue_depth: 64,
+            domains_path: None,
+        }
+    }
+}
+
+/// The admission queue: a bounded, condvar-signalled channel of accepted
+/// connections.
+#[derive(Debug)]
+struct Queue {
+    inner: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    depth: usize,
+    shutdown: AtomicBool,
+}
+
+impl Queue {
+    fn new(depth: usize) -> Queue {
+        Queue {
+            inner: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            depth: depth.max(1),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Admit the connection, or hand it back when the queue is full (the
+    /// caller sheds it).
+    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut queue = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if queue.len() >= self.depth {
+            return Err(stream);
+        }
+        queue.push_back(stream);
+        drop(queue);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Next admitted connection; `None` once shut down and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut queue = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(stream) = queue.pop_front() {
+                return Some(stream);
+            }
+            if self.shutdown.load(SeqCst) {
+                return None;
+            }
+            queue = self
+                .ready
+                .wait(queue)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        self.shutdown.store(true, SeqCst);
+        self.ready.notify_all();
+    }
+}
+
+/// Shared handler state (one per server, `Arc`ed to every thread).
+struct State {
+    corpus: Arc<Corpus>,
+    shared: Arc<SharedEsharp>,
+    cache: ResultCache,
+    metrics: Arc<Metrics>,
+    config: ServeConfig,
+    injector: Arc<dyn FaultInjector>,
+    /// Monotonic reload-attempt counter, the `attempt` axis of the
+    /// `reload:domains` fault site.
+    reload_attempts: AtomicU32,
+}
+
+/// A running e# server. Dropping without [`Server::shutdown`] aborts the
+/// threads detached; call `shutdown` for a clean join.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<State>,
+    queue: Arc<Queue>,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// the accept loop plus `config.workers` worker threads.
+    pub fn start(
+        addr: &str,
+        config: ServeConfig,
+        corpus: Arc<Corpus>,
+        shared: Arc<SharedEsharp>,
+    ) -> io::Result<Server> {
+        Server::start_with_injector(addr, config, corpus, shared, Arc::new(NoFaults))
+    }
+
+    /// [`Server::start`] with a fault injector on the reload path
+    /// (consulted at site `reload:domains`; production servers pass
+    /// [`NoFaults`] via `start`).
+    pub fn start_with_injector(
+        addr: &str,
+        config: ServeConfig,
+        corpus: Arc<Corpus>,
+        shared: Arc<SharedEsharp>,
+        injector: Arc<dyn FaultInjector>,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let queue = Arc::new(Queue::new(config.queue_depth));
+        let cache = ResultCache::new(config.cache_capacity);
+        let workers = config.workers.max(1);
+        let state = Arc::new(State {
+            corpus,
+            shared,
+            cache,
+            metrics: Arc::new(Metrics::default()),
+            config,
+            injector,
+            reload_attempts: AtomicU32::new(0),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("esharp-serve-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = queue.pop() {
+                            handle_connection(&state, stream);
+                        }
+                    })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        let accept_handle = {
+            let queue = Arc::clone(&queue);
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("esharp-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &queue, &state, &stop))?
+        };
+
+        Ok(Server {
+            addr: local,
+            state,
+            queue,
+            stop,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live metrics (shared with the `/metrics` endpoint).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.state.metrics)
+    }
+
+    /// Stop accepting, drain admitted connections, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        self.queue.close();
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, queue: &Queue, state: &State, stop: &AtomicBool) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                // Transient accept errors (EMFILE, aborts) — keep serving
+                // unless we're stopping anyway.
+                if stop.load(SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(SeqCst) {
+            return;
+        }
+        if let Err(stream) = queue.try_push(stream) {
+            shed(state, stream);
+        }
+    }
+}
+
+/// Answer `503` inline from the accept thread. All socket operations are
+/// bounded by short timeouts so a slow client cannot stall admission.
+fn shed(state: &State, mut stream: TcpStream) {
+    use std::io::Read;
+    state.metrics.shed_total.fetch_add(1, SeqCst);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let _ = http::write_response(
+        &mut stream,
+        503,
+        &[("retry-after", "1")],
+        b"{\"error\":\"overloaded\",\"shed\":true}",
+    );
+    // The request was never read; closing now, with unread bytes in the
+    // receive buffer, would emit an RST that races ahead of (and can
+    // destroy) the 503 still in flight. Send a clean FIN instead and
+    // drain until the client finishes — EOF, or the bounded timeout.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+fn handle_connection(state: &State, mut stream: TcpStream) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let request = match http::read_request(&mut stream) {
+        Ok(Some(request)) => request,
+        Ok(None) => return, // peer connected and left
+        Err(_) => {
+            state.metrics.client_errors.fetch_add(1, SeqCst);
+            let _ = http::write_response(
+                &mut stream,
+                400,
+                &[],
+                b"{\"error\":\"malformed request\"}",
+            );
+            return;
+        }
+    };
+    route(state, &mut stream, &request);
+    state.metrics.total.record(started.elapsed());
+}
+
+fn route(state: &State, stream: &mut TcpStream, request: &Request) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/search") => handle_search(state, stream, request),
+        ("GET", "/healthz") => handle_healthz(state, stream),
+        ("GET", "/metrics") => handle_metrics(state, stream),
+        ("POST", "/reload") => handle_reload(state, stream),
+        (_, "/search" | "/healthz" | "/metrics" | "/reload") => {
+            state.metrics.client_errors.fetch_add(1, SeqCst);
+            let _ = http::write_response(stream, 405, &[], b"{\"error\":\"method not allowed\"}");
+        }
+        _ => {
+            state.metrics.client_errors.fetch_add(1, SeqCst);
+            let _ = http::write_response(stream, 404, &[], b"{\"error\":\"not found\"}");
+        }
+    }
+}
+
+fn handle_search(state: &State, stream: &mut TcpStream, request: &Request) {
+    let normalized = match request.param("q").map(|q| q.trim().to_lowercase()) {
+        Some(q) if !q.is_empty() => q,
+        _ => {
+            state.metrics.client_errors.fetch_add(1, SeqCst);
+            let _ = http::write_response(
+                stream,
+                400,
+                &[],
+                b"{\"error\":\"missing query parameter q\"}",
+            );
+            return;
+        }
+    };
+    state.metrics.search_requests.fetch_add(1, SeqCst);
+    // The snapshot pins (collection, epoch) as one consistent pair for
+    // the whole request; a reload landing now affects the *next* request.
+    let (esharp, epoch) = state.shared.snapshot();
+    let key: CacheKey = (normalized, epoch);
+    if let Some(body) = state.cache.get(&key) {
+        state.metrics.cache_hits.fetch_add(1, SeqCst);
+        let _ = http::write_response(stream, 200, &[("x-esharp-cache", "hit")], &body);
+        return;
+    }
+    state.metrics.cache_misses.fetch_add(1, SeqCst);
+    let outcome = esharp.search(&state.corpus, &key.0);
+    state.metrics.expansion.record(outcome.expansion_time);
+    state.metrics.detection.record(outcome.detection_time);
+    let body = Arc::new(render_search_body(&state.corpus, &key.0, epoch, &outcome));
+    state.cache.insert(key, Arc::clone(&body));
+    let _ = http::write_response(stream, 200, &[("x-esharp-cache", "miss")], &body);
+}
+
+fn handle_healthz(state: &State, stream: &mut TcpStream) {
+    state.metrics.healthz_requests.fetch_add(1, SeqCst);
+    let (esharp, epoch) = state.shared.snapshot();
+    let mut body = String::with_capacity(128);
+    match esharp.degradation() {
+        None => {
+            body.push_str("{\"status\":\"ok\",\"epoch\":");
+            body.push_str(&epoch.to_string());
+            body.push('}');
+        }
+        Some(degradation) => {
+            body.push_str("{\"status\":\"degraded\",\"epoch\":");
+            body.push_str(&epoch.to_string());
+            body.push_str(",\"degradation\":");
+            render_degradation(&mut body, degradation);
+            body.push('}');
+        }
+    }
+    let _ = http::write_response(stream, 200, &[], body.as_bytes());
+}
+
+fn handle_metrics(state: &State, stream: &mut TcpStream) {
+    state.metrics.metrics_requests.fetch_add(1, SeqCst);
+    let body = state.metrics.render(
+        state.shared.epoch(),
+        state.cache.len(),
+        state.cache.capacity(),
+    );
+    let _ = http::write_response(stream, 200, &[], body.as_bytes());
+}
+
+fn handle_reload(state: &State, stream: &mut TcpStream) {
+    state.metrics.reload_requests.fetch_add(1, SeqCst);
+    let Some(path) = &state.config.domains_path else {
+        state.metrics.client_errors.fetch_add(1, SeqCst);
+        let _ = http::write_response(
+            stream,
+            400,
+            &[],
+            b"{\"ok\":false,\"error\":\"no domains path configured\"}",
+        );
+        return;
+    };
+    let attempt = state.reload_attempts.fetch_add(1, SeqCst);
+    match state
+        .shared
+        .reload_with(path, state.injector.as_ref(), attempt)
+    {
+        Ok(epoch) => {
+            state.metrics.reload_ok.fetch_add(1, SeqCst);
+            let body = format!("{{\"ok\":true,\"epoch\":{epoch}}}");
+            let _ = http::write_response(stream, 200, &[], body.as_bytes());
+        }
+        Err(error) => {
+            state.metrics.reload_failed.fetch_add(1, SeqCst);
+            let (esharp, epoch) = state.shared.snapshot();
+            let mut body = String::with_capacity(256);
+            body.push_str("{\"ok\":false,\"epoch\":");
+            body.push_str(&epoch.to_string());
+            body.push_str(",\"error\":");
+            json::push_str(&mut body, &error.to_string());
+            body.push_str(",\"degradation\":");
+            match esharp.degradation() {
+                Some(d) => render_degradation(&mut body, d),
+                None => body.push_str("null"),
+            }
+            body.push('}');
+            let _ = http::write_response(stream, 500, &[], body.as_bytes());
+        }
+    }
+}
+
+/// Render the deterministic `/search` response body: a pure function of
+/// `(corpus, query, epoch, outcome-sans-timings)`, which is the property
+/// the result cache's byte-identical-hit guarantee rests on. Timings are
+/// deliberately excluded (they differ run to run); they feed the
+/// `/metrics` histograms instead. Cache hit/miss travels in the
+/// `x-esharp-cache` header, also off-body for the same reason.
+pub fn render_search_body(
+    corpus: &Corpus,
+    query: &str,
+    epoch: u64,
+    outcome: &SearchOutcome,
+) -> Vec<u8> {
+    let mut out = String::with_capacity(256 + outcome.experts.len() * 96);
+    out.push_str("{\"query\":");
+    json::push_str(&mut out, query);
+    out.push_str(",\"epoch\":");
+    out.push_str(&epoch.to_string());
+    out.push_str(",\"expansion\":");
+    json::push_str_array(&mut out, &outcome.expansion);
+    out.push_str(",\"matched_tweets\":");
+    out.push_str(&outcome.matched_tweets.to_string());
+    out.push_str(",\"experts\":[");
+    for (i, expert) in outcome.experts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"user\":");
+        out.push_str(&expert.user.to_string());
+        out.push_str(",\"handle\":");
+        json::push_str(&mut out, &corpus.user(expert.user).handle);
+        out.push_str(",\"score\":");
+        json::push_f64(&mut out, expert.score);
+        out.push_str(",\"features\":{\"ts\":");
+        json::push_f64(&mut out, expert.features.ts);
+        out.push_str(",\"mi\":");
+        json::push_f64(&mut out, expert.features.mi);
+        out.push_str(",\"ri\":");
+        json::push_f64(&mut out, expert.features.ri);
+        out.push_str("}}");
+    }
+    out.push_str("],\"degradation\":");
+    match &outcome.degradation {
+        Some(d) => render_degradation(&mut out, d),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+    out.into_bytes()
+}
+
+fn render_degradation(out: &mut String, degradation: &Degradation) {
+    let (kind, error) = match degradation {
+        Degradation::StaleDomains { error } => ("stale_domains", error),
+        Degradation::NoDomains { error } => ("no_domains", error),
+    };
+    out.push_str("{\"kind\":\"");
+    out.push_str(kind);
+    out.push_str("\",\"error\":");
+    json::push_str(out, error);
+    out.push('}');
+}
+
+/// Run a search against a pinned snapshot and render its body — the cold
+/// path as one call, shared by the server and by tests asserting the
+/// cache's byte-identical-hit property.
+pub fn search_and_render(
+    corpus: &Corpus,
+    esharp: &Esharp,
+    normalized_query: &str,
+    epoch: u64,
+) -> Vec<u8> {
+    let outcome = esharp.search(corpus, normalized_query);
+    render_search_body(corpus, normalized_query, epoch, &outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esharp_core::{DomainCollection, EsharpConfig};
+
+    fn tiny_corpus() -> Corpus {
+        use esharp_microblog::{Tweet, User};
+        let user = |id, handle: &str| User {
+            id,
+            handle: handle.to_string(),
+            display_name: handle.to_uppercase(),
+            description: String::new(),
+            followers: 10,
+            verified: false,
+            expert_domains: vec![],
+            spam: false,
+        };
+        let users = vec![user(0, "alice"), user(1, "bob\"q\"")];
+        let tweets = vec![
+            Tweet::parse(0, 0, "49ers game tonight", |_| None),
+            Tweet::parse(1, 1, "49ers niners draft talk", |_| None),
+            Tweet::parse(2, 1, "niners forever", |_| None),
+        ];
+        Corpus::new(users, tweets)
+    }
+
+    #[test]
+    fn search_body_is_deterministic_and_shaped() {
+        let corpus = tiny_corpus();
+        let esharp = Esharp::new(
+            DomainCollection::from_groups(vec![vec!["49ers".into(), "niners".into()]]),
+            EsharpConfig::tiny(),
+        );
+        let a = search_and_render(&corpus, &esharp, "49ers", 3);
+        let b = search_and_render(&corpus, &esharp, "49ers", 3);
+        assert_eq!(a, b, "same snapshot, same bytes");
+        let text = String::from_utf8(a).unwrap();
+        assert!(text.starts_with("{\"query\":\"49ers\",\"epoch\":3,"), "{text}");
+        assert!(text.contains("\"expansion\":[\"49ers\",\"niners\"]"), "{text}");
+        assert!(text.contains("\"degradation\":null"), "{text}");
+        // Handles with quotes stay valid JSON.
+        assert!(!text.contains("bob\"q\""), "unescaped quote in {text}");
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+
+    #[test]
+    fn degradation_is_rendered_in_bodies() {
+        let corpus = tiny_corpus();
+        let mut esharp = Esharp::new(
+            DomainCollection::from_groups(vec![vec!["49ers".into()]]),
+            EsharpConfig::tiny(),
+        );
+        assert!(esharp.reload_domains("/nonexistent/domains.bin").is_err());
+        let body = search_and_render(&corpus, &esharp, "49ers", 1);
+        let text = String::from_utf8(body).unwrap();
+        assert!(
+            text.contains("\"degradation\":{\"kind\":\"stale_domains\",\"error\":"),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based test of the result cache's correctness contract, over
+//! random interleavings of searches and reloads (good and corrupt):
+//!
+//! * a cache hit is **byte-identical** to a cold search against the
+//!   collection that was live when the entry was cached — which, because
+//!   the key carries the epoch and every reload attempt advances it, is
+//!   exactly the collection owning the snapshot's epoch;
+//! * after any reload, the first request for each query **misses** (the
+//!   epoch changed, so the old entry is unreachable) and then refills.
+
+use esharp_core::{DomainCollection, Esharp, EsharpConfig, SharedEsharp};
+use esharp_microblog::{Corpus, Tweet, User};
+use esharp_serve::server::search_and_render;
+use esharp_serve::ResultCache;
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+const QUERIES: [&str; 4] = ["49ers", "niners", "draft", "pasta"];
+
+fn corpus() -> Corpus {
+    let user = |id, handle: &str| User {
+        id,
+        handle: handle.to_string(),
+        display_name: handle.to_uppercase(),
+        description: String::new(),
+        followers: 10,
+        verified: false,
+        expert_domains: vec![],
+        spam: false,
+    };
+    let users = vec![user(0, "alice"), user(1, "bob"), user(2, "carol")];
+    let tweets = vec![
+        Tweet::parse(0, 0, "49ers game tonight", |_| None),
+        Tweet::parse(1, 1, "49ers niners draft talk", |_| None),
+        Tweet::parse(2, 1, "niners forever", |_| None),
+        Tweet::parse(3, 2, "pasta dinner and 49ers talk", |_| None),
+    ];
+    Corpus::new(users, tweets)
+}
+
+/// Domain files written once and reloaded many times per case: two
+/// distinct good collections and one corrupt blob.
+fn fixture_paths() -> &'static (PathBuf, PathBuf, PathBuf) {
+    static PATHS: OnceLock<(PathBuf, PathBuf, PathBuf)> = OnceLock::new();
+    PATHS.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("esharp_serve_proptest_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let a = dir.join("domains_a.bin");
+        let b = dir.join("domains_b.bin");
+        let corrupt = dir.join("domains_corrupt.bin");
+        collection_a().save(&a).expect("save a");
+        DomainCollection::from_groups(vec![
+            vec!["49ers".into(), "draft".into()],
+            vec!["pasta".into(), "dinner".into()],
+        ])
+        .save(&b)
+        .expect("save b");
+        std::fs::write(&corrupt, b"ESRT definitely not a collection").expect("save corrupt");
+        (a, b, corrupt)
+    })
+}
+
+fn collection_a() -> DomainCollection {
+    DomainCollection::from_groups(vec![vec!["49ers".into(), "niners".into()]])
+}
+
+/// One step of a serving schedule.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Search(usize),
+    ReloadA,
+    ReloadB,
+    ReloadCorrupt,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => (0usize..QUERIES.len()).prop_map(Op::Search),
+            1 => Just(Op::ReloadA),
+            1 => Just(Op::ReloadB),
+            1 => Just(Op::ReloadCorrupt),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #[test]
+    fn hits_are_cold_identical_and_reloads_invalidate(ops in arb_ops()) {
+        let (path_a, path_b, path_corrupt) = fixture_paths();
+        let corpus = corpus();
+        let shared = SharedEsharp::new(Esharp::new(collection_a(), EsharpConfig::tiny()));
+        let cache = ResultCache::new(64);
+        let mut unseen_since_reload: HashSet<&str> = QUERIES.iter().copied().collect();
+
+        for op in ops {
+            match op {
+                Op::Search(q) => {
+                    let query = QUERIES[q];
+                    let (esharp, epoch) = shared.snapshot();
+                    let key = (query.to_string(), epoch);
+                    // The ground truth: a cold search against the state
+                    // owning this epoch (the current snapshot, by
+                    // construction of the epoch).
+                    let cold = search_and_render(&corpus, &esharp, query, epoch);
+                    match cache.get(&key) {
+                        Some(hit) => {
+                            prop_assert!(
+                                !unseen_since_reload.contains(query),
+                                "{query} hit before missing post-reload"
+                            );
+                            prop_assert_eq!(
+                                hit.as_slice(), cold.as_slice(),
+                                "cache hit diverged from cold search"
+                            );
+                        }
+                        None => {
+                            cache.insert(key.clone(), Arc::new(cold.clone()));
+                            // Refill: immediately servable, byte-identical.
+                            let refilled = cache.get(&key).expect("just inserted");
+                            prop_assert_eq!(refilled.as_slice(), cold.as_slice());
+                        }
+                    }
+                    unseen_since_reload.remove(query);
+                }
+                Op::ReloadA | Op::ReloadB | Op::ReloadCorrupt => {
+                    let before = shared.epoch();
+                    let result = match op {
+                        Op::ReloadA => shared.reload(path_a),
+                        Op::ReloadB => shared.reload(path_b),
+                        _ => shared.reload(path_corrupt),
+                    };
+                    prop_assert_eq!(shared.epoch(), before + 1, "every attempt bumps the epoch");
+                    match op {
+                        Op::ReloadCorrupt => {
+                            prop_assert!(result.is_err(), "corrupt reload must fail");
+                            let (state, _) = shared.snapshot();
+                            prop_assert!(state.degradation().is_some());
+                        }
+                        _ => {
+                            prop_assert!(result.is_ok());
+                            let (state, _) = shared.snapshot();
+                            prop_assert!(state.degradation().is_none());
+                        }
+                    }
+                    // The epoch moved: every query must miss once before
+                    // it can hit again.
+                    unseen_since_reload = QUERIES.iter().copied().collect();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! End-to-end smoke test over real sockets: boot a server on an
+//! ephemeral port, exercise every endpoint, and shut down cleanly.
+//! `scripts/tier1.sh` runs exactly this test as its serve gate.
+
+use esharp_core::SharedEsharp;
+use esharp_eval::{EvalScale, Testbed};
+use esharp_serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A one-shot HTTP client (the server closes every connection).
+fn request(addr: std::net::SocketAddr, line: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream
+        .write_all(format!("{line} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, head.to_string(), body.to_string())
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String, String) {
+    request(addr, &format!("GET {path}"))
+}
+
+struct Fixture {
+    server: Server,
+    addr: std::net::SocketAddr,
+    domains_path: PathBuf,
+    dir: PathBuf,
+    query: String,
+}
+
+fn boot(name: &str, config: ServeConfig) -> Fixture {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let domains_path = dir.join("domains.bin");
+
+    let testbed = Testbed::build(EvalScale::Tiny, 77);
+    testbed
+        .esharp
+        .domains()
+        .save(&domains_path)
+        .expect("persist domains");
+    // A canonical domain term: guaranteed to be in the collection, so the
+    // search exercises expansion.
+    let domain = &testbed.world.domains[0];
+    let query =
+        esharp_serve::http::percent_encode(&testbed.world.terms[domain.terms[0] as usize].text);
+
+    let config = ServeConfig {
+        domains_path: Some(domains_path.clone()),
+        ..config
+    };
+    let server = Server::start(
+        "127.0.0.1:0",
+        config,
+        Arc::new(testbed.corpus),
+        Arc::new(SharedEsharp::new(testbed.esharp)),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    Fixture {
+        server,
+        addr,
+        domains_path,
+        dir,
+        query,
+    }
+}
+
+impl Fixture {
+    fn finish(self) {
+        self.server.shutdown();
+        let _ = std::fs::remove_dir_all(self.dir);
+    }
+}
+
+#[test]
+fn endpoints_roundtrip_and_shutdown_cleanly() {
+    let f = boot("esharp_serve_smoke", ServeConfig::default());
+
+    // Cold search: well-formed JSON shape, cache miss.
+    let (status, head, body) = get(f.addr, &format!("/search?q={}", f.query));
+    assert_eq!(status, 200, "{body}");
+    assert!(head.contains("x-esharp-cache: miss"), "{head}");
+    assert!(body.starts_with("{\"query\":"), "{body}");
+    for needle in ["\"epoch\":0", "\"expansion\":[", "\"experts\":[", "\"degradation\":null"] {
+        assert!(body.contains(needle), "missing {needle} in {body}");
+    }
+    assert_eq!(body.matches('{').count(), body.matches('}').count());
+
+    // Warm search: byte-identical body, cache hit.
+    let (status, head, warm) = get(f.addr, &format!("/search?q={}", f.query));
+    assert_eq!(status, 200);
+    assert!(head.contains("x-esharp-cache: hit"), "{head}");
+    assert_eq!(warm, body, "cached body must be byte-identical");
+
+    // Health: ok, epoch 0.
+    let (status, _, health) = get(f.addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+
+    // Metrics: counters reflect the traffic above.
+    let (status, _, metrics) = get(f.addr, "/metrics");
+    assert_eq!(status, 200);
+    for needle in ["\"search\":2", "\"hits\":1", "\"misses\":1", "\"shed_total\":0"] {
+        assert!(metrics.contains(needle), "missing {needle} in {metrics}");
+    }
+
+    // Reload from the known-good file: epoch bumps, next search re-misses
+    // exactly once, then re-hits.
+    let (status, _, reload) = request(f.addr, "POST /reload");
+    assert_eq!(status, 200, "{reload}");
+    assert!(reload.contains("\"ok\":true"), "{reload}");
+    assert!(reload.contains("\"epoch\":1"), "{reload}");
+    let (_, head, post_reload) = get(f.addr, &format!("/search?q={}", f.query));
+    assert!(head.contains("x-esharp-cache: miss"), "{head}");
+    assert!(post_reload.contains("\"epoch\":1"), "{post_reload}");
+    let (_, head, _) = get(f.addr, &format!("/search?q={}", f.query));
+    assert!(head.contains("x-esharp-cache: hit"), "{head}");
+
+    // Client errors.
+    let (status, _, _) = get(f.addr, "/search");
+    assert_eq!(status, 400, "missing q");
+    let (status, _, _) = get(f.addr, "/nope");
+    assert_eq!(status, 404);
+    let (status, _, _) = request(f.addr, "POST /search?q=x");
+    assert_eq!(status, 405);
+    let (status, _, _) = get(f.addr, "/reload");
+    assert_eq!(status, 405, "reload is POST-only");
+
+    f.finish();
+}
+
+#[test]
+fn corrupt_reload_keeps_serving_degraded() {
+    let f = boot("esharp_serve_smoke_corrupt", ServeConfig::default());
+
+    // Clobber the domains file with garbage; the checksummed loader must
+    // reject it and the server must keep the last known-good collection.
+    std::fs::write(&f.domains_path, b"ESRT not a real collection").expect("corrupt");
+    let (status, _, reload) = request(f.addr, "POST /reload");
+    assert_eq!(status, 500, "{reload}");
+    assert!(reload.contains("\"ok\":false"), "{reload}");
+    assert!(
+        reload.contains("\"degradation\":{\"kind\":\"stale_domains\""),
+        "{reload}"
+    );
+
+    // Health flips to degraded; searches still answer, carrying the
+    // degradation and the bumped epoch.
+    let (status, _, health) = get(f.addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"status\":\"degraded\""), "{health}");
+    assert!(health.contains("\"epoch\":1"), "{health}");
+    let (status, _, body) = get(f.addr, &format!("/search?q={}", f.query));
+    assert_eq!(status, 200);
+    assert!(body.contains("\"degradation\":{\"kind\":\"stale_domains\""), "{body}");
+    assert!(body.contains("\"epoch\":1"), "{body}");
+
+    f.finish();
+}
+
+#[test]
+fn full_queue_sheds_with_503() {
+    // One worker, a one-deep queue: park the worker and the queue slot on
+    // idle connections, and every further arrival must be shed.
+    let f = boot(
+        "esharp_serve_smoke_shed",
+        ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..ServeConfig::default()
+        },
+    );
+
+    // Idle connections occupy the worker (blocked reading) and then the
+    // queue. Admission is asynchronous, so keep connecting until the
+    // server starts answering 503 — bounded by the connection budget.
+    let mut parked = Vec::new();
+    let mut shed_seen = false;
+    for _ in 0..50 {
+        let mut c = TcpStream::connect(f.addr).expect("connect");
+        c.set_read_timeout(Some(Duration::from_millis(500))).expect("timeout");
+        // A shed connection gets an immediate 503; an admitted one stays
+        // silent (the worker is waiting for a request we never send).
+        let mut buf = [0u8; 512];
+        match c.read(&mut buf) {
+            Ok(n) if n > 0 => {
+                let text = String::from_utf8_lossy(&buf[..n]).into_owned();
+                assert!(text.starts_with("HTTP/1.1 503"), "{text}");
+                assert!(text.contains("\"shed\":true"), "{text}");
+                shed_seen = true;
+                break;
+            }
+            _ => parked.push(c),
+        }
+    }
+    assert!(shed_seen, "queue never saturated");
+
+    // Release the parked connections; the server recovers and serves.
+    drop(parked);
+    let (status, _, metrics) = get(f.addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(!metrics.contains("\"shed_total\":0"), "{metrics}");
+
+    f.finish();
+}

@@ -4,6 +4,8 @@
 #   build   release build of the whole workspace
 #   test    the full test suite (unit + property + integration)
 #   crash   the kill/resume fault matrix (ROBUSTNESS.md)
+#   smoke   serving layer on an ephemeral port (endpoints, shedding,
+#           degraded reload, clean shutdown)
 #   bench   all Criterion bench targets compile (not run)
 #   clippy  workspace lints, warnings are errors
 #   panic   persistence/checkpoint modules keep their no-panic lint gate
@@ -21,6 +23,9 @@ cargo test -q
 echo "== tier-1: cargo test -q -p esharp-core --test crashsafety"
 cargo test -q -p esharp-core --test crashsafety
 
+echo "== tier-1: cargo test -q -p esharp-serve --test smoke (serving layer)"
+cargo test -q -p esharp-serve --test smoke
+
 echo "== tier-1: cargo bench --no-run"
 cargo bench --no-run
 
@@ -30,7 +35,8 @@ cargo clippy --workspace -- -D warnings
 echo "== tier-1: no-panic gate on the durability layer"
 for f in crates/relation/src/atomic.rs crates/relation/src/binfmt.rs \
          crates/graph/src/io.rs crates/core/src/domains.rs \
-         crates/core/src/checkpoint.rs; do
+         crates/core/src/checkpoint.rs crates/core/src/shared.rs \
+         crates/serve/src/lib.rs; do
   grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' "$f" || {
     echo "missing unwrap/expect deny gate in $f" >&2
     exit 1
