@@ -21,6 +21,24 @@ fn bench_online(c: &mut Criterion) {
     group.bench_function("esharp_search_unknown_query", |b| {
         b.iter(|| black_box(tb.esharp.search(&tb.corpus, "no such topic")))
     });
+
+    // The two hot-path halves in isolation: k-way union over interned
+    // postings, and the flat-scratch ranking of its match set.
+    let expansion = tb.esharp.domains().expand("49ers", 25);
+    group.bench_function("match_kway_union", |b| {
+        b.iter(|| black_box(tb.corpus.match_terms(&expansion)))
+    });
+    let matched = tb.corpus.match_terms(&expansion);
+    let detector = esharp_expert::Detector::new(
+        &tb.corpus,
+        tb.esharp.config().detector.clone(),
+    );
+    group.bench_function("rank_flat_scratch", |b| {
+        b.iter(|| black_box(detector.rank_candidates(&matched)))
+    });
+    group.bench_function("rank_hashmap_reference", |b| {
+        b.iter(|| black_box(detector.rank_candidates_reference(&matched)))
+    });
     group.finish();
 }
 

@@ -31,11 +31,20 @@
 //!     phase (4 workers) and an overload phase (1 worker, 2-deep queue)
 //!     replaying a Zipf query mix; --json writes BENCH_serve.json.
 //!
+//! esharp bench --online [--json] [--seed N] [--queries N] [--scale …]
+//!              [--out DIR]
+//!     Replay a Zipf query mix through the interned read path and the
+//!     string-keyed baseline (identical results enforced), and time
+//!     corpus build vs binary load; --json writes BENCH_online.json.
+//!
 //! esharp serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]
-//!              [--queue-depth N] [--domains FILE] [--scale …] [--seed N]
-//!     Build the testbed and serve it over HTTP: GET /search?q=…,
-//!     GET /healthz, GET /metrics, POST /reload (hot domain reload from
-//!     --domains). Runs until killed.
+//!              [--queue-depth N] [--domains FILE] [--corpus FILE]
+//!              [--scale …] [--seed N]
+//!     Serve over HTTP: GET /search?q=…, GET /healthz, GET /metrics,
+//!     POST /reload (hot domain reload from --domains). With --corpus
+//!     (and a --domains file that exists) the server starts from
+//!     persisted artifacts — no testbed build, no re-tokenization, no
+//!     index rebuild. Runs until killed.
 //! ```
 
 use esharp_eval::{EvalScale, Testbed};
@@ -58,7 +67,7 @@ fn main() {
         "serve" => serve(&opts),
         "--help" | "-h" | "help" => {
             println!("subcommands: build, search, inspect, sql, bench, serve");
-            println!("flags: --scale tiny|small|paper, --seed N, --out DIR, --checkpoint-dir DIR, --resume, --baseline, --top K, -k N, --json, --events N, --serve, --requests N, --addr HOST:PORT, --workers N, --cache-capacity N, --queue-depth N, --domains FILE");
+            println!("flags: --scale tiny|small|paper, --seed N, --out DIR, --checkpoint-dir DIR, --resume, --baseline, --top K, -k N, --json, --events N, --serve, --online, --queries N, --requests N, --addr HOST:PORT, --workers N, --cache-capacity N, --queue-depth N, --domains FILE, --corpus FILE");
         }
         other => fail(
             "parse arguments",
@@ -79,7 +88,10 @@ struct Options {
     top: usize,
     k: usize,
     serve_bench: bool,
+    online_bench: bool,
+    queries: u64,
     requests: u64,
+    corpus: Option<String>,
     addr: String,
     workers: usize,
     cache_capacity: usize,
@@ -102,7 +114,10 @@ impl Options {
             top: 5,
             k: 3,
             serve_bench: false,
+            online_bench: false,
+            queries: 2_000,
             requests: 20_000,
+            corpus: None,
             addr: "127.0.0.1:8080".to_string(),
             workers: 4,
             cache_capacity: 1024,
@@ -134,7 +149,10 @@ impl Options {
                 "--top" => opts.top = next_num(&mut iter, "--top") as usize,
                 "-k" => opts.k = next_num(&mut iter, "-k") as usize,
                 "--serve" => opts.serve_bench = true,
+                "--online" => opts.online_bench = true,
+                "--queries" => opts.queries = next_num(&mut iter, "--queries"),
                 "--requests" => opts.requests = next_num(&mut iter, "--requests"),
+                "--corpus" => opts.corpus = iter.next().cloned(),
                 "--addr" => {
                     opts.addr = iter
                         .next()
@@ -223,13 +241,17 @@ fn build(opts: &Options) {
     if let Some(dir) = &opts.out {
         let domains_path = format!("{dir}/domains.bin");
         let graph_path = format!("{dir}/graph.bin");
+        let corpus_path = format!("{dir}/corpus.bin");
         tb.esharp
             .domains()
             .save(&domains_path)
             .unwrap_or_else(|e| fail("write domains", e));
         esharp_graph::io::save_graph(&tb.artifacts.graph, &graph_path)
             .unwrap_or_else(|e| fail("write graph", e));
-        println!("persisted {domains_path} and {graph_path}");
+        tb.corpus
+            .save_binary(&corpus_path)
+            .unwrap_or_else(|e| fail("write corpus", e));
+        println!("persisted {domains_path}, {graph_path} and {corpus_path}");
     }
 }
 
@@ -280,6 +302,29 @@ fn inspect(opts: &Options) {
 }
 
 fn bench(opts: &Options) {
+    if opts.online_bench {
+        eprintln!(
+            "measuring the online read path ({} queries, scale {:?}, seed {})…",
+            opts.queries, opts.scale, opts.seed
+        );
+        let report = esharp_bench::online::run(opts.seed, opts.queries, opts.scale)
+            .unwrap_or_else(|e| fail("online bench", e));
+        print!("{}", report.render_table());
+        if opts.json {
+            let dir = opts.out.as_deref().unwrap_or(".");
+            let path = format!("{dir}/BENCH_online.json");
+            std::fs::write(&path, report.to_json())
+                .unwrap_or_else(|e| fail("write BENCH_online.json", e));
+            println!("wrote {path}");
+        }
+        if !report.results_identical {
+            fail(
+                "online bench",
+                "interned and string-keyed paths returned different experts",
+            );
+        }
+        return;
+    }
     if opts.serve_bench {
         eprintln!(
             "load-testing the serving layer ({} steady requests, seed {})…",
@@ -315,7 +360,35 @@ fn bench(opts: &Options) {
 
 fn serve(opts: &Options) {
     use esharp_serve::{ServeConfig, Server};
-    let tb = testbed(opts);
+    // With --corpus the server starts from persisted artifacts: the
+    // corpus loads in O(bytes) — no re-tokenization, no index rebuild —
+    // and expansion domains come from --domains (degraded Pal & Counts
+    // when absent). Without it, build the synthetic testbed as before.
+    let (corpus, esharp) = match &opts.corpus {
+        Some(path) => {
+            eprintln!("loading corpus from {path}…");
+            let started = std::time::Instant::now();
+            let corpus =
+                esharp_microblog::Corpus::load(path).unwrap_or_else(|e| fail("load corpus", e));
+            eprintln!(
+                "corpus ready in {:.1?}: {} users · {} tweets · {} tokens",
+                started.elapsed(),
+                corpus.users().len(),
+                corpus.tweets().len(),
+                corpus.num_tokens()
+            );
+            let config = esharp_core::EsharpConfig::default();
+            let esharp = match &opts.domains {
+                Some(dpath) => esharp_core::Esharp::from_domains_file_or_degraded(dpath, config),
+                None => esharp_core::Esharp::new(esharp_core::DomainCollection::default(), config),
+            };
+            (corpus, esharp)
+        }
+        None => {
+            let tb = testbed(opts);
+            (tb.corpus, tb.esharp)
+        }
+    };
     let config = ServeConfig {
         workers: opts.workers,
         cache_capacity: opts.cache_capacity,
@@ -334,8 +407,8 @@ fn serve(opts: &Options) {
     let server = Server::start(
         &opts.addr,
         config,
-        std::sync::Arc::new(tb.corpus),
-        std::sync::Arc::new(esharp_core::SharedEsharp::new(tb.esharp)),
+        std::sync::Arc::new(corpus),
+        std::sync::Arc::new(esharp_core::SharedEsharp::new(esharp)),
     )
     .unwrap_or_else(|e| fail("bind server", e));
     println!(

@@ -19,10 +19,14 @@
 //! * `esharp bench --serve` — closed-loop load generation against the
 //!   serving layer (steady + overload phases), writing `BENCH_serve.json`
 //!   (see the [`serve`] module).
+//! * `esharp bench --online` — the interned read path vs the string-keyed
+//!   baseline at identical results, plus corpus load strategies, writing
+//!   `BENCH_online.json` (see the [`online`] module).
 
 #![warn(missing_docs)]
 
 pub mod offline;
+pub mod online;
 pub mod serve;
 
 use esharp_graph::MultiGraph;

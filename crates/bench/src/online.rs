@@ -1,0 +1,561 @@
+//! Online read-path benchmark (`esharp bench --online`).
+//!
+//! Replays a Zipf-distributed query mix through two implementations of
+//! the same hot path, closed-loop (each query completes before the next
+//! is issued):
+//!
+//! * **interned** — the live path: token-id CSR postings, galloping
+//!   intersection, k-way union, flat candidate scratch.
+//! * **string-keyed** — the pre-interning path reconstructed verbatim
+//!   from git history as a measurement baseline: `HashMap<String,
+//!   Vec<TweetId>>` postings, clone-then-intersect matching, the
+//!   extend + sort + dedup union, and the `HashMap`-accumulating rank
+//!   path ([`Detector::rank_candidates_reference`]).
+//!
+//! Both paths must return identical expert rankings for every query
+//! (`results_identical` in the report) — the speedup is only meaningful
+//! at equal output.
+//!
+//! The report also times corpus acquisition three ways: full testbed
+//! build, re-index from in-memory users + tweets (the unavoidable floor
+//! of any JSON load), JSON file load when available, and the `corpus.bin`
+//! binary load, which rebuilds nothing. `to_json` renders
+//! `BENCH_online.json` by hand like the other bench reports.
+
+use esharp_eval::{EvalScale, Testbed};
+use esharp_expert::Detector;
+use esharp_microblog::{tokenize::tokenize, Corpus, TweetId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The pre-interning read path, kept as a benchmark baseline. This is a
+/// faithful reconstruction of the string-keyed `Corpus` index this repo
+/// shipped before token interning: per-token `String`-keyed posting
+/// lists, shortest-list clone + pairwise merge intersection, and the
+/// union that re-sorts every posting on every query.
+pub struct StringKeyedBaseline {
+    postings: HashMap<String, Vec<TweetId>>,
+}
+
+impl StringKeyedBaseline {
+    /// Build the string-keyed index from a corpus (re-tokenizes every
+    /// tweet, exactly like the old `Corpus::new`).
+    pub fn build(corpus: &Corpus) -> StringKeyedBaseline {
+        let mut postings: HashMap<String, Vec<TweetId>> = HashMap::new();
+        for t in corpus.tweets() {
+            for token in tokenize(&t.text) {
+                match postings.get_mut(&token) {
+                    Some(list) => {
+                        if list.last() != Some(&t.id) {
+                            list.push(t.id);
+                        }
+                    }
+                    None => {
+                        postings.insert(token, vec![t.id]);
+                    }
+                }
+            }
+        }
+        StringKeyedBaseline { postings }
+    }
+
+    /// The old `Corpus::match_query`: AND across query tokens, cloning
+    /// the shortest posting list and narrowing it pairwise.
+    pub fn match_query(&self, query: &str) -> Vec<TweetId> {
+        let tokens = tokenize(query);
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        let mut lists: Vec<&Vec<TweetId>> = Vec::with_capacity(tokens.len());
+        for token in &tokens {
+            match self.postings.get(token) {
+                Some(list) => lists.push(list),
+                None => return Vec::new(),
+            }
+        }
+        lists.sort_by_key(|list| list.len());
+        let mut result: Vec<TweetId> = lists[0].clone();
+        for list in &lists[1..] {
+            result = intersect_sorted(&result, list);
+            if result.is_empty() {
+                break;
+            }
+        }
+        result
+    }
+
+    /// The old `Esharp::search_with` union: extend with every term's
+    /// matches, then sort and dedup the whole buffer.
+    pub fn match_terms(&self, terms: &[String]) -> Vec<TweetId> {
+        let mut matched: Vec<TweetId> = Vec::new();
+        for term in terms {
+            matched.extend(self.match_query(term));
+        }
+        matched.sort_unstable();
+        matched.dedup();
+        matched
+    }
+}
+
+/// The old pairwise merge intersection (no galloping).
+fn intersect_sorted(a: &[TweetId], b: &[TweetId]) -> Vec<TweetId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Nearest-rank quantiles of one measured phase across all queries.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseStats {
+    /// Sum over all queries, seconds.
+    pub total_secs: f64,
+    /// Median per-query time, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile per-query time, microseconds.
+    pub p99_us: u64,
+    /// Worst per-query time, microseconds.
+    pub max_us: u64,
+}
+
+impl PhaseStats {
+    /// Samples arrive in nanoseconds (µs truncation would bias a ~10µs
+    /// phase by up to 10%); quantiles are reported rounded to µs.
+    fn from_samples(mut samples_ns: Vec<u64>) -> PhaseStats {
+        samples_ns.sort_unstable();
+        let to_us = |ns: u64| (ns + 500) / 1_000;
+        PhaseStats {
+            total_secs: samples_ns.iter().sum::<u64>() as f64 / 1e9,
+            p50_us: to_us(quantile(&samples_ns, 0.50)),
+            p99_us: to_us(quantile(&samples_ns, 0.99)),
+            max_us: to_us(samples_ns.last().copied().unwrap_or(0)),
+        }
+    }
+
+    fn render(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"total_secs\": {:.6}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+            self.total_secs, self.p50_us, self.p99_us, self.max_us
+        ));
+    }
+}
+
+/// Exact quantile over sorted samples (nearest-rank).
+fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+/// One read path's measurements.
+#[derive(Debug, Clone)]
+pub struct PathReport {
+    /// `interned` / `string_keyed`.
+    pub name: &'static str,
+    /// Expansion phase (identical work on both paths; sanity column).
+    pub expand: PhaseStats,
+    /// Posting intersection + union phase.
+    pub match_phase: PhaseStats,
+    /// Candidate collection + feature scoring + ranking phase.
+    pub rank_phase: PhaseStats,
+    /// Seconds spent on the match + rank hot path across all queries.
+    pub hot_secs: f64,
+    /// Hot-path throughput: queries per second of match + rank time.
+    pub hot_qps: f64,
+}
+
+/// The full `esharp bench --online` report.
+#[derive(Debug, Clone)]
+pub struct OnlineBenchReport {
+    /// Logical CPUs of the measuring host.
+    pub host_cpus: usize,
+    /// Testbed seed.
+    pub seed: u64,
+    /// Scale preset name (`tiny` / `small` / `paper`).
+    pub scale: String,
+    /// Queries replayed per path.
+    pub queries: u64,
+    /// Distinct queries in the Zipf mix.
+    pub distinct_queries: usize,
+    /// Corpus size: users.
+    pub corpus_users: usize,
+    /// Corpus size: tweets.
+    pub corpus_tweets: usize,
+    /// Corpus size: distinct interned tokens.
+    pub corpus_tokens: usize,
+    /// Full offline testbed build, seconds.
+    pub build_secs: f64,
+    /// Re-index from in-memory users + tweets (tokenize + intern +
+    /// postings), seconds — the floor under any JSON load.
+    pub rebuild_secs: f64,
+    /// JSON file load (parse + re-index), seconds. `None` when the JSON
+    /// round-trip is unavailable (stub serde in the offline dev image).
+    pub json_load_secs: Option<f64>,
+    /// `corpus.bin` binary load, seconds (no re-tokenization, no index
+    /// rebuild).
+    pub binary_load_secs: f64,
+    /// Size of `corpus.bin` in bytes.
+    pub binary_bytes: u64,
+    /// Load speedup: (JSON load when measured, else the re-index floor)
+    /// over binary load.
+    pub load_speedup: f64,
+    /// Interned path first, string-keyed baseline second.
+    pub paths: Vec<PathReport>,
+    /// Hot-path speedup: baseline hot seconds / interned hot seconds.
+    pub hot_path_speedup: f64,
+    /// Whether both paths returned identical expert rankings for every
+    /// query (they must).
+    pub results_identical: bool,
+}
+
+impl OnlineBenchReport {
+    /// Render `BENCH_online.json` (hand-rolled, stable key order, same
+    /// contract as the offline and serve reports).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"online\",\n");
+        out.push_str(&format!("  \"host_cpus\": {},\n", self.host_cpus));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
+        out.push_str(&format!("  \"queries\": {},\n", self.queries));
+        out.push_str(&format!(
+            "  \"distinct_queries\": {},\n",
+            self.distinct_queries
+        ));
+        out.push_str(&format!(
+            "  \"corpus\": {{\"users\": {}, \"tweets\": {}, \"tokens\": {}}},\n",
+            self.corpus_users, self.corpus_tweets, self.corpus_tokens
+        ));
+        out.push_str(&format!("  \"build_secs\": {:.6},\n", self.build_secs));
+        out.push_str(&format!("  \"rebuild_secs\": {:.6},\n", self.rebuild_secs));
+        match self.json_load_secs {
+            Some(s) => out.push_str(&format!("  \"json_load_secs\": {s:.6},\n")),
+            None => out.push_str("  \"json_load_secs\": null,\n"),
+        }
+        out.push_str(&format!(
+            "  \"binary_load_secs\": {:.6},\n",
+            self.binary_load_secs
+        ));
+        out.push_str(&format!("  \"binary_bytes\": {},\n", self.binary_bytes));
+        out.push_str(&format!("  \"load_speedup\": {:.2},\n", self.load_speedup));
+        out.push_str("  \"paths\": [\n");
+        for (i, p) in self.paths.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"hot_secs\": {:.6}, \"hot_qps\": {:.1}, \"expand\": ",
+                p.name, p.hot_secs, p.hot_qps
+            ));
+            p.expand.render(&mut out);
+            out.push_str(", \"match\": ");
+            p.match_phase.render(&mut out);
+            out.push_str(", \"rank\": ");
+            p.rank_phase.render(&mut out);
+            out.push_str(if i + 1 < self.paths.len() { "},\n" } else { "}\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"hot_path_speedup\": {:.2},\n",
+            self.hot_path_speedup
+        ));
+        out.push_str(&format!(
+            "  \"results_identical\": {}\n",
+            self.results_identical
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Terminal summary, one row per path.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "online bench — {} queries ({} distinct, Zipf), scale {}, seed {}, host_cpus={}\n",
+            self.queries, self.distinct_queries, self.scale, self.seed, self.host_cpus
+        ));
+        out.push_str(&format!(
+            "corpus: {} users, {} tweets, {} tokens; build {:.2}s, re-index {:.3}s, binary load {:.3}s ({} bytes, {:.1}× vs {})\n",
+            self.corpus_users,
+            self.corpus_tweets,
+            self.corpus_tokens,
+            self.build_secs,
+            self.rebuild_secs,
+            self.binary_load_secs,
+            self.binary_bytes,
+            self.load_speedup,
+            if self.json_load_secs.is_some() { "json load" } else { "re-index floor" },
+        ));
+        out.push_str("path          hot qps    match p50/p99      rank p50/p99       expand p50\n");
+        for p in &self.paths {
+            out.push_str(&format!(
+                "{:<12} {:>8.0}  {:>7}µs/{:>7}µs  {:>7}µs/{:>7}µs  {:>7}µs\n",
+                p.name,
+                p.hot_qps,
+                p.match_phase.p50_us,
+                p.match_phase.p99_us,
+                p.rank_phase.p50_us,
+                p.rank_phase.p99_us,
+                p.expand.p50_us
+            ));
+        }
+        out.push_str(&format!(
+            "hot-path speedup {:.2}×, results identical: {}\n",
+            self.hot_path_speedup, self.results_identical
+        ));
+        out
+    }
+}
+
+/// A Zipf(s≈1.1) sampler over the testbed's domain labels (the queries
+/// that actually expand), integer fixed-point cumulative weights.
+struct ZipfLabels {
+    labels: Vec<String>,
+    cumulative: Vec<u64>,
+    total: u64,
+}
+
+impl ZipfLabels {
+    fn new(testbed: &Testbed) -> std::io::Result<ZipfLabels> {
+        let labels: Vec<String> = testbed
+            .world
+            .domains
+            .iter()
+            .take(32)
+            .map(|d| d.label.clone())
+            .collect();
+        if labels.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "testbed produced no domains to query",
+            ));
+        }
+        let mut cumulative = Vec::with_capacity(labels.len());
+        let mut total = 0u64;
+        for rank in 0..labels.len() {
+            let weight = (1e6 / ((rank + 1) as f64).powf(1.1)) as u64;
+            total += weight.max(1);
+            cumulative.push(total);
+        }
+        Ok(ZipfLabels {
+            labels,
+            cumulative,
+            total,
+        })
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> &str {
+        let ticket = rng.gen_range(0..self.total);
+        let index = self
+            .cumulative
+            .partition_point(|&c| c <= ticket)
+            .min(self.labels.len() - 1);
+        &self.labels[index]
+    }
+}
+
+fn nanos(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Build the testbed, measure corpus load strategies, then replay the
+/// query mix through both read paths and compare.
+pub fn run(seed: u64, queries: u64, scale: EvalScale) -> std::io::Result<OnlineBenchReport> {
+    let build_started = Instant::now();
+    let testbed = Testbed::build(scale, seed);
+    let build_secs = build_started.elapsed().as_secs_f64();
+    let corpus = &testbed.corpus;
+    let esharp = &testbed.esharp;
+
+    // Corpus acquisition: re-index floor, JSON load (when the serializer
+    // can round-trip), and the binary load that rebuilds nothing.
+    let users = corpus.users().to_vec();
+    let tweets = corpus.tweets().to_vec();
+    let rebuild_started = Instant::now();
+    let rebuilt = Corpus::new(users, tweets);
+    let rebuild_secs = rebuild_started.elapsed().as_secs_f64();
+    assert_eq!(rebuilt.num_tokens(), corpus.num_tokens());
+    drop(rebuilt);
+
+    let dir = std::env::temp_dir().join(format!("esharp_online_bench_{seed}"));
+    std::fs::create_dir_all(&dir)?;
+    let bin_path = dir.join("corpus.bin");
+    corpus.save_binary(&bin_path)?;
+    let binary_bytes = std::fs::metadata(&bin_path)?.len();
+    let bin_load_started = Instant::now();
+    let from_bin = Corpus::load(&bin_path)?;
+    let binary_load_secs = bin_load_started.elapsed().as_secs_f64();
+    assert_eq!(from_bin.tweets().len(), corpus.tweets().len());
+    drop(from_bin);
+
+    let json_path = dir.join("corpus.json");
+    let json_load_secs = corpus.save(&json_path).ok().and_then(|()| {
+        let started = Instant::now();
+        Corpus::load(&json_path)
+            .ok()
+            .map(|loaded| {
+                assert_eq!(loaded.tweets().len(), corpus.tweets().len());
+                started.elapsed().as_secs_f64()
+            })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    let load_speedup = json_load_secs.unwrap_or(rebuild_secs) / binary_load_secs.max(1e-9);
+
+    // Replay the same deterministic query sequence through both paths.
+    let zipf = ZipfLabels::new(&testbed)?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let sequence: Vec<&str> = (0..queries).map(|_| zipf.sample(&mut rng)).collect();
+
+    let baseline = StringKeyedBaseline::build(corpus);
+    let detector = Detector::new(corpus, esharp.config().detector.clone());
+    let max_terms = esharp.config().max_expansion_terms;
+
+    // Expected experts per distinct query, computed before any timing.
+    // Both timed loops compare every reply against this fixed table, so
+    // the comparison work is identical on both sides and neither loop
+    // accumulates memory as it runs.
+    let expected: HashMap<&str, Vec<esharp_expert::ExpertResult>> = zipf
+        .labels
+        .iter()
+        .map(|q| (q.as_str(), esharp.search(corpus, q).experts))
+        .collect();
+    let mut results_identical = true;
+
+    // Each path is measured alone, immediately after its own warmup pass
+    // over every distinct query: in production exactly one index is
+    // resident, so interleaving the two paths would charge both with
+    // cache evictions caused by the other.
+    let mut interned_expand = Vec::with_capacity(sequence.len());
+    let mut interned_match = Vec::with_capacity(sequence.len());
+    let mut interned_rank = Vec::with_capacity(sequence.len());
+    for q in &zipf.labels {
+        results_identical &= esharp.search(corpus, q).experts == expected[q.as_str()];
+    }
+    for q in &sequence {
+        let outcome = esharp.search(corpus, q);
+        interned_expand.push(u64::try_from(outcome.expansion_time.as_nanos()).unwrap_or(u64::MAX));
+        interned_match.push(u64::try_from(outcome.match_time.as_nanos()).unwrap_or(u64::MAX));
+        interned_rank.push(u64::try_from(outcome.rank_time.as_nanos()).unwrap_or(u64::MAX));
+        results_identical &= outcome.experts == expected[*q];
+    }
+
+    let mut base_expand = Vec::with_capacity(sequence.len());
+    let mut base_match = Vec::with_capacity(sequence.len());
+    let mut base_rank = Vec::with_capacity(sequence.len());
+    for q in &zipf.labels {
+        let expansion = esharp.domains().expand(q, max_terms);
+        let matched = baseline.match_terms(&expansion);
+        results_identical &=
+            detector.rank_candidates_reference(&matched) == expected[q.as_str()];
+    }
+    for q in &sequence {
+        let started = Instant::now();
+        let expansion = esharp.domains().expand(q, max_terms);
+        base_expand.push(nanos(started));
+        let started = Instant::now();
+        let matched = baseline.match_terms(&expansion);
+        base_match.push(nanos(started));
+        let started = Instant::now();
+        let experts = detector.rank_candidates_reference(&matched);
+        base_rank.push(nanos(started));
+        results_identical &= experts == expected[*q];
+    }
+
+    let path_report = |name, expand: Vec<u64>, matching: Vec<u64>, rank: Vec<u64>| {
+        let match_phase = PhaseStats::from_samples(matching);
+        let rank_phase = PhaseStats::from_samples(rank);
+        let hot_secs = (match_phase.total_secs + rank_phase.total_secs).max(1e-9);
+        PathReport {
+            name,
+            expand: PhaseStats::from_samples(expand),
+            match_phase,
+            rank_phase,
+            hot_secs,
+            hot_qps: queries as f64 / hot_secs,
+        }
+    };
+    let interned = path_report("interned", interned_expand, interned_match, interned_rank);
+    let string_keyed = path_report("string_keyed", base_expand, base_match, base_rank);
+    let hot_path_speedup = string_keyed.hot_secs / interned.hot_secs;
+
+    Ok(OnlineBenchReport {
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        seed,
+        scale: format!("{scale:?}").to_lowercase(),
+        queries,
+        distinct_queries: zipf.labels.len(),
+        corpus_users: corpus.users().len(),
+        corpus_tweets: corpus.tweets().len(),
+        corpus_tokens: corpus.num_tokens(),
+        build_secs,
+        rebuild_secs,
+        json_load_secs,
+        binary_load_secs,
+        binary_bytes,
+        load_speedup,
+        paths: vec![interned, string_keyed],
+        hot_path_speedup,
+        results_identical,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_baseline_matches_interned_corpus() {
+        let testbed = Testbed::build(EvalScale::Tiny, 17);
+        let corpus = &testbed.corpus;
+        let baseline = StringKeyedBaseline::build(corpus);
+        for q in ["49ers", "diabetes", "nonexistent zz", ""] {
+            assert_eq!(baseline.match_query(q), corpus.match_query(q), "query {q:?}");
+        }
+        let terms = vec!["49ers".to_string(), "diabetes".to_string()];
+        assert_eq!(baseline.match_terms(&terms), corpus.match_terms(&terms));
+    }
+
+    #[test]
+    fn a_small_run_reports_identical_results_and_shaped_json() {
+        let report = run(11, 150, EvalScale::Tiny).expect("bench run");
+        assert_eq!(report.queries, 150);
+        assert!(report.results_identical, "paths diverged");
+        assert_eq!(report.paths.len(), 2);
+        assert!(report.paths.iter().all(|p| p.hot_qps > 0.0));
+        assert!(report.hot_path_speedup > 0.0);
+        assert!(report.binary_load_secs > 0.0 && report.binary_bytes > 0);
+        let json = report.to_json();
+        for needle in [
+            "\"bench\": \"online\"",
+            "\"name\": \"interned\"",
+            "\"name\": \"string_keyed\"",
+            "\"hot_path_speedup\":",
+            "\"binary_load_secs\":",
+            "\"results_identical\": true",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!report.render_table().is_empty());
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank_exact() {
+        assert_eq!(quantile(&[], 0.5), 0);
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile(&sorted, 0.50), 50);
+        assert_eq!(quantile(&sorted, 0.99), 99);
+    }
+}

@@ -45,8 +45,14 @@ pub struct SearchOutcome {
     pub matched_tweets: usize,
     /// Time spent in domain lookup + expansion.
     pub expansion_time: Duration,
-    /// Time spent matching and ranking.
+    /// Time spent matching and ranking (`match_time + rank_time`).
     pub detection_time: Duration,
+    /// Time spent in postings intersection + k-way union.
+    #[serde(default)]
+    pub match_time: Duration,
+    /// Time spent in candidate collection, feature scoring and ranking.
+    #[serde(default)]
+    pub rank_time: Duration,
     /// Present when the system is running degraded (stale or missing
     /// domain collection); `None` on the healthy path.
     pub degradation: Option<Degradation>,
@@ -173,21 +179,24 @@ impl Esharp {
         };
         let expansion_time = expansion_started.elapsed();
 
-        let detection_started = Instant::now();
-        let mut matched: Vec<TweetId> = Vec::new();
-        for term in &expansion {
-            matched.extend(corpus.match_query(term));
-        }
-        matched.sort_unstable();
-        matched.dedup();
+        let match_started = Instant::now();
+        // K-way merge over the sorted per-term match sets — single-token
+        // terms stream straight from the postings arena; the old
+        // extend + sort + dedup union re-sorted every posting on every
+        // query.
+        let matched: Vec<TweetId> = corpus.match_terms(&expansion);
+        let match_time = match_started.elapsed();
+        let rank_started = Instant::now();
         let experts = retriever.retrieve(corpus, &matched);
-        let detection_time = detection_started.elapsed();
+        let rank_time = rank_started.elapsed();
         SearchOutcome {
             experts,
             expansion,
             matched_tweets: matched.len(),
             expansion_time,
-            detection_time,
+            detection_time: match_time + rank_time,
+            match_time,
+            rank_time,
             degradation: self.degradation.clone(),
         }
     }
@@ -195,19 +204,23 @@ impl Esharp {
     /// The Pal & Counts baseline on the same corpus and detector settings
     /// (no expansion) — the comparison arm of every experiment.
     pub fn search_baseline(&self, corpus: &Corpus, query: &str) -> SearchOutcome {
-        let detection_started = Instant::now();
+        let match_started = Instant::now();
         let matched = corpus.match_query(query);
+        let match_time = match_started.elapsed();
         // The assembly-time retriever, not a per-call `Detector`: cloning
         // the detector configuration on every baseline call was the same
         // per-query allocation `search` shed in PR 1.
+        let rank_started = Instant::now();
         let experts = self.retriever.retrieve(corpus, &matched);
-        let detection_time = detection_started.elapsed();
+        let rank_time = rank_started.elapsed();
         SearchOutcome {
             experts,
             expansion: vec![query.to_lowercase()],
             matched_tweets: matched.len(),
             expansion_time: Duration::ZERO,
-            detection_time,
+            detection_time: match_time + rank_time,
+            match_time,
+            rank_time,
             degradation: None,
         }
     }

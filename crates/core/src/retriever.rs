@@ -69,10 +69,22 @@ impl ExpertiseRetriever for FrequencyRetriever {
             *counts.entry(corpus.tweet(tid).author).or_insert(0) += 1;
         }
         let mut ranked: Vec<(u32, u64)> = counts.into_iter().collect();
-        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        // Only the top `max_results` entries survive, so a full sort is
+        // wasted work on large candidate sets: select the prefix in O(n),
+        // then sort just that prefix. The comparator (count desc, user id
+        // asc) is the same in both steps, so the output is identical to
+        // the old sort-everything-then-truncate.
+        let cmp = |a: &(u32, u64), b: &(u32, u64)| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0));
+        if self.max_results == 0 {
+            return Vec::new();
+        }
+        if ranked.len() > self.max_results {
+            ranked.select_nth_unstable_by(self.max_results - 1, cmp);
+            ranked.truncate(self.max_results);
+        }
+        ranked.sort_unstable_by(cmp);
         ranked
             .into_iter()
-            .take(self.max_results)
             .map(|(user, n)| ExpertResult {
                 user,
                 score: n as f64,
@@ -121,6 +133,34 @@ mod tests {
             assert!(pair[0].score >= pair[1].score);
         }
         assert!(results.len() <= 15);
+    }
+
+    #[test]
+    fn frequency_partial_sort_matches_full_sort() {
+        let corpus = corpus();
+        let matched = corpus.match_query("diabetes");
+        // Reference: full sort then truncate (the pre-partial-sort code).
+        let reference = |max: usize| -> Vec<(u32, f64)> {
+            let mut counts: HashMap<u32, u64> = HashMap::new();
+            for &tid in &matched {
+                *counts.entry(corpus.tweet(tid).author).or_insert(0) += 1;
+            }
+            let mut ranked: Vec<(u32, u64)> = counts.into_iter().collect();
+            ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            ranked
+                .into_iter()
+                .take(max)
+                .map(|(u, n)| (u, n as f64))
+                .collect()
+        };
+        for max in [0usize, 1, 2, 5, 15, 10_000] {
+            let got: Vec<(u32, f64)> = FrequencyRetriever { max_results: max }
+                .retrieve(&corpus, &matched)
+                .into_iter()
+                .map(|r| (r.user, r.score))
+                .collect();
+            assert_eq!(got, reference(max), "max_results={max}");
+        }
     }
 
     #[test]

@@ -2,11 +2,19 @@
 //! normalization → weighted ranking → z-score threshold (§3).
 
 use crate::cluster_filter::cluster_filter;
-use crate::features::{collect_candidates, compute_features, Features};
+use crate::features::{collect_candidates, compute_features, CandidateScratch, Features};
 use crate::features_ext::{collect_extended, compute_extended, ExtendedWeights};
 use crate::normalize::{normalize_feature, z_scores};
 use esharp_microblog::{Corpus, TweetId, UserId};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread candidate scratch: the serve worker pool shares one
+    /// detector across threads, so the reusable buffers live here rather
+    /// than behind a lock on the rank path.
+    static SCRATCH: RefCell<CandidateScratch> = RefCell::new(CandidateScratch::new());
+}
 
 /// Detector configuration. Defaults follow the paper: the three features
 /// the authors "present as important", aggregated by a weighted sum with a
@@ -85,8 +93,69 @@ impl<'c> Detector<'c> {
 
     /// Rank the candidates induced by an explicit set of matching tweets.
     /// e#'s query expansion unions several match sets and calls this once,
-    /// so baseline and expanded searches share one scoring path.
+    /// so baseline and expanded searches share one scoring path. Uses the
+    /// per-thread [`CandidateScratch`]; results are bit-identical to
+    /// [`Detector::rank_candidates_reference`] (enforced by proptest).
     pub fn rank_candidates(&self, matching: &[TweetId]) -> Vec<ExpertResult> {
+        SCRATCH.with(|scratch| self.rank_candidates_in(matching, &mut scratch.borrow_mut()))
+    }
+
+    /// [`Detector::rank_candidates`] with an explicit scratch, for callers
+    /// that manage their own reuse (the bench harness).
+    pub fn rank_candidates_in(
+        &self,
+        matching: &[TweetId],
+        scratch: &mut CandidateScratch,
+    ) -> Vec<ExpertResult> {
+        scratch.collect(self.corpus, matching);
+        if scratch.is_empty() {
+            return Vec::new();
+        }
+        // Candidates arrive in ascending user order — the same
+        // deterministic order the reference path sorts into.
+        let entries: Vec<(UserId, Features)> = scratch
+            .candidates()
+            .map(|(user, counts)| (user, compute_features(self.corpus, user, &counts)))
+            .collect();
+
+        let ts: Vec<f64> = entries.iter().map(|(_, f)| f.ts).collect();
+        let mi: Vec<f64> = entries.iter().map(|(_, f)| f.mi).collect();
+        let ri: Vec<f64> = entries.iter().map(|(_, f)| f.ri).collect();
+        let zts = normalize_feature(&ts, self.config.log_epsilon);
+        let zmi = normalize_feature(&mi, self.config.log_epsilon);
+        let zri = normalize_feature(&ri, self.config.log_epsilon);
+
+        // Optional extended feature tier (SS/NCS/RT/HUB).
+        let extended_contrib: Vec<f64> = match &self.config.extended {
+            None => vec![0.0; entries.len()],
+            Some(weights) => {
+                scratch.collect_extended(self.corpus, matching);
+                let ext: Vec<crate::features_ext::ExtendedFeatures> = entries
+                    .iter()
+                    .map(|&(user, _)| {
+                        let counts = scratch.extended_of(user);
+                        let topic = scratch.counts_of(user);
+                        compute_extended(self.corpus, user, &counts, &topic)
+                    })
+                    .collect();
+                let zss = z_scores(&ext.iter().map(|f| f.ss).collect::<Vec<_>>());
+                let zncs = z_scores(&ext.iter().map(|f| f.ncs).collect::<Vec<_>>());
+                let zrt = z_scores(&ext.iter().map(|f| f.rt).collect::<Vec<_>>());
+                let zhub = z_scores(&ext.iter().map(|f| f.hub).collect::<Vec<_>>());
+                (0..entries.len())
+                    .map(|i| weights.combine(zss[i], zncs[i], zrt[i], zhub[i]))
+                    .collect()
+            }
+        };
+
+        self.finish(entries, zts, zmi, zri, extended_contrib)
+    }
+
+    /// The pre-scratch implementation, kept verbatim as the string-keyed
+    /// era's rank path: per-query `HashMap` accumulation, then sort. The
+    /// online bench measures the scratch path against this baseline; the
+    /// proptests pin both to bit-identical output.
+    pub fn rank_candidates_reference(&self, matching: &[TweetId]) -> Vec<ExpertResult> {
         let candidate_counts = collect_candidates(self.corpus, matching);
         if candidate_counts.is_empty() {
             return Vec::new();
@@ -105,7 +174,6 @@ impl<'c> Detector<'c> {
         let zmi = normalize_feature(&mi, self.config.log_epsilon);
         let zri = normalize_feature(&ri, self.config.log_epsilon);
 
-        // Optional extended feature tier (SS/NCS/RT/HUB).
         let extended_contrib: Vec<f64> = match &self.config.extended {
             None => vec![0.0; entries.len()],
             Some(weights) => {
@@ -114,12 +182,8 @@ impl<'c> Detector<'c> {
                     .iter()
                     .map(|&(user, _)| {
                         let counts = ext_counts.get(&user).copied().unwrap_or_default();
-                        compute_extended(
-                            self.corpus,
-                            user,
-                            &counts,
-                            candidate_counts.get(&user).expect("candidate present"),
-                        )
+                        let topic = candidate_counts.get(&user).copied().unwrap_or_default();
+                        compute_extended(self.corpus, user, &counts, &topic)
                     })
                     .collect();
                 let zss = z_scores(&ext.iter().map(|f| f.ss).collect::<Vec<_>>());
@@ -132,6 +196,19 @@ impl<'c> Detector<'c> {
             }
         };
 
+        self.finish(entries, zts, zmi, zri, extended_contrib)
+    }
+
+    /// Shared scoring tail: weighted sum, optional cluster filter,
+    /// threshold, sort, cap.
+    fn finish(
+        &self,
+        entries: Vec<(UserId, Features)>,
+        zts: Vec<f64>,
+        zmi: Vec<f64>,
+        zri: Vec<f64>,
+        extended_contrib: Vec<f64>,
+    ) -> Vec<ExpertResult> {
         let (w_ts, w_mi, w_ri) = self.config.weights;
         let mut results: Vec<ExpertResult> = entries
             .iter()
@@ -265,5 +342,33 @@ mod tests {
         let detector = Detector::new(&corpus, DetectorConfig::default());
         let matching = corpus.match_query("football");
         assert_eq!(detector.rank_candidates(&matching), detector.search("football"));
+    }
+
+    #[test]
+    fn scratch_path_is_bit_identical_to_reference() {
+        let (world, corpus) = build();
+        for config in [
+            DetectorConfig::default(),
+            DetectorConfig {
+                extended: Some(crate::features_ext::ExtendedWeights::default()),
+                min_zscore: f64::NEG_INFINITY,
+                max_results: usize::MAX,
+                ..Default::default()
+            },
+            DetectorConfig {
+                cluster_filter: true,
+                min_zscore: -5.0,
+                ..Default::default()
+            },
+        ] {
+            let detector = Detector::new(&corpus, config);
+            let mut scratch = crate::features::CandidateScratch::new();
+            for domain in &world.domains {
+                let matching = corpus.match_query(&domain.label);
+                let fast = detector.rank_candidates_in(&matching, &mut scratch);
+                let reference = detector.rank_candidates_reference(&matching);
+                assert_eq!(fast, reference, "divergence on {:?}", domain.label);
+            }
+        }
     }
 }

@@ -59,6 +59,129 @@ pub fn collect_candidates(
     candidates
 }
 
+/// Reusable dense accumulators for candidate selection — the PR 1 flat
+/// accumulator pattern applied to the online rank path.
+///
+/// [`collect_candidates`] allocates a fresh `HashMap` per query; at
+/// serving rates that is the dominant allocation on the rank path. The
+/// scratch keeps one `Vec<TopicCounts>` sized to the corpus user table
+/// plus a touched list: accumulation is an array index per event, reset
+/// is `O(|touched|)`, and after warm-up a query allocates nothing here.
+/// Candidates come back in ascending user order — the same deterministic
+/// order the `HashMap`-then-sort path produces, so rankings are
+/// bit-identical (enforced by proptest).
+#[derive(Debug, Default)]
+pub struct CandidateScratch {
+    counts: Vec<TopicCounts>,
+    touched: Vec<UserId>,
+    ext_counts: Vec<crate::features_ext::ExtendedCounts>,
+    ext_touched: Vec<UserId>,
+}
+
+impl CandidateScratch {
+    /// A fresh scratch; buffers grow to corpus size on first use.
+    pub fn new() -> CandidateScratch {
+        CandidateScratch::default()
+    }
+
+    /// Candidate selection (§3) into the dense table: same semantics as
+    /// [`collect_candidates`], reusing this scratch's buffers.
+    pub fn collect(&mut self, corpus: &Corpus, matching: &[TweetId]) {
+        for &u in &self.touched {
+            if let Some(c) = self.counts.get_mut(u as usize) {
+                *c = TopicCounts::default();
+            }
+        }
+        self.touched.clear();
+        self.counts.resize(corpus.users().len(), TopicCounts::default());
+        for &tid in matching {
+            let tweet = corpus.tweet(tid);
+            Self::touch(&mut self.counts, &mut self.touched, tweet.author).tweets_on_topic += 1;
+            for &mentioned in &tweet.mentions {
+                Self::touch(&mut self.counts, &mut self.touched, mentioned).mentions_on_topic +=
+                    1;
+            }
+            if let Some(original_author) = tweet.retweet_of {
+                Self::touch(&mut self.counts, &mut self.touched, original_author)
+                    .retweets_on_topic += 1;
+            }
+        }
+        self.touched.sort_unstable();
+    }
+
+    /// A slot, recording the user in the touched list on first contact.
+    /// Counts only ever increment, so "still all-default" is exactly
+    /// "never touched since the last reset".
+    fn touch<'s>(
+        counts: &'s mut [TopicCounts],
+        touched: &mut Vec<UserId>,
+        user: UserId,
+    ) -> &'s mut TopicCounts {
+        let slot = &mut counts[user as usize];
+        if *slot == TopicCounts::default() {
+            touched.push(user);
+        }
+        slot
+    }
+
+    /// Candidates of the last [`CandidateScratch::collect`], in ascending
+    /// user order.
+    pub fn candidates(&self) -> impl Iterator<Item = (UserId, TopicCounts)> + '_ {
+        self.touched.iter().map(|&u| (u, self.counts[u as usize]))
+    }
+
+    /// Number of candidates collected.
+    pub fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// True when the last collect produced no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// The counts of one candidate (all-zero for non-candidates).
+    pub fn counts_of(&self, user: UserId) -> TopicCounts {
+        self.counts.get(user as usize).copied().unwrap_or_default()
+    }
+
+    /// Extended-tier counts (authors only), dense-accumulated: same
+    /// semantics as [`crate::features_ext::collect_extended`].
+    pub fn collect_extended(&mut self, corpus: &Corpus, matching: &[TweetId]) {
+        use crate::features_ext::ExtendedCounts;
+        for &u in &self.ext_touched {
+            if let Some(c) = self.ext_counts.get_mut(u as usize) {
+                *c = ExtendedCounts::default();
+            }
+        }
+        self.ext_touched.clear();
+        self.ext_counts
+            .resize(corpus.users().len(), ExtendedCounts::default());
+        for &tid in matching {
+            let tweet = corpus.tweet(tid);
+            let slot = &mut self.ext_counts[tweet.author as usize];
+            if *slot == ExtendedCounts::default() {
+                self.ext_touched.push(tweet.author);
+            }
+            slot.tweets += 1;
+            if tweet.retweet_of.is_none() {
+                slot.original += 1;
+            }
+            if !crate::features_ext::is_conversational(corpus, tid) {
+                slot.non_chat += 1;
+            }
+        }
+    }
+
+    /// Extended counts of one candidate (all-zero for non-authors).
+    pub fn extended_of(&self, user: UserId) -> crate::features_ext::ExtendedCounts {
+        self.ext_counts
+            .get(user as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+}
+
 /// Turn on-topic counts into the TS/MI/RI ratios. A zero denominator
 /// yields a zero feature (the user has no activity of that kind at all).
 pub fn compute_features(corpus: &Corpus, user: UserId, counts: &TopicCounts) -> Features {

@@ -46,6 +46,17 @@ pub struct ExtendedCounts {
     pub non_chat: u64,
 }
 
+/// True when a tweet is conversational — it opens with a mention. The
+/// check runs on the corpus's interned tokens (one array lookup + first
+/// byte of the interned text), not on a re-tokenization of the tweet.
+pub fn is_conversational(corpus: &Corpus, tweet: TweetId) -> bool {
+    corpus
+        .tweet_tokens(tweet)
+        .first()
+        .map(|&t| corpus.token_text(t).starts_with('@'))
+        .unwrap_or(false)
+}
+
 /// Accumulate extended counts for every author in the match set.
 pub fn collect_extended(corpus: &Corpus, matching: &[TweetId]) -> HashMap<UserId, ExtendedCounts> {
     let mut counts: HashMap<UserId, ExtendedCounts> = HashMap::new();
@@ -56,12 +67,7 @@ pub fn collect_extended(corpus: &Corpus, matching: &[TweetId]) -> HashMap<UserId
         if tweet.retweet_of.is_none() {
             entry.original += 1;
         }
-        let conversational = tweet
-            .tokens
-            .first()
-            .map(|t| t.starts_with('@'))
-            .unwrap_or(false);
-        if !conversational {
+        if !is_conversational(corpus, tid) {
             entry.non_chat += 1;
         }
     }

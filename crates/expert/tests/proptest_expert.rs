@@ -88,6 +88,28 @@ proptest! {
     }
 
     #[test]
+    fn scratch_rank_is_bit_identical_to_reference(
+        counts in prop::collection::vec(0u8..6, 2..10),
+        off in prop::collection::vec(0u8..6, 2..10),
+        picks in prop::collection::vec(prop::bool::ANY, 1..60),
+    ) {
+        // The flat-scratch rank path must reproduce the HashMap reference
+        // path bit-for-bit (same users, same f64 scores, same order) on an
+        // arbitrary sorted subset of tweets — including the empty subset
+        // and subsets that leave some users with zero matches.
+        let n = counts.len().min(off.len());
+        let corpus = corpus_from_counts(&counts[..n], &off[..n]);
+        let matching: Vec<u32> = (0..corpus.tweets().len() as u32)
+            .filter(|&id| picks.get(id as usize).copied().unwrap_or(false))
+            .collect();
+        let detector = Detector::new(&corpus, DetectorConfig::default());
+        prop_assert_eq!(
+            detector.rank_candidates(&matching),
+            detector.rank_candidates_reference(&matching)
+        );
+    }
+
+    #[test]
     fn detector_scores_are_finite_and_sorted(
         counts in prop::collection::vec(0u8..6, 2..10),
         off in prop::collection::vec(0u8..6, 2..10),

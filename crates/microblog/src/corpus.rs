@@ -1,22 +1,35 @@
 //! The corpus: users, tweets and the indexes the expert detector needs.
 
+use crate::index::{intersect, union_sorted, PostingsIndex};
+use crate::intern::SymbolTable;
 use crate::tokenize::tokenize;
-use crate::types::{Tweet, TweetId, User, UserId};
-use serde::{Deserialize, Serialize};
+use crate::types::{TokenId, Tweet, TweetId, User, UserId};
 use std::collections::HashMap;
 
 /// An indexed microblog corpus.
 ///
 /// Besides the raw tables, the corpus maintains:
-/// * a token inverted index for all-terms query matching (§3),
+/// * a corpus-wide symbol table interning every token to a dense
+///   [`TokenId`] (tokens are interned once at build time; the online
+///   path never hashes a tweet token again),
+/// * each tweet's interned tokens in a flat CSR arena
+///   ([`Corpus::tweet_tokens`]),
+/// * a CSR token inverted index ([`PostingsIndex`]) for all-terms query
+///   matching (§3),
 /// * per-user totals (#tweets, #mentions received, #retweets received) —
 ///   the denominators of the TS / MI / RI features.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Corpus {
     users: Vec<User>,
     tweets: Vec<Tweet>,
-    /// token → sorted tweet ids containing it.
-    token_postings: HashMap<String, Vec<TweetId>>,
+    /// Token text ↔ dense id.
+    symbols: SymbolTable,
+    /// Tweet `t`'s tokens (in text order, duplicates kept) are
+    /// `token_ids[token_offsets[t] .. token_offsets[t + 1]]`.
+    token_offsets: Vec<u32>,
+    token_ids: Vec<TokenId>,
+    /// token id → sorted tweet ids containing it.
+    postings: PostingsIndex,
     /// handle → user id.
     handle_index: HashMap<String, UserId>,
     /// Per-user totals.
@@ -27,16 +40,20 @@ pub struct Corpus {
 
 impl Corpus {
     /// Build an indexed corpus from users and tweets. Tweet and user ids
-    /// must equal their indices.
+    /// must equal their indices. Tokenization and interning happen here —
+    /// this is the only place tweet text is ever tokenized.
     pub fn new(users: Vec<User>, tweets: Vec<Tweet>) -> Corpus {
         let mut handle_index = HashMap::with_capacity(users.len());
         for u in &users {
             handle_index.insert(u.handle.clone(), u.id);
         }
-        let mut token_postings: HashMap<String, Vec<TweetId>> = HashMap::new();
         let mut tweets_by_user = vec![0u64; users.len()];
         let mut mentions_of_user = vec![0u64; users.len()];
         let mut retweets_of_user = vec![0u64; users.len()];
+        let mut symbols = SymbolTable::new();
+        let mut token_offsets = Vec::with_capacity(tweets.len() + 1);
+        let mut token_ids: Vec<TokenId> = Vec::new();
+        token_offsets.push(0);
         for (index, t) in tweets.iter().enumerate() {
             debug_assert_eq!(
                 t.id as usize, index,
@@ -49,28 +66,55 @@ impl Corpus {
             if let Some(orig) = t.retweet_of {
                 retweets_of_user[orig as usize] += 1;
             }
-            for token in &t.tokens {
-                // Tweets arrive in id order, so a token repeated within
-                // this tweet is exactly one whose posting list already ends
-                // with this id — an O(1) dedup instead of a scan of every
-                // token seen so far in the tweet. The key is cloned only on
-                // a token's first appearance in the corpus.
-                match token_postings.get_mut(token) {
-                    Some(postings) => {
-                        if postings.last() != Some(&t.id) {
-                            postings.push(t.id);
-                        }
-                    }
-                    None => {
-                        token_postings.insert(token.clone(), vec![t.id]);
-                    }
-                }
+            for token in tokenize(&t.text) {
+                token_ids.push(symbols.intern(&token));
             }
+            token_offsets.push(token_ids.len() as u32);
+        }
+        let postings = PostingsIndex::build(
+            symbols.len(),
+            token_offsets.windows(2).map(|w| &token_ids[w[0] as usize..w[1] as usize]),
+        );
+        Corpus {
+            users,
+            tweets,
+            symbols,
+            token_offsets,
+            token_ids,
+            postings,
+            handle_index,
+            tweets_by_user,
+            mentions_of_user,
+            retweets_of_user,
+        }
+    }
+
+    /// Reassemble a corpus from pre-built interned parts (the binary load
+    /// path — no re-tokenization, no postings rebuild). Only the two small
+    /// hash indexes (handle → user, token text → id) are reconstructed.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        users: Vec<User>,
+        tweets: Vec<Tweet>,
+        symbols: SymbolTable,
+        token_offsets: Vec<u32>,
+        token_ids: Vec<TokenId>,
+        postings: PostingsIndex,
+        tweets_by_user: Vec<u64>,
+        mentions_of_user: Vec<u64>,
+        retweets_of_user: Vec<u64>,
+    ) -> Corpus {
+        let mut handle_index = HashMap::with_capacity(users.len());
+        for u in &users {
+            handle_index.insert(u.handle.clone(), u.id);
         }
         Corpus {
             users,
             tweets,
-            token_postings,
+            symbols,
+            token_offsets,
+            token_ids,
+            postings,
             handle_index,
             tweets_by_user,
             mentions_of_user,
@@ -98,6 +142,32 @@ impl Corpus {
         &self.tweets[id as usize]
     }
 
+    /// A tweet's interned tokens, in text order (duplicates kept).
+    pub fn tweet_tokens(&self, id: TweetId) -> &[TokenId] {
+        let t = id as usize;
+        &self.token_ids[self.token_offsets[t] as usize..self.token_offsets[t + 1] as usize]
+    }
+
+    /// The id of a token text, if interned anywhere in the corpus.
+    pub fn token_id(&self, text: &str) -> Option<TokenId> {
+        self.symbols.get(text)
+    }
+
+    /// The text of an interned token.
+    pub fn token_text(&self, id: TokenId) -> &str {
+        self.symbols.text(id)
+    }
+
+    /// Distinct tokens in the corpus.
+    pub fn num_tokens(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// The sorted tweet ids containing `token`.
+    pub fn postings(&self, token: TokenId) -> &[TweetId] {
+        self.postings.postings(token)
+    }
+
     /// Resolve a handle to a user id.
     pub fn user_by_handle(&self, handle: &str) -> Option<UserId> {
         self.handle_index.get(handle).copied()
@@ -119,29 +189,84 @@ impl Corpus {
     }
 
     /// Tweets matching a query: the tweet must contain **all** the query's
-    /// tokens after lower-casing (§3). Implemented as a sorted-postings
-    /// intersection starting from the rarest token.
+    /// tokens after lower-casing (§3). A sorted-postings intersection
+    /// starting from the rarest token; a single-token query borrows its
+    /// posting list and copies it only once, at the end.
     pub fn match_query(&self, query: &str) -> Vec<TweetId> {
-        let tokens = tokenize(query);
-        if tokens.is_empty() {
-            return Vec::new();
+        match self.match_term(query) {
+            TermMatch::Borrowed(list) => list.to_vec(),
+            TermMatch::Owned(list) => list,
         }
-        let mut postings: Vec<&Vec<TweetId>> = Vec::with_capacity(tokens.len());
-        for token in &tokens {
-            match self.token_postings.get(token) {
-                Some(list) => postings.push(list),
-                None => return Vec::new(),
+    }
+
+    /// Like [`Corpus::match_query`], borrowing the posting list outright
+    /// when no intersection shrinks it (single-token queries — the common
+    /// case for expansion terms).
+    fn match_term(&self, term: &str) -> TermMatch<'_> {
+        // Fast path: a term already in normalized form — space-separated
+        // ASCII lowercase alphanumeric words, which `tokenize` maps to
+        // themselves — feeds the symbol table directly. Expansion terms
+        // ("draft", "sarah palin news") are stored in exactly this form,
+        // so the tokenizer's per-term `Vec<String>` never materializes on
+        // the expansion-union path; anything else (sigils, punctuation,
+        // uppercase, non-ASCII) takes the full tokenizer below.
+        let normalized = term
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b' ');
+        let mut lists: Vec<&[TweetId]>;
+        if normalized {
+            lists = Vec::new();
+            for word in term.split_ascii_whitespace() {
+                match self.symbols.get(word) {
+                    Some(id) => lists.push(self.postings.postings(id)),
+                    None => return TermMatch::Owned(Vec::new()),
+                }
+            }
+        } else {
+            let tokens = tokenize(term);
+            lists = Vec::with_capacity(tokens.len());
+            for token in &tokens {
+                match self.symbols.get(token) {
+                    Some(id) => lists.push(self.postings.postings(id)),
+                    None => return TermMatch::Owned(Vec::new()),
+                }
             }
         }
-        postings.sort_by_key(|list| list.len());
-        let mut result: Vec<TweetId> = postings[0].clone();
-        for list in &postings[1..] {
-            result = intersect_sorted(&result, list);
-            if result.is_empty() {
-                break;
+        match lists.len() {
+            0 => TermMatch::Owned(Vec::new()),
+            1 => TermMatch::Borrowed(lists[0]),
+            _ => {
+                lists.sort_by_key(|list| list.len());
+                let mut result = intersect(lists[0], lists[1]);
+                for list in &lists[2..] {
+                    if result.is_empty() {
+                        break;
+                    }
+                    result = intersect(&result, list);
+                }
+                TermMatch::Owned(result)
             }
         }
-        result
+    }
+
+    /// Tweets matching **any** of `terms` (each term itself conjunctive,
+    /// as in [`Corpus::match_query`]): a k-way merge over the sorted
+    /// per-term match sets. This is the expansion-union hot path —
+    /// single-token terms contribute borrowed postings slices, so the
+    /// only allocations are the intersections that actually shrink and
+    /// the final merged result.
+    pub fn match_terms(&self, terms: &[String]) -> Vec<TweetId> {
+        let matches: Vec<TermMatch<'_>> =
+            terms.iter().map(|term| self.match_term(term)).collect();
+        let lists: Vec<&[TweetId]> = matches
+            .iter()
+            .map(|m| match m {
+                TermMatch::Borrowed(list) => *list,
+                TermMatch::Owned(list) => list.as_slice(),
+            })
+            .filter(|list| !list.is_empty())
+            .collect();
+        union_sorted(&lists)
     }
 
     /// Approximate corpus payload size in bytes.
@@ -150,7 +275,8 @@ impl Corpus {
     }
 
     /// Persist the corpus to a JSON file (indexes are rebuilt on load, so
-    /// only users and tweets pay serialization cost).
+    /// only users and tweets pay serialization cost). For the O(bytes)
+    /// binary format that skips the rebuild, see [`Corpus::save_binary`].
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         let path = path.as_ref();
         if let Some(parent) = path.parent() {
@@ -161,30 +287,28 @@ impl Corpus {
         std::fs::write(path, json)
     }
 
-    /// Load a corpus persisted by [`Corpus::save`], rebuilding all indexes.
+    /// Load a corpus persisted by [`Corpus::save`] (JSON, indexes rebuilt)
+    /// or [`Corpus::save_binary`] (checksummed frames, indexes loaded
+    /// as-is). The format is sniffed from the first byte: a JSON payload
+    /// is a `[users, tweets]` array, a binary one starts with a frame
+    /// length.
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Corpus> {
-        let json = std::fs::read_to_string(path)?;
-        let (users, tweets): (Vec<User>, Vec<Tweet>) =
-            serde_json::from_str(&json).map_err(std::io::Error::other)?;
-        Ok(Corpus::new(users, tweets))
+        let data = std::fs::read(path)?;
+        if data.first() == Some(&b'[') {
+            let (users, tweets): (Vec<User>, Vec<Tweet>) =
+                serde_json::from_slice(&data).map_err(std::io::Error::other)?;
+            Ok(Corpus::new(users, tweets))
+        } else {
+            crate::binio::decode_corpus(&data)
+        }
     }
 }
 
-fn intersect_sorted(a: &[TweetId], b: &[TweetId]) -> Vec<TweetId> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out
+/// A per-term match set: borrowed straight from the postings arena when
+/// no intersection shrank it.
+enum TermMatch<'c> {
+    Borrowed(&'c [TweetId]),
+    Owned(Vec<TweetId>),
 }
 
 #[cfg(test)]
@@ -232,6 +356,25 @@ mod tests {
     }
 
     #[test]
+    fn match_terms_unions_per_term_matches() {
+        let c = corpus();
+        assert_eq!(
+            c.match_terms(&["49ers draft".to_string(), "niners".to_string()]),
+            vec![0, 1, 2]
+        );
+        // Overlapping terms dedup; unknown terms contribute nothing.
+        assert_eq!(
+            c.match_terms(&[
+                "49ers".to_string(),
+                "draft".to_string(),
+                "zzz".to_string()
+            ]),
+            vec![0, 1]
+        );
+        assert!(c.match_terms(&[]).is_empty());
+    }
+
+    #[test]
     fn totals_count_mentions_and_retweets() {
         let c = corpus();
         assert_eq!(c.tweets_by(1), 2);
@@ -247,6 +390,20 @@ mod tests {
         let tweets = vec![Tweet::parse(0, 0, "go go go niners", |_| None)];
         let c = Corpus::new(users, tweets);
         assert_eq!(c.match_query("go"), vec![0]);
+        // The per-tweet token list keeps text order and duplicates …
+        let go = c.token_id("go").unwrap();
+        assert_eq!(c.tweet_tokens(0).iter().filter(|&&t| t == go).count(), 3);
+        // … but the posting list holds the tweet once.
+        assert_eq!(c.postings(go), &[0]);
+    }
+
+    #[test]
+    fn interned_tokens_round_trip_text() {
+        let c = corpus();
+        let id = c.token_id("niners").unwrap();
+        assert_eq!(c.token_text(id), "niners");
+        assert!(c.num_tokens() > 0);
+        assert_eq!(c.token_id("absent"), None);
     }
 
     #[test]
@@ -260,6 +417,26 @@ mod tests {
         assert_eq!(back.tweets().len(), c.tweets().len());
         assert_eq!(back.match_query("49ers draft"), c.match_query("49ers draft"));
         assert_eq!(back.mentions_of(0), c.mentions_of(0));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn legacy_json_with_tokens_field_still_loads() {
+        // Corpora saved before interning carried a redundant per-tweet
+        // `tokens` array; serde skips unknown fields, and load
+        // re-tokenizes from text.
+        let json = r#"[
+            [{"id":0,"handle":"a","display_name":"A","description":"",
+              "followers":1,"verified":false,"expert_domains":[],"spam":false}],
+            [{"id":0,"author":0,"text":"niners win","tokens":["niners","win"],
+              "mentions":[],"retweet_of":null}]
+        ]"#;
+        let dir = std::env::temp_dir().join("esharp_corpus_legacy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.json");
+        std::fs::write(&path, json).unwrap();
+        let c = Corpus::load(&path).unwrap();
+        assert_eq!(c.match_query("niners"), vec![0]);
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -1,0 +1,307 @@
+//! Flat CSR postings index over interned tokens.
+//!
+//! The string-keyed `HashMap<String, Vec<TweetId>>` index paid one hash +
+//! one pointer chase per query token and kept every posting list as its
+//! own allocation. Here postings live in a single contiguous `TweetId`
+//! arena addressed by per-token offsets — CSR layout, like the PR 1
+//! follower graph — so a token's list is `&arena[offsets[t]..offsets[t+1]]`
+//! and the whole index is two `Vec`s (which is also what makes the binary
+//! corpus format an O(bytes) load: the arena serializes as-is).
+//!
+//! Intersections pick their algorithm by skew: near-equal list lengths use
+//! the linear merge, while a rare term against a head term gallops
+//! (exponential probe + binary search) through the long list, turning the
+//! `O(|a|+|b|)` scan into `O(|a| log |b|)`.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::types::{TokenId, TweetId};
+
+/// When the longer list is at least this many times the shorter one,
+/// galloping beats the linear merge (the crossover is shallow; 16 is a
+/// conservative pick that also keeps the tests exercising both paths).
+const GALLOP_SKEW: usize = 16;
+
+/// Postings for every interned token, CSR layout: token `t`'s sorted,
+/// deduplicated tweet ids are `arena[offsets[t] .. offsets[t + 1]]`.
+#[derive(Debug, Clone, Default)]
+pub struct PostingsIndex {
+    offsets: Vec<u32>,
+    arena: Vec<TweetId>,
+}
+
+impl PostingsIndex {
+    /// Build the index by counting sort over per-tweet token lists.
+    ///
+    /// `tweet_tokens` yields each tweet's interned tokens **in tweet id
+    /// order** (ids = iteration order), which keeps every posting list
+    /// sorted for free. Within-tweet duplicate tokens are dropped with a
+    /// `last_seen` sentinel — O(1) per token, no per-tweet set.
+    pub fn build<'a, I>(num_tokens: usize, tweet_tokens: I) -> PostingsIndex
+    where
+        I: Iterator<Item = &'a [TokenId]> + Clone,
+    {
+        // Pass 1: posting-list lengths (deduplicated within each tweet).
+        let mut counts = vec![0u32; num_tokens];
+        let mut last_seen = vec![u32::MAX; num_tokens];
+        for (tweet, tokens) in tweet_tokens.clone().enumerate() {
+            let tweet = tweet as u32;
+            for &t in tokens {
+                if last_seen[t as usize] != tweet {
+                    last_seen[t as usize] = tweet;
+                    counts[t as usize] += 1;
+                }
+            }
+        }
+        // Prefix-sum into offsets; `cursor[t]` walks each token's slot.
+        let mut offsets = Vec::with_capacity(num_tokens + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            total += c;
+            offsets.push(total);
+        }
+        // Pass 2: scatter tweet ids into the arena.
+        let mut arena = vec![0 as TweetId; total as usize];
+        let mut cursor: Vec<u32> = offsets[..num_tokens].to_vec();
+        last_seen.fill(u32::MAX);
+        for (tweet, tokens) in tweet_tokens.enumerate() {
+            let tweet = tweet as u32;
+            for &t in tokens {
+                if last_seen[t as usize] != tweet {
+                    last_seen[t as usize] = tweet;
+                    arena[cursor[t as usize] as usize] = tweet;
+                    cursor[t as usize] += 1;
+                }
+            }
+        }
+        PostingsIndex { offsets, arena }
+    }
+
+    /// Reassemble an index from its two flat columns (binary corpus load).
+    /// Offsets must be monotone and end at the arena length.
+    pub fn from_parts(offsets: Vec<u32>, arena: Vec<TweetId>) -> Result<PostingsIndex, String> {
+        if offsets.first() != Some(&0) {
+            return Err("postings offsets must start at 0".to_string());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("postings offsets must be monotone".to_string());
+        }
+        if offsets.last().copied().unwrap_or(0) as usize != arena.len() {
+            return Err("postings offsets must end at the arena length".to_string());
+        }
+        Ok(PostingsIndex { offsets, arena })
+    }
+
+    /// Number of tokens indexed.
+    pub fn num_tokens(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The sorted posting list of `token`.
+    pub fn postings(&self, token: TokenId) -> &[TweetId] {
+        let t = token as usize;
+        &self.arena[self.offsets[t] as usize..self.offsets[t + 1] as usize]
+    }
+
+    /// The flat columns, for serialization: `(offsets, arena)`.
+    pub fn parts(&self) -> (&[u32], &[TweetId]) {
+        (&self.offsets, &self.arena)
+    }
+}
+
+/// Intersect two sorted, deduplicated lists, galloping when skewed.
+pub fn intersect(a: &[TweetId], b: &[TweetId]) -> Vec<TweetId> {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(short.len());
+    if short.len() * GALLOP_SKEW < long.len() {
+        intersect_gallop(short, long, &mut out);
+    } else {
+        intersect_linear(short, long, &mut out);
+    }
+    out
+}
+
+fn intersect_linear(a: &[TweetId], b: &[TweetId], out: &mut Vec<TweetId>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// For each element of the short list, gallop through the long one:
+/// double a probe distance until we overshoot, then binary-search the
+/// bracketed window. The long-list cursor only moves forward, so the
+/// whole intersection is `O(|short| · log |long|)`.
+fn intersect_gallop(short: &[TweetId], long: &[TweetId], out: &mut Vec<TweetId>) {
+    let mut lo = 0usize;
+    for &x in short {
+        if lo >= long.len() {
+            break;
+        }
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < long.len() && long[hi] < x {
+            lo = hi + 1;
+            hi += step;
+            step *= 2;
+        }
+        // Invariant: long[lo - 1] < x (if lo > 0) and long[hi] >= x (if in
+        // bounds), so x can only sit inside [lo, hi] — the probe position
+        // itself may hold the match, hence the inclusive upper bound.
+        let hi = (hi + 1).min(long.len());
+        match long[lo..hi].binary_search(&x) {
+            Ok(pos) => {
+                out.push(x);
+                lo += pos + 1;
+            }
+            Err(pos) => lo += pos,
+        }
+    }
+}
+
+/// Union of k sorted, deduplicated lists into a sorted, deduplicated
+/// result.
+///
+/// Sequential two-way merges, shortest list first, ping-ponging between
+/// two buffers sized for the worst case up front. Posting-list lengths
+/// on the expansion-union path are heavily skewed (a few hot tokens,
+/// many near-empty tails), so merging smallest-first keeps the
+/// accumulator tiny for most of the rounds — and the whole union costs
+/// exactly two allocations, where per-round merge buffers dominated the
+/// measured per-query match time.
+pub fn union_sorted(lists: &[&[TweetId]]) -> Vec<TweetId> {
+    let mut sorted: Vec<&[TweetId]> = lists.iter().copied().filter(|l| !l.is_empty()).collect();
+    match sorted.len() {
+        0 => return Vec::new(),
+        1 => return sorted[0].to_vec(),
+        _ => {}
+    }
+    sorted.sort_unstable_by_key(|l| l.len());
+    let total: usize = sorted.iter().map(|l| l.len()).sum();
+    let mut acc: Vec<TweetId> = Vec::with_capacity(total);
+    let mut scratch: Vec<TweetId> = Vec::with_capacity(total);
+    merge_union_into(sorted[0], sorted[1], &mut acc);
+    for list in &sorted[2..] {
+        scratch.clear();
+        merge_union_into(&acc, list, &mut scratch);
+        std::mem::swap(&mut acc, &mut scratch);
+    }
+    acc
+}
+
+/// Merge two sorted, deduplicated lists into their sorted, deduplicated
+/// union, appended to `out`.
+fn merge_union_into(a: &[TweetId], b: &[TweetId], out: &mut Vec<TweetId>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_sorted_deduped_lists() {
+        // tweet 0: [0, 1, 0]  tweet 1: [1]  tweet 2: [0, 2]
+        let tweets: Vec<Vec<TokenId>> = vec![vec![0, 1, 0], vec![1], vec![0, 2]];
+        let idx = PostingsIndex::build(3, tweets.iter().map(|t| t.as_slice()));
+        assert_eq!(idx.postings(0), &[0, 2]);
+        assert_eq!(idx.postings(1), &[0, 1]);
+        assert_eq!(idx.postings(2), &[2]);
+        assert_eq!(idx.num_tokens(), 3);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(PostingsIndex::from_parts(vec![0, 1, 2], vec![5, 7]).is_ok());
+        assert!(PostingsIndex::from_parts(vec![1, 2], vec![5, 7]).is_err());
+        assert!(PostingsIndex::from_parts(vec![0, 2, 1], vec![5, 7]).is_err());
+        assert!(PostingsIndex::from_parts(vec![0, 1], vec![5, 7]).is_err());
+    }
+
+    #[test]
+    fn gallop_matches_linear_on_random_lists() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let short_len = rng.gen_range(0..8);
+            let long_len = rng.gen_range(0..400);
+            let mut short: Vec<TweetId> =
+                (0..short_len).map(|_| rng.gen_range(0..500)).collect();
+            let mut long: Vec<TweetId> =
+                (0..long_len).map(|_| rng.gen_range(0..500)).collect();
+            short.sort_unstable();
+            short.dedup();
+            long.sort_unstable();
+            long.dedup();
+            let mut linear = Vec::new();
+            intersect_linear(&short, &long, &mut linear);
+            let mut gallop = Vec::new();
+            intersect_gallop(&short, &long, &mut gallop);
+            assert_eq!(gallop, linear);
+            assert_eq!(intersect(&short, &long), linear);
+            assert_eq!(intersect(&long, &short), linear);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_dedups() {
+        let a: &[TweetId] = &[1, 3, 5];
+        let b: &[TweetId] = &[2, 3, 6];
+        let c: &[TweetId] = &[5];
+        assert_eq!(union_sorted(&[a, b, c]), vec![1, 2, 3, 5, 6]);
+        assert_eq!(union_sorted(&[a]), vec![1, 3, 5]);
+        assert_eq!(union_sorted(&[]), Vec::<TweetId>::new());
+        assert_eq!(union_sorted(&[&[], &[]]), Vec::<TweetId>::new());
+    }
+
+    #[test]
+    fn union_matches_sort_dedup_reference() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let k = rng.gen_range(0..5);
+            let lists: Vec<Vec<TweetId>> = (0..k)
+                .map(|_| {
+                    let mut l: Vec<TweetId> =
+                        (0..rng.gen_range(0..40)).map(|_| rng.gen_range(0..60)).collect();
+                    l.sort_unstable();
+                    l.dedup();
+                    l
+                })
+                .collect();
+            let refs: Vec<&[TweetId]> = lists.iter().map(|l| l.as_slice()).collect();
+            let mut reference: Vec<TweetId> = lists.concat();
+            reference.sort_unstable();
+            reference.dedup();
+            assert_eq!(union_sorted(&refs), reference);
+        }
+    }
+}

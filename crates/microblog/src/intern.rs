@@ -1,0 +1,146 @@
+//! Corpus-wide token interning: token text ↔ dense `u32` [`TokenId`].
+//!
+//! The online read path (§5, Table 9) never needs token *strings* —
+//! matching is equality over the query's and the tweets' token sets. A
+//! symbol table assigned at corpus build time turns every later
+//! comparison into a `u32` compare, every postings key into an array
+//! index, and every per-tweet token list into a slice of a flat arena
+//! (see [`crate::Corpus`]). Queries hash each of their (few) tokens once
+//! against this table; tweets never hash again after the build.
+
+use crate::types::TokenId;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a, 64-bit. Symbol-table keys are short corpus tokens: FNV's
+/// byte-at-a-time multiply beats SipHash's block setup at these lengths,
+/// and hash-flooding resistance buys nothing against keys the corpus
+/// itself produced. Used for the intern index only — general-purpose
+/// maps keep the std default.
+#[derive(Debug, Clone)]
+pub struct TokenHasher(u64);
+
+impl Default for TokenHasher {
+    fn default() -> TokenHasher {
+        TokenHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for TokenHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+type TokenBuildHasher = BuildHasherDefault<TokenHasher>;
+
+/// An append-only token ↔ id table. Ids are dense and assigned in first-
+/// appearance order, so a corpus built from tweets in id order interns
+/// deterministically.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    texts: Vec<Box<str>>,
+    index: HashMap<Box<str>, TokenId, TokenBuildHasher>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// An empty table with room for `capacity` distinct tokens.
+    pub fn with_capacity(capacity: usize) -> SymbolTable {
+        SymbolTable {
+            texts: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity_and_hasher(capacity, TokenBuildHasher::default()),
+        }
+    }
+
+    /// Rebuild a table from its text column (the binary-corpus load path).
+    /// Fails on duplicate texts — a valid table is injective.
+    pub fn from_texts(texts: Vec<Box<str>>) -> Result<SymbolTable, String> {
+        let mut index =
+            HashMap::with_capacity_and_hasher(texts.len(), TokenBuildHasher::default());
+        for (id, text) in texts.iter().enumerate() {
+            if index.insert(text.clone(), id as TokenId).is_some() {
+                return Err(format!("duplicate interned token {text:?}"));
+            }
+        }
+        Ok(SymbolTable { texts, index })
+    }
+
+    /// Intern `text`, returning its (possibly fresh) id.
+    pub fn intern(&mut self, text: &str) -> TokenId {
+        if let Some(&id) = self.index.get(text) {
+            return id;
+        }
+        let id = self.texts.len() as TokenId;
+        let boxed: Box<str> = Box::from(text);
+        self.texts.push(boxed.clone());
+        self.index.insert(boxed, id);
+        id
+    }
+
+    /// Look `text` up without interning (the query path: an unseen token
+    /// matches nothing).
+    pub fn get(&self, text: &str) -> Option<TokenId> {
+        self.index.get(text).copied()
+    }
+
+    /// The text of an interned token.
+    pub fn text(&self, id: TokenId) -> &str {
+        &self.texts[id as usize]
+    }
+
+    /// All texts, in id order.
+    pub fn texts(&self) -> &[Box<str>] {
+        &self.texts
+    }
+
+    /// Distinct tokens interned.
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// True when no token has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("niners");
+        let b = t.intern("draft");
+        assert_eq!(t.intern("niners"), a);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.text(a), "niners");
+        assert_eq!(t.get("draft"), Some(b));
+        assert_eq!(t.get("unseen"), None);
+    }
+
+    #[test]
+    fn from_texts_round_trips_and_rejects_duplicates() {
+        let mut t = SymbolTable::new();
+        t.intern("a");
+        t.intern("b");
+        let back = SymbolTable::from_texts(t.texts().to_vec()).unwrap();
+        assert_eq!(back.get("b"), Some(1));
+        assert!(SymbolTable::from_texts(vec!["x".into(), "x".into()]).is_err());
+    }
+}

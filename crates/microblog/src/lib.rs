@@ -7,20 +7,27 @@
 //! same ground-truth `World` as the search log (DESIGN.md §1).
 //!
 //! * [`User`], [`Tweet`] — entities, with mention/retweet parsing.
-//! * [`Corpus`] — indexed corpus: token inverted index, conjunctive
-//!   all-terms query matching (§3), per-user totals for the TS/MI/RI
-//!   feature denominators.
+//! * [`Corpus`] — indexed corpus: interned tokens ([`SymbolTable`]),
+//!   flat CSR postings ([`PostingsIndex`]), conjunctive all-terms query
+//!   matching (§3) with k-way expansion unions, per-user totals for the
+//!   TS/MI/RI feature denominators, JSON + checksummed binary
+//!   persistence (`corpus.bin`, zero-rebuild load).
 //! * [`generate_corpus`] — expert/regular/spam account generation with
 //!   topically concentrated experts and short posts (the recall problem
 //!   e# exists to fix).
 
 #![warn(missing_docs)]
 
+pub mod binio;
 mod corpus;
+pub mod index;
+mod intern;
 mod synth;
 pub mod tokenize;
 mod types;
 
 pub use corpus::Corpus;
+pub use index::PostingsIndex;
+pub use intern::SymbolTable;
 pub use synth::{generate_corpus, CorpusConfig};
-pub use types::{Tweet, TweetId, User, UserId};
+pub use types::{TokenId, Tweet, TweetId, User, UserId};

@@ -288,12 +288,10 @@ fn compose_tweet(
         mentions.push(target);
     }
 
-    let tokens = crate::tokenize::tokenize(&body);
     Tweet {
         id,
         author,
         text: body,
-        tokens,
         mentions,
         retweet_of,
     }
@@ -370,7 +368,11 @@ mod tests {
             .collect();
         let on_topic = own
             .iter()
-            .filter(|t| t.tokens.iter().any(|tok| domain_words.contains(tok)))
+            .filter(|t| {
+                crate::tokenize::tokenize(&t.text)
+                    .iter()
+                    .any(|tok| domain_words.contains(tok))
+            })
             .count();
         assert!(
             on_topic * 2 > own.len(),

@@ -6,6 +6,9 @@ use serde::{Deserialize, Serialize};
 pub type UserId = u32;
 /// Identifier of a tweet in a corpus.
 pub type TweetId = u32;
+/// Identifier of an interned token (index into the corpus symbol table,
+/// see [`crate::SymbolTable`]).
+pub type TokenId = u32;
 
 /// A microblog account.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -38,9 +41,11 @@ pub struct Tweet {
     /// Author user id.
     pub author: UserId,
     /// Raw text (≤ 140 chars in spirit; the generator keeps posts short).
+    /// Tokens are derived from it: the corpus interns them at build time
+    /// (see [`crate::Corpus::tweet_tokens`]); old serialized corpora that
+    /// carried a redundant `tokens` field still deserialize (serde ignores
+    /// unknown fields).
     pub text: String,
-    /// Lower-cased tokens of `text` (see [`crate::tokenize`]).
-    pub tokens: Vec<String>,
     /// Users mentioned in the tweet.
     pub mentions: Vec<UserId>,
     /// When this is a retweet: the original author.
@@ -68,7 +73,6 @@ impl Tweet {
             id,
             author,
             text,
-            tokens,
             mentions,
             retweet_of,
         }
@@ -92,7 +96,7 @@ mod tests {
         let t = Tweet::parse(0, 9, "RT @alice: great catch by @bob!", resolver);
         assert_eq!(t.retweet_of, Some(1));
         assert_eq!(t.mentions, vec![1, 2]);
-        assert!(t.tokens.contains(&"great".to_string()));
+        assert!(crate::tokenize::tokenize(&t.text).contains(&"great".to_string()));
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Corruption matrix for the binary corpus container (`corpus.bin`).
+//!
+//! The binary format's contract is sharp: a load either returns exactly
+//! the corpus that was saved, or it errors — it never panics and never
+//! yields a plausible-but-wrong corpus. These tests drive that contract
+//! mechanically: every truncation length, every single-bit flip, trailing
+//! garbage, and (where the serializer supports it) equivalence with the
+//! JSON persistence path through the same auto-detecting `Corpus::load`.
+
+use esharp_microblog::binio::{decode_corpus, encode_corpus};
+use esharp_microblog::{Corpus, Tweet, User};
+
+/// A small corpus that still exercises every section of the container:
+/// multiple users (one tweetless), mentions, a retweet, duplicate tokens,
+/// non-ASCII text, and a token that appears in several tweets.
+fn sample() -> Corpus {
+    let mk_user = |id, handle: &str, followers, verified| User {
+        id,
+        handle: handle.into(),
+        display_name: format!("User {handle}"),
+        description: "knows things".into(),
+        followers,
+        verified,
+        expert_domains: if id == 0 { vec![2, 5] } else { vec![] },
+        spam: id == 2,
+    };
+    let users = vec![
+        mk_user(0, "ana", 900, true),
+        mk_user(1, "bo", 14, false),
+        mk_user(2, "idle", 0, false), // never tweets
+    ];
+    let resolve = |h: &str| match h {
+        "ana" => Some(0),
+        "bo" => Some(1),
+        _ => None,
+    };
+    let tweets = vec![
+        Tweet::parse(0, 0, "niners draft niners talk", resolve),
+        Tweet::parse(1, 1, "RT @ana: niners draft niners talk", resolve),
+        Tweet::parse(2, 1, "café ☕ with @ana about the draft", resolve),
+        Tweet::parse(3, 0, "quiet sunday", resolve),
+    ];
+    Corpus::new(users, tweets)
+}
+
+/// Structural equality over everything the binary format persists.
+fn assert_equivalent(a: &Corpus, b: &Corpus) {
+    assert_eq!(a.users().len(), b.users().len());
+    for (x, y) in a.users().iter().zip(b.users()) {
+        assert_eq!(x.handle, y.handle);
+        assert_eq!(x.display_name, y.display_name);
+        assert_eq!(x.description, y.description);
+        assert_eq!(x.followers, y.followers);
+        assert_eq!(x.expert_domains, y.expert_domains);
+        assert_eq!((x.verified, x.spam), (y.verified, y.spam));
+    }
+    assert_eq!(a.tweets().len(), b.tweets().len());
+    for (x, y) in a.tweets().iter().zip(b.tweets()) {
+        assert_eq!(x.author, y.author);
+        assert_eq!(x.text, y.text);
+        assert_eq!(x.mentions, y.mentions);
+        assert_eq!(x.retweet_of, y.retweet_of);
+        assert_eq!(a.tweet_tokens(x.id), b.tweet_tokens(y.id));
+    }
+    assert_eq!(a.num_tokens(), b.num_tokens());
+    for t in 0..a.num_tokens() as u32 {
+        assert_eq!(a.token_text(t), b.token_text(t));
+        assert_eq!(a.postings(t), b.postings(t));
+    }
+    for u in 0..a.users().len() as u32 {
+        assert_eq!(a.tweets_by(u), b.tweets_by(u));
+        assert_eq!(a.mentions_of(u), b.mentions_of(u));
+        assert_eq!(a.retweets_of(u), b.retweets_of(u));
+    }
+}
+
+#[test]
+fn clean_bytes_round_trip() {
+    let corpus = sample();
+    let bytes = encode_corpus(&corpus).unwrap();
+    let back = decode_corpus(&bytes).unwrap();
+    assert_equivalent(&corpus, &back);
+    // The encoder is deterministic: re-encoding the loaded corpus gives
+    // byte-identical output (what the refresh pipeline's checksums rely
+    // on).
+    assert_eq!(encode_corpus(&back).unwrap(), bytes);
+}
+
+#[test]
+fn every_truncation_length_is_rejected() {
+    let bytes = encode_corpus(&sample()).unwrap();
+    for cut in 0..bytes.len() {
+        assert!(
+            decode_corpus(&bytes[..cut]).is_err(),
+            "truncation to {cut}/{} bytes was accepted",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    // CRC32 detects all single-bit errors inside a frame payload, and a
+    // flip in a frame header breaks framing — so every one of the
+    // 8 × len corrupted variants must fail to decode (and must not
+    // panic).
+    let bytes = encode_corpus(&sample()).unwrap();
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[byte] ^= 1 << bit;
+            assert!(
+                decode_corpus(&corrupt).is_err(),
+                "flip of byte {byte} bit {bit} was accepted"
+            );
+        }
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let bytes = encode_corpus(&sample()).unwrap();
+    for extra in [1usize, 7, 64] {
+        let mut long = bytes.clone();
+        long.extend(std::iter::repeat(0xA5).take(extra));
+        assert!(
+            decode_corpus(&long).is_err(),
+            "{extra} trailing bytes were accepted"
+        );
+    }
+}
+
+#[test]
+fn json_and_binary_loads_agree_through_autodetect() {
+    let corpus = sample();
+    let dir = std::env::temp_dir().join("esharp_binary_corpus_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let json_path = dir.join("corpus.json");
+    let bin_path = dir.join("corpus.bin");
+
+    corpus.save(&json_path).unwrap();
+    corpus.save_binary(&bin_path).unwrap();
+    let from_bin = Corpus::load(&bin_path).unwrap();
+    assert_equivalent(&corpus, &from_bin);
+
+    // The JSON side needs a round-tripping serializer; the offline dev
+    // image stubs serde_json, so probe before asserting equivalence.
+    match Corpus::load(&json_path) {
+        Ok(from_json) => {
+            assert_equivalent(&corpus, &from_json);
+            assert_eq!(
+                from_json.match_query("niners draft"),
+                from_bin.match_query("niners draft")
+            );
+        }
+        Err(e) => eprintln!("skipping JSON equivalence (serializer unavailable: {e})"),
+    }
+
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -4,6 +4,77 @@ use esharp_microblog::tokenize::{matches_all, mentions, retweeted_handle, tokeni
 use esharp_microblog::{Corpus, Tweet, User};
 use proptest::prelude::*;
 
+/// The pre-interning index semantics: `String`-keyed posting lists built
+/// by re-tokenizing every tweet, conjunctive match by pairwise
+/// intersection, union by flatten + sort + dedup. The interned corpus
+/// (token-id CSR postings, galloping intersect, k-way merge union) must
+/// agree with this reference on every input.
+fn string_keyed_postings(tweets: &[Tweet]) -> std::collections::HashMap<String, Vec<u32>> {
+    let mut postings: std::collections::HashMap<String, Vec<u32>> = Default::default();
+    for t in tweets {
+        for token in tokenize(&t.text) {
+            let list = postings.entry(token).or_default();
+            if list.last() != Some(&t.id) {
+                list.push(t.id);
+            }
+        }
+    }
+    postings
+}
+
+fn string_keyed_match(
+    postings: &std::collections::HashMap<String, Vec<u32>>,
+    term: &str,
+) -> Vec<u32> {
+    let tokens = tokenize(term);
+    if tokens.is_empty() {
+        return Vec::new();
+    }
+    let mut lists: Vec<&Vec<u32>> = Vec::new();
+    for token in &tokens {
+        match postings.get(token) {
+            Some(list) => lists.push(list),
+            None => return Vec::new(),
+        }
+    }
+    lists.sort_by_key(|l| l.len());
+    let mut result = lists[0].clone();
+    for list in &lists[1..] {
+        result.retain(|id| list.binary_search(id).is_ok());
+    }
+    result
+}
+
+/// Deterministic spot-check of the interned ↔ string-keyed agreement the
+/// property below drives at scale (and a plain target for environments
+/// where the property runner is unavailable).
+#[test]
+fn string_keyed_reference_agrees_on_fixed_corpus() {
+    let users = vec![user(0, "u0")];
+    let tweets: Vec<Tweet> = ["aa bb", "bb cc aa", "cc", "aa"]
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Tweet::parse(i as u32, 0, t.to_string(), |_| None))
+        .collect();
+    let postings = string_keyed_postings(&tweets);
+    let corpus = Corpus::new(users, tweets);
+    for term in ["aa", "bb cc", "AA", "zz", "", "aa zz"] {
+        assert_eq!(
+            corpus.match_query(term),
+            string_keyed_match(&postings, term),
+            "term {term:?}"
+        );
+    }
+    let terms: Vec<String> = ["aa bb", "cc", "Aa"].iter().map(|s| s.to_string()).collect();
+    let mut union: Vec<u32> = terms
+        .iter()
+        .flat_map(|t| string_keyed_match(&postings, t))
+        .collect();
+    union.sort_unstable();
+    union.dedup();
+    assert_eq!(corpus.match_terms(&terms), union);
+}
+
 fn user(id: u32, handle: &str) -> User {
     User {
         id,
@@ -75,9 +146,70 @@ proptest! {
         let query_tokens = tokenize(&query);
         let via_scan: Vec<u32> = tweets
             .iter()
-            .filter(|t| matches_all(&t.tokens, &query_tokens))
+            .filter(|t| matches_all(&tokenize(&t.text), &query_tokens))
             .map(|t| t.id)
             .collect();
         prop_assert_eq!(via_index, via_scan);
+    }
+
+    #[test]
+    fn match_terms_agrees_with_per_term_union(
+        tweet_words in prop::collection::vec(
+            prop::collection::vec("[a-d]{1,2}", 1..6), 1..20),
+        terms in prop::collection::vec(
+            prop::collection::vec("[a-d]{1,2}", 1..3), 0..4),
+    ) {
+        let users = vec![user(0, "u0")];
+        let tweets: Vec<Tweet> = tweet_words
+            .iter()
+            .enumerate()
+            .map(|(i, words)| Tweet::parse(i as u32, 0, words.join(" "), |_| None))
+            .collect();
+        let corpus = Corpus::new(users, tweets);
+        let terms: Vec<String> = terms.iter().map(|w| w.join(" ")).collect();
+        let mut reference: Vec<u32> = terms
+            .iter()
+            .flat_map(|t| corpus.match_query(t))
+            .collect();
+        reference.sort_unstable();
+        reference.dedup();
+        prop_assert_eq!(corpus.match_terms(&terms), reference);
+    }
+
+    #[test]
+    fn interned_matching_agrees_with_string_keyed_reference(
+        tweet_words in prop::collection::vec(
+            prop::collection::vec("[a-d]{1,2}", 1..6), 1..24),
+        terms in prop::collection::vec(
+            prop::collection::vec("[a-dA-D]{1,2}", 1..3), 0..5),
+    ) {
+        let users = vec![user(0, "u0")];
+        let tweets: Vec<Tweet> = tweet_words
+            .iter()
+            .enumerate()
+            .map(|(i, words)| Tweet::parse(i as u32, 0, words.join(" "), |_| None))
+            .collect();
+        let postings = string_keyed_postings(&tweets);
+        let corpus = Corpus::new(users, tweets);
+        let terms: Vec<String> = terms.iter().map(|w| w.join(" ")).collect();
+
+        // Per-term conjunctive matches agree (mixed-case terms exercise
+        // both the normalized fast path and the tokenizer fallback) …
+        for term in &terms {
+            prop_assert_eq!(
+                corpus.match_query(term),
+                string_keyed_match(&postings, term),
+                "term {:?}",
+                term
+            );
+        }
+        // … and so does the expansion union over all terms.
+        let mut union: Vec<u32> = terms
+            .iter()
+            .flat_map(|t| string_keyed_match(&postings, t))
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        prop_assert_eq!(corpus.match_terms(&terms), union);
     }
 }

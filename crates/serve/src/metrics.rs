@@ -117,6 +117,10 @@ pub struct Metrics {
     pub expansion: Histogram,
     /// Detection (match + rank) phase latency (cache misses only).
     pub detection: Histogram,
+    /// Postings match/union half of detection (cache misses only).
+    pub match_phase: Histogram,
+    /// Candidate ranking half of detection (cache misses only).
+    pub rank_phase: Histogram,
     /// Whole-request latency, parse to flush, hits and misses alike.
     pub total: Histogram,
 }
@@ -169,6 +173,10 @@ impl Metrics {
         self.expansion.render(&mut out);
         out.push_str(",\"detection\":");
         self.detection.render(&mut out);
+        out.push_str(",\"match\":");
+        self.match_phase.render(&mut out);
+        out.push_str(",\"rank\":");
+        self.rank_phase.render(&mut out);
         out.push_str(",\"total\":");
         self.total.render(&mut out);
         out.push_str("}}");
@@ -215,6 +223,8 @@ mod tests {
             "\"epoch\":7",
             "\"entries\":2",
             "\"latency_us\":{\"expansion\":{\"count\":0",
+            "\"match\":{\"count\":0",
+            "\"rank\":{\"count\":0",
             "\"p99_us\":",
         ] {
             assert!(doc.contains(needle), "missing {needle} in {doc}");

@@ -338,6 +338,8 @@ fn handle_search(state: &State, stream: &mut TcpStream, request: &Request) {
     let outcome = esharp.search(&state.corpus, &key.0);
     state.metrics.expansion.record(outcome.expansion_time);
     state.metrics.detection.record(outcome.detection_time);
+    state.metrics.match_phase.record(outcome.match_time);
+    state.metrics.rank_phase.record(outcome.rank_time);
     let body = Arc::new(render_search_body(&state.corpus, &key.0, epoch, &outcome));
     state.cache.insert(key, Arc::clone(&body));
     let _ = http::write_response(stream, 200, &[("x-esharp-cache", "miss")], &body);

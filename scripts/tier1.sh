@@ -7,8 +7,11 @@
 #   smoke   serving layer on an ephemeral port (endpoints, shedding,
 #           degraded reload, clean shutdown)
 #   bench   all Criterion bench targets compile (not run)
+#   online  esharp bench --online smoke: interned and string-keyed read
+#           paths return identical experts, report is well-formed
 #   clippy  workspace lints, warnings are errors
-#   panic   persistence/checkpoint modules keep their no-panic lint gate
+#   panic   persistence/checkpoint/read-path modules keep their no-panic
+#           lint gate
 #
 # Usage: scripts/tier1.sh   (from the repo root or anywhere inside it)
 set -euo pipefail
@@ -29,13 +32,27 @@ cargo test -q -p esharp-serve --test smoke
 echo "== tier-1: cargo bench --no-run"
 cargo bench --no-run
 
+echo "== tier-1: esharp bench --online smoke (interned vs string-keyed parity)"
+online_dir="$(mktemp -d)"
+trap 'rm -rf "$online_dir"' EXIT
+./target/release/esharp bench --online --scale tiny --seed 7 --queries 200 \
+  --json --out "$online_dir" >/dev/null
+for key in '"bench": "online"' '"name": "interned"' '"name": "string_keyed"' \
+           '"hot_path_speedup":' '"binary_load_secs":' '"results_identical": true'; do
+  grep -qF "$key" "$online_dir/BENCH_online.json" || {
+    echo "BENCH_online.json missing $key" >&2
+    exit 1
+  }
+done
+
 echo "== tier-1: cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
-echo "== tier-1: no-panic gate on the durability layer"
+echo "== tier-1: no-panic gate on the durability layer and read path"
 for f in crates/relation/src/atomic.rs crates/relation/src/binfmt.rs \
          crates/graph/src/io.rs crates/core/src/domains.rs \
          crates/core/src/checkpoint.rs crates/core/src/shared.rs \
+         crates/microblog/src/binio.rs crates/microblog/src/index.rs \
          crates/serve/src/lib.rs; do
   grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' "$f" || {
     echo "missing unwrap/expect deny gate in $f" >&2
