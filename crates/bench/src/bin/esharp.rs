@@ -37,14 +37,32 @@
 //!     string-keyed baseline (identical results enforced), and time
 //!     corpus build vs binary load; --json writes BENCH_online.json.
 //!
+//! esharp bench --ingest [--json] [--seed N] [--scale …] [--out DIR]
+//!     Stream a withheld quarter of the corpus back through the live
+//!     ingest path: expert recall vs ingest lag, base+delta vs base-only
+//!     read overhead, and compaction pause p50/p99; --json writes
+//!     BENCH_ingest.json.
+//!
+//! esharp ingest --replay FILE [--corpus FILE] [--oplog FILE] [--compact]
+//!               [--scale …] [--seed N]
+//!     Replay a file of ingest op lines (`user\t…`, `tweet\t…`,
+//!     `delete\tID`; `#` comments) into a live corpus. With --corpus and
+//!     --oplog the corpus is opened from (or bootstrapped to) disk and
+//!     every batch is WAL-logged; --compact folds the delta into the base
+//!     afterwards. Without them, a synthetic testbed absorbs the replay
+//!     in memory (a dry run).
+//!
 //! esharp serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]
 //!              [--queue-depth N] [--domains FILE] [--corpus FILE]
+//!              [--compact-threshold N] [--compact-interval-ms N]
 //!              [--scale …] [--seed N]
 //!     Serve over HTTP: GET /search?q=…, GET /healthz, GET /metrics,
-//!     POST /reload (hot domain reload from --domains). With --corpus
-//!     (and a --domains file that exists) the server starts from
+//!     POST /reload (hot domain reload from --domains), POST /ingest
+//!     (streaming op batches), POST /compact (manual compaction). With
+//!     --corpus (and a --domains file that exists) the server starts from
 //!     persisted artifacts — no testbed build, no re-tokenization, no
-//!     index rebuild. Runs until killed.
+//!     index rebuild. --compact-threshold N > 0 starts the background
+//!     compactor. Runs until killed.
 //! ```
 
 use esharp_eval::{EvalScale, Testbed};
@@ -65,9 +83,10 @@ fn main() {
         "sql" => sql(&opts),
         "bench" => bench(&opts),
         "serve" => serve(&opts),
+        "ingest" => ingest(&opts),
         "--help" | "-h" | "help" => {
-            println!("subcommands: build, search, inspect, sql, bench, serve");
-            println!("flags: --scale tiny|small|paper, --seed N, --out DIR, --checkpoint-dir DIR, --resume, --baseline, --top K, -k N, --json, --events N, --serve, --online, --queries N, --requests N, --addr HOST:PORT, --workers N, --cache-capacity N, --queue-depth N, --domains FILE, --corpus FILE");
+            println!("subcommands: build, search, inspect, sql, bench, serve, ingest");
+            println!("flags: --scale tiny|small|paper, --seed N, --out DIR, --checkpoint-dir DIR, --resume, --baseline, --top K, -k N, --json, --events N, --serve, --online, --ingest, --queries N, --requests N, --addr HOST:PORT, --workers N, --cache-capacity N, --queue-depth N, --domains FILE, --corpus FILE, --replay FILE, --oplog FILE, --compact, --compact-threshold N, --compact-interval-ms N");
         }
         other => fail(
             "parse arguments",
@@ -89,6 +108,7 @@ struct Options {
     k: usize,
     serve_bench: bool,
     online_bench: bool,
+    ingest_bench: bool,
     queries: u64,
     requests: u64,
     corpus: Option<String>,
@@ -97,6 +117,11 @@ struct Options {
     cache_capacity: usize,
     queue_depth: usize,
     domains: Option<String>,
+    replay: Option<String>,
+    oplog: Option<String>,
+    compact: bool,
+    compact_threshold: usize,
+    compact_interval_ms: u64,
     positional: Vec<String>,
 }
 
@@ -115,6 +140,7 @@ impl Options {
             k: 3,
             serve_bench: false,
             online_bench: false,
+            ingest_bench: false,
             queries: 2_000,
             requests: 20_000,
             corpus: None,
@@ -123,6 +149,11 @@ impl Options {
             cache_capacity: 1024,
             queue_depth: 64,
             domains: None,
+            replay: None,
+            oplog: None,
+            compact: false,
+            compact_threshold: 0,
+            compact_interval_ms: 250,
             positional: Vec::new(),
         };
         let mut iter = args.iter();
@@ -150,6 +181,7 @@ impl Options {
                 "-k" => opts.k = next_num(&mut iter, "-k") as usize,
                 "--serve" => opts.serve_bench = true,
                 "--online" => opts.online_bench = true,
+                "--ingest" => opts.ingest_bench = true,
                 "--queries" => opts.queries = next_num(&mut iter, "--queries"),
                 "--requests" => opts.requests = next_num(&mut iter, "--requests"),
                 "--corpus" => opts.corpus = iter.next().cloned(),
@@ -165,6 +197,15 @@ impl Options {
                 }
                 "--queue-depth" => opts.queue_depth = next_num(&mut iter, "--queue-depth") as usize,
                 "--domains" => opts.domains = iter.next().cloned(),
+                "--replay" => opts.replay = iter.next().cloned(),
+                "--oplog" => opts.oplog = iter.next().cloned(),
+                "--compact" => opts.compact = true,
+                "--compact-threshold" => {
+                    opts.compact_threshold = next_num(&mut iter, "--compact-threshold") as usize
+                }
+                "--compact-interval-ms" => {
+                    opts.compact_interval_ms = next_num(&mut iter, "--compact-interval-ms")
+                }
                 // Unknown flags are hard errors (a typo silently becoming
                 // a positional argument is how `--bsaeline` runs the wrong
                 // experiment); only non-dash tokens are positionals.
@@ -325,6 +366,23 @@ fn bench(opts: &Options) {
         }
         return;
     }
+    if opts.ingest_bench {
+        eprintln!(
+            "measuring streaming ingestion (scale {:?}, seed {})…",
+            opts.scale, opts.seed
+        );
+        let report = esharp_bench::ingest::run(opts.seed, opts.scale)
+            .unwrap_or_else(|e| fail("ingest bench", e));
+        print!("{}", report.render_table());
+        if opts.json {
+            let dir = opts.out.as_deref().unwrap_or(".");
+            let path = format!("{dir}/BENCH_ingest.json");
+            std::fs::write(&path, report.to_json())
+                .unwrap_or_else(|e| fail("write BENCH_ingest.json", e));
+            println!("wrote {path}");
+        }
+        return;
+    }
     if opts.serve_bench {
         eprintln!(
             "load-testing the serving layer ({} steady requests, seed {})…",
@@ -394,6 +452,8 @@ fn serve(opts: &Options) {
         cache_capacity: opts.cache_capacity,
         queue_depth: opts.queue_depth,
         domains_path: opts.domains.clone().map(std::path::PathBuf::from),
+        compact_threshold: opts.compact_threshold,
+        compact_interval: std::time::Duration::from_millis(opts.compact_interval_ms),
     };
     if let Some(path) = &config.domains_path {
         // Fail fast on an unusable reload source rather than at the first
@@ -418,9 +478,84 @@ fn serve(opts: &Options) {
         opts.cache_capacity,
         opts.queue_depth
     );
-    println!("endpoints: GET /search?q=…  GET /healthz  GET /metrics  POST /reload");
+    println!("endpoints: GET /search?q=…  GET /healthz  GET /metrics  POST /reload  POST /ingest  POST /compact");
+    if opts.compact_threshold > 0 {
+        println!(
+            "background compaction: every {} pending ops (polled each {}ms)",
+            opts.compact_threshold, opts.compact_interval_ms
+        );
+    }
     loop {
         std::thread::park();
+    }
+}
+
+/// `esharp ingest --replay FILE`: feed a file of op lines into a live
+/// corpus — persisted when `--corpus`/`--oplog` are given, an in-memory
+/// dry run against the synthetic testbed otherwise.
+fn ingest(opts: &Options) {
+    use esharp_ingest::{IngestOp, LiveCorpus};
+    let Some(replay_path) = &opts.replay else {
+        eprintln!("usage: esharp ingest --replay FILE [--corpus FILE --oplog FILE] [--compact]");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(replay_path)
+        .unwrap_or_else(|e| fail("read replay file", e));
+    let ops = IngestOp::parse_batch(&text).unwrap_or_else(|e| fail("parse replay file", e));
+    if ops.is_empty() {
+        fail("parse replay file", "no ops in the replay file");
+    }
+
+    let live = match (&opts.corpus, &opts.oplog) {
+        (Some(corpus_path), Some(oplog_path)) => {
+            if std::path::Path::new(corpus_path).exists() {
+                eprintln!("opening live corpus from {corpus_path} (+ {oplog_path})…");
+                LiveCorpus::open(corpus_path, oplog_path)
+                    .unwrap_or_else(|e| fail("open live corpus", e))
+            } else {
+                eprintln!("bootstrapping {corpus_path} from the synthetic testbed…");
+                let tb = testbed(opts);
+                LiveCorpus::create(tb.corpus, corpus_path, oplog_path)
+                    .unwrap_or_else(|e| fail("bootstrap live corpus", e))
+            }
+        }
+        (None, None) => {
+            eprintln!("no --corpus/--oplog: in-memory dry run against the testbed");
+            let tb = testbed(opts);
+            LiveCorpus::new(tb.corpus)
+        }
+        _ => fail(
+            "parse arguments",
+            "--corpus and --oplog must be given together",
+        ),
+    };
+
+    let started = std::time::Instant::now();
+    let applied = live
+        .apply_batch(&ops)
+        .unwrap_or_else(|e| fail("apply replay batch", e));
+    println!(
+        "applied {} ops in {:.1?} → corpus epoch {}, {} live tweets, {} pending ops",
+        applied.len(),
+        started.elapsed(),
+        live.epoch(),
+        live.read().corpus().live_tweet_count(),
+        live.pending_ops(),
+    );
+    if opts.compact {
+        let started = std::time::Instant::now();
+        match live.compact().unwrap_or_else(|e| fail("compact", e)) {
+            Some(report) => println!(
+                "compacted in {:.1?}: {} → {} tweets ({} tombstones reclaimed), {} bytes written, publish pause {}µs",
+                started.elapsed(),
+                report.before_tweets,
+                report.after_tweets,
+                report.before_tombstones,
+                report.bytes_written,
+                report.pause.as_micros(),
+            ),
+            None => println!("nothing to compact"),
+        }
     }
 }
 

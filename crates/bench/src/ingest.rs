@@ -1,0 +1,475 @@
+//! Streaming-ingestion benchmark (`esharp bench --ingest`).
+//!
+//! Measures the three costs the `esharp-ingest` subsystem trades between,
+//! writing `BENCH_ingest.json`:
+//!
+//! 1. **Expert recall vs ingest lag** — a fraction of the corpus is
+//!    withheld from the base index and streamed back through
+//!    [`LiveCorpus::apply_batch`]; after each checkpoint the domain
+//!    queries are re-run and their top-k experts compared against the
+//!    full-corpus ground truth. The curve quantifies what the old weekly
+//!    full rebuild actually cost: everything the stream carried since the
+//!    last rebuild was invisible to ranking until the next one.
+//! 2. **Read-path overhead, base+delta vs base-only** — the same logical
+//!    content is queried twice, once with the whole holdout resident in
+//!    the delta segment and once after compaction folded it into the CSR
+//!    base, isolating what serving pays for freshness.
+//! 3. **Compaction pause** — repeated append→compact cycles through the
+//!    full persistent path (WAL, checkpointed atomic rewrite, one-pointer
+//!    publish); the *pause* is only the write-lock hold of the publish,
+//!    reported p50/p99/max against the total off-lock cycle time.
+//!
+//! The report also records the host's detected parallelism and the
+//! resulting clamped serve-pool default, so a committed JSON says which
+//! clamp produced its numbers.
+
+use esharp_eval::{EvalScale, Testbed};
+use esharp_ingest::{IngestOp, LiveCorpus};
+use esharp_microblog::Corpus;
+use std::time::Instant;
+
+/// One recall checkpoint on the ingest-lag curve.
+#[derive(Debug, Clone, Copy)]
+pub struct RecallPoint {
+    /// Ops absorbed so far.
+    pub ingested_ops: usize,
+    /// Ops still waiting in the stream (the ingest lag).
+    pub lag_ops: usize,
+    /// Mean top-k expert recall against the full-corpus ground truth.
+    pub recall: f64,
+}
+
+/// Nearest-rank latency summary in microseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Worst sample.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    fn from_nanos(mut samples_ns: Vec<u64>) -> LatencySummary {
+        samples_ns.sort_unstable();
+        let q = |q: f64| -> u64 {
+            if samples_ns.is_empty() {
+                return 0;
+            }
+            let rank = ((q * samples_ns.len() as f64).ceil() as usize).clamp(1, samples_ns.len());
+            (samples_ns[rank - 1] + 500) / 1_000
+        };
+        LatencySummary {
+            p50_us: q(0.50),
+            p99_us: q(0.99),
+            max_us: q(1.0),
+        }
+    }
+
+    fn render(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+            self.p50_us, self.p99_us, self.max_us
+        ));
+    }
+}
+
+/// The full `esharp bench --ingest` report.
+#[derive(Debug, Clone)]
+pub struct IngestBenchReport {
+    /// Logical CPUs of the measuring host.
+    pub host_cpus: usize,
+    /// `esharp_par::detected_workers()` on this host.
+    pub workers_detected: usize,
+    /// The clamped serve-pool default that detection produced.
+    pub serve_workers_default: usize,
+    /// Testbed seed.
+    pub seed: u64,
+    /// Scale preset name.
+    pub scale: String,
+    /// Users in the corpus.
+    pub corpus_users: usize,
+    /// Tweets in the full corpus (base + holdout).
+    pub corpus_tweets: usize,
+    /// Tweets in the base index before streaming.
+    pub base_tweets: usize,
+    /// Ops streamed back (the withheld suffix).
+    pub holdout_ops: usize,
+    /// Queries in the recall ground truth.
+    pub queries: usize,
+    /// Expert depth of the recall comparison.
+    pub recall_depth: usize,
+    /// The expert-recall-vs-lag curve, lag decreasing.
+    pub recall_curve: Vec<RecallPoint>,
+    /// Recall at zero lag (every op absorbed, pre-compaction).
+    pub final_recall: f64,
+    /// Per-`apply_batch` latency (WAL append + in-memory apply).
+    pub ingest_latency: LatencySummary,
+    /// Sustained ingest throughput, ops/second of apply time.
+    pub ingest_ops_per_sec: f64,
+    /// Query latency with the whole holdout resident as delta.
+    pub read_delta: LatencySummary,
+    /// Query latency after compaction folded the delta into the base.
+    pub read_compacted: LatencySummary,
+    /// `read_delta.p50 / read_compacted.p50` — the freshness tax.
+    pub read_overhead_p50: f64,
+    /// Append→compact cycles measured through the persistent path.
+    pub compaction_cycles: usize,
+    /// Write-lock hold of the publish swap (what serving observes).
+    pub compaction_pause: LatencySummary,
+    /// Whole compaction cycle, snapshot to publish (off-lock).
+    pub compaction_total: LatencySummary,
+}
+
+impl IngestBenchReport {
+    /// Render `BENCH_ingest.json` (hand-rolled, stable key order, same
+    /// contract as the other bench reports).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"ingest\",\n");
+        out.push_str(&format!("  \"host_cpus\": {},\n", self.host_cpus));
+        out.push_str(&format!(
+            "  \"workers_detected\": {},\n",
+            self.workers_detected
+        ));
+        out.push_str(&format!(
+            "  \"serve_workers_default\": {},\n",
+            self.serve_workers_default
+        ));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
+        out.push_str(&format!(
+            "  \"corpus\": {{\"users\": {}, \"tweets\": {}, \"base_tweets\": {}, \"holdout_ops\": {}}},\n",
+            self.corpus_users, self.corpus_tweets, self.base_tweets, self.holdout_ops
+        ));
+        out.push_str(&format!(
+            "  \"queries\": {}, \"recall_depth\": {},\n",
+            self.queries, self.recall_depth
+        ));
+        out.push_str("  \"recall_curve\": [\n");
+        for (i, p) in self.recall_curve.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"ingested_ops\": {}, \"lag_ops\": {}, \"recall\": {:.4}}}{}\n",
+                p.ingested_ops,
+                p.lag_ops,
+                p.recall,
+                if i + 1 < self.recall_curve.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"final_recall\": {:.4},\n", self.final_recall));
+        out.push_str("  \"ingest_latency\": ");
+        self.ingest_latency.render(&mut out);
+        out.push_str(&format!(
+            ",\n  \"ingest_ops_per_sec\": {:.1},\n",
+            self.ingest_ops_per_sec
+        ));
+        out.push_str("  \"read_delta\": ");
+        self.read_delta.render(&mut out);
+        out.push_str(",\n  \"read_compacted\": ");
+        self.read_compacted.render(&mut out);
+        out.push_str(&format!(
+            ",\n  \"read_overhead_p50\": {:.2},\n",
+            self.read_overhead_p50
+        ));
+        out.push_str(&format!(
+            "  \"compaction_cycles\": {},\n",
+            self.compaction_cycles
+        ));
+        out.push_str("  \"compaction_pause_us\": ");
+        self.compaction_pause.render(&mut out);
+        out.push_str(",\n  \"compaction_total_us\": ");
+        self.compaction_total.render(&mut out);
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Terminal summary.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "ingest bench — scale {}, seed {}, host_cpus={} (detected {}, serve default {})\n",
+            self.scale, self.seed, self.host_cpus, self.workers_detected, self.serve_workers_default
+        ));
+        out.push_str(&format!(
+            "corpus: {} users, {} tweets ({} base + {} streamed); {} queries at depth {}\n",
+            self.corpus_users,
+            self.corpus_tweets,
+            self.base_tweets,
+            self.holdout_ops,
+            self.queries,
+            self.recall_depth
+        ));
+        out.push_str("lag (ops)   recall\n");
+        for p in &self.recall_curve {
+            out.push_str(&format!("{:>9}   {:.3}\n", p.lag_ops, p.recall));
+        }
+        out.push_str(&format!(
+            "ingest: p50 {}µs, p99 {}µs, {:.0} ops/s\n",
+            self.ingest_latency.p50_us, self.ingest_latency.p99_us, self.ingest_ops_per_sec
+        ));
+        out.push_str(&format!(
+            "read path: delta p50 {}µs / p99 {}µs, compacted p50 {}µs / p99 {}µs ({:.2}× overhead)\n",
+            self.read_delta.p50_us,
+            self.read_delta.p99_us,
+            self.read_compacted.p50_us,
+            self.read_compacted.p99_us,
+            self.read_overhead_p50
+        ));
+        out.push_str(&format!(
+            "compaction ({} cycles): pause p50 {}µs / p99 {}µs / max {}µs, total p50 {}µs / p99 {}µs\n",
+            self.compaction_cycles,
+            self.compaction_pause.p50_us,
+            self.compaction_pause.p99_us,
+            self.compaction_pause.max_us,
+            self.compaction_total.p50_us,
+            self.compaction_total.p99_us
+        ));
+        out
+    }
+}
+
+fn nanos(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Top-`depth` expert ids for every query against `corpus`.
+fn expert_table(
+    esharp: &esharp_core::Esharp,
+    corpus: &Corpus,
+    queries: &[String],
+    depth: usize,
+) -> Vec<Vec<u32>> {
+    queries
+        .iter()
+        .map(|q| {
+            esharp
+                .search(corpus, q)
+                .experts
+                .iter()
+                .take(depth)
+                .map(|e| e.user)
+                .collect()
+        })
+        .collect()
+}
+
+/// Mean recall of `found` against `expected` (queries with no ground
+/// truth are skipped).
+fn mean_recall(expected: &[Vec<u32>], found: &[Vec<u32>]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (want, got) in expected.iter().zip(found) {
+        if want.is_empty() {
+            continue;
+        }
+        let hit = want.iter().filter(|u| got.contains(u)).count();
+        sum += hit as f64 / want.len() as f64;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Build the testbed, withhold a quarter of the corpus, stream it back
+/// through the persistent ingest path, and measure the three trade-offs.
+pub fn run(seed: u64, scale: EvalScale) -> std::io::Result<IngestBenchReport> {
+    const CHECKPOINTS: usize = 8;
+    const APPLY_BATCH: usize = 64;
+    const RECALL_DEPTH: usize = 10;
+    const READ_REPEATS: usize = 25;
+    const EXTRA_CYCLES: usize = 15;
+    const CYCLE_OPS: usize = 32;
+
+    let testbed = Testbed::build(scale, seed);
+    let corpus = &testbed.corpus;
+    let esharp = &testbed.esharp;
+    let queries: Vec<String> = testbed
+        .world
+        .domains
+        .iter()
+        .take(16)
+        .map(|d| d.label.clone())
+        .collect();
+    if queries.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "testbed produced no domains to query",
+        ));
+    }
+    let expected = expert_table(esharp, corpus, &queries, RECALL_DEPTH);
+
+    // Withhold the most recent quarter of the stream from the base index.
+    let holdout = (corpus.tweets().len() / 4).max(1);
+    let base_tweets = corpus.tweets().len() - holdout;
+    let base = Corpus::new(
+        corpus.users().to_vec(),
+        corpus.tweets()[..base_tweets].to_vec(),
+    );
+    let ops: Vec<IngestOp> = corpus.tweets()[base_tweets..]
+        .iter()
+        .map(|t| IngestOp::Append {
+            author: corpus.user(t.author).handle.clone(),
+            text: t.text.clone(),
+        })
+        .collect();
+
+    // The full persistent path: WAL on every batch, checkpointed atomic
+    // rewrite + one-pointer publish on every compaction.
+    let dir = std::env::temp_dir().join(format!("esharp_ingest_bench_{seed}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+    let live = LiveCorpus::create(base, dir.join("corpus.bin"), dir.join("oplog"))?;
+
+    // Phase 1: stream the holdout, sampling recall at each checkpoint.
+    let mut recall_curve = Vec::with_capacity(CHECKPOINTS + 1);
+    recall_curve.push(RecallPoint {
+        ingested_ops: 0,
+        lag_ops: ops.len(),
+        recall: mean_recall(
+            &expected,
+            &expert_table(esharp, live.read().corpus(), &queries, RECALL_DEPTH),
+        ),
+    });
+    let mut apply_ns = Vec::new();
+    let per_checkpoint = ops.len().div_ceil(CHECKPOINTS);
+    let mut ingested = 0usize;
+    for checkpoint in ops.chunks(per_checkpoint) {
+        for batch in checkpoint.chunks(APPLY_BATCH) {
+            let started = Instant::now();
+            live.apply_batch(batch)?;
+            apply_ns.push(nanos(started));
+            ingested += batch.len();
+        }
+        recall_curve.push(RecallPoint {
+            ingested_ops: ingested,
+            lag_ops: ops.len() - ingested,
+            recall: mean_recall(
+                &expected,
+                &expert_table(esharp, live.read().corpus(), &queries, RECALL_DEPTH),
+            ),
+        });
+    }
+    let final_recall = recall_curve.last().map_or(0.0, |p| p.recall);
+    let apply_total_secs = apply_ns.iter().sum::<u64>() as f64 / 1e9;
+    let ingest_ops_per_sec = ops.len() as f64 / apply_total_secs.max(1e-9);
+
+    // Phase 2a: read path with the whole holdout resident as delta.
+    let mut delta_ns = Vec::with_capacity(queries.len() * READ_REPEATS);
+    for _ in 0..READ_REPEATS {
+        for q in &queries {
+            let guard = live.read();
+            let started = Instant::now();
+            let outcome = esharp.search(guard.corpus(), q);
+            delta_ns.push(nanos(started));
+            std::hint::black_box(outcome.experts.len());
+        }
+    }
+
+    // Phase 3, first cycle: fold the big delta (also the content switch
+    // for phase 2b — same logical corpus, now base-only).
+    let mut pause_ns = Vec::with_capacity(EXTRA_CYCLES + 1);
+    let mut total_ns = Vec::with_capacity(EXTRA_CYCLES + 1);
+    if let Some(report) = live.compact()? {
+        pause_ns.push(u64::try_from(report.pause.as_nanos()).unwrap_or(u64::MAX));
+        total_ns.push(u64::try_from(report.total.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    // Phase 2b: identical queries against the compacted base.
+    let mut compacted_ns = Vec::with_capacity(queries.len() * READ_REPEATS);
+    for _ in 0..READ_REPEATS {
+        for q in &queries {
+            let guard = live.read();
+            let started = Instant::now();
+            let outcome = esharp.search(guard.corpus(), q);
+            compacted_ns.push(nanos(started));
+            std::hint::black_box(outcome.experts.len());
+        }
+    }
+
+    // Phase 3, steady state: small append→compact cycles.
+    let author = corpus.users()[0].handle.clone();
+    for cycle in 0..EXTRA_CYCLES {
+        let batch: Vec<IngestOp> = (0..CYCLE_OPS)
+            .map(|i| IngestOp::Append {
+                author: author.clone(),
+                text: format!("{} steady cycle {cycle} op {i}", queries[i % queries.len()]),
+            })
+            .collect();
+        live.apply_batch(&batch)?;
+        if let Some(report) = live.compact()? {
+            pause_ns.push(u64::try_from(report.pause.as_nanos()).unwrap_or(u64::MAX));
+            total_ns.push(u64::try_from(report.total.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+    let compaction_cycles = pause_ns.len();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let read_delta = LatencySummary::from_nanos(delta_ns);
+    let read_compacted = LatencySummary::from_nanos(compacted_ns);
+    Ok(IngestBenchReport {
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        workers_detected: esharp_par::detected_workers(),
+        serve_workers_default: esharp_serve::ServeConfig::default().workers,
+        seed,
+        scale: format!("{scale:?}").to_lowercase(),
+        corpus_users: corpus.users().len(),
+        corpus_tweets: corpus.tweets().len(),
+        base_tweets,
+        holdout_ops: ops.len(),
+        queries: queries.len(),
+        recall_depth: RECALL_DEPTH,
+        recall_curve,
+        final_recall,
+        ingest_latency: LatencySummary::from_nanos(apply_ns),
+        ingest_ops_per_sec,
+        read_delta,
+        read_compacted,
+        read_overhead_p50: read_delta.p50_us as f64 / (read_compacted.p50_us as f64).max(1e-9),
+        compaction_cycles,
+        compaction_pause: LatencySummary::from_nanos(pause_ns),
+        compaction_total: LatencySummary::from_nanos(total_ns),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_small_run_reports_a_converging_curve_and_shaped_json() {
+        let report = run(13, EvalScale::Tiny).expect("bench run");
+        assert!(report.recall_curve.len() >= 2);
+        let first = report.recall_curve[0].recall;
+        assert_eq!(report.recall_curve[0].lag_ops, report.holdout_ops);
+        assert_eq!(report.recall_curve.last().unwrap().lag_ops, 0);
+        // Absorbing the whole stream restores the full-corpus ranking
+        // exactly: the delta read path is bit-identical to a rebuild.
+        assert_eq!(report.final_recall, 1.0, "curve: {:?}", report.recall_curve);
+        assert!(first <= report.final_recall);
+        assert!(report.compaction_cycles > 0);
+        assert!(report.ingest_ops_per_sec > 0.0);
+        assert!(report.workers_detected >= 1);
+        assert!(report.serve_workers_default >= 1);
+        let json = report.to_json();
+        for needle in [
+            "\"bench\": \"ingest\"",
+            "\"workers_detected\":",
+            "\"serve_workers_default\":",
+            "\"recall_curve\": [",
+            "\"final_recall\": 1.0000",
+            "\"read_overhead_p50\":",
+            "\"compaction_pause_us\": {\"p50_us\":",
+            "\"ingest_ops_per_sec\":",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!report.render_table().is_empty());
+    }
+}

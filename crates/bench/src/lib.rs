@@ -22,9 +22,13 @@
 //! * `esharp bench --online` — the interned read path vs the string-keyed
 //!   baseline at identical results, plus corpus load strategies, writing
 //!   `BENCH_online.json` (see the [`online`] module).
+//! * `esharp bench --ingest` — streaming ingestion: expert recall vs
+//!   ingest lag, base+delta vs base-only read overhead, and compaction
+//!   pause, writing `BENCH_ingest.json` (see the [`ingest`] module).
 
 #![warn(missing_docs)]
 
+pub mod ingest;
 pub mod offline;
 pub mod online;
 pub mod serve;

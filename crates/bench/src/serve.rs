@@ -342,6 +342,8 @@ pub fn run(seed: u64, requests: u64) -> std::io::Result<ServeBenchReport> {
         queue_depth: 64,
         cache_capacity: 1024,
         domains_path: None,
+        compact_threshold: 0,
+        compact_interval: std::time::Duration::from_millis(250),
     };
     let server = Server::start(
         "127.0.0.1:0",
@@ -361,6 +363,8 @@ pub fn run(seed: u64, requests: u64) -> std::io::Result<ServeBenchReport> {
         queue_depth: 2,
         cache_capacity: 1024,
         domains_path: None,
+        compact_threshold: 0,
+        compact_interval: std::time::Duration::from_millis(250),
     };
     let server = Server::start(
         "127.0.0.1:0",

@@ -55,7 +55,12 @@ impl Default for EsharpConfig {
             discretize_scale: 6.0,
             backend: ClusterBackend::Parallel,
             max_iterations: 20,
-            workers: 4,
+            // Clamp to the host: on a machine with fewer cores than the
+            // nominal default, extra workers only add queue contention.
+            // Results are identical either way (the esharp-par
+            // determinism contract keys chunking on input length, never
+            // on worker count).
+            workers: 4.min(esharp_par::detected_workers()),
             detector: DetectorConfig::default(),
             expansion: true,
             max_expansion_terms: 25,

@@ -1,0 +1,181 @@
+//! The background compaction thread: watches a [`LiveCorpus`]'s pending
+//! op backlog and folds the delta segment into a fresh base whenever it
+//! crosses a threshold, replacing the weekly full rebuild with a
+//! continuous process that never pauses serving beyond the publish swap.
+
+use crate::live::{CompactionReport, LiveCorpus};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// When and how often the background thread compacts.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactorConfig {
+    /// Compact once this many ops have accumulated since the last base.
+    pub threshold_ops: usize,
+    /// How often the backlog is polled.
+    pub interval: Duration,
+}
+
+impl Default for CompactorConfig {
+    fn default() -> Self {
+        CompactorConfig {
+            threshold_ops: 1024,
+            interval: Duration::from_millis(250),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Shared {
+    stop: bool,
+    reports: Vec<CompactionReport>,
+    errors: u64,
+}
+
+/// Handle to the background compaction thread. Dropping without
+/// [`Compactor::stop`] detaches the thread (it exits at the next poll
+/// once the handle's shared state is gone — prefer an explicit stop).
+pub struct Compactor {
+    shared: Arc<(Mutex<Shared>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Compactor {
+    /// Spawn the compaction loop over `live`.
+    pub fn start(live: Arc<LiveCorpus>, config: CompactorConfig) -> Compactor {
+        let shared = Arc::new((Mutex::new(Shared::default()), Condvar::new()));
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("esharp-compactor".to_string())
+            .spawn(move || {
+                let (lock, cvar) = &*thread_shared;
+                let mut guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if guard.stop {
+                        return;
+                    }
+                    if live.pending_ops() >= config.threshold_ops.max(1) {
+                        // Compaction runs without the status lock held so
+                        // stop() can still be requested mid-cycle.
+                        drop(guard);
+                        let outcome = live.compact();
+                        guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+                        match outcome {
+                            Ok(Some(report)) => guard.reports.push(report),
+                            Ok(None) => {}
+                            Err(_) => guard.errors += 1,
+                        }
+                    }
+                    let (next, _timeout) = cvar
+                        .wait_timeout(guard, config.interval)
+                        .unwrap_or_else(|e| e.into_inner());
+                    guard = next;
+                }
+            })
+            .ok();
+        Compactor { shared, handle }
+    }
+
+    /// Completed compaction cycles so far.
+    pub fn reports(&self) -> Vec<CompactionReport> {
+        self.shared
+            .0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .reports
+            .clone()
+    }
+
+    /// Failed compaction cycles so far (the corpus keeps serving on its
+    /// previous base after each).
+    pub fn errors(&self) -> u64 {
+        self.shared.0.lock().unwrap_or_else(|e| e.into_inner()).errors
+    }
+
+    /// Stop the loop and join the thread. Idempotent.
+    pub fn stop(&mut self) {
+        {
+            let (lock, cvar) = &*self.shared;
+            lock.lock().unwrap_or_else(|e| e.into_inner()).stop = true;
+            cvar.notify_all();
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Compactor {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::IngestOp;
+    use esharp_microblog::{Corpus, Tweet, User};
+    use std::time::Instant;
+
+    fn corpus() -> Corpus {
+        let users = vec![User {
+            id: 0,
+            handle: "alice".to_string(),
+            display_name: "A".to_string(),
+            description: String::new(),
+            followers: 5,
+            verified: false,
+            expert_domains: vec![],
+            spam: false,
+        }];
+        let tweets = vec![Tweet::parse(0, 0, "seed tweet", |_| None)];
+        Corpus::new(users, tweets)
+    }
+
+    #[test]
+    fn compacts_once_backlog_crosses_threshold() {
+        let live = Arc::new(LiveCorpus::new(corpus()));
+        let mut compactor = Compactor::start(
+            Arc::clone(&live),
+            CompactorConfig {
+                threshold_ops: 4,
+                interval: Duration::from_millis(5),
+            },
+        );
+        for i in 0..6 {
+            live.apply(&IngestOp::Append {
+                author: "alice".into(),
+                text: format!("tweet number {i}"),
+            })
+            .unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while live.read().corpus().has_delta() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        compactor.stop();
+        assert!(!live.read().corpus().has_delta(), "backlog never compacted");
+        assert!(!compactor.reports().is_empty());
+        assert_eq!(compactor.errors(), 0);
+        assert_eq!(live.read().corpus().tweets().len(), 7);
+    }
+
+    #[test]
+    fn idle_loop_never_compacts_and_stops_cleanly() {
+        let live = Arc::new(LiveCorpus::new(corpus()));
+        let mut compactor = Compactor::start(
+            Arc::clone(&live),
+            CompactorConfig {
+                threshold_ops: 1,
+                interval: Duration::from_millis(5),
+            },
+        );
+        std::thread::sleep(Duration::from_millis(30));
+        compactor.stop();
+        compactor.stop(); // idempotent
+        assert!(compactor.reports().is_empty());
+        assert_eq!(live.epoch(), 0, "idle compactor must not publish");
+    }
+}

@@ -1,0 +1,252 @@
+//! Corruption matrix for the compaction writer.
+//!
+//! The base `corpus.bin` container already rejects every truncation and
+//! bit flip (see `crates/microblog/tests/binary_corpus.rs`); these tests
+//! pin the same matrix over a *compacted* base — bytes produced by the
+//! streaming path's `compact_with_map` + encode, not the offline builder
+//! — and then the live-instance half of the guarantee: when the
+//! compaction write itself is faulted (torn, erroring, silently
+//! bit-flipped, killed), the previous base keeps serving, on disk and in
+//! memory, with the delta still durable through the oplog.
+
+use esharp_fault::{Fault, FaultPlan, RetryPolicy};
+use esharp_ingest::{IngestOp, LiveCorpus, COMPACT_SITE, OPLOG_SITE};
+use esharp_microblog::binio::{decode_corpus, encode_corpus};
+use esharp_microblog::{Corpus, Tweet, User};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A corpus that has actually been through the streaming path: built,
+/// mutated through the delta segment, compacted.
+fn compacted_via_streaming() -> Corpus {
+    let users = vec![
+        User {
+            id: 0,
+            handle: "ana".into(),
+            display_name: "Ana".into(),
+            description: "knows football".into(),
+            followers: 900,
+            verified: true,
+            expert_domains: vec![1],
+            spam: false,
+        },
+        User {
+            id: 1,
+            handle: "bo".into(),
+            display_name: "Bo".into(),
+            description: String::new(),
+            followers: 14,
+            verified: false,
+            expert_domains: vec![],
+            spam: false,
+        },
+    ];
+    let tweets = vec![
+        Tweet::parse(0, 0, "niners draft niners talk", |_| None),
+        Tweet::parse(1, 1, "café ☕ about the draft", |_| None),
+    ];
+    let live = LiveCorpus::new(Corpus::new(users, tweets));
+    live.apply_batch(&[
+        IngestOp::AddUser {
+            handle: "cy".into(),
+            display_name: "Cy".into(),
+            description: "tab\there".into(),
+            followers: 3,
+            verified: false,
+        },
+        IngestOp::Append {
+            author: "cy".into(),
+            text: "fresh topic entirely".into(),
+        },
+        IngestOp::Delete { id: 1 },
+    ])
+    .unwrap();
+    live.compact().unwrap().unwrap();
+    let guard = live.read();
+    guard.corpus().clone()
+}
+
+#[test]
+fn every_truncation_of_a_compacted_base_is_rejected() {
+    let bytes = encode_corpus(&compacted_via_streaming()).unwrap();
+    for cut in 0..bytes.len() {
+        assert!(
+            decode_corpus(&bytes[..cut]).is_err(),
+            "truncation to {cut}/{} bytes was accepted",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn every_single_bit_flip_of_a_compacted_base_is_rejected() {
+    let bytes = encode_corpus(&compacted_via_streaming()).unwrap();
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[byte] ^= 1 << bit;
+            assert!(
+                decode_corpus(&corrupt).is_err(),
+                "flip of byte {byte} bit {bit} was accepted"
+            );
+        }
+    }
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("esharp_crashsafety_ingest_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn seeded(dir: &PathBuf, plan: FaultPlan) -> LiveCorpus {
+    let users = vec![User {
+        id: 0,
+        handle: "ana".into(),
+        display_name: "Ana".into(),
+        description: String::new(),
+        followers: 10,
+        verified: false,
+        expert_domains: vec![],
+        spam: false,
+    }];
+    let tweets = vec![Tweet::parse(0, 0, "base tweet about niners", |_| None)];
+    LiveCorpus::create(
+        Corpus::new(users, tweets),
+        dir.join("corpus.bin"),
+        dir.join("oplog"),
+    )
+    .unwrap()
+    .with_injector(Arc::new(plan), RetryPolicy::none())
+}
+
+/// Every fault kind at the compaction write: the cycle fails, the
+/// on-disk base is byte-identical to before, in-memory serving still
+/// answers from base + delta, and a reopen replays the delta from the
+/// oplog. Last-known-good is never lost.
+#[test]
+fn faulted_compaction_write_leaves_last_known_good_serving() {
+    let faults = [
+        ("io", Fault::IoError { transient: false }),
+        (
+            "torn",
+            Fault::TornWrite {
+                numerator: 1,
+                denominator: 2,
+            },
+        ),
+        ("flip", Fault::BitFlip { offset: 99, bit: 5 }),
+        ("kill", Fault::Kill),
+    ];
+    for (name, fault) in faults {
+        let dir = tmpdir(&format!("compact_{name}"));
+        let live = seeded(&dir, FaultPlan::new(7).trigger(COMPACT_SITE, 0, fault));
+        let base_before = std::fs::read(dir.join("corpus.bin")).unwrap();
+        live.apply(&IngestOp::Append {
+            author: "ana".into(),
+            text: "delta delta delta".into(),
+        })
+        .unwrap();
+
+        let err = live.compact().unwrap_err();
+        assert!(!err.to_string().is_empty(), "{name}: error must explain");
+        // On-disk base untouched; no stray .next shadowing it.
+        assert_eq!(
+            std::fs::read(dir.join("corpus.bin")).unwrap(),
+            base_before,
+            "{name}: base was clobbered"
+        );
+        assert!(
+            !dir.join("corpus.bin.next").exists(),
+            "{name}: leftover .next candidate"
+        );
+        // In-memory serving continues on base + delta.
+        assert_eq!(live.read().corpus().match_query("delta"), vec![1]);
+        assert_eq!(live.read().corpus().match_query("niners"), vec![0]);
+        drop(live);
+        // And the delta was never only in memory: a reopen replays it.
+        let back = LiveCorpus::open(dir.join("corpus.bin"), dir.join("oplog")).unwrap();
+        assert_eq!(back.read().corpus().match_query("delta"), vec![1]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+/// Same matrix at the oplog-commit write: the base candidate is
+/// discarded, the previous (base, oplog) pair keeps serving.
+#[test]
+fn faulted_oplog_commit_leaves_last_known_good_serving() {
+    for (name, fault) in [
+        ("io", Fault::IoError { transient: false }),
+        ("kill", Fault::Kill),
+        (
+            "torn",
+            Fault::TornWrite {
+                numerator: 2,
+                denominator: 3,
+            },
+        ),
+    ] {
+        let dir = tmpdir(&format!("oplog_{name}"));
+        let live = seeded(&dir, FaultPlan::new(13).trigger(OPLOG_SITE, 0, fault));
+        let base_before = std::fs::read(dir.join("corpus.bin")).unwrap();
+        let oplog_before = std::fs::read(dir.join("oplog")).unwrap();
+        live.apply(&IngestOp::Append {
+            author: "ana".into(),
+            text: "delta payload".into(),
+        })
+        .unwrap();
+        let oplog_with_delta = std::fs::read(dir.join("oplog")).unwrap();
+        assert!(oplog_with_delta.len() > oplog_before.len());
+
+        assert!(live.compact().is_err(), "{name}: commit should fail");
+        assert_eq!(
+            std::fs::read(dir.join("corpus.bin")).unwrap(),
+            base_before,
+            "{name}: base changed under a failed commit"
+        );
+        assert_eq!(
+            std::fs::read(dir.join("oplog")).unwrap(),
+            oplog_with_delta,
+            "{name}: oplog changed under a failed commit"
+        );
+        assert!(!dir.join("corpus.bin.next").exists(), "{name}");
+        assert!(!dir.join("oplog.pending").exists(), "{name}");
+        assert_eq!(live.read().corpus().match_query("payload"), vec![1]);
+        drop(live);
+        let back = LiveCorpus::open(dir.join("corpus.bin"), dir.join("oplog")).unwrap();
+        assert_eq!(back.read().corpus().match_query("payload"), vec![1]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+/// A transient compaction-write fault clears under the retry policy —
+/// the same recovery story as the offline checkpoint pipeline.
+#[test]
+fn transient_compaction_fault_retries_to_success() {
+    let dir = tmpdir("transient");
+    let live = seeded(
+        &dir,
+        FaultPlan::new(21).trigger(COMPACT_SITE, 0, Fault::IoError { transient: true }),
+    )
+    .with_injector(
+        Arc::new(FaultPlan::new(21).trigger(
+            COMPACT_SITE,
+            0,
+            Fault::IoError { transient: true },
+        )),
+        RetryPolicy { max_attempts: 3 },
+    );
+    live.apply(&IngestOp::Append {
+        author: "ana".into(),
+        text: "eventually durable".into(),
+    })
+    .unwrap();
+    let report = live.compact().unwrap().unwrap();
+    assert_eq!(report.after_tweets, 2);
+    drop(live);
+    let back = LiveCorpus::open(dir.join("corpus.bin"), dir.join("oplog")).unwrap();
+    assert_eq!(back.read().corpus().match_query("eventually"), vec![1]);
+    assert_eq!(back.read().pending_ops(), 0, "compaction committed");
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -44,7 +44,17 @@ impl Corpus {
 }
 
 /// Encode a corpus into the eight-frame binary container.
+///
+/// The container only represents fully-compacted corpora: delta posting
+/// lists and tombstones have no frames, so encoding a corpus with
+/// uncompacted ingest state is refused rather than silently dropping it.
 pub fn encode_corpus(corpus: &Corpus) -> io::Result<Vec<u8>> {
+    if corpus.has_delta() {
+        return Err(io::Error::other(
+            "corpus has uncompacted delta state (appends or tombstones); \
+             call Corpus::compact() before encoding",
+        ));
+    }
     let rel = |e: esharp_relation::RelError| io::Error::other(e.to_string());
 
     let meta = Table::new(

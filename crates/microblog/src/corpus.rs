@@ -17,7 +17,14 @@ use std::collections::HashMap;
 /// * a CSR token inverted index ([`PostingsIndex`]) for all-terms query
 ///   matching (§3),
 /// * per-user totals (#tweets, #mentions received, #retweets received) —
-///   the denominators of the TS / MI / RI features.
+///   the denominators of the TS / MI / RI features,
+/// * an LSM-style **delta segment** for streaming ingestion: tweets
+///   appended after the last (re)build land in per-token delta posting
+///   lists instead of the immutable CSR arena, deletions become
+///   tombstones, and the read path merges base + delta and filters
+///   tombstones before anything is ranked. [`Corpus::compact`] folds the
+///   delta back into a fresh base, bit-identical to a from-scratch
+///   rebuild of the same logical corpus.
 #[derive(Debug, Clone, Default)]
 pub struct Corpus {
     users: Vec<User>,
@@ -28,7 +35,7 @@ pub struct Corpus {
     /// `token_ids[token_offsets[t] .. token_offsets[t + 1]]`.
     token_offsets: Vec<u32>,
     token_ids: Vec<TokenId>,
-    /// token id → sorted tweet ids containing it.
+    /// token id → sorted tweet ids containing it (base segment only).
     postings: PostingsIndex,
     /// handle → user id.
     handle_index: HashMap<String, UserId>,
@@ -36,6 +43,18 @@ pub struct Corpus {
     tweets_by_user: Vec<u64>,
     mentions_of_user: Vec<u64>,
     retweets_of_user: Vec<u64>,
+    /// Tweets `[0, base_tweets)` are covered by the CSR postings; later
+    /// ids live in `delta_postings`. Appended ids are always larger than
+    /// every base id, so base ++ delta concatenation stays sorted.
+    base_tweets: u32,
+    /// Tokens `[0, base_tokens)` have CSR posting lists; tokens interned
+    /// by appends are delta-only until compaction.
+    base_tokens: u32,
+    /// token id → sorted tweet ids appended since the last compaction.
+    delta_postings: HashMap<TokenId, Vec<TweetId>>,
+    /// Sorted ids of logically deleted tweets (filtered from every match
+    /// set; physically removed by compaction).
+    tombstones: Vec<TweetId>,
 }
 
 impl Corpus {
@@ -75,6 +94,8 @@ impl Corpus {
             symbols.len(),
             token_offsets.windows(2).map(|w| &token_ids[w[0] as usize..w[1] as usize]),
         );
+        let base_tweets = tweets.len() as u32;
+        let base_tokens = symbols.len() as u32;
         Corpus {
             users,
             tweets,
@@ -86,6 +107,10 @@ impl Corpus {
             tweets_by_user,
             mentions_of_user,
             retweets_of_user,
+            base_tweets,
+            base_tokens,
+            delta_postings: HashMap::new(),
+            tombstones: Vec::new(),
         }
     }
 
@@ -108,6 +133,8 @@ impl Corpus {
         for u in &users {
             handle_index.insert(u.handle.clone(), u.id);
         }
+        let base_tweets = tweets.len() as u32;
+        let base_tokens = symbols.len() as u32;
         Corpus {
             users,
             tweets,
@@ -119,6 +146,10 @@ impl Corpus {
             tweets_by_user,
             mentions_of_user,
             retweets_of_user,
+            base_tweets,
+            base_tokens,
+            delta_postings: HashMap::new(),
+            tombstones: Vec::new(),
         }
     }
 
@@ -163,8 +194,15 @@ impl Corpus {
         self.symbols.len()
     }
 
-    /// The sorted tweet ids containing `token`.
+    /// The sorted **base-segment** tweet ids containing `token`. Tweets
+    /// appended since the last compaction live in the delta segment and
+    /// are not visible here; the query path ([`Corpus::match_query`],
+    /// [`Corpus::match_terms`]) merges both segments. Tokens first
+    /// interned by an append have no base list yet and return empty.
     pub fn postings(&self, token: TokenId) -> &[TweetId] {
+        if token >= self.base_tokens {
+            return &[];
+        }
         self.postings.postings(token)
     }
 
@@ -193,10 +231,11 @@ impl Corpus {
     /// starting from the rarest token; a single-token query borrows its
     /// posting list and copies it only once, at the end.
     pub fn match_query(&self, query: &str) -> Vec<TweetId> {
-        match self.match_term(query) {
+        let matched = match self.match_term(query) {
             TermMatch::Borrowed(list) => list.to_vec(),
             TermMatch::Owned(list) => list,
-        }
+        };
+        self.without_tombstones(matched)
     }
 
     /// Like [`Corpus::match_query`], borrowing the posting list outright
@@ -213,12 +252,12 @@ impl Corpus {
         let normalized = term
             .bytes()
             .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b' ');
-        let mut lists: Vec<&[TweetId]>;
+        let mut lists: Vec<TermMatch<'_>>;
         if normalized {
             lists = Vec::new();
             for word in term.split_ascii_whitespace() {
                 match self.symbols.get(word) {
-                    Some(id) => lists.push(self.postings.postings(id)),
+                    Some(id) => lists.push(self.merged_postings(id)),
                     None => return TermMatch::Owned(Vec::new()),
                 }
             }
@@ -227,18 +266,20 @@ impl Corpus {
             lists = Vec::with_capacity(tokens.len());
             for token in &tokens {
                 match self.symbols.get(token) {
-                    Some(id) => lists.push(self.postings.postings(id)),
+                    Some(id) => lists.push(self.merged_postings(id)),
                     None => return TermMatch::Owned(Vec::new()),
                 }
             }
         }
         match lists.len() {
             0 => TermMatch::Owned(Vec::new()),
-            1 => TermMatch::Borrowed(lists[0]),
+            1 => lists.remove(0),
             _ => {
-                lists.sort_by_key(|list| list.len());
-                let mut result = intersect(lists[0], lists[1]);
-                for list in &lists[2..] {
+                let mut slices: Vec<&[TweetId]> =
+                    lists.iter().map(TermMatch::as_slice).collect();
+                slices.sort_by_key(|list| list.len());
+                let mut result = intersect(slices[0], slices[1]);
+                for list in &slices[2..] {
                     if result.is_empty() {
                         break;
                     }
@@ -247,6 +288,36 @@ impl Corpus {
                 TermMatch::Owned(result)
             }
         }
+    }
+
+    /// Base ++ delta posting list for one token. Every delta id is larger
+    /// than every base id, so simple concatenation is the k-way merge.
+    /// Allocates only when the token genuinely has both segments.
+    fn merged_postings(&self, token: TokenId) -> TermMatch<'_> {
+        let base: &[TweetId] = if token < self.base_tokens {
+            self.postings.postings(token)
+        } else {
+            &[]
+        };
+        match self.delta_postings.get(&token) {
+            None => TermMatch::Borrowed(base),
+            Some(delta) if base.is_empty() => TermMatch::Borrowed(delta),
+            Some(delta) => {
+                let mut merged = Vec::with_capacity(base.len() + delta.len());
+                merged.extend_from_slice(base);
+                merged.extend_from_slice(delta);
+                TermMatch::Owned(merged)
+            }
+        }
+    }
+
+    /// Drop tombstoned ids from a sorted match set — the last step before
+    /// any match set escapes to ranking.
+    fn without_tombstones(&self, mut matched: Vec<TweetId>) -> Vec<TweetId> {
+        if !self.tombstones.is_empty() {
+            matched.retain(|id| self.tombstones.binary_search(id).is_err());
+        }
+        matched
     }
 
     /// Tweets matching **any** of `terms` (each term itself conjunctive,
@@ -260,13 +331,10 @@ impl Corpus {
             terms.iter().map(|term| self.match_term(term)).collect();
         let lists: Vec<&[TweetId]> = matches
             .iter()
-            .map(|m| match m {
-                TermMatch::Borrowed(list) => *list,
-                TermMatch::Owned(list) => list.as_slice(),
-            })
+            .map(TermMatch::as_slice)
             .filter(|list| !list.is_empty())
             .collect();
-        union_sorted(&lists)
+        self.without_tombstones(union_sorted(&lists))
     }
 
     /// Approximate corpus payload size in bytes.
@@ -274,10 +342,245 @@ impl Corpus {
         self.tweets.iter().map(|t| t.text.len() as u64).sum()
     }
 
+    // ------------------------------------------------------------------
+    // Streaming ingestion: the delta segment (esharp-ingest's substrate).
+    // ------------------------------------------------------------------
+
+    /// Register a new user so later appends can author and mention them.
+    /// Ingested users start with no expert labels and are never spam —
+    /// labels are an evaluation-side concept.
+    pub fn add_user(
+        &mut self,
+        handle: &str,
+        display_name: &str,
+        description: &str,
+        followers: u64,
+        verified: bool,
+    ) -> Result<UserId, String> {
+        if handle.is_empty() {
+            return Err("user handle must be non-empty".to_string());
+        }
+        if self.handle_index.contains_key(handle) {
+            return Err(format!("handle {handle:?} already exists"));
+        }
+        if self.users.len() >= u32::MAX as usize {
+            return Err("user id space exhausted".to_string());
+        }
+        let id = self.users.len() as UserId;
+        self.users.push(User {
+            id,
+            handle: handle.to_string(),
+            display_name: display_name.to_string(),
+            description: description.to_string(),
+            followers,
+            verified,
+            expert_domains: Vec::new(),
+            spam: false,
+        });
+        self.handle_index.insert(handle.to_string(), id);
+        self.tweets_by_user.push(0);
+        self.mentions_of_user.push(0);
+        self.retweets_of_user.push(0);
+        Ok(id)
+    }
+
+    /// Append one tweet to the delta segment. The text is tokenized and
+    /// interned through the same symbol table as the base build (new
+    /// tokens get fresh dense ids past the base watermark), per-user
+    /// totals update in place, and the tweet joins the per-token delta
+    /// posting lists. `author` is a handle so ingest streams are
+    /// self-contained.
+    pub fn append_tweet(&mut self, author: &str, text: &str) -> Result<TweetId, String> {
+        let Some(&author_id) = self.handle_index.get(author) else {
+            return Err(format!("unknown author handle {author:?}"));
+        };
+        if self.tweets.len() >= u32::MAX as usize {
+            return Err("tweet id space exhausted".to_string());
+        }
+        let id = self.tweets.len() as TweetId;
+        let tweet = {
+            let handles = &self.handle_index;
+            Tweet::parse(id, author_id, text, |h| handles.get(h).copied())
+        };
+        self.tweets_by_user[author_id as usize] += 1;
+        for &m in &tweet.mentions {
+            self.mentions_of_user[m as usize] += 1;
+        }
+        if let Some(orig) = tweet.retweet_of {
+            self.retweets_of_user[orig as usize] += 1;
+        }
+        for token in tokenize(&tweet.text) {
+            let tok = self.symbols.intern(&token);
+            self.token_ids.push(tok);
+            let list = self.delta_postings.entry(tok).or_default();
+            // Appended ids are monotonic, so dedup needs only a last-entry
+            // check and every delta list stays sorted by construction.
+            if list.last() != Some(&id) {
+                list.push(id);
+            }
+        }
+        self.token_offsets.push(self.token_ids.len() as u32);
+        self.tweets.push(tweet);
+        Ok(id)
+    }
+
+    /// Logically delete a tweet: a tombstone hides it from every match
+    /// set immediately and per-user totals drop as if it never existed.
+    /// The bytes are reclaimed at the next [`Corpus::compact`].
+    pub fn delete_tweet(&mut self, id: TweetId) -> Result<(), String> {
+        if (id as usize) >= self.tweets.len() {
+            return Err(format!("tweet {id} does not exist"));
+        }
+        let pos = match self.tombstones.binary_search(&id) {
+            Ok(_) => return Err(format!("tweet {id} is already deleted")),
+            Err(pos) => pos,
+        };
+        let (author, retweet_of) = {
+            let t = &self.tweets[id as usize];
+            (t.author, t.retweet_of)
+        };
+        self.tweets_by_user[author as usize] =
+            self.tweets_by_user[author as usize].saturating_sub(1);
+        for i in 0..self.tweets[id as usize].mentions.len() {
+            let m = self.tweets[id as usize].mentions[i] as usize;
+            self.mentions_of_user[m] = self.mentions_of_user[m].saturating_sub(1);
+        }
+        if let Some(orig) = retweet_of {
+            self.retweets_of_user[orig as usize] =
+                self.retweets_of_user[orig as usize].saturating_sub(1);
+        }
+        self.tombstones.insert(pos, id);
+        Ok(())
+    }
+
+    /// `true` once any append or delete landed since the last (re)build —
+    /// i.e. the corpus carries delta state the binary format cannot
+    /// represent until [`Corpus::compact`] folds it in.
+    pub fn has_delta(&self) -> bool {
+        self.tweets.len() > self.base_tweets as usize || !self.tombstones.is_empty()
+    }
+
+    /// Tweets covered by the immutable base CSR postings.
+    pub fn base_tweet_count(&self) -> usize {
+        self.base_tweets as usize
+    }
+
+    /// Tweets appended since the last compaction (tombstoned or not).
+    pub fn delta_tweet_count(&self) -> usize {
+        self.tweets.len() - self.base_tweets as usize
+    }
+
+    /// Logically deleted tweets awaiting physical removal.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Tweets visible to queries (total minus tombstones).
+    pub fn live_tweet_count(&self) -> usize {
+        self.tweets.len() - self.tombstones.len()
+    }
+
+    /// Whether `id` is tombstoned.
+    pub fn is_deleted(&self, id: TweetId) -> bool {
+        self.tombstones.binary_search(&id).is_ok()
+    }
+
+    /// Fold the delta segment into a fresh base: drop tombstoned tweets,
+    /// renumber survivors densely, and rebuild the CSR postings — without
+    /// re-tokenizing (the interned arenas are remapped in first-appearance
+    /// order, which makes the result bit-identical to
+    /// `Corpus::new(users, surviving_tweets)`).
+    pub fn compact(&self) -> Corpus {
+        self.compact_with_map().0
+    }
+
+    /// [`Corpus::compact`] plus the old-id → new-id map (`None` for
+    /// tombstoned tweets) so callers holding ids minted before the
+    /// compaction — e.g. queued deletes — can remap them.
+    pub fn compact_with_map(&self) -> (Corpus, Vec<Option<TweetId>>) {
+        let mut map: Vec<Option<TweetId>> = vec![None; self.tweets.len()];
+        // Token remap table, filled in first-appearance order over the
+        // surviving tweets — exactly the order `Corpus::new` would intern.
+        const UNMAPPED: TokenId = u32::MAX;
+        let mut token_map: Vec<TokenId> = vec![UNMAPPED; self.symbols.len()];
+        let mut new_texts: Vec<Box<str>> = Vec::new();
+
+        let live = self.live_tweet_count();
+        let mut tweets: Vec<Tweet> = Vec::with_capacity(live);
+        let mut token_offsets: Vec<u32> = Vec::with_capacity(live + 1);
+        let mut token_ids: Vec<TokenId> = Vec::new();
+        token_offsets.push(0);
+        let mut tweets_by_user = vec![0u64; self.users.len()];
+        let mut mentions_of_user = vec![0u64; self.users.len()];
+        let mut retweets_of_user = vec![0u64; self.users.len()];
+
+        for t in &self.tweets {
+            if self.tombstones.binary_search(&t.id).is_ok() {
+                continue;
+            }
+            let new_id = tweets.len() as TweetId;
+            map[t.id as usize] = Some(new_id);
+            tweets_by_user[t.author as usize] += 1;
+            for &m in &t.mentions {
+                mentions_of_user[m as usize] += 1;
+            }
+            if let Some(orig) = t.retweet_of {
+                retweets_of_user[orig as usize] += 1;
+            }
+            for &old_tok in self.tweet_tokens(t.id) {
+                let new_tok = if token_map[old_tok as usize] == UNMAPPED {
+                    let fresh = new_texts.len() as TokenId;
+                    new_texts.push(self.symbols.text(old_tok).into());
+                    token_map[old_tok as usize] = fresh;
+                    fresh
+                } else {
+                    token_map[old_tok as usize]
+                };
+                token_ids.push(new_tok);
+            }
+            token_offsets.push(token_ids.len() as u32);
+            let mut survivor = t.clone();
+            survivor.id = new_id;
+            tweets.push(survivor);
+        }
+
+        let symbols = SymbolTable::from_texts(new_texts)
+            .expect("remapped token texts are unique by construction");
+        let postings = PostingsIndex::build(
+            symbols.len(),
+            token_offsets.windows(2).map(|w| &token_ids[w[0] as usize..w[1] as usize]),
+        );
+        let base_tweets = tweets.len() as u32;
+        let base_tokens = symbols.len() as u32;
+        let compacted = Corpus {
+            users: self.users.clone(),
+            tweets,
+            symbols,
+            token_offsets,
+            token_ids,
+            postings,
+            handle_index: self.handle_index.clone(),
+            tweets_by_user,
+            mentions_of_user,
+            retweets_of_user,
+            base_tweets,
+            base_tokens,
+            delta_postings: HashMap::new(),
+            tombstones: Vec::new(),
+        };
+        (compacted, map)
+    }
+
     /// Persist the corpus to a JSON file (indexes are rebuilt on load, so
     /// only users and tweets pay serialization cost). For the O(bytes)
     /// binary format that skips the rebuild, see [`Corpus::save_binary`].
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        if self.has_delta() {
+            return Err(std::io::Error::other(
+                "corpus has uncompacted delta state (appends or tombstones); \
+                 call Corpus::compact() before persisting",
+            ));
+        }
         let path = path.as_ref();
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
@@ -309,6 +612,15 @@ impl Corpus {
 enum TermMatch<'c> {
     Borrowed(&'c [TweetId]),
     Owned(Vec<TweetId>),
+}
+
+impl TermMatch<'_> {
+    fn as_slice(&self) -> &[TweetId] {
+        match self {
+            TermMatch::Borrowed(list) => list,
+            TermMatch::Owned(list) => list.as_slice(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -445,5 +757,119 @@ mod tests {
         let c = corpus();
         assert_eq!(c.user_by_handle("bob"), Some(1));
         assert_eq!(c.user_by_handle("nobody"), None);
+    }
+
+    #[test]
+    fn appended_tweets_are_searchable_immediately() {
+        let mut c = corpus();
+        assert!(!c.has_delta());
+        let id = c.append_tweet("alice", "the niners draft steal").unwrap();
+        assert_eq!(id, 4);
+        assert!(c.has_delta());
+        assert_eq!(c.delta_tweet_count(), 1);
+        // Merged read path: base hits ++ delta hits, still sorted.
+        assert_eq!(c.match_query("niners"), vec![2, 4]);
+        assert_eq!(c.match_query("draft"), vec![0, 1, 4]);
+        // A brand-new token exists only in the delta segment.
+        let steal = c.token_id("steal").unwrap();
+        assert_eq!(c.postings(steal), &[] as &[TweetId]);
+        assert_eq!(c.match_query("steal"), vec![4]);
+        // Totals updated in place.
+        assert_eq!(c.tweets_by(0), 2);
+    }
+
+    #[test]
+    fn append_resolves_mentions_and_retweets() {
+        let mut c = corpus();
+        let before = c.mentions_of(2);
+        c.append_tweet("bob", "RT @carol: cooking pasta tonight").unwrap();
+        assert_eq!(c.mentions_of(2), before + 1);
+        assert_eq!(c.retweets_of(2), 1);
+        assert!(c.append_tweet("nobody", "hi").is_err(), "unknown author");
+    }
+
+    #[test]
+    fn added_users_can_author_and_be_mentioned() {
+        let mut c = corpus();
+        let dave = c.add_user("dave", "Dave", "bio", 42, true).unwrap();
+        assert_eq!(c.user_by_handle("dave"), Some(dave));
+        assert!(c.add_user("dave", "", "", 0, false).is_err(), "dup handle");
+        let t = c.append_tweet("dave", "pasta recipes by @dave").unwrap();
+        assert_eq!(c.tweets_by(dave), 1);
+        assert_eq!(c.mentions_of(dave), 1);
+        assert_eq!(c.match_query("pasta"), vec![3, t]);
+    }
+
+    #[test]
+    fn tombstones_hide_tweets_and_reverse_totals() {
+        let mut c = corpus();
+        c.delete_tweet(1).unwrap();
+        assert!(c.is_deleted(1));
+        assert!(c.has_delta());
+        assert_eq!(c.live_tweet_count(), 3);
+        // Hidden from both conjunctive match and expansion union.
+        assert_eq!(c.match_query("draft"), vec![0]);
+        assert_eq!(
+            c.match_terms(&["draft".to_string(), "niners".to_string()]),
+            vec![0, 2]
+        );
+        // Totals roll back the RT's contribution.
+        assert_eq!(c.tweets_by(1), 1);
+        assert_eq!(c.mentions_of(0), 0);
+        assert_eq!(c.retweets_of(0), 0);
+        // Double delete and out-of-range are errors.
+        assert!(c.delete_tweet(1).is_err());
+        assert!(c.delete_tweet(99).is_err());
+    }
+
+    #[test]
+    fn compaction_is_bit_identical_to_rebuild() {
+        let mut c = corpus();
+        c.add_user("dave", "Dave", "", 5, false).unwrap();
+        c.append_tweet("dave", "niners niners go").unwrap();
+        c.delete_tweet(1).unwrap();
+        c.append_tweet("alice", "draft day pasta").unwrap();
+        c.delete_tweet(4).unwrap(); // delete a delta tweet too
+
+        let (compacted, map) = c.compact_with_map();
+        assert!(!compacted.has_delta());
+        assert_eq!(map[0], Some(0));
+        assert_eq!(map[1], None);
+        assert_eq!(map[4], None);
+        assert_eq!(map[5], Some(3));
+
+        // The reference: a from-scratch rebuild of the surviving tweets.
+        let survivors: Vec<Tweet> = c
+            .tweets()
+            .iter()
+            .filter(|t| !c.is_deleted(t.id))
+            .enumerate()
+            .map(|(i, t)| {
+                let mut t = t.clone();
+                t.id = i as TweetId;
+                t
+            })
+            .collect();
+        let rebuilt = Corpus::new(c.users().to_vec(), survivors);
+        let a = crate::binio::encode_corpus(&compacted).unwrap();
+        let b = crate::binio::encode_corpus(&rebuilt).unwrap();
+        assert_eq!(a, b, "compacted bytes must equal a cold rebuild");
+
+        // Query results survive the renumbering (delta view vs compacted).
+        let live: Vec<TweetId> = c.match_query("niners");
+        let remapped: Vec<TweetId> =
+            live.iter().map(|&id| map[id as usize].unwrap()).collect();
+        assert_eq!(compacted.match_query("niners"), remapped);
+    }
+
+    #[test]
+    fn delta_corpus_refuses_json_save() {
+        let mut c = corpus();
+        c.append_tweet("alice", "ephemeral").unwrap();
+        let dir = std::env::temp_dir().join("esharp_corpus_delta_save_test");
+        assert!(c.save(dir.join("c.json")).is_err());
+        let compacted = c.compact();
+        assert!(compacted.save(dir.join("c.json")).is_ok());
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -246,6 +246,15 @@ pub fn default_chunk(len: usize) -> usize {
     len.div_ceil(64).max(256)
 }
 
+/// The host's available hardware parallelism (1 when undetectable).
+/// Default worker counts clamp to this so a 2-core container doesn't
+/// spawn an 8-thread pool that only adds contention; explicit worker
+/// settings are never clamped — determinism contracts key on the
+/// requested count, and oversubscription is a legitimate test setup.
+pub fn detected_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 static POOLS: OnceLock<Mutex<HashMap<usize, Arc<ThreadPool>>>> = OnceLock::new();
 
 /// The process-wide pool for a given worker count, built on first use and

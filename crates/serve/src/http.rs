@@ -23,6 +23,9 @@ pub struct Request {
     pub path: String,
     /// Query parameters in order of appearance, percent-decoded.
     pub query: Vec<(String, String)>,
+    /// The request body (`content-length` bytes; empty for bodiless
+    /// requests). `POST /ingest` reads op lines from here.
+    pub body: Vec<u8>,
 }
 
 impl Request {
@@ -89,8 +92,9 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
     if content_length > MAX_BODY {
         return Err(bad("request body too large"));
     }
-    // Drain the body so the response isn't sent into a half-written
-    // request (clients that pipeline a body expect it consumed).
+    // Read the full body (clients that pipeline a body expect it
+    // consumed before the response); bytes past content-length are a
+    // protocol violation this one-shot subset simply drops.
     while overflow.len() < content_length {
         let n = stream.read(&mut buf)?;
         if n == 0 {
@@ -98,6 +102,7 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
         }
         overflow.extend_from_slice(&buf[..n]);
     }
+    overflow.truncate(content_length);
 
     let (path_raw, query_raw) = match target.split_once('?') {
         Some((p, q)) => (p, Some(q)),
@@ -117,6 +122,7 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
         method: method.to_string(),
         path,
         query,
+        body: overflow,
     }))
 }
 
@@ -276,6 +282,7 @@ mod tests {
         let req = read_request(&mut stream).unwrap().unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/reload");
+        assert_eq!(req.body, b"hello");
         write_response(&mut stream, 200, &[], b"{}").unwrap();
         drop(stream);
         client.join().unwrap();

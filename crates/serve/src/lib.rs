@@ -13,7 +13,7 @@
 //! A multi-threaded HTTP/1.1 server: one accept loop fans accepted
 //! connections out to a fixed worker pool through a **bounded admission
 //! queue** (the `esharp-par` caller/worker idiom, adapted from batch to
-//! streaming). Four endpoints:
+//! streaming). Six endpoints:
 //!
 //! | Endpoint          | Purpose                                          |
 //! |-------------------|--------------------------------------------------|
@@ -21,16 +21,27 @@
 //! | `GET /healthz`    | liveness + degradation state                     |
 //! | `GET /metrics`    | counters, cache stats, latency histograms        |
 //! | `POST /reload`    | hot domain reload (the weekly refresh hand-off)  |
+//! | `POST /ingest`    | streaming op batch into the live corpus          |
+//! | `POST /compact`   | synchronous delta-segment compaction             |
+//!
+//! Search serves from an `esharp-ingest`
+//! [`LiveCorpus`](esharp_ingest::LiveCorpus): ingested tweets are
+//! visible to the next query, and a background compactor (enabled via
+//! [`ServeConfig::compact_threshold`]) folds the delta segment into a
+//! fresh persisted base without pausing reads.
 //!
 //! ## Correctness anchors
 //!
 //! * **Epoch-keyed caching** — the result cache keys on `(normalized
-//!   query, epoch)` where the epoch comes from the same
-//!   [`SharedEsharp`](esharp_core::SharedEsharp) snapshot as the
-//!   collection searched, and *every* reload attempt advances it. A
-//!   cached body is therefore always byte-identical to a cold search
-//!   against the collection that was live when it was cached; stale
-//!   expansions (or stale degradation states) can never be served.
+//!   query, domains epoch, corpus epoch)` where the domains epoch comes
+//!   from the same [`SharedEsharp`](esharp_core::SharedEsharp) snapshot
+//!   as the collection searched (*every* reload attempt advances it) and
+//!   the corpus epoch from the same `LiveCorpus` snapshot as the index
+//!   searched (every ingested batch and compaction publish advances it).
+//!   A cached body is therefore always byte-identical to a cold search
+//!   against the collection *and index* that were live when it was
+//!   cached; stale expansions, stale degradation states, and stale
+//!   matches can never be served.
 //! * **Load shedding** — when the admission queue is full the accept
 //!   loop answers `503 Retry-After` immediately instead of queueing
 //!   unboundedly: under overload the server sheds, it does not collapse,
@@ -55,4 +66,4 @@ pub mod server;
 
 pub use cache::ResultCache;
 pub use metrics::{Histogram, Metrics};
-pub use server::{render_search_body, ServeConfig, Server};
+pub use server::{render_search_body, search_and_render, ServeConfig, Server};

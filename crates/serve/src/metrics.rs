@@ -101,6 +101,16 @@ pub struct Metrics {
     pub metrics_requests: AtomicU64,
     /// `POST /reload` requests.
     pub reload_requests: AtomicU64,
+    /// `POST /ingest` requests.
+    pub ingest_requests: AtomicU64,
+    /// Ops applied by accepted ingest batches.
+    pub ingest_ops: AtomicU64,
+    /// `POST /compact` requests.
+    pub compact_requests: AtomicU64,
+    /// Compaction cycles that published (HTTP or background).
+    pub compact_ok: AtomicU64,
+    /// Compaction cycles that failed (previous base kept serving).
+    pub compact_failed: AtomicU64,
     /// Requests answered 4xx (bad path, method, or parameters).
     pub client_errors: AtomicU64,
     /// Connections answered `503` by the accept loop (queue full).
@@ -123,6 +133,9 @@ pub struct Metrics {
     pub rank_phase: Histogram,
     /// Whole-request latency, parse to flush, hits and misses alike.
     pub total: Histogram,
+    /// Write-lock hold time of compaction publishes — the only pause
+    /// serving ever observes from the streaming maintenance path.
+    pub compaction_pause: Histogram,
 }
 
 impl Metrics {
@@ -136,9 +149,17 @@ impl Metrics {
         hits as f64 / (hits + misses) as f64
     }
 
-    /// Render the `/metrics` JSON document. `epoch` and cache occupancy
-    /// come from the server (they live outside the counter set).
-    pub fn render(&self, epoch: u64, cache_entries: usize, cache_capacity: usize) -> String {
+    /// Render the `/metrics` JSON document. The epochs and cache
+    /// occupancy come from the server (they live outside the counter
+    /// set): `epoch` is the domains epoch, `corpus_epoch` the live
+    /// corpus's.
+    pub fn render(
+        &self,
+        epoch: u64,
+        corpus_epoch: u64,
+        cache_entries: usize,
+        cache_capacity: usize,
+    ) -> String {
         let c = |a: &AtomicU64| a.load(Relaxed).to_string();
         let mut out = String::with_capacity(1024);
         out.push_str("{\"requests\":{\"search\":");
@@ -169,6 +190,20 @@ impl Metrics {
         out.push_str(&c(&self.reload_failed));
         out.push_str(",\"epoch\":");
         out.push_str(&epoch.to_string());
+        out.push_str("},\"ingest\":{\"requests\":");
+        out.push_str(&c(&self.ingest_requests));
+        out.push_str(",\"ops\":");
+        out.push_str(&c(&self.ingest_ops));
+        out.push_str(",\"corpus_epoch\":");
+        out.push_str(&corpus_epoch.to_string());
+        out.push_str("},\"compaction\":{\"requests\":");
+        out.push_str(&c(&self.compact_requests));
+        out.push_str(",\"ok\":");
+        out.push_str(&c(&self.compact_ok));
+        out.push_str(",\"failed\":");
+        out.push_str(&c(&self.compact_failed));
+        out.push_str(",\"pause_us\":");
+        self.compaction_pause.render(&mut out);
         out.push_str("},\"latency_us\":{\"expansion\":");
         self.expansion.render(&mut out);
         out.push_str(",\"detection\":");
@@ -215,13 +250,16 @@ mod tests {
         m.cache_hits.fetch_add(1, Relaxed);
         m.cache_misses.fetch_add(2, Relaxed);
         m.total.record(Duration::from_micros(250));
-        let doc = m.render(7, 2, 512);
+        m.ingest_ops.fetch_add(5, Relaxed);
+        let doc = m.render(7, 9, 2, 512);
         for needle in [
             "\"requests\":{\"search\":3",
             "\"shed_total\":0",
             "\"hit_rate\":0.3333",
             "\"epoch\":7",
             "\"entries\":2",
+            "\"ingest\":{\"requests\":0,\"ops\":5,\"corpus_epoch\":9}",
+            "\"compaction\":{\"requests\":0,\"ok\":0,\"failed\":0,\"pause_us\":{\"count\":0",
             "\"latency_us\":{\"expansion\":{\"count\":0",
             "\"match\":{\"count\":0",
             "\"rank\":{\"count\":0",

@@ -16,6 +16,7 @@ use crate::json;
 use crate::metrics::Metrics;
 use esharp_core::{Degradation, Esharp, SearchOutcome, SharedEsharp};
 use esharp_fault::{FaultInjector, NoFaults};
+use esharp_ingest::{Compactor, CompactorConfig, IngestOp, LiveCorpus};
 use esharp_microblog::Corpus;
 use std::collections::VecDeque;
 use std::io;
@@ -38,15 +39,25 @@ pub struct ServeConfig {
     /// The domains file `POST /reload` re-reads (the weekly refresh
     /// hand-off); `None` makes reload a `400`.
     pub domains_path: Option<PathBuf>,
+    /// Background-compaction trigger: compact once this many ingested
+    /// ops are pending. `0` disables the background thread (`POST
+    /// /compact` still works).
+    pub compact_threshold: usize,
+    /// Background-compaction poll interval.
+    pub compact_interval: Duration,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
-            workers: 4,
+            // Clamped to the host so small containers don't oversubscribe
+            // (explicit settings are honored as given).
+            workers: 4.min(esharp_par::detected_workers()),
             cache_capacity: 1024,
             queue_depth: 64,
             domains_path: None,
+            compact_threshold: 0,
+            compact_interval: Duration::from_millis(250),
         }
     }
 }
@@ -109,7 +120,7 @@ impl Queue {
 
 /// Shared handler state (one per server, `Arc`ed to every thread).
 struct State {
-    corpus: Arc<Corpus>,
+    live: Arc<LiveCorpus>,
     shared: Arc<SharedEsharp>,
     cache: ResultCache,
     metrics: Arc<Metrics>,
@@ -129,6 +140,7 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
+    compactor: Option<Compactor>,
 }
 
 impl Server {
@@ -153,13 +165,47 @@ impl Server {
         shared: Arc<SharedEsharp>,
         injector: Arc<dyn FaultInjector>,
     ) -> io::Result<Server> {
+        // A plain snapshot corpus serves through an in-memory LiveCorpus
+        // (ingest works, nothing is persisted). Unwrap the Arc when this
+        // caller holds the only reference — the common case — and clone
+        // otherwise.
+        let corpus = Arc::try_unwrap(corpus).unwrap_or_else(|shared_corpus| (*shared_corpus).clone());
+        Server::start_live(
+            addr,
+            config,
+            Arc::new(LiveCorpus::new(corpus)),
+            shared,
+            injector,
+        )
+    }
+
+    /// Start serving a [`LiveCorpus`] — the full streaming setup: `POST
+    /// /ingest` absorbs ops (durably, when the live corpus has
+    /// persistence), and a background [`Compactor`] folds the delta when
+    /// `config.compact_threshold > 0`.
+    pub fn start_live(
+        addr: &str,
+        config: ServeConfig,
+        live: Arc<LiveCorpus>,
+        shared: Arc<SharedEsharp>,
+        injector: Arc<dyn FaultInjector>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let queue = Arc::new(Queue::new(config.queue_depth));
         let cache = ResultCache::new(config.cache_capacity);
         let workers = config.workers.max(1);
+        let compactor = (config.compact_threshold > 0).then(|| {
+            Compactor::start(
+                Arc::clone(&live),
+                CompactorConfig {
+                    threshold_ops: config.compact_threshold,
+                    interval: config.compact_interval,
+                },
+            )
+        });
         let state = Arc::new(State {
-            corpus,
+            live,
             shared,
             cache,
             metrics: Arc::new(Metrics::default()),
@@ -199,6 +245,7 @@ impl Server {
             stop,
             accept_handle: Some(accept_handle),
             worker_handles,
+            compactor,
         })
     }
 
@@ -214,6 +261,9 @@ impl Server {
 
     /// Stop accepting, drain admitted connections, join every thread.
     pub fn shutdown(mut self) {
+        if let Some(mut compactor) = self.compactor.take() {
+            compactor.stop();
+        }
         self.stop.store(true, SeqCst);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
@@ -299,7 +349,9 @@ fn route(state: &State, stream: &mut TcpStream, request: &Request) {
         ("GET", "/healthz") => handle_healthz(state, stream),
         ("GET", "/metrics") => handle_metrics(state, stream),
         ("POST", "/reload") => handle_reload(state, stream),
-        (_, "/search" | "/healthz" | "/metrics" | "/reload") => {
+        ("POST", "/ingest") => handle_ingest(state, stream, request),
+        ("POST", "/compact") => handle_compact(state, stream),
+        (_, "/search" | "/healthz" | "/metrics" | "/reload" | "/ingest" | "/compact") => {
             state.metrics.client_errors.fetch_add(1, SeqCst);
             let _ = http::write_response(stream, 405, &[], b"{\"error\":\"method not allowed\"}");
         }
@@ -325,44 +377,157 @@ fn handle_search(state: &State, stream: &mut TcpStream, request: &Request) {
         }
     };
     state.metrics.search_requests.fetch_add(1, SeqCst);
-    // The snapshot pins (collection, epoch) as one consistent pair for
-    // the whole request; a reload landing now affects the *next* request.
+    // The snapshots pin (collection, domains epoch) and (corpus, corpus
+    // epoch) as consistent pairs for the whole request; a reload,
+    // ingest, or compaction landing now affects the *next* request. The
+    // corpus read guard is held across the search — reads are concurrent
+    // with each other, and an ingest waits microseconds, a compaction
+    // publish waits one search.
     let (esharp, epoch) = state.shared.snapshot();
-    let key: CacheKey = (normalized, epoch);
+    let guard = state.live.read();
+    let key: CacheKey = (normalized, epoch, guard.epoch());
     if let Some(body) = state.cache.get(&key) {
         state.metrics.cache_hits.fetch_add(1, SeqCst);
         let _ = http::write_response(stream, 200, &[("x-esharp-cache", "hit")], &body);
         return;
     }
     state.metrics.cache_misses.fetch_add(1, SeqCst);
-    let outcome = esharp.search(&state.corpus, &key.0);
+    let outcome = esharp.search(guard.corpus(), &key.0);
     state.metrics.expansion.record(outcome.expansion_time);
     state.metrics.detection.record(outcome.detection_time);
     state.metrics.match_phase.record(outcome.match_time);
     state.metrics.rank_phase.record(outcome.rank_time);
-    let body = Arc::new(render_search_body(&state.corpus, &key.0, epoch, &outcome));
+    let body = Arc::new(render_search_body(
+        guard.corpus(),
+        &key.0,
+        epoch,
+        key.2,
+        &outcome,
+    ));
     state.cache.insert(key, Arc::clone(&body));
     let _ = http::write_response(stream, 200, &[("x-esharp-cache", "miss")], &body);
+}
+
+/// `POST /ingest`: the body is a batch of op lines (see
+/// [`IngestOp::parse_batch`]). All-or-nothing: parse or validation
+/// failures are `400` with nothing applied; a WAL failure is `500`,
+/// also with nothing applied.
+fn handle_ingest(state: &State, stream: &mut TcpStream, request: &Request) {
+    state.metrics.ingest_requests.fetch_add(1, SeqCst);
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => {
+            state.metrics.client_errors.fetch_add(1, SeqCst);
+            let _ =
+                http::write_response(stream, 400, &[], b"{\"ok\":false,\"error\":\"body is not UTF-8\"}");
+            return;
+        }
+    };
+    let ops = match IngestOp::parse_batch(text) {
+        Ok(ops) if !ops.is_empty() => ops,
+        Ok(_) => {
+            state.metrics.client_errors.fetch_add(1, SeqCst);
+            let _ =
+                http::write_response(stream, 400, &[], b"{\"ok\":false,\"error\":\"empty batch\"}");
+            return;
+        }
+        Err(error) => {
+            state.metrics.client_errors.fetch_add(1, SeqCst);
+            let mut body = String::with_capacity(96);
+            body.push_str("{\"ok\":false,\"error\":");
+            json::push_str(&mut body, &error);
+            body.push('}');
+            let _ = http::write_response(stream, 400, &[], body.as_bytes());
+            return;
+        }
+    };
+    match state.live.apply_batch(&ops) {
+        Ok(applied) => {
+            state.metrics.ingest_ops.fetch_add(applied.len() as u64, SeqCst);
+            let body = format!(
+                "{{\"ok\":true,\"applied\":{},\"corpus_epoch\":{},\"pending_ops\":{}}}",
+                applied.len(),
+                state.live.epoch(),
+                state.live.pending_ops(),
+            );
+            let _ = http::write_response(stream, 200, &[], body.as_bytes());
+        }
+        Err(error) => {
+            let status = if error.kind() == io::ErrorKind::InvalidInput {
+                state.metrics.client_errors.fetch_add(1, SeqCst);
+                400
+            } else {
+                500
+            };
+            let mut body = String::with_capacity(96);
+            body.push_str("{\"ok\":false,\"error\":");
+            json::push_str(&mut body, &error.to_string());
+            body.push('}');
+            let _ = http::write_response(stream, status, &[], body.as_bytes());
+        }
+    }
+}
+
+/// `POST /compact`: fold the delta segment synchronously (the manual
+/// counterpart of the background compactor). Failure keeps the previous
+/// base serving and answers `500`.
+fn handle_compact(state: &State, stream: &mut TcpStream) {
+    state.metrics.compact_requests.fetch_add(1, SeqCst);
+    match state.live.compact() {
+        Ok(Some(report)) => {
+            state.metrics.compact_ok.fetch_add(1, SeqCst);
+            state.metrics.compaction_pause.record(report.pause);
+            let body = format!(
+                "{{\"ok\":true,\"compacted\":true,\"corpus_epoch\":{},\"before_tweets\":{},\"tombstones_reclaimed\":{},\"after_tweets\":{},\"tail_ops_replayed\":{},\"bytes_written\":{},\"pause_us\":{},\"total_us\":{}}}",
+                report.epoch,
+                report.before_tweets,
+                report.before_tombstones,
+                report.after_tweets,
+                report.tail_ops_replayed,
+                report.bytes_written,
+                report.pause.as_micros(),
+                report.total.as_micros(),
+            );
+            let _ = http::write_response(stream, 200, &[], body.as_bytes());
+        }
+        Ok(None) => {
+            let body = format!(
+                "{{\"ok\":true,\"compacted\":false,\"corpus_epoch\":{}}}",
+                state.live.epoch()
+            );
+            let _ = http::write_response(stream, 200, &[], body.as_bytes());
+        }
+        Err(error) => {
+            state.metrics.compact_failed.fetch_add(1, SeqCst);
+            let mut body = String::with_capacity(96);
+            body.push_str("{\"ok\":false,\"error\":");
+            json::push_str(&mut body, &error.to_string());
+            body.push('}');
+            let _ = http::write_response(stream, 500, &[], body.as_bytes());
+        }
+    }
 }
 
 fn handle_healthz(state: &State, stream: &mut TcpStream) {
     state.metrics.healthz_requests.fetch_add(1, SeqCst);
     let (esharp, epoch) = state.shared.snapshot();
+    let corpus_epoch = state.live.epoch();
     let mut body = String::with_capacity(128);
     match esharp.degradation() {
         None => {
             body.push_str("{\"status\":\"ok\",\"epoch\":");
             body.push_str(&epoch.to_string());
-            body.push('}');
         }
         Some(degradation) => {
             body.push_str("{\"status\":\"degraded\",\"epoch\":");
             body.push_str(&epoch.to_string());
             body.push_str(",\"degradation\":");
             render_degradation(&mut body, degradation);
-            body.push('}');
         }
     }
+    body.push_str(",\"corpus_epoch\":");
+    body.push_str(&corpus_epoch.to_string());
+    body.push('}');
     let _ = http::write_response(stream, 200, &[], body.as_bytes());
 }
 
@@ -370,6 +535,7 @@ fn handle_metrics(state: &State, stream: &mut TcpStream) {
     state.metrics.metrics_requests.fetch_add(1, SeqCst);
     let body = state.metrics.render(
         state.shared.epoch(),
+        state.live.epoch(),
         state.cache.len(),
         state.cache.capacity(),
     );
@@ -418,15 +584,16 @@ fn handle_reload(state: &State, stream: &mut TcpStream) {
 }
 
 /// Render the deterministic `/search` response body: a pure function of
-/// `(corpus, query, epoch, outcome-sans-timings)`, which is the property
-/// the result cache's byte-identical-hit guarantee rests on. Timings are
-/// deliberately excluded (they differ run to run); they feed the
-/// `/metrics` histograms instead. Cache hit/miss travels in the
+/// `(corpus, query, epochs, outcome-sans-timings)`, which is the
+/// property the result cache's byte-identical-hit guarantee rests on.
+/// Timings are deliberately excluded (they differ run to run); they feed
+/// the `/metrics` histograms instead. Cache hit/miss travels in the
 /// `x-esharp-cache` header, also off-body for the same reason.
 pub fn render_search_body(
     corpus: &Corpus,
     query: &str,
     epoch: u64,
+    corpus_epoch: u64,
     outcome: &SearchOutcome,
 ) -> Vec<u8> {
     let mut out = String::with_capacity(256 + outcome.experts.len() * 96);
@@ -434,6 +601,8 @@ pub fn render_search_body(
     json::push_str(&mut out, query);
     out.push_str(",\"epoch\":");
     out.push_str(&epoch.to_string());
+    out.push_str(",\"corpus_epoch\":");
+    out.push_str(&corpus_epoch.to_string());
     out.push_str(",\"expansion\":");
     json::push_str_array(&mut out, &outcome.expansion);
     out.push_str(",\"matched_tweets\":");
@@ -486,9 +655,10 @@ pub fn search_and_render(
     esharp: &Esharp,
     normalized_query: &str,
     epoch: u64,
+    corpus_epoch: u64,
 ) -> Vec<u8> {
     let outcome = esharp.search(corpus, normalized_query);
-    render_search_body(corpus, normalized_query, epoch, &outcome)
+    render_search_body(corpus, normalized_query, epoch, corpus_epoch, &outcome)
 }
 
 #[cfg(test)]
@@ -524,11 +694,16 @@ mod tests {
             DomainCollection::from_groups(vec![vec!["49ers".into(), "niners".into()]]),
             EsharpConfig::tiny(),
         );
-        let a = search_and_render(&corpus, &esharp, "49ers", 3);
-        let b = search_and_render(&corpus, &esharp, "49ers", 3);
+        let a = search_and_render(&corpus, &esharp, "49ers", 3, 5);
+        let b = search_and_render(&corpus, &esharp, "49ers", 3, 5);
         assert_eq!(a, b, "same snapshot, same bytes");
+        let c = search_and_render(&corpus, &esharp, "49ers", 3, 6);
+        assert_ne!(a, c, "corpus epoch is part of the body");
         let text = String::from_utf8(a).unwrap();
-        assert!(text.starts_with("{\"query\":\"49ers\",\"epoch\":3,"), "{text}");
+        assert!(
+            text.starts_with("{\"query\":\"49ers\",\"epoch\":3,\"corpus_epoch\":5,"),
+            "{text}"
+        );
         assert!(text.contains("\"expansion\":[\"49ers\",\"niners\"]"), "{text}");
         assert!(text.contains("\"degradation\":null"), "{text}");
         // Handles with quotes stay valid JSON.
@@ -544,7 +719,7 @@ mod tests {
             EsharpConfig::tiny(),
         );
         assert!(esharp.reload_domains("/nonexistent/domains.bin").is_err());
-        let body = search_and_render(&corpus, &esharp, "49ers", 1);
+        let body = search_and_render(&corpus, &esharp, "49ers", 1, 0);
         let text = String::from_utf8(body).unwrap();
         assert!(
             text.contains("\"degradation\":{\"kind\":\"stale_domains\",\"error\":"),

@@ -85,7 +85,7 @@ fn readers_never_observe_torn_or_mixed_epoch_state() {
                 for i in 0..SEARCHES_PER_READER {
                     let query = &queries[(r + i) % queries.len()];
                     let (esharp, epoch) = shared.snapshot();
-                    let body = search_and_render(&testbed.corpus, &esharp, query, epoch);
+                    let body = search_and_render(&testbed.corpus, &esharp, query, epoch, 0);
                     let mut seen = observed.lock().unwrap();
                     if let Some(prior) = seen.get(&(query.clone(), epoch)) {
                         assert_eq!(

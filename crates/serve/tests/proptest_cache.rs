@@ -102,11 +102,11 @@ proptest! {
                 Op::Search(q) => {
                     let query = QUERIES[q];
                     let (esharp, epoch) = shared.snapshot();
-                    let key = (query.to_string(), epoch);
+                    let key = (query.to_string(), epoch, 0);
                     // The ground truth: a cold search against the state
                     // owning this epoch (the current snapshot, by
                     // construction of the epoch).
-                    let cold = search_and_render(&corpus, &esharp, query, epoch);
+                    let cold = search_and_render(&corpus, &esharp, query, epoch, 0);
                     match cache.get(&key) {
                         Some(hit) => {
                             prop_assert!(

@@ -9,6 +9,9 @@
 #   bench   all Criterion bench targets compile (not run)
 #   online  esharp bench --online smoke: interned and string-keyed read
 #           paths return identical experts, report is well-formed
+#   ingest  streaming-ingestion smoke over real sockets: append → search
+#           → compact → search, bodies byte-identical per (query, epoch,
+#           corpus_epoch), durable across restart
 #   clippy  workspace lints, warnings are errors
 #   panic   persistence/checkpoint/read-path modules keep their no-panic
 #           lint gate
@@ -45,6 +48,10 @@ for key in '"bench": "online"' '"name": "interned"' '"name": "string_keyed"' \
   }
 done
 
+echo "== tier-1: ingest smoke (append → search → compact → search)"
+cargo test -q -p esharp-serve --test ingest_smoke
+cargo test -q -p esharp-ingest --test crashsafety_ingest
+
 echo "== tier-1: cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
@@ -53,7 +60,7 @@ for f in crates/relation/src/atomic.rs crates/relation/src/binfmt.rs \
          crates/graph/src/io.rs crates/core/src/domains.rs \
          crates/core/src/checkpoint.rs crates/core/src/shared.rs \
          crates/microblog/src/binio.rs crates/microblog/src/index.rs \
-         crates/serve/src/lib.rs; do
+         crates/serve/src/lib.rs crates/ingest/src/lib.rs; do
   grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' "$f" || {
     echo "missing unwrap/expect deny gate in $f" >&2
     exit 1

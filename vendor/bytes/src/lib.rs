@@ -1,0 +1,164 @@
+//! Offline stand-in for `bytes` (see `vendor/README.md`).
+//!
+//! `Bytes` is an immutable, cheaply-cloneable byte buffer (`Arc<[u8]>`
+//! here — clones share the allocation just like the real crate's common
+//! case) and `BytesMut` a growable builder with the little-endian
+//! `put_*` writers the binary format uses.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable shared byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes(Arc::from(data))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// A new buffer holding `range` of this one (copies).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes(Arc::from(&self.0[range]))
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(v: &'static str) -> Bytes {
+        Bytes(Arc::from(v.as_bytes()))
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut(Vec::new())
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// The writer half of the `bytes` buffer traits (the subset the
+/// workspace's binary formats use — unconditional little-endian puts).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian u16.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u32.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u64.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian i64.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian f64.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}

@@ -1,0 +1,162 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Implements the API subset the workspace's benches use —
+//! `benchmark_group`, `sample_size`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId::new`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! wall-clock measurement loop (warmup + median-of-samples reporting to
+//! stdout). No statistical analysis, plots, or baselines: the repo's
+//! committed numbers come from `esharp bench`, not from this harness.
+
+use std::time::{Duration, Instant};
+
+/// A benchmark label, possibly parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, like upstream.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Measures one closure: `iter` times the body over enough iterations
+/// to dampen clock granularity.
+pub struct Bencher {
+    /// Median per-iteration time of the last `iter` call.
+    last: Duration,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the median per-iteration duration.
+    pub fn iter<T, R: FnMut() -> T>(&mut self, mut routine: R) {
+        // Warmup + calibration: find an iteration count that runs for
+        // at least ~1ms so Instant resolution is negligible.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(routine());
+                }
+                start.elapsed() / iters as u32
+            })
+            .collect();
+        times.sort_unstable();
+        self.last = times[times.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (upstream-compatible knob;
+    /// values below 5 are clamped up).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(5).min(100);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            last: Duration::ZERO,
+            samples: self.samples,
+        };
+        f(&mut b);
+        println!("{}/{}: median {:?}", self.name, id.label, b.last);
+        self
+    }
+
+    /// Run one benchmark against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (prints nothing extra; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            samples: 10,
+            _parent: self,
+        }
+    }
+}
+
+/// Collect bench functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,197 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Covers the subset the workspace uses: the [`Strategy`] trait with
+//! `prop_map`/`prop_flat_map`/`prop_filter`/`boxed`, strategies for
+//! integer and float ranges, regex-literal `&str` strategies (the
+//! `[class]{m,n}` grammar the tests use), tuples, `Just`, `any`,
+//! `prop::collection::vec`, weighted `prop_oneof!`, and the `proptest!`
+//! test macro with `#![proptest_config(ProptestConfig::with_cases(n))]`.
+//!
+//! Unlike upstream there is no shrinking and no failure persistence:
+//! each test function derives a deterministic RNG from its own name, so
+//! failures reproduce exactly on re-run, which is what the repo's tests
+//! rely on (seeds are never read from `proptest-regressions/`).
+
+pub mod strategy;
+
+// Re-exported so `proptest!` expansions resolve the RNG through
+// `$crate` even in crates that do not depend on `rand` directly.
+#[doc(hidden)]
+pub use rand;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// `prop::collection` et al., mirroring upstream's module paths.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// Anything convertible to a size range for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        pub(crate) lo: usize,
+        /// Inclusive upper bound.
+        pub(crate) hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s of `element` values with a length
+    /// drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// `prop::bool`.
+pub mod bool {
+    /// The uniform bool strategy.
+    pub const ANY: crate::strategy::AnyBool = crate::strategy::AnyBool;
+}
+
+/// `prop::num` namespace placeholder (ranges implement `Strategy`
+/// directly; nothing is needed here for the workspace).
+pub mod num {}
+
+/// The prelude, matching the imports the workspace does via
+/// `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// The `prop::` module tree (`prop::collection::vec`,
+    /// `prop::bool::ANY`, ...).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::num;
+    }
+}
+
+/// Assert inside a `proptest!` body (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip the current generated case when a precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Weighted choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]`-able function running `cases` deterministic
+/// generated inputs (the RNG seed derives from the test name, so a
+/// failure reproduces on the next run).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    (@impl $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __seed = $crate::strategy::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    let mut __rng = <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+                        __seed ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    // One closure per case so `prop_assume!` can bail
+                    // with a plain `return`.
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                        $body
+                    })();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::ProptestConfig::default(); $($rest)*);
+    };
+}

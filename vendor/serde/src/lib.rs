@@ -1,0 +1,338 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! Instead of upstream serde's visitor architecture, this vendored
+//! implementation uses a concrete JSON-shaped [`Value`] tree as the data
+//! model: `Serialize` renders a value *to* the tree, `Deserialize`
+//! rebuilds one *from* it, and `serde_json` is just a printer/parser for
+//! the tree. The `#[derive(Serialize, Deserialize)]` macros (re-exported
+//! from `serde_derive`) cover what the workspace uses: named-field
+//! structs and enums with unit or struct variants, plus the
+//! `#[serde(default)]` and `#[serde(skip, default)]` field attributes.
+//! Unknown fields are ignored on deserialize, matching upstream's
+//! default.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialized data model: a JSON-shaped tree.
+///
+/// Objects keep insertion order (a `Vec` of pairs, not a map) so
+/// serialized output is deterministic and mirrors field declaration
+/// order, like upstream serde's struct serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// A float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Field lookup on an object; `None` for other variants or a missing
+    /// key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a message describing the shape mismatch.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Build an error from a message.
+    pub fn new(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialize error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render to the [`Value`] data model.
+pub trait Serialize {
+    /// The value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parse the value tree into `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Upstream-compatible alias: with a concrete data model every
+/// deserializable type is owned.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+// --- primitives -------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let out = match v {
+                    Value::Int(i) => <$t>::try_from(*i).ok(),
+                    Value::UInt(u) => <$t>::try_from(*u).ok(),
+                    Value::Float(f) if f.fract() == 0.0 && f.is_finite() => {
+                        // Tolerate integral floats (e.g. "1e3").
+                        if *f >= 0.0 && *f <= u64::MAX as f64 {
+                            <$t>::try_from(*f as u64).ok()
+                        } else if *f < 0.0 && *f >= i64::MIN as f64 {
+                            <$t>::try_from(*f as i64).ok()
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                out.ok_or_else(|| {
+                    DeError::new(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"),
+                        v
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if self.is_finite() {
+                    Value::Float(*self as f64)
+                } else {
+                    // JSON has no NaN/Inf; match serde_json's lossy `null`.
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    other => Err(DeError::new(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"),
+                        other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        // Upstream serde's representation: {"secs": u64, "nanos": u32}.
+        Value::Object(vec![
+            ("secs".to_string(), Value::Int(self.as_secs() as i64)),
+            ("nanos".to_string(), Value::Int(self.subsec_nanos() as i64)),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<std::time::Duration, DeError> {
+        let secs = v
+            .get("secs")
+            .ok_or_else(|| DeError::new("Duration: missing `secs`"))?;
+        let nanos = v
+            .get("nanos")
+            .ok_or_else(|| DeError::new("Duration: missing `nanos`"))?;
+        Ok(std::time::Duration::new(
+            u64::from_value(secs)?,
+            u32::from_value(nanos)?,
+        ))
+    }
+}
+
+// --- composites -------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::new(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        items.try_into().map_err(|_| {
+            DeError::new(format!("expected array of length {N}, got {len}"))
+        })
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:literal: $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<($($t,)+), DeError> {
+                match v {
+                    Value::Array(items) if items.len() == $len => Ok((
+                        $($t::from_value(&items[$idx])?,)+
+                    )),
+                    other => Err(DeError::new(format!(
+                        concat!("expected ", $len, "-tuple, got {:?}"),
+                        other
+                    ))),
+                }
+            }
+        }
+    };
+}
+impl_tuple!(2: A.0, B.1);
+impl_tuple!(3: A.0, B.1, C.2);
+impl_tuple!(4: A.0, B.1, C.2, D.3);
+impl_tuple!(5: A.0, B.1, C.2, D.3, E.4);
+impl_tuple!(6: A.0, B.1, C.2, D.3, E.4, F.5);
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S>
+where
+    K: std::fmt::Display,
+{
+    fn to_value(&self) -> Value {
+        // Sort keys for deterministic output (upstream HashMap order is
+        // arbitrary; deterministic is strictly more useful here).
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, item)| Ok((k.clone(), V::from_value(item)?)))
+                .collect(),
+            other => Err(DeError::new(format!("expected object, got {other:?}"))),
+        }
+    }
+}

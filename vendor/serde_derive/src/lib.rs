@@ -1,0 +1,380 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the vendored `serde`'s `Value`-tree data model, without `syn`/`quote`:
+//! a small hand-rolled token walker extracts just what the generated
+//! code needs — the item's name, its field or variant names, and the
+//! `#[serde(default)]` / `#[serde(skip)]` flags. Supported shapes are
+//! exactly what the workspace derives on: non-generic named-field
+//! structs, and enums whose variants are units or named-field structs.
+//! Anything else is a compile error with a pointed message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: name plus serde flags.
+struct Field {
+    name: String,
+    default: bool,
+    skip: bool,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    /// `None` for a unit variant, field list for a struct variant.
+    fields: Option<Vec<Field>>,
+}
+
+/// The parsed item.
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => struct_serialize(name, fields),
+        Item::Enum { name, variants } => enum_serialize(name, variants),
+    };
+    code.parse().expect("serde_derive: generated code must parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => struct_deserialize(name, fields),
+        Item::Enum { name, variants } => enum_deserialize(name, variants),
+    };
+    code.parse().expect("serde_derive: generated code must parse")
+}
+
+// --- parsing ----------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => panic!("serde_derive: expected struct or enum, got {other:?}"),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported; derive on `{name}` by hand");
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            panic!("serde_derive (vendored): tuple structs are not supported (`{name}`)")
+        }
+        other => panic!("serde_derive: expected {{...}} body for `{name}`, got {other:?}"),
+    };
+
+    if kind == "struct" {
+        Item::Struct {
+            name,
+            fields: parse_fields(body),
+        }
+    } else {
+        Item::Enum {
+            name,
+            variants: parse_variants(body),
+        }
+    }
+}
+
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
+    let (mut default, mut skip) = (false, false);
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if let TokenTree::Ident(flag) = t {
+                            match flag.to_string().as_str() {
+                                "default" => default = true,
+                                "skip" => skip = true,
+                                other => panic!(
+                                    "serde_derive (vendored): unsupported #[serde({other})]"
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        *i += 2;
+    }
+    (default, skip)
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        // `pub(crate)` etc.
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Parse `name: Type, ...` named fields, recording serde flags and
+/// skipping the type tokens (the generated code never needs them).
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (default, skip) = skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after `{name}`, got {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field {
+            name,
+            default,
+            skip,
+        });
+    }
+    fields
+}
+
+/// Advance past a type, stopping at a top-level `,` (consumed) or the
+/// end. Tracks `<...>` nesting; parens/brackets arrive as single groups.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_fields(g.stream());
+                i += 1;
+                Some(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive (vendored): tuple variants are not supported (`{name}`)")
+            }
+            _ => None,
+        };
+        // Consume the separating comma, if any.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// --- codegen ----------------------------------------------------------
+
+fn push_field_ser(out: &mut String, fields: &[Field], access_prefix: &str) {
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::to_value({p}{n})));\n",
+            n = f.name,
+            p = access_prefix,
+        ));
+    }
+}
+
+fn push_field_de(out: &mut String, fields: &[Field], source: &str, context: &str) {
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else if f.default {
+            out.push_str(&format!(
+                "{n}: match {src}.get(\"{n}\") {{ \
+                 Some(__f) => ::serde::Deserialize::from_value(__f)?, \
+                 None => ::std::default::Default::default() }},\n",
+                n = f.name,
+                src = source,
+            ));
+        } else {
+            // Missing fields read as Null: `Option` fields become `None`
+            // (matching how the workspace's corpora tolerate older
+            // payloads); everything else reports a missing-field error.
+            out.push_str(&format!(
+                "{n}: match {src}.get(\"{n}\") {{ \
+                 Some(__f) => ::serde::Deserialize::from_value(__f)?, \
+                 None => ::serde::Deserialize::from_value(&::serde::Value::Null) \
+                   .map_err(|_| ::serde::DeError::new(\
+                     \"missing field `{n}` in {ctx}\"))? }},\n",
+                n = f.name,
+                src = source,
+                ctx = context,
+            ));
+        }
+    }
+}
+
+fn struct_serialize(name: &str, fields: &[Field]) -> String {
+    let mut body = String::new();
+    push_field_ser(&mut body, fields, "&self.");
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n\
+         {body}\
+         ::serde::Value::Object(__fields)\n\
+         }}\n}}\n"
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let mut body = String::new();
+    push_field_de(&mut body, fields, "__v", name);
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n\
+         if !matches!(__v, ::serde::Value::Object(_)) {{\n\
+         return ::std::result::Result::Err(::serde::DeError::new(\
+         \"expected object for struct {name}\"));\n\
+         }}\n\
+         ::std::result::Result::Ok({name} {{\n{body}}})\n\
+         }}\n}}\n"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        match &v.fields {
+            None => arms.push_str(&format!(
+                "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n",
+                v = v.name,
+            )),
+            Some(fields) => {
+                let binds: Vec<String> =
+                    fields.iter().map(|f| f.name.clone()).collect();
+                let mut body = String::new();
+                push_field_ser(&mut body, fields, "");
+                arms.push_str(&format!(
+                    "{name}::{v} {{ {binds} }} => {{\n\
+                     let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n\
+                     {body}\
+                     ::serde::Value::Object(::std::vec![(\
+                     ::std::string::String::from(\"{v}\"), \
+                     ::serde::Value::Object(__fields))])\n\
+                     }}\n",
+                    v = v.name,
+                    binds = binds.join(", "),
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{\n{arms}}}\n\
+         }}\n}}\n"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut struct_arms = String::new();
+    for v in variants {
+        match &v.fields {
+            None => unit_arms.push_str(&format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                v = v.name,
+            )),
+            Some(fields) => {
+                let mut body = String::new();
+                push_field_de(&mut body, fields, "__inner", &format!("{name}::{}", v.name));
+                struct_arms.push_str(&format!(
+                    "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{\n{body}}}),\n",
+                    v = v.name,
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n\
+         match __v {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\
+         \"unknown {name} variant `{{__other}}`\"))),\n\
+         }},\n\
+         ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+         let (__key, __inner) = &__entries[0];\n\
+         match __key.as_str() {{\n\
+         {struct_arms}\
+         __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\
+         \"unknown {name} variant `{{__other}}`\"))),\n\
+         }}\n\
+         }}\n\
+         __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\
+         \"expected {name} enum value, got {{__other:?}}\"))),\n\
+         }}\n\
+         }}\n}}\n"
+    )
+}
