@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! esharp build  [--scale tiny|small|paper] [--seed N] [--out DIR]
-//!               [--checkpoint-dir DIR] [--resume]
+//!               [--shards K] [--checkpoint-dir DIR] [--resume]
 //!     Run the offline pipeline, print stage stats, persist the domain
 //!     collection (domains.bin) and similarity graph (graph.bin) — both
-//!     checksummed and written atomically. With --checkpoint-dir every
-//!     stage is checkpointed; --resume additionally reuses checkpoints
-//!     left by a previous (possibly crashed) run instead of starting
-//!     fresh.
+//!     checksummed and written atomically. With --shards K the corpus is
+//!     additionally persisted sharded (corpus.manifest + K checksummed
+//!     postings segments, zero-copy loadable). With --checkpoint-dir
+//!     every stage is checkpointed; --resume additionally reuses
+//!     checkpoints left by a previous (possibly crashed) run instead of
+//!     starting fresh.
 //!
 //! esharp search <query>… [--scale …] [--seed N] [--baseline] [--top K]
 //!     Build the testbed and search each query, printing ranked experts
@@ -32,10 +34,14 @@
 //!     replaying a Zipf query mix; --json writes BENCH_serve.json.
 //!
 //! esharp bench --online [--json] [--seed N] [--queries N] [--scale …]
-//!              [--out DIR]
+//!              [--large-load] [--out DIR]
 //!     Replay a Zipf query mix through the interned read path and the
-//!     string-keyed baseline (identical results enforced), and time
-//!     corpus build vs binary load; --json writes BENCH_online.json.
+//!     string-keyed baseline (identical results enforced), time corpus
+//!     build vs binary load, and sweep shard counts (K=1/2/4/8) and
+//!     worker counts over the scatter-gather match path. --large-load
+//!     additionally generates a ≥1M-user/≥10M-tweet corpus streamingly
+//!     and times sharded save + both load modes on it (slow); --json
+//!     writes BENCH_online.json.
 //!
 //! esharp bench --ingest [--json] [--seed N] [--scale …] [--out DIR]
 //!     Stream a withheld quarter of the corpus back through the live
@@ -86,7 +92,7 @@ fn main() {
         "ingest" => ingest(&opts),
         "--help" | "-h" | "help" => {
             println!("subcommands: build, search, inspect, sql, bench, serve, ingest");
-            println!("flags: --scale tiny|small|paper, --seed N, --out DIR, --checkpoint-dir DIR, --resume, --baseline, --top K, -k N, --json, --events N, --serve, --online, --ingest, --queries N, --requests N, --addr HOST:PORT, --workers N, --cache-capacity N, --queue-depth N, --domains FILE, --corpus FILE, --replay FILE, --oplog FILE, --compact, --compact-threshold N, --compact-interval-ms N");
+            println!("flags: --scale tiny|small|paper, --seed N, --out DIR, --checkpoint-dir DIR, --resume, --baseline, --top K, -k N, --json, --events N, --serve, --online, --ingest, --queries N, --shards K, --large-load, --requests N, --addr HOST:PORT, --workers N, --cache-capacity N, --queue-depth N, --domains FILE, --corpus FILE, --replay FILE, --oplog FILE, --compact, --compact-threshold N, --compact-interval-ms N");
         }
         other => fail(
             "parse arguments",
@@ -109,6 +115,8 @@ struct Options {
     serve_bench: bool,
     online_bench: bool,
     ingest_bench: bool,
+    shards: usize,
+    large_load: bool,
     queries: u64,
     requests: u64,
     corpus: Option<String>,
@@ -141,6 +149,8 @@ impl Options {
             serve_bench: false,
             online_bench: false,
             ingest_bench: false,
+            shards: 0,
+            large_load: false,
             queries: 2_000,
             requests: 20_000,
             corpus: None,
@@ -182,6 +192,8 @@ impl Options {
                 "--serve" => opts.serve_bench = true,
                 "--online" => opts.online_bench = true,
                 "--ingest" => opts.ingest_bench = true,
+                "--shards" => opts.shards = next_num(&mut iter, "--shards") as usize,
+                "--large-load" => opts.large_load = true,
                 "--queries" => opts.queries = next_num(&mut iter, "--queries"),
                 "--requests" => opts.requests = next_num(&mut iter, "--requests"),
                 "--corpus" => opts.corpus = iter.next().cloned(),
@@ -293,6 +305,18 @@ fn build(opts: &Options) {
             .save_binary(&corpus_path)
             .unwrap_or_else(|e| fail("write corpus", e));
         println!("persisted {domains_path}, {graph_path} and {corpus_path}");
+        if opts.shards > 0 {
+            let manifest_path = format!("{dir}/corpus.manifest");
+            tb.corpus
+                .save_sharded(&manifest_path, opts.shards)
+                .unwrap_or_else(|e| fail("write sharded corpus", e));
+            println!(
+                "persisted {manifest_path} + {} shard segment(s) (K={})",
+                opts.shards, opts.shards
+            );
+        }
+    } else if opts.shards > 0 {
+        fail("parse arguments", "--shards requires --out DIR");
     }
 }
 
@@ -348,8 +372,9 @@ fn bench(opts: &Options) {
             "measuring the online read path ({} queries, scale {:?}, seed {})…",
             opts.queries, opts.scale, opts.seed
         );
-        let report = esharp_bench::online::run(opts.seed, opts.queries, opts.scale)
-            .unwrap_or_else(|e| fail("online bench", e));
+        let report =
+            esharp_bench::online::run_with(opts.seed, opts.queries, opts.scale, opts.large_load)
+                .unwrap_or_else(|e| fail("online bench", e));
         print!("{}", report.render_table());
         if opts.json {
             let dir = opts.out.as_deref().unwrap_or(".");

@@ -178,6 +178,99 @@ pub struct PathReport {
     pub hot_qps: f64,
 }
 
+/// One shard count in the sweep: persistence + load times for both load
+/// modes, the shard balance, and scatter-gather match parity/latency on
+/// the zero-copy-loaded corpus.
+#[derive(Debug, Clone)]
+pub struct ShardPoint {
+    /// Shard count K.
+    pub shards: usize,
+    /// `save_sharded` wall time, seconds.
+    pub save_secs: f64,
+    /// Manifest + all segments on disk, bytes.
+    pub persisted_bytes: u64,
+    /// Decode-copy load (`LoadMode::Copy`), seconds.
+    pub copy_load_secs: f64,
+    /// Zero-copy load (`LoadMode::ZeroCopy`), seconds.
+    pub zero_copy_load_secs: f64,
+    /// Per-shard postings bytes (arena + offsets), shard order.
+    pub postings_bytes: Vec<u64>,
+    /// Max-over-mean postings balance (1.0 = perfect).
+    pub skew_max_over_mean: f64,
+    /// Scatter-gather match over the whole query sequence, seconds.
+    pub match_total_secs: f64,
+    /// Every matched set bit-identical to the K=1 serial union.
+    pub match_identical: bool,
+}
+
+/// One worker count in the sweep: the scatter-gather match phase over
+/// the full query sequence at a fixed shard count.
+#[derive(Debug, Clone)]
+pub struct WorkersPoint {
+    /// Worker threads handed to `match_terms_with`.
+    pub workers: usize,
+    /// Match phase total over the sequence, seconds.
+    pub match_total_secs: f64,
+    /// Median per-query match time, microseconds.
+    pub match_p50_us: u64,
+    /// p99 per-query match time, microseconds.
+    pub match_p99_us: u64,
+    /// Matched sets bit-identical to the serial union.
+    pub identical: bool,
+}
+
+/// The `--large-load` section: a ≥1M-user / ≥10M-tweet synthetic corpus
+/// built streamingly, persisted sharded, and loaded both ways.
+#[derive(Debug, Clone)]
+pub struct LargeLoadReport {
+    /// Accounts generated.
+    pub users: usize,
+    /// Tweets generated.
+    pub tweets: usize,
+    /// Distinct interned tokens.
+    pub tokens: usize,
+    /// Streaming generation + index build, seconds.
+    pub generate_secs: f64,
+    /// Shard count used for persistence.
+    pub shards: usize,
+    /// `save_sharded` wall time, seconds.
+    pub save_secs: f64,
+    /// Manifest + all segments on disk, bytes.
+    pub persisted_bytes: u64,
+    /// Decode-copy load, seconds.
+    pub copy_load_secs: f64,
+    /// Zero-copy load, seconds.
+    pub zero_copy_load_secs: f64,
+    /// `copy_load_secs / zero_copy_load_secs` — both loads parse the
+    /// same global frames and run the same validation, so this isolates
+    /// what zero-copy actually removes: materializing the arenas.
+    pub zero_copy_speedup: f64,
+    /// Sample queries returned identical matches on both loads.
+    pub query_identical: bool,
+}
+
+impl LargeLoadReport {
+    fn to_json_value(&self) -> String {
+        format!(
+            "{{\"users\": {}, \"tweets\": {}, \"tokens\": {}, \"generate_secs\": {:.3}, \
+             \"shards\": {}, \"save_secs\": {:.3}, \"persisted_bytes\": {}, \
+             \"copy_load_secs\": {:.4}, \"zero_copy_load_secs\": {:.4}, \
+             \"zero_copy_speedup\": {:.2}, \"query_identical\": {}}}",
+            self.users,
+            self.tweets,
+            self.tokens,
+            self.generate_secs,
+            self.shards,
+            self.save_secs,
+            self.persisted_bytes,
+            self.copy_load_secs,
+            self.zero_copy_load_secs,
+            self.zero_copy_speedup,
+            self.query_identical,
+        )
+    }
+}
+
 /// The full `esharp bench --online` report.
 #[derive(Debug, Clone)]
 pub struct OnlineBenchReport {
@@ -218,6 +311,12 @@ pub struct OnlineBenchReport {
     /// `binary_load_secs` themselves. See PERF.md for why small corpora
     /// can put this near (or below) 1×: decode cost floors.
     pub load_speedup: Option<f64>,
+    /// Load + scatter-gather curves per shard count (K = 1 first).
+    pub shard_sweep: Vec<ShardPoint>,
+    /// Match-phase latency per worker count at a fixed shard count.
+    pub workers_sweep: Vec<WorkersPoint>,
+    /// The `--large-load` section, when requested.
+    pub large_load: Option<LargeLoadReport>,
     /// Interned path first, string-keyed baseline second.
     pub paths: Vec<PathReport>,
     /// Hot-path speedup: baseline hot seconds / interned hot seconds.
@@ -260,6 +359,45 @@ impl OnlineBenchReport {
         match self.load_speedup {
             Some(s) => out.push_str(&format!("  \"load_speedup\": {s:.2},\n")),
             None => out.push_str("  \"load_speedup\": null,\n"),
+        }
+        out.push_str("  \"shard_sweep\": [\n");
+        for (i, s) in self.shard_sweep.iter().enumerate() {
+            let bytes: Vec<String> = s.postings_bytes.iter().map(u64::to_string).collect();
+            out.push_str(&format!(
+                "    {{\"shards\": {}, \"save_secs\": {:.4}, \"persisted_bytes\": {}, \
+                 \"copy_load_secs\": {:.4}, \"zero_copy_load_secs\": {:.4}, \
+                 \"postings_bytes\": [{}], \"skew_max_over_mean\": {:.4}, \
+                 \"match_total_secs\": {:.6}, \"match_identical\": {}}}{}\n",
+                s.shards,
+                s.save_secs,
+                s.persisted_bytes,
+                s.copy_load_secs,
+                s.zero_copy_load_secs,
+                bytes.join(", "),
+                s.skew_max_over_mean,
+                s.match_total_secs,
+                s.match_identical,
+                if i + 1 < self.shard_sweep.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"workers_sweep\": [\n");
+        for (i, w) in self.workers_sweep.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workers\": {}, \"match_total_secs\": {:.6}, \"match_p50_us\": {}, \
+                 \"match_p99_us\": {}, \"identical\": {}}}{}\n",
+                w.workers,
+                w.match_total_secs,
+                w.match_p50_us,
+                w.match_p99_us,
+                w.identical,
+                if i + 1 < self.workers_sweep.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        match &self.large_load {
+            Some(l) => out.push_str(&format!("  \"large_load\": {},\n", l.to_json_value())),
+            None => out.push_str("  \"large_load\": null,\n"),
         }
         out.push_str("  \"paths\": [\n");
         for (i, p) in self.paths.iter().enumerate() {
@@ -326,6 +464,41 @@ impl OnlineBenchReport {
             "hot-path speedup {:.2}×, results identical: {}\n",
             self.hot_path_speedup, self.results_identical
         ));
+        if !self.shard_sweep.is_empty() {
+            out.push_str("shards  save      copy load  zc load    skew    match secs  identical\n");
+            for s in &self.shard_sweep {
+                out.push_str(&format!(
+                    "{:>6}  {:>7.4}s  {:>8.4}s  {:>8.4}s  {:>5.2}×  {:>9.4}s  {}\n",
+                    s.shards,
+                    s.save_secs,
+                    s.copy_load_secs,
+                    s.zero_copy_load_secs,
+                    s.skew_max_over_mean,
+                    s.match_total_secs,
+                    s.match_identical,
+                ));
+            }
+        }
+        for w in &self.workers_sweep {
+            out.push_str(&format!(
+                "workers={}: match {:.4}s (p50 {}µs, p99 {}µs), identical: {}\n",
+                w.workers, w.match_total_secs, w.match_p50_us, w.match_p99_us, w.identical
+            ));
+        }
+        if let Some(l) = &self.large_load {
+            out.push_str(&format!(
+                "large load: {} users, {} tweets; generate {:.1}s, save {:.1}s, \
+                 copy load {:.3}s vs zero-copy {:.3}s ({:.2}×), identical: {}\n",
+                l.users,
+                l.tweets,
+                l.generate_secs,
+                l.save_secs,
+                l.copy_load_secs,
+                l.zero_copy_load_secs,
+                l.zero_copy_speedup,
+                l.query_identical,
+            ));
+        }
         out
     }
 }
@@ -384,6 +557,20 @@ fn nanos(started: Instant) -> u64 {
 /// Build the testbed, measure corpus load strategies, then replay the
 /// query mix through both read paths and compare.
 pub fn run(seed: u64, queries: u64, scale: EvalScale) -> std::io::Result<OnlineBenchReport> {
+    run_with(seed, queries, scale, false)
+}
+
+/// [`run`] with the `--large-load` section toggled: additionally
+/// generates the [`esharp_microblog::CorpusConfig::large`] corpus
+/// (≥1M users, ≥10M tweets) streamingly and measures sharded save +
+/// both load modes on it. Slow and memory-hungry by design; off unless
+/// asked for.
+pub fn run_with(
+    seed: u64,
+    queries: u64,
+    scale: EvalScale,
+    large: bool,
+) -> std::io::Result<OnlineBenchReport> {
     let build_started = Instant::now();
     let testbed = Testbed::build(scale, seed);
     let build_secs = build_started.elapsed().as_secs_f64();
@@ -503,9 +690,130 @@ pub fn run(seed: u64, queries: u64, scale: EvalScale) -> std::io::Result<OnlineB
     let interned = path_report("interned", interned_expand, interned_match, interned_rank);
     let string_keyed = path_report("string_keyed", base_expand, base_match, base_rank);
     let hot_path_speedup = string_keyed.hot_secs / interned.hot_secs;
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // --- Shard sweep: persistence + load modes + scatter-gather vs K ---
+    //
+    // Expansions are precomputed per distinct label so the timed loops
+    // measure only the match phase, and the serial K=1 union is the
+    // single source of truth every configuration must reproduce
+    // bit-identically.
+    let expansions: HashMap<&str, Vec<String>> = zipf
+        .labels
+        .iter()
+        .map(|q| (q.as_str(), esharp.domains().expand(q, max_terms)))
+        .collect();
+    let serial_matches: HashMap<&str, Vec<TweetId>> = zipf
+        .labels
+        .iter()
+        .map(|q| (q.as_str(), corpus.match_terms(&expansions[q.as_str()])))
+        .collect();
+
+    let shard_dir = std::env::temp_dir().join(format!("esharp_online_shards_{seed}"));
+    let mut shard_sweep = Vec::new();
+    for k in [1usize, 2, 4, 8] {
+        let kdir = shard_dir.join(format!("k{k}"));
+        std::fs::create_dir_all(&kdir)?;
+        let manifest = kdir.join("corpus.manifest");
+        let started = Instant::now();
+        corpus.save_sharded(&manifest, k)?;
+        let save_secs = started.elapsed().as_secs_f64();
+        let persisted_bytes: u64 = std::fs::read_dir(&kdir)?
+            .flatten()
+            .filter_map(|entry| entry.metadata().ok())
+            .map(|meta| meta.len())
+            .sum();
+
+        let started = Instant::now();
+        let copied = esharp_microblog::segio::load_sharded(
+            &manifest,
+            esharp_microblog::LoadMode::Copy,
+        )?;
+        let copy_load_secs = started.elapsed().as_secs_f64();
+        let mut match_identical = true;
+        for q in &zipf.labels {
+            let expansion = &expansions[q.as_str()];
+            match_identical &=
+                copied.match_terms_with(expansion, host_cpus) == serial_matches[q.as_str()];
+        }
+        drop(copied);
+
+        let started = Instant::now();
+        let zc = esharp_microblog::segio::load_sharded(
+            &manifest,
+            esharp_microblog::LoadMode::ZeroCopy,
+        )?;
+        let zero_copy_load_secs = started.elapsed().as_secs_f64();
+        for q in &zipf.labels {
+            let expansion = &expansions[q.as_str()];
+            match_identical &=
+                zc.match_terms_with(expansion, host_cpus) == serial_matches[q.as_str()];
+        }
+        let started = Instant::now();
+        for q in &sequence {
+            let _ = zc.match_terms_with(&expansions[*q], host_cpus);
+        }
+        let match_total_secs = started.elapsed().as_secs_f64();
+        let postings_bytes = zc.shard_postings_bytes();
+        let total: u64 = postings_bytes.iter().sum();
+        let skew_max_over_mean = if total == 0 {
+            1.0
+        } else {
+            let max = postings_bytes.iter().copied().max().unwrap_or(0);
+            max as f64 * postings_bytes.len() as f64 / total as f64
+        };
+        results_identical &= match_identical;
+        shard_sweep.push(ShardPoint {
+            shards: zc.shard_count(),
+            save_secs,
+            persisted_bytes,
+            copy_load_secs,
+            zero_copy_load_secs,
+            postings_bytes,
+            skew_max_over_mean,
+            match_total_secs,
+            match_identical,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&shard_dir);
+
+    // --- Workers sweep at a fixed shard count (in-memory reshard) ---
+    let mut resharded = corpus.clone();
+    resharded.reshard(4.min(host_cpus.max(1)).max(2));
+    let mut workers_sweep = Vec::new();
+    for w in 1..=host_cpus {
+        let mut identical = true;
+        for q in &zipf.labels {
+            identical &= resharded.match_terms_with(&expansions[q.as_str()], w)
+                == serial_matches[q.as_str()];
+        }
+        let mut samples = Vec::with_capacity(sequence.len());
+        for q in &sequence {
+            let started = Instant::now();
+            let _ = resharded.match_terms_with(&expansions[*q], w);
+            samples.push(nanos(started));
+        }
+        let stats = PhaseStats::from_samples(samples);
+        results_identical &= identical;
+        workers_sweep.push(WorkersPoint {
+            workers: w,
+            match_total_secs: stats.total_secs,
+            match_p50_us: stats.p50_us,
+            match_p99_us: stats.p99_us,
+            identical,
+        });
+    }
+    drop(resharded);
+
+    // --- Optional large-scale section (≥1M users, ≥10M tweets) ---
+    let large_load = if large {
+        Some(run_large_load(&testbed, seed, &zipf, &expansions, host_cpus)?)
+    } else {
+        None
+    };
 
     Ok(OnlineBenchReport {
-        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_cpus,
         seed,
         scale: format!("{scale:?}").to_lowercase(),
         queries,
@@ -519,10 +827,89 @@ pub fn run(seed: u64, queries: u64, scale: EvalScale) -> std::io::Result<OnlineB
         binary_load_secs,
         binary_bytes,
         load_speedup,
+        shard_sweep,
+        workers_sweep,
+        large_load,
         paths: vec![interned, string_keyed],
         hot_path_speedup,
         results_identical,
     })
+}
+
+/// The `--large-load` measurement: generate the large synthetic corpus
+/// streamingly, persist it sharded, and time both load modes. The two
+/// loads parse the same global frames and run the same validation, so
+/// the ratio isolates arena materialization — what zero-copy removes.
+fn run_large_load(
+    testbed: &Testbed,
+    seed: u64,
+    zipf: &ZipfLabels,
+    expansions: &HashMap<&str, Vec<String>>,
+    host_cpus: usize,
+) -> std::io::Result<LargeLoadReport> {
+    const LARGE_SHARDS: usize = 4;
+    let config = esharp_microblog::CorpusConfig::large(seed);
+    let started = Instant::now();
+    let large = esharp_microblog::generate_corpus_streaming(&testbed.world, &config);
+    let generate_secs = started.elapsed().as_secs_f64();
+
+    let dir = std::env::temp_dir().join(format!("esharp_online_large_{seed}"));
+    std::fs::create_dir_all(&dir)?;
+    let manifest = dir.join("corpus.manifest");
+    let started = Instant::now();
+    large.save_sharded(&manifest, LARGE_SHARDS)?;
+    let save_secs = started.elapsed().as_secs_f64();
+    let persisted_bytes: u64 = std::fs::read_dir(&dir)?
+        .flatten()
+        .filter_map(|entry| entry.metadata().ok())
+        .map(|meta| meta.len())
+        .sum();
+
+    // Parity probes: the large corpus shares the domain world, so the
+    // bench's own query labels are meaningful here too.
+    let probes: Vec<&str> = zipf.labels.iter().take(4).map(|q| q.as_str()).collect();
+    let expected: Vec<Vec<TweetId>> = probes
+        .iter()
+        .map(|q| large.match_terms(&expansions[*q]))
+        .collect();
+
+    let started = Instant::now();
+    let copied = esharp_microblog::segio::load_sharded(
+        &manifest,
+        esharp_microblog::LoadMode::Copy,
+    )?;
+    let copy_load_secs = started.elapsed().as_secs_f64();
+    let mut query_identical = true;
+    for (q, want) in probes.iter().zip(&expected) {
+        query_identical &= &copied.match_terms_with(&expansions[*q], host_cpus) == want;
+    }
+    drop(copied);
+
+    let started = Instant::now();
+    let zc = esharp_microblog::segio::load_sharded(
+        &manifest,
+        esharp_microblog::LoadMode::ZeroCopy,
+    )?;
+    let zero_copy_load_secs = started.elapsed().as_secs_f64();
+    for (q, want) in probes.iter().zip(&expected) {
+        query_identical &= &zc.match_terms_with(&expansions[*q], host_cpus) == want;
+    }
+
+    let report = LargeLoadReport {
+        users: large.users().len(),
+        tweets: large.tweets().len(),
+        tokens: large.num_tokens(),
+        generate_secs,
+        shards: zc.shard_count(),
+        save_secs,
+        persisted_bytes,
+        copy_load_secs,
+        zero_copy_load_secs,
+        zero_copy_speedup: copy_load_secs / zero_copy_load_secs.max(1e-9),
+        query_identical,
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -555,6 +942,16 @@ mod tests {
             report.json_load_secs.is_some(),
             "load_speedup must be reported on the binary-vs-JSON basis or not at all"
         );
+        assert_eq!(report.shard_sweep.len(), 4);
+        assert!(report.shard_sweep.iter().all(|p| p.match_identical));
+        assert!(report
+            .shard_sweep
+            .iter()
+            .zip([1usize, 2, 4, 8])
+            .all(|(p, k)| p.shards == k && p.postings_bytes.len() == k));
+        assert_eq!(report.workers_sweep.len(), report.host_cpus);
+        assert!(report.workers_sweep.iter().all(|p| p.identical));
+        assert!(report.large_load.is_none(), "tiny run must skip large-load");
         let json = report.to_json();
         for needle in [
             "\"bench\": \"online\"",
@@ -563,6 +960,11 @@ mod tests {
             "\"hot_path_speedup\":",
             "\"binary_load_secs\":",
             "\"results_identical\": true",
+            "\"shard_sweep\": [",
+            "\"workers_sweep\": [",
+            "\"skew_max_over_mean\":",
+            "\"zero_copy_load_secs\":",
+            "\"large_load\": null",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

@@ -45,6 +45,17 @@ pub struct EsharpConfig {
     /// Cap on related terms appended to a query ("append the corresponding
     /// keywords"; very large communities would otherwise flood matching).
     pub max_expansion_terms: usize,
+    /// Worker threads for the online match phase: expansion terms are
+    /// scattered over the corpus's postings shards and the per-shard
+    /// unions merged deterministically, so results are bit-identical at
+    /// any setting. `1` keeps the match phase serial on the caller.
+    #[serde(default = "default_search_workers")]
+    pub search_workers: usize,
+}
+
+/// Serde fallback for configs written before `search_workers` existed.
+fn default_search_workers() -> usize {
+    4.min(esharp_par::detected_workers())
 }
 
 impl Default for EsharpConfig {
@@ -64,6 +75,7 @@ impl Default for EsharpConfig {
             detector: DetectorConfig::default(),
             expansion: true,
             max_expansion_terms: 25,
+            search_workers: default_search_workers(),
         }
     }
 }
@@ -75,6 +87,7 @@ impl EsharpConfig {
         EsharpConfig {
             min_support: 10,
             workers: 1,
+            search_workers: 1,
             ..EsharpConfig::default()
         }
     }

@@ -183,8 +183,11 @@ impl Esharp {
         // K-way merge over the sorted per-term match sets — single-token
         // terms stream straight from the postings arena; the old
         // extend + sort + dedup union re-sorted every posting on every
-        // query.
-        let matched: Vec<TweetId> = corpus.match_terms(&expansion);
+        // query. With a sharded corpus and workers > 1 the per-term
+        // matches are scattered over the postings shards and merged
+        // deterministically — bit-identical to the serial union.
+        let matched: Vec<TweetId> =
+            corpus.match_terms_with(&expansion, self.config.search_workers);
         let match_time = match_started.elapsed();
         let rank_started = Instant::now();
         let experts = retriever.retrieve(corpus, &matched);

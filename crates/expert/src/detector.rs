@@ -40,6 +40,17 @@ pub struct DetectorConfig {
     /// production simplification dropped (ablation; `None` reproduces the
     /// paper's detector exactly).
     pub extended: Option<ExtendedWeights>,
+    /// Worker threads for candidate counting over large match sets
+    /// (chunk-parallel with a commutative integer merge — bit-identical
+    /// to serial at any setting; small match sets stay serial either
+    /// way). `1` keeps the rank path entirely on the caller.
+    #[serde(default = "default_rank_workers")]
+    pub rank_workers: usize,
+}
+
+/// Serde fallback for configs written before `rank_workers` existed.
+fn default_rank_workers() -> usize {
+    1
 }
 
 impl Default for DetectorConfig {
@@ -51,6 +62,7 @@ impl Default for DetectorConfig {
             log_epsilon: 1e-6,
             cluster_filter: false,
             extended: None,
+            rank_workers: default_rank_workers(),
         }
     }
 }
@@ -107,7 +119,7 @@ impl<'c> Detector<'c> {
         matching: &[TweetId],
         scratch: &mut CandidateScratch,
     ) -> Vec<ExpertResult> {
-        scratch.collect(self.corpus, matching);
+        scratch.collect_with(self.corpus, matching, self.config.rank_workers);
         if scratch.is_empty() {
             return Vec::new();
         }

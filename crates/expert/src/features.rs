@@ -32,6 +32,11 @@ pub struct TopicCounts {
     pub retweets_on_topic: u64,
 }
 
+/// Matched-set size below which [`CandidateScratch::collect_with`] stays
+/// serial: candidate counting is an array index per event, so scattering
+/// a small match set over the pool costs more than the counting itself.
+pub const PARALLEL_COLLECT_THRESHOLD: usize = 4096;
+
 /// Candidate selection (§3): "a candidate expert is either an author of a
 /// tweet, or a person mentioned in a tweet. In both cases, the tweet must
 /// match the query." Returns each candidate's on-topic counts.
@@ -104,6 +109,52 @@ impl CandidateScratch {
             if let Some(original_author) = tweet.retweet_of {
                 Self::touch(&mut self.counts, &mut self.touched, original_author)
                     .retweets_on_topic += 1;
+            }
+        }
+        self.touched.sort_unstable();
+    }
+
+    /// Candidate selection with optional chunk-parallel accumulation:
+    /// the matched list is split into fixed contiguous chunks, each
+    /// chunk's counts are accumulated independently on the shared pool,
+    /// and the partial counts are summed into the dense table. Counts
+    /// are integer adds (commutative) and candidates are sorted at the
+    /// end, so the result is bit-identical to [`CandidateScratch::collect`]
+    /// at any worker count. Small match sets (under
+    /// [`PARALLEL_COLLECT_THRESHOLD`]) stay serial — the scatter costs
+    /// more than the counting.
+    pub fn collect_with(&mut self, corpus: &Corpus, matching: &[TweetId], workers: usize) {
+        if workers <= 1 || matching.len() < PARALLEL_COLLECT_THRESHOLD {
+            self.collect(corpus, matching);
+        } else {
+            self.collect_parallel(corpus, matching, workers);
+        }
+    }
+
+    /// The parallel arm of [`CandidateScratch::collect_with`], split out
+    /// so tests can exercise the merge below the size threshold.
+    fn collect_parallel(&mut self, corpus: &Corpus, matching: &[TweetId], workers: usize) {
+        for &u in &self.touched {
+            if let Some(c) = self.counts.get_mut(u as usize) {
+                *c = TopicCounts::default();
+            }
+        }
+        self.touched.clear();
+        self.counts.resize(corpus.users().len(), TopicCounts::default());
+        let chunk = matching.len().div_ceil(workers.max(1));
+        let tasks: Vec<_> = esharp_par::chunk_ranges(matching.len(), chunk)
+            .into_iter()
+            .map(|r| {
+                let slice = &matching[r];
+                move || collect_candidates(corpus, slice)
+            })
+            .collect();
+        for partial in esharp_par::shared_pool(workers).run(tasks) {
+            for (user, c) in partial {
+                let slot = Self::touch(&mut self.counts, &mut self.touched, user);
+                slot.tweets_on_topic += c.tweets_on_topic;
+                slot.mentions_on_topic += c.mentions_on_topic;
+                slot.retweets_on_topic += c.retweets_on_topic;
             }
         }
         self.touched.sort_unstable();
@@ -276,5 +327,39 @@ mod tests {
     fn empty_match_set_yields_no_candidates() {
         let c = corpus();
         assert!(collect_candidates(&c, &[]).is_empty());
+    }
+
+    #[test]
+    fn parallel_collect_is_bit_identical_to_serial() {
+        let c = corpus();
+        let matching = c.match_query("niners");
+        let mut serial = CandidateScratch::new();
+        serial.collect(&c, &matching);
+        let expected: Vec<(UserId, TopicCounts)> = serial.candidates().collect();
+        for workers in [2, 3, 8] {
+            let mut parallel = CandidateScratch::new();
+            // Call the parallel arm directly — the match set is far below
+            // the size threshold, which is exactly why this exercises the
+            // chunked merge.
+            parallel.collect_parallel(&c, &matching, workers);
+            let got: Vec<(UserId, TopicCounts)> = parallel.candidates().collect();
+            assert_eq!(got, expected, "divergence at workers={workers}");
+        }
+    }
+
+    #[test]
+    fn collect_with_resets_between_queries() {
+        let c = corpus();
+        let niners = c.match_query("niners");
+        let pasta = c.match_query("pasta");
+        let mut scratch = CandidateScratch::new();
+        scratch.collect_parallel(&c, &niners, 2);
+        scratch.collect_parallel(&c, &pasta, 2);
+        let mut fresh = CandidateScratch::new();
+        fresh.collect(&c, &pasta);
+        assert_eq!(
+            scratch.candidates().collect::<Vec<_>>(),
+            fresh.candidates().collect::<Vec<_>>()
+        );
     }
 }

@@ -348,8 +348,8 @@ pub fn decode_corpus(data: &[u8]) -> io::Result<Corpus> {
         users,
         tweets,
         symbols,
-        token_offsets,
-        token_ids,
+        crate::arena::CorpusArena::Owned(token_offsets),
+        crate::arena::CorpusArena::Owned(token_ids),
         postings,
         tweets_by_user,
         mentions_of_user,
@@ -357,7 +357,7 @@ pub fn decode_corpus(data: &[u8]) -> io::Result<Corpus> {
     ))
 }
 
-fn col_int<'t>(table: &'t Table, name: &str) -> io::Result<&'t [i64]> {
+pub(crate) fn col_int<'t>(table: &'t Table, name: &str) -> io::Result<&'t [i64]> {
     table
         .column_by_name(name)
         .ok()
@@ -370,7 +370,7 @@ fn col_int<'t>(table: &'t Table, name: &str) -> io::Result<&'t [i64]> {
         })
 }
 
-fn col_str<'t>(table: &'t Table, name: &str) -> io::Result<&'t [std::sync::Arc<str>]> {
+pub(crate) fn col_str<'t>(table: &'t Table, name: &str) -> io::Result<&'t [std::sync::Arc<str>]> {
     table
         .column_by_name(name)
         .ok()
@@ -383,7 +383,7 @@ fn col_str<'t>(table: &'t Table, name: &str) -> io::Result<&'t [std::sync::Arc<s
         })
 }
 
-fn col_bool<'t>(table: &'t Table, name: &str) -> io::Result<&'t [bool]> {
+pub(crate) fn col_bool<'t>(table: &'t Table, name: &str) -> io::Result<&'t [bool]> {
     match table.column_by_name(name) {
         Ok(Column::Bool(v)) => Ok(v),
         _ => Err(io::Error::new(
@@ -396,7 +396,7 @@ fn col_bool<'t>(table: &'t Table, name: &str) -> io::Result<&'t [bool]> {
 /// Turn per-row end offsets into a `[0, end0, end1, …]` CSR offsets vec,
 /// rejecting non-monotone sequences and a final end that misses the
 /// arena length.
-fn ends_to_offsets(ends: &[i64], arena_len: usize, what: &str) -> io::Result<Vec<u32>> {
+pub(crate) fn ends_to_offsets(ends: &[i64], arena_len: usize, what: &str) -> io::Result<Vec<u32>> {
     let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, format!("corpus.bin: {msg}"));
     let mut offsets = Vec::with_capacity(ends.len() + 1);
     offsets.push(0u32);
@@ -414,7 +414,7 @@ fn ends_to_offsets(ends: &[i64], arena_len: usize, what: &str) -> io::Result<Vec
     Ok(offsets)
 }
 
-fn checked_id(value: i64, bound: usize, what: &str) -> io::Result<u32> {
+pub(crate) fn checked_id(value: i64, bound: usize, what: &str) -> io::Result<u32> {
     if value < 0 || value >= bound as i64 || value > u32::MAX as i64 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -424,7 +424,7 @@ fn checked_id(value: i64, bound: usize, what: &str) -> io::Result<u32> {
     Ok(value as u32)
 }
 
-fn checked_total(value: i64, what: &str) -> io::Result<u64> {
+pub(crate) fn checked_total(value: i64, what: &str) -> io::Result<u64> {
     u64::try_from(value).map_err(|_| {
         io::Error::new(
             io::ErrorKind::InvalidData,
@@ -433,7 +433,7 @@ fn checked_total(value: i64, what: &str) -> io::Result<u64> {
     })
 }
 
-fn checked_len(value: i64, what: &str) -> io::Result<usize> {
+pub(crate) fn checked_len(value: i64, what: &str) -> io::Result<usize> {
     if !(0..=u32::MAX as i64).contains(&value) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -443,7 +443,7 @@ fn checked_len(value: i64, what: &str) -> io::Result<usize> {
     Ok(value as usize)
 }
 
-fn totals(values: &[i64], what: &str) -> io::Result<Vec<u64>> {
+pub(crate) fn totals(values: &[i64], what: &str) -> io::Result<Vec<u64>> {
     values.iter().map(|&v| checked_total(v, what)).collect()
 }
 

@@ -1,9 +1,11 @@
 //! The corpus: users, tweets and the indexes the expert detector needs.
 
+use crate::arena::CorpusArena;
 use crate::index::{intersect, union_sorted, PostingsIndex};
 use crate::intern::SymbolTable;
 use crate::tokenize::tokenize;
 use crate::types::{TokenId, Tweet, TweetId, User, UserId};
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// An indexed microblog corpus.
@@ -32,9 +34,11 @@ pub struct Corpus {
     /// Token text ↔ dense id.
     symbols: SymbolTable,
     /// Tweet `t`'s tokens (in text order, duplicates kept) are
-    /// `token_ids[token_offsets[t] .. token_offsets[t + 1]]`.
-    token_offsets: Vec<u32>,
-    token_ids: Vec<TokenId>,
+    /// `token_ids[token_offsets[t] .. token_offsets[t + 1]]`. Either
+    /// owned (build / decode-copy) or borrowed zero-copy from a loaded
+    /// segment buffer; appends materialize them copy-on-write.
+    token_offsets: CorpusArena,
+    token_ids: CorpusArena,
     /// token id → sorted tweet ids containing it (base segment only).
     postings: PostingsIndex,
     /// handle → user id.
@@ -100,8 +104,8 @@ impl Corpus {
             users,
             tweets,
             symbols,
-            token_offsets,
-            token_ids,
+            token_offsets: CorpusArena::Owned(token_offsets),
+            token_ids: CorpusArena::Owned(token_ids),
             postings,
             handle_index,
             tweets_by_user,
@@ -117,13 +121,14 @@ impl Corpus {
     /// Reassemble a corpus from pre-built interned parts (the binary load
     /// path — no re-tokenization, no postings rebuild). Only the two small
     /// hash indexes (handle → user, token text → id) are reconstructed.
+    /// The token arenas and postings may be owned or zero-copy views.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         users: Vec<User>,
         tweets: Vec<Tweet>,
         symbols: SymbolTable,
-        token_offsets: Vec<u32>,
-        token_ids: Vec<TokenId>,
+        token_offsets: CorpusArena,
+        token_ids: CorpusArena,
         postings: PostingsIndex,
         tweets_by_user: Vec<u64>,
         mentions_of_user: Vec<u64>,
@@ -176,7 +181,8 @@ impl Corpus {
     /// A tweet's interned tokens, in text order (duplicates kept).
     pub fn tweet_tokens(&self, id: TweetId) -> &[TokenId] {
         let t = id as usize;
-        &self.token_ids[self.token_offsets[t] as usize..self.token_offsets[t + 1] as usize]
+        let offsets = self.token_offsets.as_slice();
+        &self.token_ids.as_slice()[offsets[t] as usize..offsets[t + 1] as usize]
     }
 
     /// The id of a token text, if interned anywhere in the corpus.
@@ -234,6 +240,7 @@ impl Corpus {
         let matched = match self.match_term(query) {
             TermMatch::Borrowed(list) => list.to_vec(),
             TermMatch::Owned(list) => list,
+            TermMatch::Pooled(buf) => buf.take(),
         };
         self.without_tombstones(matched)
     }
@@ -292,7 +299,10 @@ impl Corpus {
 
     /// Base ++ delta posting list for one token. Every delta id is larger
     /// than every base id, so simple concatenation is the k-way merge.
-    /// Allocates only when the token genuinely has both segments.
+    /// When the token genuinely has both segments the concatenation lands
+    /// in a pooled per-thread scratch buffer ([`PooledBuf`]) instead of a
+    /// fresh allocation — the base+delta read overhead measured in
+    /// BENCH_ingest.json was partly this per-term, per-query `Vec`.
     fn merged_postings(&self, token: TokenId) -> TermMatch<'_> {
         let base: &[TweetId] = if token < self.base_tokens {
             self.postings.postings(token)
@@ -303,10 +313,10 @@ impl Corpus {
             None => TermMatch::Borrowed(base),
             Some(delta) if base.is_empty() => TermMatch::Borrowed(delta),
             Some(delta) => {
-                let mut merged = Vec::with_capacity(base.len() + delta.len());
-                merged.extend_from_slice(base);
-                merged.extend_from_slice(delta);
-                TermMatch::Owned(merged)
+                let mut buf = PooledBuf::checkout(base.len() + delta.len());
+                buf.0.extend_from_slice(base);
+                buf.0.extend_from_slice(delta);
+                TermMatch::Pooled(buf)
             }
         }
     }
@@ -335,6 +345,105 @@ impl Corpus {
             .filter(|list| !list.is_empty())
             .collect();
         self.without_tombstones(union_sorted(&lists))
+    }
+
+    /// [`Corpus::match_terms`] with scatter-gather over the postings
+    /// shards: terms are grouped by the shard holding their first token,
+    /// each group's postings traversal + partial union runs as one task
+    /// on the shared worker pool, and the partials are merged in shard
+    /// order at the gather. A union is a set operation over sorted
+    /// deduplicated lists, so the result is **bit-identical** to the
+    /// serial path at every shard count and worker count; the grouping
+    /// only distributes work (a multi-token term may still read postings
+    /// across shard boundaries — all shards are in-process).
+    pub fn match_terms_with(&self, terms: &[String], workers: usize) -> Vec<TweetId> {
+        let k = self.postings.shard_count();
+        if workers <= 1 || k <= 1 || terms.len() <= 1 {
+            return self.match_terms(terms);
+        }
+        let mut groups: Vec<Vec<&String>> = vec![Vec::new(); k];
+        for term in terms {
+            groups[self.term_home_shard(term)].push(term);
+        }
+        let tasks: Vec<_> = groups
+            .iter()
+            .filter(|group| !group.is_empty())
+            .map(|group| {
+                move || {
+                    let matches: Vec<TermMatch<'_>> =
+                        group.iter().map(|term| self.match_term(term)).collect();
+                    let lists: Vec<&[TweetId]> = matches
+                        .iter()
+                        .map(TermMatch::as_slice)
+                        .filter(|list| !list.is_empty())
+                        .collect();
+                    union_sorted(&lists)
+                }
+            })
+            .collect();
+        let partials = esharp_par::shared_pool(workers).run(tasks);
+        let lists: Vec<&[TweetId]> = partials
+            .iter()
+            .map(Vec::as_slice)
+            .filter(|list| !list.is_empty())
+            .collect();
+        self.without_tombstones(union_sorted(&lists))
+    }
+
+    /// The shard a term's postings traversal is charged to: the shard of
+    /// its first known token. Load distribution only — correctness never
+    /// depends on the assignment.
+    fn term_home_shard(&self, term: &str) -> usize {
+        let first = term
+            .split_ascii_whitespace()
+            .next()
+            .map(str::to_ascii_lowercase)
+            .and_then(|w| self.symbols.get(&w))
+            .or_else(|| tokenize(term).first().and_then(|t| self.symbols.get(t)));
+        first.map_or(0, |token| self.postings.shard_of(token))
+    }
+
+    // ------------------------------------------------------------------
+    // Shard layout: observation and re-cutting.
+    // ------------------------------------------------------------------
+
+    /// Number of postings shards in the in-memory layout.
+    pub fn shard_count(&self) -> usize {
+        self.postings.shard_count()
+    }
+
+    /// Re-cut the base postings into `k` contiguous token-range shards
+    /// balanced by postings bytes. Query results are unaffected (the
+    /// shard layout is invisible to matching); the delta segment and
+    /// tombstones are untouched.
+    pub fn reshard(&mut self, k: usize) {
+        self.postings = self.postings.resharded(k);
+    }
+
+    /// Payload bytes of each postings shard (offsets + arena), in shard
+    /// order — the raw series behind the skew metrics.
+    pub fn shard_postings_bytes(&self) -> Vec<u64> {
+        self.postings.shards().iter().map(|s| s.byte_size()).collect()
+    }
+
+    /// True when any arena borrows from a shared segment buffer (the
+    /// zero-copy load path).
+    pub fn is_zero_copy(&self) -> bool {
+        self.token_offsets.is_shared()
+            || self.token_ids.is_shared()
+            || self.postings.is_zero_copy()
+    }
+
+    /// The postings index (read-only; used by the sharded segment
+    /// writer).
+    pub(crate) fn postings_index(&self) -> &PostingsIndex {
+        &self.postings
+    }
+
+    /// The flat per-tweet token columns `(offsets, ids)` (used by the
+    /// sharded segment writer).
+    pub(crate) fn token_arena_parts(&self) -> (&[u32], &[TokenId]) {
+        (self.token_offsets.as_slice(), self.token_ids.as_slice())
     }
 
     /// Approximate corpus payload size in bytes.
@@ -411,7 +520,7 @@ impl Corpus {
         }
         for token in tokenize(&tweet.text) {
             let tok = self.symbols.intern(&token);
-            self.token_ids.push(tok);
+            self.token_ids.make_owned().push(tok);
             let list = self.delta_postings.entry(tok).or_default();
             // Appended ids are monotonic, so dedup needs only a last-entry
             // check and every delta list stays sorted by construction.
@@ -419,7 +528,8 @@ impl Corpus {
                 list.push(id);
             }
         }
-        self.token_offsets.push(self.token_ids.len() as u32);
+        let token_total = self.token_ids.len() as u32;
+        self.token_offsets.make_owned().push(token_total);
         self.tweets.push(tweet);
         Ok(id)
     }
@@ -552,12 +662,21 @@ impl Corpus {
         );
         let base_tweets = tweets.len() as u32;
         let base_tokens = symbols.len() as u32;
+        // Compaction preserves the shard layout: the delta folds into a
+        // fresh single-shard build, re-cut to the old K so a sharded
+        // serving layout survives ingest churn (no-op for K = 1).
+        let shard_count = self.postings.shard_count();
+        let postings = if shard_count > 1 {
+            postings.resharded(shard_count)
+        } else {
+            postings
+        };
         let compacted = Corpus {
             users: self.users.clone(),
             tweets,
             symbols,
-            token_offsets,
-            token_ids,
+            token_offsets: CorpusArena::Owned(token_offsets),
+            token_ids: CorpusArena::Owned(token_ids),
             postings,
             handle_index: self.handle_index.clone(),
             tweets_by_user,
@@ -590,28 +709,133 @@ impl Corpus {
         std::fs::write(path, json)
     }
 
-    /// Load a corpus persisted by [`Corpus::save`] (JSON, indexes rebuilt)
-    /// or [`Corpus::save_binary`] (checksummed frames, indexes loaded
-    /// as-is). The format is sniffed from the first byte: a JSON payload
-    /// is a `[users, tweets]` array, a binary one starts with a frame
-    /// length.
+    /// Load a corpus persisted by [`Corpus::save`] (JSON, indexes
+    /// rebuilt), [`Corpus::save_binary`] (checksummed frames, indexes
+    /// loaded as-is), or [`Corpus::save_sharded`] (a shard manifest —
+    /// loaded zero-copy, the arenas borrowed from the segment buffers).
+    /// The format is sniffed from the leading bytes: a JSON payload is a
+    /// `[users, tweets]` array, a manifest starts with its magic, and a
+    /// monolithic binary file starts with a frame length.
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Corpus> {
+        let path = path.as_ref();
         let data = std::fs::read(path)?;
         if data.first() == Some(&b'[') {
             let (users, tweets): (Vec<User>, Vec<Tweet>) =
                 serde_json::from_slice(&data).map_err(std::io::Error::other)?;
             Ok(Corpus::new(users, tweets))
+        } else if data.starts_with(crate::segio::MANIFEST_MAGIC) {
+            crate::segio::load_sharded_manifest(path, &data, crate::segio::LoadMode::ZeroCopy)
         } else {
             crate::binio::decode_corpus(&data)
         }
     }
 }
 
+/// Incremental corpus construction: [`Corpus::new`] decomposed into a
+/// push-per-tweet form so a generator can tokenize, intern and total
+/// each tweet as it is produced instead of materializing the whole
+/// tweet list first and then re-walking it. `finish` runs the same
+/// counting-sort postings build, so for the same users and tweet
+/// sequence the result is bit-identical to [`Corpus::new`] — the
+/// million-user synthetic scale is built this way with peak memory
+/// equal to the finished corpus.
+pub(crate) struct CorpusBuilder {
+    users: Vec<User>,
+    tweets: Vec<Tweet>,
+    handle_index: HashMap<String, UserId>,
+    symbols: SymbolTable,
+    token_offsets: Vec<u32>,
+    token_ids: Vec<TokenId>,
+    tweets_by_user: Vec<u64>,
+    mentions_of_user: Vec<u64>,
+    retweets_of_user: Vec<u64>,
+}
+
+impl CorpusBuilder {
+    /// Start a build over a fixed user table (tweets stream in after).
+    pub(crate) fn new(users: Vec<User>) -> CorpusBuilder {
+        let mut handle_index = HashMap::with_capacity(users.len());
+        for u in &users {
+            handle_index.insert(u.handle.clone(), u.id);
+        }
+        let n = users.len();
+        CorpusBuilder {
+            users,
+            tweets: Vec::new(),
+            handle_index,
+            symbols: SymbolTable::new(),
+            token_offsets: vec![0],
+            token_ids: Vec::new(),
+            tweets_by_user: vec![0; n],
+            mentions_of_user: vec![0; n],
+            retweets_of_user: vec![0; n],
+        }
+    }
+
+    /// The user table (generators need handles for mention text).
+    pub(crate) fn users(&self) -> &[User] {
+        &self.users
+    }
+
+    /// The id the next pushed tweet must carry.
+    pub(crate) fn next_tweet_id(&self) -> TweetId {
+        self.tweets.len() as TweetId
+    }
+
+    /// Ingest one tweet: update per-user totals, tokenize and intern its
+    /// text into the CSR arena, and retain it.
+    pub(crate) fn push_tweet(&mut self, tweet: Tweet) {
+        debug_assert_eq!(tweet.id, self.next_tweet_id());
+        self.tweets_by_user[tweet.author as usize] += 1;
+        for &m in &tweet.mentions {
+            self.mentions_of_user[m as usize] += 1;
+        }
+        if let Some(orig) = tweet.retweet_of {
+            self.retweets_of_user[orig as usize] += 1;
+        }
+        for token in tokenize(&tweet.text) {
+            self.token_ids.push(self.symbols.intern(&token));
+        }
+        self.token_offsets.push(self.token_ids.len() as u32);
+        self.tweets.push(tweet);
+    }
+
+    /// Build the postings index and assemble the corpus.
+    pub(crate) fn finish(self) -> Corpus {
+        let postings = PostingsIndex::build(
+            self.symbols.len(),
+            self.token_offsets
+                .windows(2)
+                .map(|w| &self.token_ids[w[0] as usize..w[1] as usize]),
+        );
+        let base_tweets = self.tweets.len() as u32;
+        let base_tokens = self.symbols.len() as u32;
+        Corpus {
+            users: self.users,
+            tweets: self.tweets,
+            symbols: self.symbols,
+            token_offsets: CorpusArena::Owned(self.token_offsets),
+            token_ids: CorpusArena::Owned(self.token_ids),
+            postings,
+            handle_index: self.handle_index,
+            tweets_by_user: self.tweets_by_user,
+            mentions_of_user: self.mentions_of_user,
+            retweets_of_user: self.retweets_of_user,
+            base_tweets,
+            base_tokens,
+            delta_postings: HashMap::new(),
+            tombstones: Vec::new(),
+        }
+    }
+}
+
 /// A per-term match set: borrowed straight from the postings arena when
-/// no intersection shrank it.
+/// no intersection shrank it, or held in a pooled scratch buffer when
+/// the base+delta concatenation had to materialize.
 enum TermMatch<'c> {
     Borrowed(&'c [TweetId]),
     Owned(Vec<TweetId>),
+    Pooled(PooledBuf),
 }
 
 impl TermMatch<'_> {
@@ -619,7 +843,56 @@ impl TermMatch<'_> {
         match self {
             TermMatch::Borrowed(list) => list,
             TermMatch::Owned(list) => list.as_slice(),
+            TermMatch::Pooled(buf) => buf.0.as_slice(),
         }
+    }
+}
+
+thread_local! {
+    /// Reusable base++delta concatenation buffers, per thread (each
+    /// scatter-gather worker keeps its own pool). Checked out by
+    /// [`Corpus::merged_postings`], returned on drop at the end of the
+    /// query, so steady-state base+delta reads allocate nothing.
+    static UNION_BUFS: RefCell<Vec<Vec<TweetId>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Cap on pooled buffers per thread: queries hold at most one buffer per
+/// delta-dirty term, and expansion sets are small.
+const MAX_POOLED_BUFS: usize = 32;
+
+/// A `Vec<TweetId>` borrowed from the thread-local pool; cleared and
+/// returned on drop.
+struct PooledBuf(Vec<TweetId>);
+
+impl PooledBuf {
+    fn checkout(capacity: usize) -> PooledBuf {
+        let mut buf = UNION_BUFS
+            .with(|pool| pool.borrow_mut().pop())
+            .unwrap_or_default();
+        buf.clear();
+        buf.reserve(capacity);
+        PooledBuf(buf)
+    }
+
+    /// Keep the contents, returning nothing to the pool (the
+    /// `match_query` exit, where the caller owns the result).
+    fn take(mut self) -> Vec<TweetId> {
+        std::mem::take(&mut self.0)
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if self.0.capacity() == 0 {
+            return;
+        }
+        let buf = std::mem::take(&mut self.0);
+        UNION_BUFS.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < MAX_POOLED_BUFS {
+                pool.push(buf);
+            }
+        });
     }
 }
 

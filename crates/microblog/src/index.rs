@@ -1,12 +1,23 @@
-//! Flat CSR postings index over interned tokens.
+//! Flat CSR postings index over interned tokens, sharded by token range.
 //!
 //! The string-keyed `HashMap<String, Vec<TweetId>>` index paid one hash +
 //! one pointer chase per query token and kept every posting list as its
-//! own allocation. Here postings live in a single contiguous `TweetId`
-//! arena addressed by per-token offsets — CSR layout, like the PR 1
-//! follower graph — so a token's list is `&arena[offsets[t]..offsets[t+1]]`
-//! and the whole index is two `Vec`s (which is also what makes the binary
-//! corpus format an O(bytes) load: the arena serializes as-is).
+//! own allocation. Here postings live in contiguous `TweetId` arenas
+//! addressed by per-token offsets — CSR layout, like the PR 1 follower
+//! graph — so a token's list is one slice of one arena and the whole
+//! index serializes as flat columns (which is also what makes the binary
+//! corpus format an O(bytes) load).
+//!
+//! The index is **sharded**: tokens are partitioned into contiguous id
+//! ranges, each with its own (offsets, arena) pair — a
+//! [`PostingsShard`]. A freshly built index has one shard covering every
+//! token; [`PostingsIndex::resharded`] re-cuts the ranges so each shard
+//! holds roughly equal postings bytes, which is what the sharded segment
+//! format persists and the scatter-gather match path fans out over.
+//! Because a token's posting list is identical no matter which shard
+//! holds it, every query result is bit-identical at any shard count.
+//! Shard arenas are [`CorpusArena`]s, so a shard can either own its
+//! columns or borrow them zero-copy from a loaded segment buffer.
 //!
 //! Intersections pick their algorithm by skew: near-equal list lengths use
 //! the linear merge, while a rare term against a head term gallops
@@ -15,6 +26,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+use crate::arena::CorpusArena;
 use crate::types::{TokenId, TweetId};
 
 /// When the longer list is at least this many times the shorter one,
@@ -22,16 +34,104 @@ use crate::types::{TokenId, TweetId};
 /// conservative pick that also keeps the tests exercising both paths).
 const GALLOP_SKEW: usize = 16;
 
-/// Postings for every interned token, CSR layout: token `t`'s sorted,
-/// deduplicated tweet ids are `arena[offsets[t] .. offsets[t + 1]]`.
+/// One contiguous token range of the postings index: token `t` (with
+/// `token_start <= t < token_end`) has its sorted, deduplicated tweet
+/// ids at `arena[offsets[t - token_start] .. offsets[t - token_start + 1]]`.
+/// Offsets are shard-local (they start at 0), so a shard is
+/// self-contained — exactly what one segment file persists.
+#[derive(Debug, Clone)]
+pub struct PostingsShard {
+    token_start: u32,
+    token_end: u32,
+    offsets: CorpusArena,
+    arena: CorpusArena,
+}
+
+impl PostingsShard {
+    /// Assemble a shard from its columns, validating the CSR invariants:
+    /// `offsets` has one entry per token in the range plus one, starts at
+    /// 0, is monotone, and ends at the arena length.
+    pub fn new(
+        token_start: u32,
+        token_end: u32,
+        offsets: CorpusArena,
+        arena: CorpusArena,
+    ) -> Result<PostingsShard, String> {
+        if token_start > token_end {
+            return Err(format!(
+                "shard token range {token_start}..{token_end} is inverted"
+            ));
+        }
+        let range = (token_end - token_start) as usize;
+        if offsets.len() != range + 1 {
+            return Err(format!(
+                "shard offsets hold {} entries for {} tokens",
+                offsets.len(),
+                range
+            ));
+        }
+        if offsets.first() != Some(&0) {
+            return Err("shard offsets must start at 0".to_string());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("shard offsets must be monotone".to_string());
+        }
+        if offsets.last().copied().unwrap_or(0) as usize != arena.len() {
+            return Err("shard offsets must end at the arena length".to_string());
+        }
+        Ok(PostingsShard {
+            token_start,
+            token_end,
+            offsets,
+            arena,
+        })
+    }
+
+    /// First token id covered by this shard.
+    pub fn token_start(&self) -> u32 {
+        self.token_start
+    }
+
+    /// One past the last token id covered by this shard.
+    pub fn token_end(&self) -> u32 {
+        self.token_end
+    }
+
+    /// The sorted posting list of `token` (which must be in range).
+    pub fn postings(&self, token: TokenId) -> &[TweetId] {
+        let t = (token - self.token_start) as usize;
+        let offsets = self.offsets.as_slice();
+        &self.arena.as_slice()[offsets[t] as usize..offsets[t + 1] as usize]
+    }
+
+    /// The shard's flat columns: `(offsets, arena)`, offsets shard-local.
+    pub fn parts(&self) -> (&[u32], &[TweetId]) {
+        (self.offsets.as_slice(), self.arena.as_slice())
+    }
+
+    /// Payload bytes of this shard (postings arena + offsets).
+    pub fn byte_size(&self) -> u64 {
+        (self.arena.len() as u64 + self.offsets.len() as u64) * 4
+    }
+
+    /// True when the shard borrows its columns from a shared segment
+    /// buffer instead of owning them.
+    pub fn is_zero_copy(&self) -> bool {
+        self.arena.is_shared() || self.offsets.is_shared()
+    }
+}
+
+/// Postings for every interned token, as one or more contiguous
+/// token-range shards (see the module docs).
 #[derive(Debug, Clone, Default)]
 pub struct PostingsIndex {
-    offsets: Vec<u32>,
-    arena: Vec<TweetId>,
+    shards: Vec<PostingsShard>,
 }
 
 impl PostingsIndex {
-    /// Build the index by counting sort over per-tweet token lists.
+    /// Build the index by counting sort over per-tweet token lists. The
+    /// result is a single shard covering every token; reshard afterwards
+    /// if a different layout is wanted.
     ///
     /// `tweet_tokens` yields each tweet's interned tokens **in tweet id
     /// order** (ids = iteration order), which keeps every posting list
@@ -75,38 +175,142 @@ impl PostingsIndex {
                 }
             }
         }
-        PostingsIndex { offsets, arena }
+        PostingsIndex {
+            shards: vec![PostingsShard {
+                token_start: 0,
+                token_end: num_tokens as u32,
+                offsets: CorpusArena::Owned(offsets),
+                arena: CorpusArena::Owned(arena),
+            }],
+        }
     }
 
-    /// Reassemble an index from its two flat columns (binary corpus load).
-    /// Offsets must be monotone and end at the arena length.
+    /// Reassemble a single-shard index from its two flat columns (the
+    /// monolithic binary corpus load). Offsets must be monotone and end
+    /// at the arena length.
     pub fn from_parts(offsets: Vec<u32>, arena: Vec<TweetId>) -> Result<PostingsIndex, String> {
-        if offsets.first() != Some(&0) {
-            return Err("postings offsets must start at 0".to_string());
+        let num_tokens = offsets.len().saturating_sub(1) as u32;
+        let shard = PostingsShard::new(
+            0,
+            num_tokens,
+            CorpusArena::Owned(offsets),
+            CorpusArena::Owned(arena),
+        )?;
+        Ok(PostingsIndex {
+            shards: vec![shard],
+        })
+    }
+
+    /// Reassemble an index from pre-validated shards (the sharded segment
+    /// load). Shards must tile the token space: contiguous, in order,
+    /// starting at 0.
+    pub fn from_shards(shards: Vec<PostingsShard>) -> Result<PostingsIndex, String> {
+        let mut expected = 0u32;
+        for (i, s) in shards.iter().enumerate() {
+            if s.token_start != expected {
+                return Err(format!(
+                    "shard {i} starts at token {} but the previous shard ended at {expected}",
+                    s.token_start
+                ));
+            }
+            expected = s.token_end;
         }
-        if offsets.windows(2).any(|w| w[0] > w[1]) {
-            return Err("postings offsets must be monotone".to_string());
+        Ok(PostingsIndex { shards })
+    }
+
+    /// Re-cut the index into (at most) `k` contiguous token-range shards
+    /// balanced by postings bytes: boundaries are chosen so shard `i`
+    /// ends once the running arena total crosses `i/k` of the whole.
+    /// Hot-token skew is bounded by one token's list per shard — a single
+    /// token's postings are never split. Always produces owned shards.
+    pub fn resharded(&self, k: usize) -> PostingsIndex {
+        let num_tokens = self.num_tokens();
+        let k = k.clamp(1, num_tokens.max(1));
+        let total: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.arena.len() as u64)
+            .sum();
+        let mut shards = Vec::with_capacity(k);
+        let mut offsets: Vec<u32> = vec![0];
+        let mut arena: Vec<TweetId> = Vec::new();
+        let mut token_start = 0u32;
+        let mut consumed = 0u64; // arena entries already assigned to finished shards
+        for token in 0..num_tokens as u32 {
+            let list = self.postings(token);
+            arena.extend_from_slice(list);
+            offsets.push(arena.len() as u32);
+            consumed += list.len() as u64;
+            // Cut after this token if we've crossed the next boundary,
+            // leaving at least one token for each remaining shard.
+            let built = shards.len() as u64;
+            let tokens_left = num_tokens as u32 - (token + 1);
+            let shards_left = k as u64 - built - 1;
+            let past_quota = consumed * k as u64 >= total * (built + 1);
+            if shards_left > 0 && (past_quota || tokens_left as u64 <= shards_left) {
+                shards.push(PostingsShard {
+                    token_start,
+                    token_end: token + 1,
+                    offsets: CorpusArena::Owned(std::mem::replace(&mut offsets, vec![0])),
+                    arena: CorpusArena::Owned(std::mem::take(&mut arena)),
+                });
+                token_start = token + 1;
+            }
         }
-        if offsets.last().copied().unwrap_or(0) as usize != arena.len() {
-            return Err("postings offsets must end at the arena length".to_string());
-        }
-        Ok(PostingsIndex { offsets, arena })
+        shards.push(PostingsShard {
+            token_start,
+            token_end: num_tokens as u32,
+            offsets: CorpusArena::Owned(offsets),
+            arena: CorpusArena::Owned(arena),
+        });
+        PostingsIndex { shards }
     }
 
     /// Number of tokens indexed.
     pub fn num_tokens(&self) -> usize {
-        self.offsets.len().saturating_sub(1)
+        self.shards.last().map_or(0, |s| s.token_end as usize)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len().max(1)
+    }
+
+    /// The shards, in token order.
+    pub fn shards(&self) -> &[PostingsShard] {
+        &self.shards
+    }
+
+    /// Index of the shard holding `token` (clamped into range — callers
+    /// use this to group work, and an out-of-range token belongs to the
+    /// last group as well as any).
+    pub fn shard_of(&self, token: TokenId) -> usize {
+        if self.shards.len() <= 1 {
+            return 0;
+        }
+        self.shards
+            .partition_point(|s| s.token_end <= token)
+            .min(self.shards.len() - 1)
     }
 
     /// The sorted posting list of `token`.
     pub fn postings(&self, token: TokenId) -> &[TweetId] {
-        let t = token as usize;
-        &self.arena[self.offsets[t] as usize..self.offsets[t + 1] as usize]
+        // Single-shard is the overwhelmingly common in-process layout;
+        // skip the boundary search entirely there.
+        if self.shards.len() == 1 {
+            return self.shards[0].postings(token);
+        }
+        self.shards[self.shard_of(token)].postings(token)
     }
 
-    /// The flat columns, for serialization: `(offsets, arena)`.
-    pub fn parts(&self) -> (&[u32], &[TweetId]) {
-        (&self.offsets, &self.arena)
+    /// Total postings entries across all shards.
+    pub fn arena_len(&self) -> usize {
+        self.shards.iter().map(|s| s.arena.len()).sum()
+    }
+
+    /// True when any shard borrows from a shared segment buffer.
+    pub fn is_zero_copy(&self) -> bool {
+        self.shards.iter().any(PostingsShard::is_zero_copy)
     }
 }
 
@@ -236,6 +440,7 @@ mod tests {
         assert_eq!(idx.postings(1), &[0, 1]);
         assert_eq!(idx.postings(2), &[2]);
         assert_eq!(idx.num_tokens(), 3);
+        assert_eq!(idx.shard_count(), 1);
     }
 
     #[test]
@@ -244,6 +449,78 @@ mod tests {
         assert!(PostingsIndex::from_parts(vec![1, 2], vec![5, 7]).is_err());
         assert!(PostingsIndex::from_parts(vec![0, 2, 1], vec![5, 7]).is_err());
         assert!(PostingsIndex::from_parts(vec![0, 1], vec![5, 7]).is_err());
+    }
+
+    #[test]
+    fn resharding_preserves_every_posting_list() {
+        let tweets: Vec<Vec<TokenId>> = vec![
+            vec![0, 1, 2, 3],
+            vec![1, 3],
+            vec![0, 3, 4],
+            vec![2, 4, 5],
+            vec![5],
+        ];
+        let idx = PostingsIndex::build(6, tweets.iter().map(|t| t.as_slice()));
+        for k in 1..=8 {
+            let sharded = idx.resharded(k);
+            assert!(sharded.shard_count() <= 6, "never more shards than tokens");
+            assert_eq!(sharded.num_tokens(), idx.num_tokens());
+            for t in 0..6 {
+                assert_eq!(sharded.postings(t), idx.postings(t), "k={k} token={t}");
+                let s = sharded.shard_of(t);
+                assert!(sharded.shards()[s].token_start() <= t);
+                assert!(t < sharded.shards()[s].token_end());
+            }
+            assert_eq!(sharded.arena_len(), idx.arena_len());
+        }
+    }
+
+    #[test]
+    fn from_shards_requires_contiguous_coverage() {
+        let shard = |start: u32, end: u32| {
+            PostingsShard::new(
+                start,
+                end,
+                CorpusArena::Owned(vec![0; (end - start) as usize + 1]),
+                CorpusArena::Owned(vec![]),
+            )
+            .unwrap()
+        };
+        assert!(PostingsIndex::from_shards(vec![shard(0, 2), shard(2, 5)]).is_ok());
+        assert!(PostingsIndex::from_shards(vec![shard(1, 2)]).is_err(), "gap at 0");
+        assert!(
+            PostingsIndex::from_shards(vec![shard(0, 2), shard(3, 5)]).is_err(),
+            "gap in the middle"
+        );
+        assert!(
+            PostingsIndex::from_shards(vec![shard(0, 3), shard(2, 5)]).is_err(),
+            "overlap"
+        );
+    }
+
+    #[test]
+    fn shard_validation_rejects_bad_offsets() {
+        let ok = PostingsShard::new(
+            0,
+            2,
+            CorpusArena::Owned(vec![0, 1, 2]),
+            CorpusArena::Owned(vec![5, 7]),
+        );
+        assert!(ok.is_ok());
+        let wrong_len = PostingsShard::new(
+            0,
+            2,
+            CorpusArena::Owned(vec![0, 2]),
+            CorpusArena::Owned(vec![5, 7]),
+        );
+        assert!(wrong_len.is_err());
+        let not_monotone = PostingsShard::new(
+            0,
+            2,
+            CorpusArena::Owned(vec![0, 2, 1]),
+            CorpusArena::Owned(vec![5, 7]),
+        );
+        assert!(not_monotone.is_err());
     }
 
     #[test]

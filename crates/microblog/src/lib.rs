@@ -18,16 +18,20 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod binio;
 mod corpus;
 pub mod index;
 mod intern;
+pub mod segio;
 mod synth;
 pub mod tokenize;
 mod types;
 
+pub use arena::{AlignedBuf, CorpusArena};
 pub use corpus::Corpus;
-pub use index::PostingsIndex;
+pub use index::{PostingsIndex, PostingsShard};
 pub use intern::SymbolTable;
-pub use synth::{generate_corpus, CorpusConfig};
+pub use segio::LoadMode;
+pub use synth::{generate_corpus, generate_corpus_streaming, CorpusConfig};
 pub use types::{TokenId, Tweet, TweetId, User, UserId};

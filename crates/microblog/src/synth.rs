@@ -75,6 +75,22 @@ impl CorpusConfig {
             ..CorpusConfig::default()
         }
     }
+
+    /// Load-test configuration: ≥1M accounts producing ≥10M tweets
+    /// (regular-volume mean ≈ e^(2.1+0.7²/2) ≈ 10.4 posts/account).
+    /// Build it with [`generate_corpus_streaming`] — the batch generator
+    /// works too, but the streaming build's peak memory is the finished
+    /// corpus and nothing more.
+    pub fn large(seed: u64) -> Self {
+        CorpusConfig {
+            experts_per_domain: (8, 16),
+            regular_users: 1_000_000,
+            spam_users: 50_000,
+            regular_tweets: (2.1, 0.7),
+            seed,
+            ..CorpusConfig::default()
+        }
+    }
 }
 
 const FILLER: [&str; 18] = [
@@ -95,9 +111,80 @@ const DESC_TEMPLATES: [&str; 6] = [
     "We deliver the latest {} news every day",
 ];
 
+/// Where generated tweets land. Both corpus builders run the exact same
+/// generation code against the exact same RNG stream — only the sink
+/// differs — so their outputs are bit-identical by construction.
+trait TweetSink {
+    /// The fixed user table (handles are needed to compose mention text).
+    fn users(&self) -> &[User];
+    /// The id the next accepted tweet must carry.
+    fn next_id(&self) -> TweetId;
+    /// Accept one generated tweet.
+    fn accept(&mut self, tweet: Tweet);
+}
+
+/// Batch sink: collect tweets for a one-shot [`Corpus::new`].
+struct VecSink {
+    users: Vec<User>,
+    tweets: Vec<Tweet>,
+}
+
+impl TweetSink for VecSink {
+    fn users(&self) -> &[User] {
+        &self.users
+    }
+    fn next_id(&self) -> TweetId {
+        self.tweets.len() as TweetId
+    }
+    fn accept(&mut self, tweet: Tweet) {
+        self.tweets.push(tweet);
+    }
+}
+
+impl TweetSink for crate::corpus::CorpusBuilder {
+    fn users(&self) -> &[User] {
+        self.users()
+    }
+    fn next_id(&self) -> TweetId {
+        self.next_tweet_id()
+    }
+    fn accept(&mut self, tweet: Tweet) {
+        self.push_tweet(tweet);
+    }
+}
+
 /// Generate an indexed corpus from a world.
 pub fn generate_corpus(world: &World, config: &CorpusConfig) -> Corpus {
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let (users, experts_of_domain) = generate_users(world, config, &mut rng);
+    let mut sink = VecSink {
+        users,
+        tweets: Vec::new(),
+    };
+    generate_tweets(world, config, &experts_of_domain, &mut rng, &mut sink);
+    Corpus::new(sink.users, sink.tweets)
+}
+
+/// Generate an indexed corpus from a world, tokenizing and interning
+/// each tweet as it is produced instead of materializing the full tweet
+/// list and re-walking it. Bit-identical to [`generate_corpus`] for the
+/// same world and config; peak memory is the finished corpus. This is
+/// how the [`CorpusConfig::large`] scale (1M users, 10M tweets) is
+/// built.
+pub fn generate_corpus_streaming(world: &World, config: &CorpusConfig) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let (users, experts_of_domain) = generate_users(world, config, &mut rng);
+    let mut builder = crate::corpus::CorpusBuilder::new(users);
+    generate_tweets(world, config, &experts_of_domain, &mut rng, &mut builder);
+    builder.finish()
+}
+
+/// Mint the account population: per-domain experts, regulars, spammers.
+fn generate_users(
+    world: &World,
+    config: &CorpusConfig,
+    rng: &mut StdRng,
+) -> (Vec<User>, Vec<Vec<UserId>>) {
     let mut users: Vec<User> = Vec::new();
 
     // --- Experts, per domain.
@@ -114,7 +201,7 @@ pub fn generate_corpus(world: &World, config: &CorpusConfig) -> Corpus {
                 .collect();
             let suffix = HANDLE_SUFFIX[rng.gen_range(0..HANDLE_SUFFIX.len())];
             let handle = format!("{slug}{suffix}{i}");
-            let followers = LogNormal::new(6.0, 1.8).sample(&mut rng) as u64;
+            let followers = LogNormal::new(6.0, 1.8).sample(rng) as u64;
             let template = DESC_TEMPLATES[rng.gen_range(0..DESC_TEMPLATES.len())];
             users.push(User {
                 id,
@@ -133,7 +220,7 @@ pub fn generate_corpus(world: &World, config: &CorpusConfig) -> Corpus {
     // --- Regular users.
     for i in 0..config.regular_users {
         let id = users.len() as UserId;
-        let followers = LogNormal::new(3.5, 1.2).sample(&mut rng) as u64;
+        let followers = LogNormal::new(3.5, 1.2).sample(rng) as u64;
         users.push(User {
             id,
             handle: format!("user{i}"),
@@ -161,20 +248,29 @@ pub fn generate_corpus(world: &World, config: &CorpusConfig) -> Corpus {
         });
     }
 
-    // --- Tweets.
+    (users, experts_of_domain)
+}
+
+/// Generate every tweet, in deterministic user order, into `sink`.
+fn generate_tweets(
+    world: &World,
+    config: &CorpusConfig,
+    experts_of_domain: &[Vec<UserId>],
+    rng: &mut StdRng,
+    sink: &mut impl TweetSink,
+) {
     let expert_volume = LogNormal::new(config.expert_tweets.0, config.expert_tweets.1);
     let regular_volume = LogNormal::new(config.regular_tweets.0, config.regular_tweets.1);
-    let mut tweets: Vec<Tweet> = Vec::new();
-    let num_users = users.len();
+    let num_users = sink.users().len();
     for uid in 0..num_users as UserId {
         let (is_expert, is_spam, own_domains) = {
-            let u = &users[uid as usize];
+            let u = &sink.users()[uid as usize];
             (!u.expert_domains.is_empty(), u.spam, u.expert_domains.clone())
         };
         let volume = if is_expert {
-            expert_volume.sample(&mut rng)
+            expert_volume.sample(rng)
         } else {
-            regular_volume.sample(&mut rng)
+            regular_volume.sample(rng)
         }
         .round()
         .max(1.0) as usize;
@@ -199,22 +295,19 @@ pub fn generate_corpus(world: &World, config: &CorpusConfig) -> Corpus {
             } else {
                 rng.gen_range(0..world.num_domains()) as DomainId
             };
-            let tweet_id = tweets.len() as TweetId;
             let tweet = compose_tweet(
-                tweet_id,
+                sink.next_id(),
                 uid,
                 domain_id,
                 world,
-                &experts_of_domain,
-                &users,
+                experts_of_domain,
+                sink.users(),
                 config,
-                &mut rng,
+                rng,
             );
-            tweets.push(tweet);
+            sink.accept(tweet);
         }
     }
-
-    Corpus::new(users, tweets)
 }
 
 /// Compose one post about `domain`: one or two of the domain's terms,
@@ -329,6 +422,20 @@ mod tests {
         assert_eq!(a.users().len(), b.users().len());
         assert_eq!(a.tweets().len(), b.tweets().len());
         assert_eq!(a.tweets()[10].text, b.tweets()[10].text);
+    }
+
+    #[test]
+    fn streaming_build_is_bit_identical_to_batch() {
+        let world = World::generate(&WorldConfig::tiny(21));
+        let config = CorpusConfig::tiny(9);
+        let batch = generate_corpus(&world, &config);
+        let streamed = generate_corpus_streaming(&world, &config);
+        assert_eq!(batch.users().len(), streamed.users().len());
+        assert_eq!(batch.tweets().len(), streamed.tweets().len());
+        assert_eq!(
+            crate::binio::encode_corpus(&batch).unwrap(),
+            crate::binio::encode_corpus(&streamed).unwrap()
+        );
     }
 
     #[test]

@@ -138,6 +138,60 @@ pub struct Metrics {
     pub compaction_pause: Histogram,
 }
 
+/// A point-in-time snapshot of the live corpus's shard layout, taken
+/// under the read guard and rendered into `/metrics` so operators can
+/// see postings balance (a skewed shard caps scatter-gather speedup)
+/// and whether the corpus is serving zero-copy out of segment buffers.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Postings bytes (arena + offsets) per shard, in shard order.
+    pub postings_bytes: Vec<u64>,
+    /// Whether any arena is a zero-copy view of a loaded segment buffer.
+    pub zero_copy: bool,
+}
+
+impl ShardStats {
+    /// Snapshot a corpus's shard layout.
+    pub fn of(corpus: &esharp_microblog::Corpus) -> ShardStats {
+        ShardStats {
+            postings_bytes: corpus.shard_postings_bytes(),
+            zero_copy: corpus.is_zero_copy(),
+        }
+    }
+
+    /// Max-over-mean postings-bytes skew: `1.0` is perfectly balanced,
+    /// `k` means one shard holds the whole index. `0.0` when empty.
+    pub fn skew(&self) -> f64 {
+        let n = self.postings_bytes.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.postings_bytes.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = self.postings_bytes.iter().copied().max().unwrap_or(0);
+        max as f64 * n as f64 / total as f64
+    }
+
+    fn render(&self, out: &mut String) {
+        out.push_str("{\"shards\":");
+        out.push_str(&self.postings_bytes.len().to_string());
+        out.push_str(",\"postings_bytes\":[");
+        for (i, b) in self.postings_bytes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&b.to_string());
+        }
+        out.push_str("],\"skew_max_over_mean\":");
+        json::push_f64(out, (self.skew() * 1e4).round() / 1e4);
+        out.push_str(",\"zero_copy\":");
+        out.push_str(if self.zero_copy { "true" } else { "false" });
+        out.push('}');
+    }
+}
+
 impl Metrics {
     /// Cache hit rate in `[0, 1]` (0 when no search has been served).
     pub fn hit_rate(&self) -> f64 {
@@ -159,6 +213,7 @@ impl Metrics {
         corpus_epoch: u64,
         cache_entries: usize,
         cache_capacity: usize,
+        shards: &ShardStats,
     ) -> String {
         let c = |a: &AtomicU64| a.load(Relaxed).to_string();
         let mut out = String::with_capacity(1024);
@@ -196,7 +251,9 @@ impl Metrics {
         out.push_str(&c(&self.ingest_ops));
         out.push_str(",\"corpus_epoch\":");
         out.push_str(&corpus_epoch.to_string());
-        out.push_str("},\"compaction\":{\"requests\":");
+        out.push_str("},\"corpus\":");
+        shards.render(&mut out);
+        out.push_str(",\"compaction\":{\"requests\":");
         out.push_str(&c(&self.compact_requests));
         out.push_str(",\"ok\":");
         out.push_str(&c(&self.compact_ok));
@@ -251,7 +308,11 @@ mod tests {
         m.cache_misses.fetch_add(2, Relaxed);
         m.total.record(Duration::from_micros(250));
         m.ingest_ops.fetch_add(5, Relaxed);
-        let doc = m.render(7, 9, 2, 512);
+        let shards = ShardStats {
+            postings_bytes: vec![4096, 1024, 1024, 2048],
+            zero_copy: true,
+        };
+        let doc = m.render(7, 9, 2, 512, &shards);
         for needle in [
             "\"requests\":{\"search\":3",
             "\"shed_total\":0",
@@ -259,6 +320,9 @@ mod tests {
             "\"epoch\":7",
             "\"entries\":2",
             "\"ingest\":{\"requests\":0,\"ops\":5,\"corpus_epoch\":9}",
+            "\"corpus\":{\"shards\":4,\"postings_bytes\":[4096,1024,1024,2048]",
+            "\"skew_max_over_mean\":2",
+            "\"zero_copy\":true",
             "\"compaction\":{\"requests\":0,\"ok\":0,\"failed\":0,\"pause_us\":{\"count\":0",
             "\"latency_us\":{\"expansion\":{\"count\":0",
             "\"match\":{\"count\":0",

@@ -533,11 +533,18 @@ fn handle_healthz(state: &State, stream: &mut TcpStream) {
 
 fn handle_metrics(state: &State, stream: &mut TcpStream) {
     state.metrics.metrics_requests.fetch_add(1, SeqCst);
+    // Snapshot the shard layout under the read guard, then render
+    // without it — rendering shouldn't extend the lock hold.
+    let shards = {
+        let guard = state.live.read();
+        crate::metrics::ShardStats::of(guard.corpus())
+    };
     let body = state.metrics.render(
         state.shared.epoch(),
         state.live.epoch(),
         state.cache.len(),
         state.cache.capacity(),
+        &shards,
     );
     let _ = http::write_response(stream, 200, &[], body.as_bytes());
 }

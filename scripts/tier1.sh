@@ -12,6 +12,8 @@
 #   ingest  streaming-ingestion smoke over real sockets: append → search
 #           → compact → search, bodies byte-identical per (query, epoch,
 #           corpus_epoch), durable across restart
+#   shards  sharded corpus smoke: build K=4 → zero-copy reload →
+#           re-encode byte-identical to K=1, corruption fails at open
 #   clippy  workspace lints, warnings are errors
 #   panic   persistence/checkpoint/read-path modules keep their no-panic
 #           lint gate
@@ -52,6 +54,19 @@ echo "== tier-1: ingest smoke (append → search → compact → search)"
 cargo test -q -p esharp-serve --test ingest_smoke
 cargo test -q -p esharp-ingest --test crashsafety_ingest
 
+echo "== tier-1: sharded corpus smoke (K=4 search ≡ K=1, zero-copy reload, corruption matrix)"
+cargo test -q -p esharp-microblog --test sharded_corpus
+shard_dir="$(mktemp -d)"
+./target/release/esharp build --scale tiny --seed 7 --out "$shard_dir" --shards 4 >/dev/null
+for f in corpus.manifest global.bin tokens.seg \
+         postings-0.seg postings-1.seg postings-2.seg postings-3.seg; do
+  [ -s "$shard_dir/$f" ] || {
+    echo "esharp build --shards 4 did not write $f" >&2
+    exit 1
+  }
+done
+rm -rf "$shard_dir"
+
 echo "== tier-1: cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
@@ -60,6 +75,7 @@ for f in crates/relation/src/atomic.rs crates/relation/src/binfmt.rs \
          crates/graph/src/io.rs crates/core/src/domains.rs \
          crates/core/src/checkpoint.rs crates/core/src/shared.rs \
          crates/microblog/src/binio.rs crates/microblog/src/index.rs \
+         crates/microblog/src/arena.rs crates/microblog/src/segio.rs \
          crates/serve/src/lib.rs crates/ingest/src/lib.rs; do
   grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' "$f" || {
     echo "missing unwrap/expect deny gate in $f" >&2
