@@ -61,14 +61,19 @@
 //! esharp serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]
 //!              [--queue-depth N] [--domains FILE] [--corpus FILE]
 //!              [--compact-threshold N] [--compact-interval-ms N]
-//!              [--scale …] [--seed N]
+//!              [--deadline-ms N] [--hedge] [--hedge-delay-ms N]
+//!              [--max-body-bytes N] [--scale …] [--seed N]
 //!     Serve over HTTP: GET /search?q=…, GET /healthz, GET /metrics,
 //!     POST /reload (hot domain reload from --domains), POST /ingest
 //!     (streaming op batches), POST /compact (manual compaction). With
 //!     --corpus (and a --domains file that exists) the server starts from
 //!     persisted artifacts — no testbed build, no re-tokenization, no
 //!     index rebuild. --compact-threshold N > 0 starts the background
-//!     compactor. Runs until killed.
+//!     compactor. --deadline-ms bounds every search (shard work past the
+//!     deadline is abandoned and the answer marked partial; clients can
+//!     tighten per request with X-Esharp-Deadline-Ms). --hedge re-issues
+//!     straggling shards after --hedge-delay-ms. --max-body-bytes caps
+//!     POST bodies (413 above it). Runs until killed.
 //! ```
 
 use esharp_eval::{EvalScale, Testbed};
@@ -92,7 +97,7 @@ fn main() {
         "ingest" => ingest(&opts),
         "--help" | "-h" | "help" => {
             println!("subcommands: build, search, inspect, sql, bench, serve, ingest");
-            println!("flags: --scale tiny|small|paper, --seed N, --out DIR, --checkpoint-dir DIR, --resume, --baseline, --top K, -k N, --json, --events N, --serve, --online, --ingest, --queries N, --shards K, --large-load, --requests N, --addr HOST:PORT, --workers N, --cache-capacity N, --queue-depth N, --domains FILE, --corpus FILE, --replay FILE, --oplog FILE, --compact, --compact-threshold N, --compact-interval-ms N");
+            println!("flags: --scale tiny|small|paper, --seed N, --out DIR, --checkpoint-dir DIR, --resume, --baseline, --top K, -k N, --json, --events N, --serve, --online, --ingest, --queries N, --shards K, --large-load, --requests N, --addr HOST:PORT, --workers N, --cache-capacity N, --queue-depth N, --domains FILE, --corpus FILE, --replay FILE, --oplog FILE, --compact, --compact-threshold N, --compact-interval-ms N, --deadline-ms N, --hedge, --hedge-delay-ms N, --max-body-bytes N");
         }
         other => fail(
             "parse arguments",
@@ -130,6 +135,10 @@ struct Options {
     compact: bool,
     compact_threshold: usize,
     compact_interval_ms: u64,
+    deadline_ms: u64,
+    hedge: bool,
+    hedge_delay_ms: u64,
+    max_body_bytes: usize,
     positional: Vec<String>,
 }
 
@@ -164,6 +173,10 @@ impl Options {
             compact: false,
             compact_threshold: 0,
             compact_interval_ms: 250,
+            deadline_ms: 1000,
+            hedge: false,
+            hedge_delay_ms: 20,
+            max_body_bytes: 64 * 1024,
             positional: Vec::new(),
         };
         let mut iter = args.iter();
@@ -217,6 +230,14 @@ impl Options {
                 }
                 "--compact-interval-ms" => {
                     opts.compact_interval_ms = next_num(&mut iter, "--compact-interval-ms")
+                }
+                "--deadline-ms" => opts.deadline_ms = next_num(&mut iter, "--deadline-ms"),
+                "--hedge" => opts.hedge = true,
+                "--hedge-delay-ms" => {
+                    opts.hedge_delay_ms = next_num(&mut iter, "--hedge-delay-ms")
+                }
+                "--max-body-bytes" => {
+                    opts.max_body_bytes = next_num(&mut iter, "--max-body-bytes") as usize
                 }
                 // Unknown flags are hard errors (a typo silently becoming
                 // a positional argument is how `--bsaeline` runs the wrong
@@ -479,6 +500,11 @@ fn serve(opts: &Options) {
         domains_path: opts.domains.clone().map(std::path::PathBuf::from),
         compact_threshold: opts.compact_threshold,
         compact_interval: std::time::Duration::from_millis(opts.compact_interval_ms),
+        deadline: std::time::Duration::from_millis(opts.deadline_ms.max(1)),
+        hedge: opts.hedge,
+        hedge_delay: std::time::Duration::from_millis(opts.hedge_delay_ms),
+        max_body_bytes: opts.max_body_bytes,
+        ..ServeConfig::default()
     };
     if let Some(path) = &config.domains_path {
         // Fail fast on an unusable reload source rather than at the first

@@ -13,13 +13,21 @@
 //!   admission queue into saturation and measures the shed rate plus the
 //!   latency of the requests that *were* admitted (shedding must protect
 //!   them, not just the server).
+//! * **chaos** — a resharded corpus with one shard's primary attempt
+//!   delayed by injected chaos, cache off, every request aimed at that
+//!   shard (via `term_home_shard`): measures the 1-slow-shard p99
+//!   regression against a sharded baseline, then re-runs with hedging
+//!   on. The acceptance gate is that hedging recovers at least half of
+//!   the regression.
 //!
 //! `to_json` renders `BENCH_serve.json` by hand, like the offline report.
 
-use esharp_core::SharedEsharp;
+use esharp_core::{Esharp, SharedEsharp};
 use esharp_eval::{EvalScale, Testbed};
+use esharp_fault::{ChaosFault, ChaosPlan, NoFaults};
+use esharp_ingest::LiveCorpus;
 use esharp_serve::http::percent_encode;
-use esharp_serve::{ServeConfig, Server};
+use esharp_serve::{ServeConfig, ServeHooks, Server};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io::{Read, Write};
@@ -57,6 +65,38 @@ pub struct PhaseReport {
     pub max_us: u64,
 }
 
+/// The tail-tolerance section of the report: what one slow shard costs
+/// at p99 and how much of that regression hedging buys back.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Shards the chaos corpus was split into.
+    pub shards: usize,
+    /// The shard whose primary attempt is delayed (the home shard of
+    /// the benchmarked query, so every request touches it).
+    pub slow_shard: usize,
+    /// Injected per-request delay on the slow shard's primary, µs.
+    pub injected_delay_us: u64,
+    /// p99 of the sharded, cache-off baseline (no chaos), µs.
+    pub baseline_p99_us: u64,
+    /// p99 with the slow shard and hedging off, µs.
+    pub slow_p99_us: u64,
+    /// p99 with the slow shard and hedging on, µs.
+    pub hedged_p99_us: u64,
+    /// Fraction of the p99 regression hedging recovered:
+    /// `(slow - hedged) / (slow - baseline)`. Acceptance: ≥ 0.5.
+    pub hedge_recovery: f64,
+    /// Hedged duplicate attempts launched during the hedged phase.
+    pub hedges: u64,
+    /// Hedged attempts that answered first for their shard.
+    pub hedge_wins: u64,
+    /// Partial (degraded) responses across the chaos phases.
+    pub partial_responses: u64,
+    /// Circuit-breaker trips across the chaos phases.
+    pub breaker_trips: u64,
+    /// Circuit-breaker recoveries across the chaos phases.
+    pub breaker_recoveries: u64,
+}
+
 /// The full `esharp bench --serve` report.
 #[derive(Debug, Clone)]
 pub struct ServeBenchReport {
@@ -70,6 +110,8 @@ pub struct ServeBenchReport {
     pub steady_hit_rate: f64,
     /// One entry per phase, steady first.
     pub phases: Vec<PhaseReport>,
+    /// The 1-slow-shard tail-tolerance measurement.
+    pub chaos: ChaosReport,
 }
 
 impl ServeBenchReport {
@@ -110,7 +152,27 @@ impl ServeBenchReport {
                 if i + 1 < self.phases.len() { "," } else { "" }
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n");
+        let c = &self.chaos;
+        out.push_str(&format!(
+            "  \"chaos\": {{\"shards\": {}, \"slow_shard\": {}, \"injected_delay_us\": {}, \
+             \"baseline_p99_us\": {}, \"slow_p99_us\": {}, \"hedged_p99_us\": {}, \
+             \"hedge_recovery\": {:.3}, \"hedges\": {}, \"hedge_wins\": {}, \
+             \"partial_responses\": {}, \"breaker_trips\": {}, \"breaker_recoveries\": {}}}\n",
+            c.shards,
+            c.slow_shard,
+            c.injected_delay_us,
+            c.baseline_p99_us,
+            c.slow_p99_us,
+            c.hedged_p99_us,
+            c.hedge_recovery,
+            c.hedges,
+            c.hedge_wins,
+            c.partial_responses,
+            c.breaker_trips,
+            c.breaker_recoveries,
+        ));
+        out.push_str("}\n");
         out
     }
 
@@ -132,6 +194,20 @@ impl ServeBenchReport {
                 p.p50_us, p.p99_us
             ));
         }
+        let c = &self.chaos;
+        out.push_str(&format!(
+            "chaos: shard {}/{} delayed {}µs → p99 {}µs vs {}µs baseline; hedged p99 {}µs \
+             ({:.0}% of the regression recovered, {} hedges / {} wins)\n",
+            c.slow_shard,
+            c.shards,
+            c.injected_delay_us,
+            c.slow_p99_us,
+            c.baseline_p99_us,
+            c.hedged_p99_us,
+            c.hedge_recovery * 100.0,
+            c.hedges,
+            c.hedge_wins,
+        ));
         out
     }
 }
@@ -306,17 +382,19 @@ fn phase_report(
     }
 }
 
+/// Fetch the raw `/metrics` body.
+fn fetch_metrics(addr: SocketAddr) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n")?;
+    let mut out = String::new();
+    stream.read_to_string(&mut out)?;
+    Ok(out)
+}
+
 /// Scrape `"hit_rate":X` out of a `/metrics` body without a JSON parser.
 fn scrape_hit_rate(addr: SocketAddr) -> f64 {
-    let scrape = || -> std::io::Result<String> {
-        let mut stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-        stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n")?;
-        let mut out = String::new();
-        stream.read_to_string(&mut out)?;
-        Ok(out)
-    };
-    scrape()
+    fetch_metrics(addr)
         .ok()
         .and_then(|text| {
             let (_, rest) = text.split_once("\"hit_rate\":")?;
@@ -326,6 +404,18 @@ fn scrape_hit_rate(addr: SocketAddr) -> f64 {
                 .ok()
         })
         .unwrap_or(0.0)
+}
+
+/// Scrape the first `"name":N` integer counter out of a `/metrics` body.
+fn scrape_counter(body: &str, name: &str) -> u64 {
+    body.split_once(&format!("\"{name}\":"))
+        .and_then(|(_, rest)| {
+            rest.split(|c: char| !c.is_ascii_digit())
+                .next()?
+                .parse()
+                .ok()
+        })
+        .unwrap_or(0)
 }
 
 /// Run both phases against a tiny-corpus server and collect the report.
@@ -341,9 +431,7 @@ pub fn run(seed: u64, requests: u64) -> std::io::Result<ServeBenchReport> {
         workers: 4,
         queue_depth: 64,
         cache_capacity: 1024,
-        domains_path: None,
-        compact_threshold: 0,
-        compact_interval: std::time::Duration::from_millis(250),
+        ..ServeConfig::default()
     };
     let server = Server::start(
         "127.0.0.1:0",
@@ -362,9 +450,7 @@ pub fn run(seed: u64, requests: u64) -> std::io::Result<ServeBenchReport> {
         workers: 1,
         queue_depth: 2,
         cache_capacity: 1024,
-        domains_path: None,
-        compact_threshold: 0,
-        compact_interval: std::time::Duration::from_millis(250),
+        ..ServeConfig::default()
     };
     let server = Server::start(
         "127.0.0.1:0",
@@ -376,12 +462,117 @@ pub fn run(seed: u64, requests: u64) -> std::io::Result<ServeBenchReport> {
     phases.push(phase_report("overload", &overload_config, 32, &outcome));
     server.shutdown();
 
+    // Chaos phases: a 4-shard corpus, the cache off (every request pays
+    // for a real scatter-gather), and every request aimed at one query
+    // whose home shard is the one chaos slows down — so the slow shard
+    // is on every request's critical path and p99 measures it directly.
+    const SHARDS: usize = 4;
+    const DELAY_US: u64 = 25_000;
+    let mut sharded = testbed.corpus.clone();
+    sharded.reshard(SHARDS);
+    let top_term = testbed.world.terms[testbed.world.domains[0].terms[0] as usize]
+        .text
+        .clone();
+    let slow_shard = sharded.term_home_shard(&top_term);
+    let aimed = Arc::new(ZipfQueries {
+        encoded: vec![percent_encode(&top_term)],
+        cumulative: vec![1],
+        total: 1,
+    });
+    let mut chaos_esharp_config = testbed.config.clone();
+    chaos_esharp_config.search_workers = SHARDS;
+    let chaos_config = ServeConfig {
+        workers: 4,
+        queue_depth: 64,
+        cache_capacity: 0,
+        hedge_delay: Duration::from_millis(2),
+        ..ServeConfig::default()
+    };
+    let boot = |hedge: bool, plan: ChaosPlan| -> std::io::Result<Server> {
+        Server::start_live_with_hooks(
+            "127.0.0.1:0",
+            ServeConfig {
+                hedge,
+                ..chaos_config.clone()
+            },
+            Arc::new(LiveCorpus::new(sharded.clone())),
+            Arc::new(SharedEsharp::new(Esharp::new(
+                testbed.esharp.domains().clone(),
+                chaos_esharp_config.clone(),
+            ))),
+            Arc::new(NoFaults),
+            ServeHooks {
+                chaos: Arc::new(plan),
+                ..ServeHooks::default()
+            },
+        )
+    };
+    let slow_plan = || {
+        ChaosPlan::new(seed).trigger(
+            &format!("search:shard:{slow_shard}"),
+            0,
+            ChaosFault::Delay { us: DELAY_US },
+        )
+    };
+    // The slow-shard phase pays ~DELAY_US per request by construction;
+    // cap the sample so the regression measurement stays seconds, not
+    // minutes, at large steady budgets.
+    let chaos_requests = (requests / 4).clamp(64, 1024);
+
+    // Sharded baseline, no chaos.
+    let server = boot(false, ChaosPlan::new(seed))?;
+    let outcome = run_phase(server.local_addr(), &aimed, seed, 8, chaos_requests);
+    let baseline_p99_us = quantile(&outcome.latencies_us, 0.99);
+    phases.push(phase_report("tail_baseline", &chaos_config, 8, &outcome));
+    server.shutdown();
+
+    // One slow shard, hedging off: the full regression.
+    let server = boot(false, slow_plan())?;
+    let outcome = run_phase(server.local_addr(), &aimed, seed, 8, chaos_requests);
+    let slow_p99_us = quantile(&outcome.latencies_us, 0.99);
+    let slow_metrics = fetch_metrics(server.local_addr()).unwrap_or_default();
+    phases.push(phase_report("tail_slow_shard", &chaos_config, 8, &outcome));
+    server.shutdown();
+
+    // Same slow shard, hedging on: the recovery.
+    let server = boot(true, slow_plan())?;
+    let outcome = run_phase(server.local_addr(), &aimed, seed, 8, chaos_requests);
+    let hedged_p99_us = quantile(&outcome.latencies_us, 0.99);
+    let hedged_metrics = fetch_metrics(server.local_addr()).unwrap_or_default();
+    phases.push(phase_report("tail_slow_shard_hedged", &chaos_config, 8, &outcome));
+    server.shutdown();
+
+    let regression = slow_p99_us.saturating_sub(baseline_p99_us);
+    let recovered = slow_p99_us.saturating_sub(hedged_p99_us);
+    let chaos = ChaosReport {
+        shards: SHARDS,
+        slow_shard,
+        injected_delay_us: DELAY_US,
+        baseline_p99_us,
+        slow_p99_us,
+        hedged_p99_us,
+        hedge_recovery: if regression == 0 {
+            1.0
+        } else {
+            recovered as f64 / regression as f64
+        },
+        hedges: scrape_counter(&hedged_metrics, "hedges"),
+        hedge_wins: scrape_counter(&hedged_metrics, "hedge_wins"),
+        partial_responses: scrape_counter(&slow_metrics, "partial_responses")
+            + scrape_counter(&hedged_metrics, "partial_responses"),
+        breaker_trips: scrape_counter(&slow_metrics, "trips")
+            + scrape_counter(&hedged_metrics, "trips"),
+        breaker_recoveries: scrape_counter(&slow_metrics, "recoveries")
+            + scrape_counter(&hedged_metrics, "recoveries"),
+    };
+
     Ok(ServeBenchReport {
         host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
         seed,
         distinct_queries: queries.encoded.len(),
         steady_hit_rate,
         phases,
+        chaos,
     })
 }
 
@@ -418,16 +609,44 @@ mod tests {
     #[test]
     fn a_small_run_completes_with_sane_numbers() {
         let report = run(13, 200).expect("bench run");
-        assert_eq!(report.phases.len(), 2);
+        assert_eq!(report.phases.len(), 5);
         let steady = &report.phases[0];
         assert_eq!(steady.ok + steady.shed + steady.errors, 200);
         assert_eq!(steady.errors, 0, "steady phase must not error");
         assert!(steady.throughput_rps > 0.0);
         assert!(steady.p50_us <= steady.p99_us && steady.p99_us <= steady.max_us);
         let json = report.to_json();
-        for needle in ["\"bench\": \"serve\"", "\"name\": \"steady\"", "\"name\": \"overload\""] {
+        for needle in [
+            "\"bench\": \"serve\"",
+            "\"name\": \"steady\"",
+            "\"name\": \"overload\"",
+            "\"name\": \"tail_slow_shard_hedged\"",
+            "\"chaos\": {",
+        ] {
             assert!(json.contains(needle), "missing {needle}");
         }
         assert!(!report.render_table().is_empty());
+
+        // The tail-tolerance acceptance gate: the injected slow shard
+        // must show up at p99, and hedging must buy back at least half
+        // of the regression.
+        let chaos = &report.chaos;
+        assert!(
+            chaos.slow_p99_us >= chaos.baseline_p99_us + chaos.injected_delay_us / 2,
+            "the slow shard never reached p99: slow {} vs baseline {}",
+            chaos.slow_p99_us,
+            chaos.baseline_p99_us
+        );
+        assert!(
+            chaos.hedge_recovery >= 0.5,
+            "hedging recovered only {:.0}% of the p99 regression (slow {}µs, hedged {}µs, \
+             baseline {}µs)",
+            chaos.hedge_recovery * 100.0,
+            chaos.slow_p99_us,
+            chaos.hedged_p99_us,
+            chaos.baseline_p99_us
+        );
+        assert!(chaos.hedges >= 1, "the hedged phase never hedged");
+        assert!(chaos.hedge_wins >= 1, "no hedge ever answered first");
     }
 }

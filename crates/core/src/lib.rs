@@ -51,6 +51,6 @@ pub use config::{ClusterBackend, EsharpConfig};
 pub use domains::{DomainCollection, DomainIdx};
 pub use error::{EsharpError, EsharpResult};
 pub use offline::{run_clustering, run_offline, run_offline_resumable, OfflineArtifacts};
-pub use online::{Degradation, Esharp, SearchOutcome};
+pub use online::{Degradation, Esharp, PartialResult, SearchOutcome};
 pub use retriever::{ExpertiseRetriever, FrequencyRetriever, PalCountsRetriever};
 pub use shared::{SharedEsharp, RELOAD_SITE};

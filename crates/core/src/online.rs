@@ -6,7 +6,7 @@ use crate::domains::DomainCollection;
 use crate::error::EsharpResult;
 use crate::retriever::ExpertiseRetriever;
 use esharp_expert::ExpertResult;
-use esharp_microblog::{Corpus, TweetId};
+use esharp_microblog::{BoundedSearch, Corpus, TweetId};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -30,6 +30,20 @@ pub enum Degradation {
         /// Why the load failed.
         error: String,
     },
+}
+
+/// Shard-level degradation of one bounded search: which parts of the
+/// fan-out did not contribute to the answer, and why. Extends guarantee
+/// 5's "degraded, visible, still answering" down to the shard level
+/// (ROBUSTNESS.md guarantee 9): an answer missing shards is honestly
+/// marked, never silently short.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialResult {
+    /// Shards that were tried but missed the deadline, stalled or
+    /// panicked (sorted).
+    pub shards_missing: Vec<usize>,
+    /// Shards skipped outright by an open circuit breaker (sorted).
+    pub shards_skipped: Vec<usize>,
 }
 
 /// The result of one online search, with the per-phase timings the
@@ -56,6 +70,22 @@ pub struct SearchOutcome {
     /// Present when the system is running degraded (stale or missing
     /// domain collection); `None` on the healthy path.
     pub degradation: Option<Degradation>,
+    /// Present when a bounded search answered without every shard
+    /// (deadline miss, stall, panic, or open breaker); `None` on the
+    /// complete path and for unbounded searches.
+    #[serde(default)]
+    pub partial: Option<PartialResult>,
+    /// Hedged duplicate shard attempts launched by this search (0 for
+    /// unbounded searches and when hedging is off).
+    #[serde(default)]
+    pub hedges: u32,
+    /// Hedged attempts that answered first for their shard.
+    #[serde(default)]
+    pub hedge_wins: u32,
+    /// Shard attempts that panicked during this search (contained —
+    /// the panic cost one shard's contribution, not the request).
+    #[serde(default)]
+    pub shard_panics: u32,
 }
 
 /// The e# online system: a domain collection plus a detector
@@ -201,6 +231,57 @@ impl Esharp {
             match_time,
             rank_time,
             degradation: self.degradation.clone(),
+            partial: None,
+            hedges: 0,
+            hedge_wins: 0,
+            shard_panics: 0,
+        }
+    }
+
+    /// [`Esharp::search`] under a request budget: the scatter-gather
+    /// fan-out runs through [`Corpus::match_terms_bounded`], so shard
+    /// tasks abandon past the deadline, hedges and breakers apply when
+    /// the context enables them, and an answer missing shards carries
+    /// [`SearchOutcome::partial`] with the exact absent-shard set. When
+    /// every shard answers in time the outcome is bit-identical to
+    /// [`Esharp::search`].
+    pub fn search_bounded(
+        &self,
+        corpus: &Corpus,
+        query: &str,
+        ctx: &BoundedSearch<'_>,
+    ) -> SearchOutcome {
+        let expansion_started = Instant::now();
+        let expansion = if self.config.expansion {
+            self.domains.expand(query, self.config.max_expansion_terms)
+        } else {
+            vec![query.to_lowercase()]
+        };
+        let expansion_time = expansion_started.elapsed();
+
+        let match_started = Instant::now();
+        let outcome = corpus.match_terms_bounded(&expansion, self.config.search_workers, ctx);
+        let match_time = match_started.elapsed();
+        let rank_started = Instant::now();
+        let experts = self.retriever.retrieve(corpus, &outcome.matched);
+        let rank_time = rank_started.elapsed();
+        let partial = outcome.is_partial().then(|| PartialResult {
+            shards_missing: outcome.shards_missing.clone(),
+            shards_skipped: outcome.shards_skipped.clone(),
+        });
+        SearchOutcome {
+            experts,
+            expansion,
+            matched_tweets: outcome.matched.len(),
+            expansion_time,
+            detection_time: match_time + rank_time,
+            match_time,
+            rank_time,
+            degradation: self.degradation.clone(),
+            partial,
+            hedges: outcome.hedges,
+            hedge_wins: outcome.hedge_wins,
+            shard_panics: outcome.shard_panics,
         }
     }
 
@@ -225,6 +306,10 @@ impl Esharp {
             match_time,
             rank_time,
             degradation: None,
+            partial: None,
+            hedges: 0,
+            hedge_wins: 0,
+            shard_panics: 0,
         }
     }
 }

@@ -33,9 +33,35 @@
 //!   backend (e.g. `iter:4`).
 //!
 //! Plans match sites exactly, or by prefix when the trigger ends in `*`.
+//!
+//! ## Request-lifecycle hardening
+//!
+//! Beyond persistence faults, this crate carries the tail-tolerance
+//! substrate for the online path (DESIGN.md §11):
+//!
+//! * [`clock`] — [`TickSource`], the injectable time behind deadlines,
+//!   hedge delays and breaker windows ([`WallClock`] in production,
+//!   [`VirtualClock`] in tests: clock-free chaos runs),
+//! * [`budget`] — [`Budget`], the per-request deadline + cancellation
+//!   token threaded through the scatter-gather fan-out,
+//! * [`chaos`] — [`ChaosPlan`], seed-driven latency/stall/panic
+//!   injection at named seams (`search:shard:<i>`, `serve:worker`,
+//!   `serve:conn`),
+//! * [`breaker`] — [`ShardBreakers`], per-shard circuit breakers with a
+//!   health epoch the serve result cache keys on.
 
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod breaker;
+pub mod budget;
+pub mod chaos;
+pub mod clock;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, ShardBreakers};
+pub use budget::Budget;
+pub use chaos::{ChaosFault, ChaosInjector, ChaosPlan, ChaosRates, NoChaos};
+pub use clock::{TickSource, VirtualClock, WallClock};
 
 use std::io;
 use std::sync::Mutex;

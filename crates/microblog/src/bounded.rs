@@ -1,0 +1,471 @@
+//! Deadline-bounded scatter-gather: the tail-tolerant variant of
+//! [`Corpus::match_terms_with`].
+//!
+//! [`Corpus::match_terms_bounded`] runs the same shard-grouped fan-out,
+//! but every shard task carries the request's [`Budget`] and abandons at
+//! chunk boundaries once it expires; the gather then merges whatever
+//! answered and reports the rest in a [`ShardOutcome`] instead of
+//! blocking the whole query on the slowest shard. Three tail-tolerance
+//! mechanisms hang off it (DESIGN.md §11):
+//!
+//! * **chaos seams** — each shard attempt consults the injected
+//!   [`ChaosInjector`] at `search:shard:<i>` (attempt 0 = primary,
+//!   1 = hedge), so stalls/delays/panics are seed-replayable,
+//! * **hedging** — one hedger task waits `hedge_delay_us`, then
+//!   re-issues every still-missing shard as attempt 1; slots are
+//!   first-answer-wins, so a straggling primary and its hedge can race
+//!   without affecting the merged bytes (a union is idempotent),
+//! * **circuit breakers** — sick shards are skipped before any work is
+//!   spent on them, and every attempt's outcome is recorded back.
+//!
+//! Determinism: on a [`esharp_fault::VirtualClock`] an injected wait
+//! charges ticks to the waiting task *without advancing shared time*
+//! (see [`charge_wait`]'s accounting), so whether a shard answers is a
+//! pure function of the chaos plan and the budget — never of thread
+//! interleaving — and the chaos matrix can assert exact missing-shard
+//! sets. Shard panics are caught per task; they surface as a missing
+//! shard and a counter, never as a torn-down caller.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::corpus::{Corpus, TermMatch};
+use crate::index::union_sorted;
+use crate::types::TweetId;
+use esharp_fault::{Budget, ChaosFault, ChaosInjector, NoChaos, ShardBreakers, TickSource};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering::SeqCst};
+use std::sync::Mutex;
+
+/// Everything a bounded fan-out needs beyond the terms themselves.
+pub struct BoundedSearch<'a> {
+    /// The request's deadline + cancellation token.
+    pub budget: &'a Budget,
+    /// Chaos seams (production passes [`NoChaos`]).
+    pub chaos: &'a dyn ChaosInjector,
+    /// Per-shard circuit breakers, if the caller runs them.
+    pub breakers: Option<&'a ShardBreakers>,
+    /// Whether to re-issue missing shards as hedged duplicates.
+    pub hedge: bool,
+    /// How long the hedger waits before re-issuing, in budget ticks.
+    pub hedge_delay_us: u64,
+}
+
+/// The production injector is a unit value, so a shared static keeps
+/// plain bounded searches allocation-free.
+static NO_CHAOS: NoChaos = NoChaos;
+
+impl<'a> BoundedSearch<'a> {
+    /// A plain bounded search: deadline only, no chaos, no breakers, no
+    /// hedging.
+    pub fn new(budget: &'a Budget) -> BoundedSearch<'a> {
+        BoundedSearch {
+            budget,
+            chaos: &NO_CHAOS,
+            breakers: None,
+            hedge: false,
+            hedge_delay_us: 0,
+        }
+    }
+
+    /// Enable hedged re-issue of missing shards after `delay_us` ticks.
+    pub fn hedged(mut self, delay_us: u64) -> BoundedSearch<'a> {
+        self.hedge = true;
+        self.hedge_delay_us = delay_us;
+        self
+    }
+
+    /// Inject chaos at the shard seams.
+    pub fn with_chaos(mut self, chaos: &'a dyn ChaosInjector) -> BoundedSearch<'a> {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Gate and record shard attempts through circuit breakers.
+    pub fn with_breakers(mut self, breakers: &'a ShardBreakers) -> BoundedSearch<'a> {
+        self.breakers = Some(breakers);
+        self
+    }
+}
+
+/// What a bounded fan-out produced: the merged match set of the shards
+/// that answered, plus exactly which shards did not and why.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardOutcome {
+    /// Union of the shards that answered, tombstones filtered — when
+    /// nothing is missing, bit-identical to [`Corpus::match_terms`].
+    pub matched: Vec<TweetId>,
+    /// Shards that were tried but missed the deadline, stalled, or
+    /// panicked (sorted).
+    pub shards_missing: Vec<usize>,
+    /// Shards skipped outright by an open circuit breaker (sorted).
+    pub shards_skipped: Vec<usize>,
+    /// Hedged duplicate attempts launched.
+    pub hedges: u32,
+    /// Hedged attempts that answered first for their shard.
+    pub hedge_wins: u32,
+    /// Shard attempts that panicked (contained; counted per attempt).
+    pub shard_panics: u32,
+}
+
+impl ShardOutcome {
+    /// Whether any shard's contribution is absent from `matched`.
+    pub fn is_partial(&self) -> bool {
+        !self.shards_missing.is_empty() || !self.shards_skipped.is_empty()
+    }
+
+    /// All absent shards — missing ∪ skipped, sorted — the
+    /// `shards_missing` list a degraded response reports.
+    pub fn absent_shards(&self) -> Vec<usize> {
+        let mut all: Vec<usize> = self
+            .shards_missing
+            .iter()
+            .chain(self.shards_skipped.iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+}
+
+/// Wait on `clock`, returning only the ticks the clock did **not**
+/// observe — a wall clock's sleep shows up in `now_us()` so the charge
+/// is ~0; a virtual clock's wait returns instantly without advancing
+/// shared time, so the full wait becomes a task-local budget charge.
+/// This split is what keeps concurrent tasks from racing on simulated
+/// time.
+fn charge_wait(clock: &dyn TickSource, us: u64, release: &(dyn Fn() -> bool + Sync)) -> u64 {
+    let before = clock.now_us();
+    let waited = clock.wait_us(us, release);
+    waited.saturating_sub(clock.now_us().saturating_sub(before))
+}
+
+impl Corpus {
+    /// [`Corpus::match_terms_with`] under a deadline: shard tasks that
+    /// miss the budget (or stall, or panic) are abandoned and reported
+    /// in the [`ShardOutcome`] rather than stalling the gather forever.
+    /// When every shard answers, `matched` is bit-identical to the
+    /// serial path.
+    pub fn match_terms_bounded(
+        &self,
+        terms: &[String],
+        workers: usize,
+        ctx: &BoundedSearch<'_>,
+    ) -> ShardOutcome {
+        let clock = ctx.budget.clock().as_ref();
+        let k = self.shard_count().max(1);
+        let mut groups: Vec<Vec<&String>> = vec![Vec::new(); k];
+        for term in terms {
+            groups[self.term_home_shard(term)].push(term);
+        }
+
+        // Breaker gate: spend nothing on shards with open breakers.
+        let mut admitted: Vec<usize> = Vec::new();
+        let mut skipped: Vec<usize> = Vec::new();
+        for (shard, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let allowed = ctx.breakers.is_none_or(|b| b.allow(shard, clock));
+            if allowed {
+                admitted.push(shard);
+            } else {
+                skipped.push(shard);
+            }
+        }
+        if admitted.is_empty() {
+            return ShardOutcome {
+                shards_skipped: skipped,
+                ..ShardOutcome::default()
+            };
+        }
+
+        // First-answer-wins result slot per admitted shard.
+        let slots: Vec<Mutex<Option<Vec<TweetId>>>> =
+            admitted.iter().map(|_| Mutex::new(None)).collect();
+        let done: Vec<AtomicBool> = admitted.iter().map(|_| AtomicBool::new(false)).collect();
+        let panics = AtomicU32::new(0);
+        let hedges = AtomicU32::new(0);
+        let hedge_wins = AtomicU32::new(0);
+
+        // One shard attempt: consult chaos, respect the budget at every
+        // term boundary, publish into the slot unless someone already
+        // did. `base_charge` carries virtual ticks the attempt already
+        // spent before starting (the hedger's own delay).
+        let attempt_shard = |slot_idx: usize, attempt: u32, base_charge: u64| {
+            let shard = admitted[slot_idx];
+            let mut charged = base_charge;
+            let release = || done[slot_idx].load(SeqCst) || ctx.budget.cancelled();
+            let site = format!("search:shard:{shard}");
+            match ctx.chaos.chaos_at(&site, attempt) {
+                Some(ChaosFault::Delay { us }) => {
+                    charged = charged.saturating_add(charge_wait(clock, us, &release));
+                }
+                Some(ChaosFault::Stall) => {
+                    // Wedged: never answers. Hold the worker until the
+                    // budget runs out or a hedge fills the slot, then
+                    // abandon — exactly what a real stuck shard costs.
+                    let rest = ctx.budget.remaining_us_with(charged).saturating_add(1);
+                    let _ = clock.wait_us(rest, &release);
+                    return;
+                }
+                Some(ChaosFault::Panic) => {
+                    panic!("injected chaos panic at {site} attempt {attempt}")
+                }
+                None => {}
+            }
+            let group = &groups[shard];
+            let mut matches: Vec<TermMatch<'_>> = Vec::with_capacity(group.len());
+            for term in group {
+                if ctx.budget.expired_with(charged) {
+                    return;
+                }
+                matches.push(self.match_term(term));
+            }
+            let lists: Vec<&[TweetId]> = matches
+                .iter()
+                .map(TermMatch::as_slice)
+                .filter(|list| !list.is_empty())
+                .collect();
+            let merged = union_sorted(&lists);
+            if ctx.budget.expired_with(charged) {
+                return;
+            }
+            if let Ok(mut slot) = slots[slot_idx].lock() {
+                if slot.is_none() {
+                    *slot = Some(merged);
+                    done[slot_idx].store(true, SeqCst);
+                    if attempt > 0 {
+                        hedge_wins.fetch_add(1, SeqCst);
+                    }
+                }
+            }
+        };
+
+        // A panicking shard attempt must cost one shard, not the query:
+        // contain it here (the pool would otherwise resume it on the
+        // caller) and let the empty slot report it as missing.
+        let contained = |slot_idx: usize, attempt: u32, base_charge: u64| {
+            if catch_unwind(AssertUnwindSafe(|| attempt_shard(slot_idx, attempt, base_charge)))
+                .is_err()
+            {
+                panics.fetch_add(1, SeqCst);
+            }
+        };
+
+        let contained = &contained;
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..admitted.len())
+            .map(|slot_idx| {
+                Box::new(move || contained(slot_idx, 0, 0)) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        if ctx.hedge {
+            let hedger = || {
+                let all_done =
+                    || done.iter().all(|d| d.load(SeqCst)) || ctx.budget.cancelled();
+                let charged = charge_wait(clock, ctx.hedge_delay_us, &all_done);
+                for (slot_idx, slot_done) in done.iter().enumerate() {
+                    if slot_done.load(SeqCst) || ctx.budget.expired_with(charged) {
+                        continue;
+                    }
+                    hedges.fetch_add(1, SeqCst);
+                    contained(slot_idx, 1, charged);
+                }
+            };
+            tasks.push(Box::new(hedger));
+        }
+        esharp_par::shared_pool(workers).run(tasks);
+
+        // Gather: merge what answered (slots are in ascending shard
+        // order, so the merge order is deterministic), report the rest.
+        let mut partials: Vec<Vec<TweetId>> = Vec::with_capacity(admitted.len());
+        let mut missing: Vec<usize> = Vec::new();
+        for (slot_idx, &shard) in admitted.iter().enumerate() {
+            let answer = slots[slot_idx].lock().ok().and_then(|mut s| s.take());
+            let ok = answer.is_some();
+            if let Some(list) = answer {
+                partials.push(list);
+            } else {
+                missing.push(shard);
+            }
+            if let Some(breakers) = ctx.breakers {
+                breakers.record(shard, ok, clock);
+            }
+        }
+        let lists: Vec<&[TweetId]> = partials
+            .iter()
+            .map(Vec::as_slice)
+            .filter(|list| !list.is_empty())
+            .collect();
+        ShardOutcome {
+            matched: self.without_tombstones(union_sorted(&lists)),
+            shards_missing: missing,
+            shards_skipped: skipped,
+            hedges: hedges.load(SeqCst),
+            hedge_wins: hedge_wins.load(SeqCst),
+            shard_panics: panics.load(SeqCst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate_corpus, CorpusConfig};
+    use crate::types::TokenId;
+    use esharp_fault::{BreakerConfig, ChaosPlan, VirtualClock};
+    use esharp_querylog::{World, WorldConfig};
+    use std::sync::Arc;
+
+    fn corpus_with_shards(k: usize) -> Corpus {
+        let world = World::generate(&WorldConfig::tiny(21));
+        let mut corpus = generate_corpus(&world, &CorpusConfig::tiny(7));
+        corpus.reshard(k);
+        corpus
+    }
+
+    fn spread_terms(corpus: &Corpus, per_shard: usize) -> Vec<String> {
+        // Pick single-token terms covering every shard.
+        let k = corpus.shard_count();
+        let mut picked: Vec<Vec<String>> = vec![Vec::new(); k];
+        for id in 0..corpus.num_tokens() {
+            let token = corpus.token_text(id as TokenId).to_string();
+            let shard = corpus.term_home_shard(&token);
+            if picked[shard].len() < per_shard {
+                picked[shard].push(token);
+            }
+        }
+        let terms: Vec<String> = picked.into_iter().flatten().collect();
+        assert!(
+            terms.len() >= k,
+            "synthetic corpus must cover every shard with at least one term"
+        );
+        terms
+    }
+
+    fn virtual_budget(limit_us: u64) -> Budget {
+        Budget::with_clock(Arc::new(VirtualClock::new()), limit_us)
+    }
+
+    #[test]
+    fn unbothered_bounded_search_is_bit_identical_to_serial() {
+        let corpus = corpus_with_shards(4);
+        let terms = spread_terms(&corpus, 2);
+        let budget = virtual_budget(1_000_000);
+        let outcome = corpus.match_terms_bounded(&terms, 4, &BoundedSearch::new(&budget));
+        assert!(!outcome.is_partial());
+        assert_eq!(outcome.matched, corpus.match_terms(&terms));
+        assert_eq!(outcome.hedges, 0);
+        assert_eq!(outcome.shard_panics, 0);
+    }
+
+    #[test]
+    fn stalled_shard_yields_partial_with_exact_missing_set() {
+        let corpus = corpus_with_shards(4);
+        let terms = spread_terms(&corpus, 2);
+        let full = corpus.match_terms(&terms);
+        for stalled in 0..corpus.shard_count() {
+            let plan = ChaosPlan::new(1).stall_at(&format!("search:shard:{stalled}"));
+            let budget = virtual_budget(10_000);
+            let ctx = BoundedSearch::new(&budget).with_chaos(&plan);
+            let outcome = corpus.match_terms_bounded(&terms, 4, &ctx);
+            assert_eq!(outcome.shards_missing, vec![stalled]);
+            assert!(outcome.is_partial());
+            assert!(
+                outcome.matched.iter().all(|id| full.contains(id)),
+                "a partial answer must be a subset of the full answer"
+            );
+        }
+    }
+
+    #[test]
+    fn hedging_recovers_a_stalled_shard_bit_identically() {
+        let corpus = corpus_with_shards(4);
+        let terms = spread_terms(&corpus, 2);
+        let full = corpus.match_terms(&terms);
+        for stalled in 0..corpus.shard_count() {
+            let plan = ChaosPlan::new(1).stall_at(&format!("search:shard:{stalled}"));
+            let budget = virtual_budget(10_000);
+            let ctx = BoundedSearch::new(&budget).with_chaos(&plan).hedged(1_000);
+            let outcome = corpus.match_terms_bounded(&terms, 4, &ctx);
+            assert!(!outcome.is_partial(), "hedge must recover shard {stalled}");
+            assert_eq!(outcome.matched, full);
+            assert!(outcome.hedges >= 1);
+            assert!(outcome.hedge_wins >= 1);
+        }
+    }
+
+    #[test]
+    fn panicking_shard_is_contained_and_reported() {
+        let corpus = corpus_with_shards(4);
+        let terms = spread_terms(&corpus, 2);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let plan = ChaosPlan::new(1).panic_at("search:shard:2");
+        let budget = virtual_budget(1_000_000);
+        let ctx = BoundedSearch::new(&budget).with_chaos(&plan);
+        let outcome = corpus.match_terms_bounded(&terms, 4, &ctx);
+        std::panic::set_hook(hook);
+        assert_eq!(outcome.shards_missing, vec![2]);
+        assert_eq!(outcome.shard_panics, 1);
+    }
+
+    #[test]
+    fn injected_delay_within_budget_still_answers_in_full() {
+        let corpus = corpus_with_shards(4);
+        let terms = spread_terms(&corpus, 2);
+        let plan = ChaosPlan::new(1).trigger(
+            "search:shard:1",
+            0,
+            ChaosFault::Delay { us: 5_000 },
+        );
+        let budget = virtual_budget(10_000);
+        let ctx = BoundedSearch::new(&budget).with_chaos(&plan);
+        let outcome = corpus.match_terms_bounded(&terms, 4, &ctx);
+        assert!(!outcome.is_partial(), "a delay under budget is invisible");
+        assert_eq!(outcome.matched, corpus.match_terms(&terms));
+    }
+
+    #[test]
+    fn breakers_trip_then_skip_then_recover() {
+        let corpus = corpus_with_shards(4);
+        let terms = spread_terms(&corpus, 2);
+        let clock = Arc::new(VirtualClock::new());
+        let breakers = ShardBreakers::new(BreakerConfig {
+            threshold: 2,
+            open_us: 50_000,
+        });
+        // Shard 3 stalls twice (limited trigger), tripping its breaker.
+        let plan = ChaosPlan::new(1).trigger_limited(
+            "search:shard:3",
+            ChaosFault::Stall,
+            2,
+        );
+        for _ in 0..2 {
+            let budget = Budget::with_clock(clock.clone(), 10_000);
+            let ctx = BoundedSearch::new(&budget)
+                .with_chaos(&plan)
+                .with_breakers(&breakers);
+            let outcome = corpus.match_terms_bounded(&terms, 4, &ctx);
+            assert_eq!(outcome.shards_missing, vec![3]);
+        }
+        assert_eq!(breakers.trips(), 1);
+
+        // Next request: shard 3 skipped without spending any budget.
+        let budget = Budget::with_clock(clock.clone(), 10_000);
+        let ctx = BoundedSearch::new(&budget).with_breakers(&breakers);
+        let outcome = corpus.match_terms_bounded(&terms, 4, &ctx);
+        assert_eq!(outcome.shards_skipped, vec![3]);
+        assert_eq!(outcome.absent_shards(), vec![3]);
+
+        // After the open window, the (now healed) shard probes and the
+        // breaker closes again.
+        clock.advance_us(50_000);
+        let budget = Budget::with_clock(clock.clone(), 10_000);
+        let ctx = BoundedSearch::new(&budget).with_breakers(&breakers);
+        let outcome = corpus.match_terms_bounded(&terms, 4, &ctx);
+        assert!(!outcome.is_partial());
+        assert_eq!(outcome.matched, corpus.match_terms(&terms));
+        assert_eq!(breakers.recoveries(), 1);
+    }
+}

@@ -248,7 +248,7 @@ impl Corpus {
     /// Like [`Corpus::match_query`], borrowing the posting list outright
     /// when no intersection shrinks it (single-token queries — the common
     /// case for expansion terms).
-    fn match_term(&self, term: &str) -> TermMatch<'_> {
+    pub(crate) fn match_term(&self, term: &str) -> TermMatch<'_> {
         // Fast path: a term already in normalized form — space-separated
         // ASCII lowercase alphanumeric words, which `tokenize` maps to
         // themselves — feeds the symbol table directly. Expansion terms
@@ -323,7 +323,7 @@ impl Corpus {
 
     /// Drop tombstoned ids from a sorted match set — the last step before
     /// any match set escapes to ranking.
-    fn without_tombstones(&self, mut matched: Vec<TweetId>) -> Vec<TweetId> {
+    pub(crate) fn without_tombstones(&self, mut matched: Vec<TweetId>) -> Vec<TweetId> {
         if !self.tombstones.is_empty() {
             matched.retain(|id| self.tombstones.binary_search(id).is_err());
         }
@@ -392,8 +392,9 @@ impl Corpus {
 
     /// The shard a term's postings traversal is charged to: the shard of
     /// its first known token. Load distribution only — correctness never
-    /// depends on the assignment.
-    fn term_home_shard(&self, term: &str) -> usize {
+    /// depends on the assignment. Public so the chaos bench can aim a
+    /// stall plan at the genuine home shard of its query mix.
+    pub fn term_home_shard(&self, term: &str) -> usize {
         let first = term
             .split_ascii_whitespace()
             .next()
@@ -832,14 +833,14 @@ impl CorpusBuilder {
 /// A per-term match set: borrowed straight from the postings arena when
 /// no intersection shrank it, or held in a pooled scratch buffer when
 /// the base+delta concatenation had to materialize.
-enum TermMatch<'c> {
+pub(crate) enum TermMatch<'c> {
     Borrowed(&'c [TweetId]),
     Owned(Vec<TweetId>),
     Pooled(PooledBuf),
 }
 
 impl TermMatch<'_> {
-    fn as_slice(&self) -> &[TweetId] {
+    pub(crate) fn as_slice(&self) -> &[TweetId] {
         match self {
             TermMatch::Borrowed(list) => list,
             TermMatch::Owned(list) => list.as_slice(),
@@ -862,7 +863,7 @@ const MAX_POOLED_BUFS: usize = 32;
 
 /// A `Vec<TweetId>` borrowed from the thread-local pool; cleared and
 /// returned on drop.
-struct PooledBuf(Vec<TweetId>);
+pub(crate) struct PooledBuf(Vec<TweetId>);
 
 impl PooledBuf {
     fn checkout(capacity: usize) -> PooledBuf {

@@ -20,6 +20,7 @@
 
 pub mod arena;
 pub mod binio;
+pub mod bounded;
 mod corpus;
 pub mod index;
 mod intern;
@@ -29,6 +30,7 @@ pub mod tokenize;
 mod types;
 
 pub use arena::{AlignedBuf, CorpusArena};
+pub use bounded::{BoundedSearch, ShardOutcome};
 pub use corpus::Corpus;
 pub use index::{PostingsIndex, PostingsShard};
 pub use intern::SymbolTable;

@@ -1,14 +1,18 @@
 //! The sharded, epoch-keyed LRU result cache.
 //!
-//! Keys are `(normalized query, domains epoch, corpus epoch)` triples:
-//! the domains epoch comes from the same
+//! Keys are `(normalized query, domains epoch, corpus epoch, health
+//! epoch)` tuples: the domains epoch comes from the same
 //! [`SharedEsharp`](esharp_core::SharedEsharp) snapshot the response was
-//! computed against (every reload attempt advances it), and the corpus
+//! computed against (every reload attempt advances it), the corpus
 //! epoch from the `LiveCorpus` snapshot (every ingested batch and every
-//! compaction publish advances it) — so an entry can only ever be hit by
-//! a request seeing the *same* collection, degradation state, **and**
-//! index contents. Stale expansions and stale matches are structurally
-//! impossible rather than merely unlikely. Entries from dead epochs age
+//! compaction publish advances it), and the health epoch from the
+//! per-shard circuit breakers (every breaker transition advances it) —
+//! so an entry can only ever be hit by a request seeing the *same*
+//! collection, degradation state, index contents, **and** shard-health
+//! regime. Stale expansions, stale matches, and bodies computed while a
+//! shard was dark are structurally impossible rather than merely
+//! unlikely. (Partial bodies are additionally never inserted at all —
+//! only complete answers are cacheable.) Entries from dead epochs age
 //! out through ordinary LRU pressure; no explicit invalidation pass is
 //! needed.
 //!
@@ -24,8 +28,9 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-/// Cache key: `(normalized query, domains epoch, corpus epoch)`.
-pub type CacheKey = (String, u64, u64);
+/// Cache key: `(normalized query, domains epoch, corpus epoch,
+/// breaker health epoch)`.
+pub type CacheKey = (String, u64, u64, u64);
 
 /// Shard count (fixed; keys hash across shards).
 pub const SHARDS: usize = 8;
@@ -131,23 +136,26 @@ mod tests {
     }
 
     #[test]
-    fn hits_are_exact_on_query_and_both_epochs() {
+    fn hits_are_exact_on_query_and_all_epochs() {
         let cache = ResultCache::new(64);
-        cache.insert(("49ers".into(), 0, 0), body("epoch0"));
-        assert_eq!(*cache.get(&("49ers".into(), 0, 0)).unwrap(), b"epoch0");
+        cache.insert(("49ers".into(), 0, 0, 0), body("epoch0"));
+        assert_eq!(*cache.get(&("49ers".into(), 0, 0, 0)).unwrap(), b"epoch0");
         // Same query, newer domains epoch: a different key entirely.
-        assert!(cache.get(&("49ers".into(), 1, 0)).is_none());
+        assert!(cache.get(&("49ers".into(), 1, 0, 0)).is_none());
         // Same query, newer corpus epoch (an ingest or compaction
         // published): also a different key.
-        assert!(cache.get(&("49ers".into(), 0, 1)).is_none());
-        assert!(cache.get(&("niners".into(), 0, 0)).is_none());
+        assert!(cache.get(&("49ers".into(), 0, 1, 0)).is_none());
+        // Same query, newer breaker health epoch (a shard tripped or
+        // recovered): also a different key.
+        assert!(cache.get(&("49ers".into(), 0, 0, 1)).is_none());
+        assert!(cache.get(&("niners".into(), 0, 0, 0)).is_none());
     }
 
     #[test]
     fn zero_capacity_disables() {
         let cache = ResultCache::new(0);
-        cache.insert(("q".into(), 0, 0), body("x"));
-        assert!(cache.get(&("q".into(), 0, 0)).is_none());
+        cache.insert(("q".into(), 0, 0, 0), body("x"));
+        assert!(cache.get(&("q".into(), 0, 0, 0)).is_none());
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.capacity(), 0);
     }
@@ -163,10 +171,10 @@ mod tests {
             k.hash(&mut h);
             (h.finish() as usize) % SHARDS
         };
-        let a: CacheKey = ("a".into(), 0, 0);
+        let a: CacheKey = ("a".into(), 0, 0, 0);
         let mut n = 0u64;
         let b = loop {
-            let candidate: CacheKey = (format!("b{n}"), 0, 0);
+            let candidate: CacheKey = (format!("b{n}"), 0, 0, 0);
             if in_shard(&candidate) == in_shard(&a) {
                 break candidate;
             }
@@ -181,7 +189,7 @@ mod tests {
     #[test]
     fn reinsert_refreshes_instead_of_evicting() {
         let cache = ResultCache::new(SHARDS);
-        let key: CacheKey = ("q".into(), 3, 1);
+        let key: CacheKey = ("q".into(), 3, 1, 0);
         cache.insert(key.clone(), body("one"));
         cache.insert(key.clone(), body("two"));
         assert_eq!(*cache.get(&key).unwrap(), b"two");
@@ -196,7 +204,7 @@ mod tests {
                 let cache = Arc::clone(&cache);
                 std::thread::spawn(move || {
                     for i in 0..500u64 {
-                        let key = (format!("q{}", i % 40), i % 3, i % 2);
+                        let key = (format!("q{}", i % 40), i % 3, i % 2, i % 2);
                         if let Some(hit) = cache.get(&key) {
                             assert_eq!(*hit, format!("body{}:{}", i % 40, i % 3).into_bytes());
                         } else {

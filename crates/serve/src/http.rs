@@ -9,10 +9,68 @@
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 
-/// Max bytes of request head (request line + headers) before 431.
-const MAX_HEAD: usize = 16 * 1024;
-/// Max request body bytes read (and discarded) before rejection.
-const MAX_BODY: usize = 64 * 1024;
+/// Default max bytes of request head (request line + headers).
+pub const DEFAULT_MAX_HEAD: usize = 16 * 1024;
+/// Default max request body bytes.
+pub const DEFAULT_MAX_BODY: usize = 64 * 1024;
+
+/// Request size caps, rejected **before** the offending bytes are read:
+/// an oversized `Content-Length` is refused from its declaration alone
+/// (`413`), and a head that keeps growing past `max_head` is cut off
+/// (`431`) — either way a hostile or confused client cannot pin a
+/// worker on an unbounded read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Max bytes of request head (request line + headers).
+    pub max_head: usize,
+    /// Max declared/readable body bytes.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head: DEFAULT_MAX_HEAD,
+            max_body: DEFAULT_MAX_BODY,
+        }
+    }
+}
+
+/// Why a request could not be parsed, mapped 1:1 onto a response status
+/// so handlers answer the precise protocol error instead of a blanket
+/// `400`.
+#[derive(Debug)]
+pub enum RequestError {
+    /// `400` — syntactically invalid request.
+    Malformed(io::Error),
+    /// `413` — declared `Content-Length` above the cap; the body was
+    /// **not** read.
+    BodyTooLarge {
+        /// The declared length.
+        declared: usize,
+        /// The configured cap it exceeded.
+        cap: usize,
+    },
+    /// `431` — request head grew past the cap.
+    HeadTooLarge {
+        /// The configured cap it exceeded.
+        cap: usize,
+    },
+    /// Socket-level failure (timeout, reset) — no response is owed.
+    Io(io::Error),
+}
+
+impl RequestError {
+    /// The response status this error answers with.
+    pub fn status(&self) -> u16 {
+        match self {
+            RequestError::Malformed(_) => 400,
+            RequestError::BodyTooLarge { .. } => 413,
+            RequestError::HeadTooLarge { .. } => 431,
+            RequestError::Io(_) => 400,
+        }
+    }
+}
 
 /// A parsed request: method, decoded path, decoded query parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +81,9 @@ pub struct Request {
     pub path: String,
     /// Query parameters in order of appearance, percent-decoded.
     pub query: Vec<(String, String)>,
+    /// Headers in order of appearance, names lower-cased, values
+    /// trimmed. (`X-Esharp-Deadline-Ms` rides here.)
+    pub headers: Vec<(String, String)>,
     /// The request body (`content-length` bytes; empty for bodiless
     /// requests). `POST /ingest` reads op lines from here.
     pub body: Vec<u8>,
@@ -36,69 +97,101 @@ impl Request {
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// First value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
-/// Read and parse one request from the stream. Returns `Ok(None)` when
-/// the peer closed before sending anything (a clean no-request
-/// connection); malformed or oversized requests are `Err`.
+/// Read and parse one request from the stream with default [`Limits`].
+/// Returns `Ok(None)` when the peer closed before sending anything (a
+/// clean no-request connection); malformed or oversized requests are
+/// `Err`.
 pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
+    read_request_limited(stream, &Limits::default()).map_err(|e| match e {
+        RequestError::Malformed(e) | RequestError::Io(e) => e,
+        RequestError::BodyTooLarge { .. } => bad("request body too large"),
+        RequestError::HeadTooLarge { .. } => bad("request head too large"),
+    })
+}
+
+/// [`read_request`] with explicit size caps and a typed error that maps
+/// onto the exact rejection status (`400`/`413`/`431`).
+pub fn read_request_limited(
+    stream: &mut TcpStream,
+    limits: &Limits,
+) -> Result<Option<Request>, RequestError> {
     let mut head = Vec::with_capacity(512);
     let mut buf = [0u8; 1024];
-    let (head_end, mut overflow) = loop {
-        let n = stream.read(&mut buf)?;
+    let mut overflow = loop {
+        let n = stream.read(&mut buf).map_err(RequestError::Io)?;
         if n == 0 {
             if head.is_empty() {
                 return Ok(None);
             }
-            return Err(bad("connection closed mid-request"));
+            return Err(RequestError::Malformed(bad("connection closed mid-request")));
         }
         head.extend_from_slice(&buf[..n]);
         if let Some(pos) = find_head_end(&head) {
-            let overflow = head.split_off(pos + 4);
-            break (pos, overflow);
+            break head.split_off(pos + 4);
         }
-        if head.len() > MAX_HEAD {
-            return Err(bad("request head too large"));
+        if head.len() > limits.max_head {
+            return Err(RequestError::HeadTooLarge {
+                cap: limits.max_head,
+            });
         }
     };
-    let _ = head_end;
 
-    let text = std::str::from_utf8(&head).map_err(|_| bad("non-UTF-8 request head"))?;
+    let text = std::str::from_utf8(&head)
+        .map_err(|_| RequestError::Malformed(bad("non-UTF-8 request head")))?;
+    let malformed = |msg: &str| RequestError::Malformed(bad(msg));
     let mut lines = text.split("\r\n");
-    let request_line = lines.next().ok_or_else(|| bad("empty request"))?;
+    let request_line = lines.next().ok_or_else(|| malformed("empty request"))?;
     let mut parts = request_line.split(' ');
-    let method = parts.next().ok_or_else(|| bad("missing method"))?;
-    let target = parts.next().ok_or_else(|| bad("missing target"))?;
-    let version = parts.next().ok_or_else(|| bad("missing version"))?;
+    let method = parts.next().ok_or_else(|| malformed("missing method"))?;
+    let target = parts.next().ok_or_else(|| malformed("missing target"))?;
+    let version = parts.next().ok_or_else(|| malformed("missing version"))?;
     if !version.starts_with("HTTP/1.") {
-        return Err(bad("unsupported HTTP version"));
+        return Err(malformed("unsupported HTTP version"));
     }
 
-    // The only header the subset needs: a body to drain.
+    let mut headers: Vec<(String, String)> = Vec::new();
     let mut content_length = 0usize;
     for line in lines {
         if line.is_empty() {
             continue;
         }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
                 content_length = value
-                    .trim()
                     .parse()
-                    .map_err(|_| bad("invalid content-length"))?;
+                    .map_err(|_| malformed("invalid content-length"))?;
             }
+            headers.push((name, value));
         }
     }
-    if content_length > MAX_BODY {
-        return Err(bad("request body too large"));
+    // The cap is enforced on the *declared* length, before reading a
+    // single body byte — an oversized upload is refused at the cost of
+    // its headers.
+    if content_length > limits.max_body {
+        return Err(RequestError::BodyTooLarge {
+            declared: content_length,
+            cap: limits.max_body,
+        });
     }
     // Read the full body (clients that pipeline a body expect it
     // consumed before the response); bytes past content-length are a
     // protocol violation this one-shot subset simply drops.
     while overflow.len() < content_length {
-        let n = stream.read(&mut buf)?;
+        let n = stream.read(&mut buf).map_err(RequestError::Io)?;
         if n == 0 {
-            return Err(bad("connection closed mid-body"));
+            return Err(malformed("connection closed mid-body"));
         }
         overflow.extend_from_slice(&buf[..n]);
     }
@@ -108,13 +201,14 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
         Some((p, q)) => (p, Some(q)),
         None => (target, None),
     };
-    let path = percent_decode(path_raw).ok_or_else(|| bad("malformed path encoding"))?;
+    let path =
+        percent_decode(path_raw).ok_or_else(|| malformed("malformed path encoding"))?;
     let mut query = Vec::new();
     if let Some(q) = query_raw {
         for pair in q.split('&').filter(|p| !p.is_empty()) {
             let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
-            let k = percent_decode(k).ok_or_else(|| bad("malformed query encoding"))?;
-            let v = percent_decode(v).ok_or_else(|| bad("malformed query encoding"))?;
+            let k = percent_decode(k).ok_or_else(|| malformed("malformed query encoding"))?;
+            let v = percent_decode(v).ok_or_else(|| malformed("malformed query encoding"))?;
             query.push((k, v));
         }
     }
@@ -122,6 +216,7 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
         method: method.to_string(),
         path,
         query,
+        headers,
         body: overflow,
     }))
 }
@@ -202,6 +297,8 @@ pub fn write_response(
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -217,9 +314,58 @@ pub fn write_response(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    write_bounded(stream, head.as_bytes())?;
+    write_bounded(stream, body)?;
     stream.flush()
+}
+
+/// Write all of `buf`, tolerating partial writes and spurious wakeups
+/// under `set_write_timeout`. A `WouldBlock`/`TimedOut` while bytes are
+/// still moving is retried; one with **zero progress since the last
+/// retry** means the client has stopped draining its receive window —
+/// the write is abandoned and the error surfaces so the caller can shed
+/// the connection (see [`is_slow_client`]).
+fn write_bounded(stream: &mut TcpStream, buf: &[u8]) -> io::Result<()> {
+    let mut written = 0usize;
+    let mut progressed = true;
+    while written < buf.len() {
+        match stream.write(&buf[written..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "client closed mid-response",
+                ))
+            }
+            Ok(n) => {
+                written += n;
+                progressed = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if !progressed {
+                    return Err(e);
+                }
+                progressed = false;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Whether a write failure means the *client* stalled (stopped reading,
+/// filled its window) rather than the server failing — such connections
+/// are shed and accounted as `shed_slow_client`, never as success.
+pub fn is_slow_client(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::WriteZero
+    )
 }
 
 #[cfg(test)]
@@ -313,5 +459,89 @@ mod tests {
         let (mut stream, _) = listener.accept().unwrap();
         client.join().unwrap();
         assert!(matches!(read_request(&mut stream), Ok(None)));
+    }
+
+    #[test]
+    fn headers_are_parsed_case_insensitively() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(
+                b"GET /search?q=a HTTP/1.1\r\nX-Esharp-Deadline-Ms: 75\r\nHost: x\r\n\r\n",
+            )
+            .unwrap();
+            let mut out = Vec::new();
+            let _ = c.read_to_end(&mut out);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = read_request(&mut stream).unwrap().unwrap();
+        assert_eq!(req.header("x-esharp-deadline-ms"), Some("75"));
+        assert_eq!(req.header("X-ESHARP-DEADLINE-MS"), Some("75"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("absent"), None);
+        write_response(&mut stream, 200, &[], b"{}").unwrap();
+        drop(stream);
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_before_reading_it() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            // Declare a huge body but never send it: the server must
+            // reject from the declaration alone without blocking on
+            // body bytes.
+            c.write_all(b"POST /ingest HTTP/1.1\r\nContent-Length: 999999\r\n\r\n")
+                .unwrap();
+            let mut out = Vec::new();
+            let _ = c.read_to_end(&mut out);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let limits = Limits {
+            max_head: 1024,
+            max_body: 64,
+        };
+        let err = read_request_limited(&mut stream, &limits).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RequestError::BodyTooLarge {
+                    declared: 999999,
+                    cap: 64
+                }
+            ),
+            "{err:?}"
+        );
+        assert_eq!(err.status(), 413);
+        write_response(&mut stream, 413, &[], b"{}").unwrap();
+        drop(stream);
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            let huge = format!("GET /x HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(4096));
+            let _ = c.write_all(huge.as_bytes());
+            let mut out = Vec::new();
+            let _ = c.read_to_end(&mut out);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let limits = Limits {
+            max_head: 512,
+            max_body: 64,
+        };
+        let err = read_request_limited(&mut stream, &limits).unwrap_err();
+        assert!(matches!(err, RequestError::HeadTooLarge { cap: 512 }), "{err:?}");
+        assert_eq!(err.status(), 431);
+        write_response(&mut stream, 431, &[], b"{}").unwrap();
+        drop(stream);
+        client.join().unwrap();
     }
 }

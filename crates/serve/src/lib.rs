@@ -64,6 +64,6 @@ pub mod json;
 pub mod metrics;
 pub mod server;
 
-pub use cache::ResultCache;
-pub use metrics::{Histogram, Metrics};
-pub use server::{render_search_body, search_and_render, ServeConfig, Server};
+pub use cache::{CacheKey, ResultCache};
+pub use metrics::{BreakerStats, Histogram, Metrics};
+pub use server::{render_search_body, search_and_render, ServeConfig, ServeHooks, Server};

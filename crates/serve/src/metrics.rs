@@ -115,6 +115,25 @@ pub struct Metrics {
     pub client_errors: AtomicU64,
     /// Connections answered `503` by the accept loop (queue full).
     pub shed_total: AtomicU64,
+    /// Responses abandoned because the *client* stopped draining its
+    /// receive window (write timeout with zero progress). Never counted
+    /// as success.
+    pub shed_slow_client: AtomicU64,
+    /// Search responses marked `partial: true` (some shard missed the
+    /// deadline or was breaker-skipped).
+    pub partial_responses: AtomicU64,
+    /// Hedged duplicate shard probes issued for stragglers.
+    pub hedges: AtomicU64,
+    /// Hedged probes that answered before their straggling primary.
+    pub hedge_wins: AtomicU64,
+    /// Shard-task panics contained by the scatter-gather layer.
+    pub shard_panics: AtomicU64,
+    /// Request-handler panics contained by a worker's `catch_unwind`
+    /// (each answered `500`, the worker lived on).
+    pub worker_panics: AtomicU64,
+    /// Worker threads that died outside the request guard and were
+    /// respawned by the supervisor.
+    pub workers_resurrected: AtomicU64,
     /// Search responses served from the result cache.
     pub cache_hits: AtomicU64,
     /// Search responses computed cold.
@@ -192,6 +211,55 @@ impl ShardStats {
     }
 }
 
+/// A point-in-time snapshot of the per-shard circuit breakers, rendered
+/// into `/metrics` and `/healthz` so operators can see which shards the
+/// scatter-gather is currently routing around (ROBUSTNESS.md §9).
+#[derive(Debug, Clone, Default)]
+pub struct BreakerStats {
+    /// Closed→open transitions since start.
+    pub trips: u64,
+    /// Half-open→closed recoveries since start.
+    pub recoveries: u64,
+    /// Monotonic counter bumped on every breaker transition; the 4th
+    /// component of the result-cache key.
+    pub health_epoch: u64,
+    /// Per-shard state names (`"closed"` / `"open"` / `"half_open"`),
+    /// in shard order.
+    pub states: Vec<&'static str>,
+}
+
+impl BreakerStats {
+    /// Snapshot a breaker set.
+    pub fn of(breakers: &esharp_fault::ShardBreakers) -> BreakerStats {
+        BreakerStats {
+            trips: breakers.trips(),
+            recoveries: breakers.recoveries(),
+            health_epoch: breakers.epoch(),
+            states: breakers.states().iter().map(|s| s.name()).collect(),
+        }
+    }
+
+    /// Render as a JSON object (shared by `/metrics` and `/healthz`).
+    pub fn render(&self, out: &mut String) {
+        out.push_str("{\"trips\":");
+        out.push_str(&self.trips.to_string());
+        out.push_str(",\"recoveries\":");
+        out.push_str(&self.recoveries.to_string());
+        out.push_str(",\"health_epoch\":");
+        out.push_str(&self.health_epoch.to_string());
+        out.push_str(",\"states\":[");
+        for (i, s) in self.states.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(s);
+            out.push('"');
+        }
+        out.push_str("]}");
+    }
+}
+
 impl Metrics {
     /// Cache hit rate in `[0, 1]` (0 when no search has been served).
     pub fn hit_rate(&self) -> f64 {
@@ -214,6 +282,7 @@ impl Metrics {
         cache_entries: usize,
         cache_capacity: usize,
         shards: &ShardStats,
+        breakers: &BreakerStats,
     ) -> String {
         let c = |a: &AtomicU64| a.load(Relaxed).to_string();
         let mut out = String::with_capacity(1024);
@@ -229,7 +298,23 @@ impl Metrics {
         out.push_str(&c(&self.client_errors));
         out.push_str("},\"shed_total\":");
         out.push_str(&c(&self.shed_total));
-        out.push_str(",\"cache\":{\"hits\":");
+        out.push_str(",\"tail\":{\"partial_responses\":");
+        out.push_str(&c(&self.partial_responses));
+        out.push_str(",\"hedges\":");
+        out.push_str(&c(&self.hedges));
+        out.push_str(",\"hedge_wins\":");
+        out.push_str(&c(&self.hedge_wins));
+        out.push_str(",\"shard_panics\":");
+        out.push_str(&c(&self.shard_panics));
+        out.push_str(",\"worker_panics\":");
+        out.push_str(&c(&self.worker_panics));
+        out.push_str(",\"workers_resurrected\":");
+        out.push_str(&c(&self.workers_resurrected));
+        out.push_str(",\"shed_slow_client\":");
+        out.push_str(&c(&self.shed_slow_client));
+        out.push_str(",\"breakers\":");
+        breakers.render(&mut out);
+        out.push_str("},\"cache\":{\"hits\":");
         out.push_str(&c(&self.cache_hits));
         out.push_str(",\"misses\":");
         out.push_str(&c(&self.cache_misses));
@@ -312,10 +397,21 @@ mod tests {
             postings_bytes: vec![4096, 1024, 1024, 2048],
             zero_copy: true,
         };
-        let doc = m.render(7, 9, 2, 512, &shards);
+        m.partial_responses.fetch_add(2, Relaxed);
+        m.hedges.fetch_add(4, Relaxed);
+        let breakers = BreakerStats {
+            trips: 1,
+            recoveries: 1,
+            health_epoch: 3,
+            states: vec!["closed", "open"],
+        };
+        let doc = m.render(7, 9, 2, 512, &shards, &breakers);
         for needle in [
             "\"requests\":{\"search\":3",
             "\"shed_total\":0",
+            "\"tail\":{\"partial_responses\":2,\"hedges\":4,\"hedge_wins\":0",
+            "\"worker_panics\":0,\"workers_resurrected\":0,\"shed_slow_client\":0",
+            "\"breakers\":{\"trips\":1,\"recoveries\":1,\"health_epoch\":3,\"states\":[\"closed\",\"open\"]}",
             "\"hit_rate\":0.3333",
             "\"epoch\":7",
             "\"entries\":2",

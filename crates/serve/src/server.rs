@@ -11,16 +11,20 @@
 //! only defensible for requests the server actually admits).
 
 use crate::cache::{CacheKey, ResultCache};
-use crate::http::{self, Request};
+use crate::http::{self, Limits, Request, RequestError};
 use crate::json;
-use crate::metrics::Metrics;
+use crate::metrics::{BreakerStats, Metrics};
 use esharp_core::{Degradation, Esharp, SearchOutcome, SharedEsharp};
-use esharp_fault::{FaultInjector, NoFaults};
+use esharp_fault::{
+    BreakerConfig, Budget, ChaosFault, ChaosInjector, FaultInjector, NoChaos, NoFaults,
+    ShardBreakers, TickSource, WallClock,
+};
 use esharp_ingest::{Compactor, CompactorConfig, IngestOp, LiveCorpus};
-use esharp_microblog::Corpus;
+use esharp_microblog::{BoundedSearch, Corpus};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering::SeqCst};
 use std::sync::{Arc, Condvar, Mutex};
@@ -45,6 +49,27 @@ pub struct ServeConfig {
     pub compact_threshold: usize,
     /// Background-compaction poll interval.
     pub compact_interval: Duration,
+    /// Default per-search deadline; shard work past it is abandoned and
+    /// the answer marked partial (the paper's <1 s detection budget,
+    /// enforced rather than hoped for). Overridable per request with the
+    /// `X-Esharp-Deadline-Ms` header.
+    pub deadline: Duration,
+    /// Upper clamp on the per-request deadline header.
+    pub deadline_max: Duration,
+    /// Re-issue straggling shards as hedged duplicates once
+    /// `hedge_delay` of a search's budget has elapsed.
+    pub hedge: bool,
+    /// How long to wait before hedging stragglers (ideally the steady
+    /// per-shard p99; `esharp bench --serve` measures it).
+    pub hedge_delay: Duration,
+    /// Max accepted `Content-Length` on `POST` bodies; larger uploads
+    /// are refused with `413` before the body is read.
+    pub max_body_bytes: usize,
+    /// Consecutive shard failures (deadline misses / panics) that trip
+    /// that shard's circuit breaker. `0` disables breakers.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before probing.
+    pub breaker_open: Duration,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +83,34 @@ impl Default for ServeConfig {
             domains_path: None,
             compact_threshold: 0,
             compact_interval: Duration::from_millis(250),
+            deadline: Duration::from_secs(1),
+            deadline_max: Duration::from_secs(10),
+            hedge: false,
+            hedge_delay: Duration::from_millis(20),
+            max_body_bytes: http::DEFAULT_MAX_BODY,
+            breaker_threshold: 3,
+            breaker_open: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Test seams for the serving stack: the tick source budgets and waits
+/// run on, and the chaos injector consulted at the `serve:worker` /
+/// `serve:conn` seams. Production servers use the defaults (wall clock,
+/// no chaos); the chaos harness swaps both.
+#[derive(Clone)]
+pub struct ServeHooks {
+    /// Clock behind request budgets and injected waits.
+    pub clock: Arc<dyn TickSource>,
+    /// Chaos injector for the serve-layer seams.
+    pub chaos: Arc<dyn ChaosInjector>,
+}
+
+impl Default for ServeHooks {
+    fn default() -> Self {
+        ServeHooks {
+            clock: WallClock::shared(),
+            chaos: Arc::new(NoChaos),
         }
     }
 }
@@ -129,6 +182,17 @@ struct State {
     /// Monotonic reload-attempt counter, the `attempt` axis of the
     /// `reload:domains` fault site.
     reload_attempts: AtomicU32,
+    /// Clock behind request budgets and chaos waits.
+    clock: Arc<dyn TickSource>,
+    /// Chaos injector for `serve:worker` / `serve:conn`.
+    chaos: Arc<dyn ChaosInjector>,
+    /// Per-shard circuit breakers for the search scatter-gather.
+    breakers: ShardBreakers,
+    /// Request size caps (from `config.max_body_bytes`).
+    limits: Limits,
+    /// Monotonic connection counter, the `attempt` axis of the
+    /// serve-layer chaos sites.
+    connections: AtomicU32,
 }
 
 /// A running e# server. Dropping without [`Server::shutdown`] aborts the
@@ -139,7 +203,11 @@ pub struct Server {
     queue: Arc<Queue>,
     stop: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
-    worker_handles: Vec<JoinHandle<()>>,
+    /// Worker slots, shared with the supervisor so it can swap in
+    /// replacements for dead threads.
+    workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
+    supervisor_stop: Arc<AtomicBool>,
+    supervisor_handle: Option<JoinHandle<()>>,
     compactor: Option<Compactor>,
 }
 
@@ -190,6 +258,19 @@ impl Server {
         shared: Arc<SharedEsharp>,
         injector: Arc<dyn FaultInjector>,
     ) -> io::Result<Server> {
+        Server::start_live_with_hooks(addr, config, live, shared, injector, ServeHooks::default())
+    }
+
+    /// [`Server::start_live`] with explicit [`ServeHooks`] — the chaos
+    /// harness's entry point (virtual clock + seeded chaos plan).
+    pub fn start_live_with_hooks(
+        addr: &str,
+        config: ServeConfig,
+        live: Arc<LiveCorpus>,
+        shared: Arc<SharedEsharp>,
+        injector: Arc<dyn FaultInjector>,
+        hooks: ServeHooks,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let queue = Arc::new(Queue::new(config.queue_depth));
@@ -204,6 +285,14 @@ impl Server {
                 },
             )
         });
+        let breakers = ShardBreakers::new(BreakerConfig {
+            threshold: config.breaker_threshold,
+            open_us: config.breaker_open.as_micros().min(u64::MAX as u128) as u64,
+        });
+        let limits = Limits {
+            max_head: http::DEFAULT_MAX_HEAD,
+            max_body: config.max_body_bytes,
+        };
         let state = Arc::new(State {
             live,
             shared,
@@ -212,22 +301,52 @@ impl Server {
             config,
             injector,
             reload_attempts: AtomicU32::new(0),
+            clock: hooks.clock,
+            chaos: hooks.chaos,
+            breakers,
+            limits,
+            connections: AtomicU32::new(0),
         });
         let stop = Arc::new(AtomicBool::new(false));
 
-        let worker_handles = (0..workers)
-            .map(|i| {
-                let queue = Arc::clone(&queue);
-                let state = Arc::clone(&state);
-                std::thread::Builder::new()
-                    .name(format!("esharp-serve-{i}"))
-                    .spawn(move || {
-                        while let Some(stream) = queue.pop() {
-                            handle_connection(&state, stream);
-                        }
-                    })
-            })
+        let worker_slots = (0..workers)
+            .map(|i| spawn_worker(i, &queue, &state).map(Some))
             .collect::<io::Result<Vec<_>>>()?;
+        let workers_shared = Arc::new(Mutex::new(worker_slots));
+
+        // The supervisor resurrects workers that die *outside* the
+        // request guard (a panic past `catch_unwind`, e.g. at the
+        // `serve:conn` seam): the pool keeps its full width no matter
+        // what a connection does to a thread.
+        let supervisor_stop = Arc::new(AtomicBool::new(false));
+        let supervisor_handle = {
+            let workers_shared = Arc::clone(&workers_shared);
+            let queue = Arc::clone(&queue);
+            let state = Arc::clone(&state);
+            let supervisor_stop = Arc::clone(&supervisor_stop);
+            std::thread::Builder::new()
+                .name("esharp-serve-supervisor".to_string())
+                .spawn(move || {
+                    while !supervisor_stop.load(SeqCst) {
+                        std::thread::sleep(Duration::from_millis(20));
+                        let mut slots =
+                            workers_shared.lock().unwrap_or_else(|e| e.into_inner());
+                        for (i, slot) in slots.iter_mut().enumerate() {
+                            let dead = slot.as_ref().is_some_and(|h| h.is_finished());
+                            if !dead || supervisor_stop.load(SeqCst) {
+                                continue;
+                            }
+                            if let Some(handle) = slot.take() {
+                                let _ = handle.join();
+                            }
+                            if let Ok(fresh) = spawn_worker(i, &queue, &state) {
+                                state.metrics.workers_resurrected.fetch_add(1, SeqCst);
+                                *slot = Some(fresh);
+                            }
+                        }
+                    }
+                })?
+        };
 
         let accept_handle = {
             let queue = Arc::clone(&queue);
@@ -244,7 +363,9 @@ impl Server {
             queue,
             stop,
             accept_handle: Some(accept_handle),
-            worker_handles,
+            workers: workers_shared,
+            supervisor_stop,
+            supervisor_handle: Some(supervisor_handle),
             compactor,
         })
     }
@@ -259,10 +380,23 @@ impl Server {
         Arc::clone(&self.state.metrics)
     }
 
+    /// A snapshot of the per-shard circuit breakers (also on `/metrics`
+    /// and `/healthz`).
+    pub fn breaker_stats(&self) -> BreakerStats {
+        BreakerStats::of(&self.state.breakers)
+    }
+
     /// Stop accepting, drain admitted connections, join every thread.
     pub fn shutdown(mut self) {
         if let Some(mut compactor) = self.compactor.take() {
             compactor.stop();
+        }
+        // Stop the supervisor first: workers exiting their loop at
+        // queue-close must read as clean shutdown, not as deaths to
+        // resurrect.
+        self.supervisor_stop.store(true, SeqCst);
+        if let Some(handle) = self.supervisor_handle.take() {
+            let _ = handle.join();
         }
         self.stop.store(true, SeqCst);
         // Unblock the accept loop with a throwaway connection.
@@ -271,10 +405,69 @@ impl Server {
             let _ = handle.join();
         }
         self.queue.close();
-        for handle in self.worker_handles.drain(..) {
-            let _ = handle.join();
+        let mut slots = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        for slot in slots.iter_mut() {
+            if let Some(handle) = slot.take() {
+                let _ = handle.join();
+            }
         }
     }
+}
+
+/// Spawn one worker thread. The body has two layers of containment:
+/// the chaos seam `serve:conn` sits *outside* the request guard (a
+/// panic there kills the thread — the supervisor's job), while
+/// [`handle_connection`] runs under `catch_unwind` so a panic inside a
+/// handler answers `500`, bumps `worker_panics`, and the worker takes
+/// the next connection (ROBUSTNESS.md §10).
+fn spawn_worker(
+    index: usize,
+    queue: &Arc<Queue>,
+    state: &Arc<State>,
+) -> io::Result<JoinHandle<()>> {
+    let queue = Arc::clone(queue);
+    let state = Arc::clone(state);
+    std::thread::Builder::new()
+        .name(format!("esharp-serve-{index}"))
+        .spawn(move || {
+            while let Some(stream) = queue.pop() {
+                let attempt = state.connections.fetch_add(1, SeqCst);
+                // Unguarded seam: a Panic here escapes the thread.
+                if let Some(fault) = state.chaos.chaos_at("serve:conn", attempt) {
+                    match fault {
+                        ChaosFault::Delay { us } => {
+                            state.clock.wait_us(us, &|| false);
+                        }
+                        // A conn-level stall is bounded by the read
+                        // timeout story, not a budget; model it as a
+                        // fixed coarse delay.
+                        ChaosFault::Stall => {
+                            state.clock.wait_us(10_000, &|| false);
+                        }
+                        ChaosFault::Panic => panic!("chaos: serve:conn panic"),
+                    }
+                }
+                // Pre-clone the stream so a panicking handler still
+                // gets answered; if the clone fails the client sees a
+                // reset, which is the best a dead socket allows.
+                let respond = stream.try_clone().ok();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    handle_connection(&state, stream, attempt)
+                }));
+                if outcome.is_err() {
+                    state.metrics.worker_panics.fetch_add(1, SeqCst);
+                    if let Some(mut stream) = respond {
+                        respond_and_drain(
+                            &state,
+                            &mut stream,
+                            500,
+                            &[],
+                            b"{\"error\":\"internal panic\",\"contained\":true}",
+                        );
+                    }
+                }
+            }
+        })
 }
 
 fn accept_loop(listener: &TcpListener, queue: &Queue, state: &State, stop: &AtomicBool) {
@@ -321,16 +514,84 @@ fn shed(state: &State, mut stream: TcpStream) {
     while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
 }
 
-fn handle_connection(state: &State, mut stream: TcpStream) {
+/// Write a response, classifying failures: a client that stopped
+/// draining its window is shed and accounted (`shed_slow_client`) —
+/// never silently counted as a served response.
+fn respond_checked(
+    state: &State,
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) {
+    if let Err(e) = http::write_response(stream, status, extra_headers, body) {
+        if http::is_slow_client(&e) {
+            state.metrics.shed_slow_client.fetch_add(1, SeqCst);
+        }
+    }
+}
+
+/// [`respond_checked`] for responses sent *before* the request was
+/// fully read (caps, panics): closing with unread bytes in the receive
+/// buffer would emit an RST that races ahead of — and can destroy — the
+/// response still in flight. Send a clean FIN instead and drain briefly
+/// (the same dance as [`shed`]).
+fn respond_and_drain(
+    state: &State,
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) {
+    use std::io::Read;
+    respond_checked(state, stream, status, extra_headers, body);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+fn handle_connection(state: &State, mut stream: TcpStream, attempt: u32) {
     let started = Instant::now();
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let request = match http::read_request(&mut stream) {
+    // Guarded seam: a Panic here unwinds into the worker's
+    // `catch_unwind`, which answers 500 and keeps the thread.
+    if let Some(fault) = state.chaos.chaos_at("serve:worker", attempt) {
+        match fault {
+            ChaosFault::Delay { us } => {
+                state.clock.wait_us(us, &|| false);
+            }
+            ChaosFault::Stall => {
+                // Bounded by the request deadline, then the handler
+                // proceeds (late, likely partial — never hung).
+                let us = state.config.deadline.as_micros().min(u64::MAX as u128) as u64;
+                state.clock.wait_us(us, &|| false);
+            }
+            ChaosFault::Panic => panic!("chaos: serve:worker panic"),
+        }
+    }
+    let request = match http::read_request_limited(&mut stream, &state.limits) {
         Ok(Some(request)) => request,
         Ok(None) => return, // peer connected and left
+        Err(RequestError::BodyTooLarge { declared, cap }) => {
+            state.metrics.client_errors.fetch_add(1, SeqCst);
+            let body = format!(
+                "{{\"error\":\"request body too large\",\"declared\":{declared},\"cap\":{cap}}}"
+            );
+            respond_and_drain(state, &mut stream, 413, &[], body.as_bytes());
+            return;
+        }
+        Err(RequestError::HeadTooLarge { cap }) => {
+            state.metrics.client_errors.fetch_add(1, SeqCst);
+            let body = format!("{{\"error\":\"request head too large\",\"cap\":{cap}}}");
+            respond_and_drain(state, &mut stream, 431, &[], body.as_bytes());
+            return;
+        }
         Err(_) => {
             state.metrics.client_errors.fetch_add(1, SeqCst);
-            let _ = http::write_response(
+            respond_checked(
+                state,
                 &mut stream,
                 400,
                 &[],
@@ -353,11 +614,27 @@ fn route(state: &State, stream: &mut TcpStream, request: &Request) {
         ("POST", "/compact") => handle_compact(state, stream),
         (_, "/search" | "/healthz" | "/metrics" | "/reload" | "/ingest" | "/compact") => {
             state.metrics.client_errors.fetch_add(1, SeqCst);
-            let _ = http::write_response(stream, 405, &[], b"{\"error\":\"method not allowed\"}");
+            respond_checked(state, stream, 405, &[], b"{\"error\":\"method not allowed\"}");
         }
         _ => {
             state.metrics.client_errors.fetch_add(1, SeqCst);
-            let _ = http::write_response(stream, 404, &[], b"{\"error\":\"not found\"}");
+            respond_checked(state, stream, 404, &[], b"{\"error\":\"not found\"}");
+        }
+    }
+}
+
+/// The per-request deadline: the `X-Esharp-Deadline-Ms` header when
+/// present (clamped to `[1 ms, deadline_max]`), the configured default
+/// otherwise. `Err` on an unparsable header.
+fn request_deadline(state: &State, request: &Request) -> Result<Duration, ()>{
+    match request.header("x-esharp-deadline-ms") {
+        None => Ok(state.config.deadline),
+        Some(raw) => {
+            let ms: u64 = raw.trim().parse().map_err(|_| ())?;
+            if ms == 0 {
+                return Err(());
+            }
+            Ok(Duration::from_millis(ms).min(state.config.deadline_max))
         }
     }
 }
@@ -367,7 +644,8 @@ fn handle_search(state: &State, stream: &mut TcpStream, request: &Request) {
         Some(q) if !q.is_empty() => q,
         _ => {
             state.metrics.client_errors.fetch_add(1, SeqCst);
-            let _ = http::write_response(
+            respond_checked(
+                state,
                 stream,
                 400,
                 &[],
@@ -376,27 +654,58 @@ fn handle_search(state: &State, stream: &mut TcpStream, request: &Request) {
             return;
         }
     };
+    let Ok(deadline) = request_deadline(state, request) else {
+        state.metrics.client_errors.fetch_add(1, SeqCst);
+        respond_checked(
+            state,
+            stream,
+            400,
+            &[],
+            b"{\"error\":\"invalid x-esharp-deadline-ms header\"}",
+        );
+        return;
+    };
     state.metrics.search_requests.fetch_add(1, SeqCst);
     // The snapshots pin (collection, domains epoch) and (corpus, corpus
     // epoch) as consistent pairs for the whole request; a reload,
     // ingest, or compaction landing now affects the *next* request. The
     // corpus read guard is held across the search — reads are concurrent
     // with each other, and an ingest waits microseconds, a compaction
-    // publish waits one search.
+    // publish waits one search. The breakers' health epoch is the 4th
+    // key component: a trip or recovery landing now changes the key, so
+    // a cached body can never cross a breaker state change.
     let (esharp, epoch) = state.shared.snapshot();
     let guard = state.live.read();
-    let key: CacheKey = (normalized, epoch, guard.epoch());
+    let key: CacheKey = (normalized, epoch, guard.epoch(), state.breakers.epoch());
     if let Some(body) = state.cache.get(&key) {
         state.metrics.cache_hits.fetch_add(1, SeqCst);
-        let _ = http::write_response(stream, 200, &[("x-esharp-cache", "hit")], &body);
+        respond_checked(state, stream, 200, &[("x-esharp-cache", "hit")], &body);
         return;
     }
     state.metrics.cache_misses.fetch_add(1, SeqCst);
-    let outcome = esharp.search(guard.corpus(), &key.0);
+    let limit_us = deadline.as_micros().min(u64::MAX as u128) as u64;
+    let budget = Budget::with_clock(Arc::clone(&state.clock), limit_us);
+    let mut ctx = BoundedSearch::new(&budget)
+        .with_chaos(state.chaos.as_ref())
+        .with_breakers(&state.breakers);
+    if state.config.hedge {
+        let delay_us = state.config.hedge_delay.as_micros().min(u64::MAX as u128) as u64;
+        ctx = ctx.hedged(delay_us);
+    }
+    let outcome = esharp.search_bounded(guard.corpus(), &key.0, &ctx);
     state.metrics.expansion.record(outcome.expansion_time);
     state.metrics.detection.record(outcome.detection_time);
     state.metrics.match_phase.record(outcome.match_time);
     state.metrics.rank_phase.record(outcome.rank_time);
+    state.metrics.hedges.fetch_add(outcome.hedges as u64, SeqCst);
+    state
+        .metrics
+        .hedge_wins
+        .fetch_add(outcome.hedge_wins as u64, SeqCst);
+    state
+        .metrics
+        .shard_panics
+        .fetch_add(outcome.shard_panics as u64, SeqCst);
     let body = Arc::new(render_search_body(
         guard.corpus(),
         &key.0,
@@ -404,8 +713,15 @@ fn handle_search(state: &State, stream: &mut TcpStream, request: &Request) {
         key.2,
         &outcome,
     ));
-    state.cache.insert(key, Arc::clone(&body));
-    let _ = http::write_response(stream, 200, &[("x-esharp-cache", "miss")], &body);
+    // Only complete answers are cacheable: a partial body reflects this
+    // request's luck with the deadline, not the corpus, and must not be
+    // replayed to the next caller.
+    if outcome.partial.is_none() {
+        state.cache.insert(key, Arc::clone(&body));
+    } else {
+        state.metrics.partial_responses.fetch_add(1, SeqCst);
+    }
+    respond_checked(state, stream, 200, &[("x-esharp-cache", "miss")], &body);
 }
 
 /// `POST /ingest`: the body is a batch of op lines (see
@@ -418,8 +734,7 @@ fn handle_ingest(state: &State, stream: &mut TcpStream, request: &Request) {
         Ok(text) => text,
         Err(_) => {
             state.metrics.client_errors.fetch_add(1, SeqCst);
-            let _ =
-                http::write_response(stream, 400, &[], b"{\"ok\":false,\"error\":\"body is not UTF-8\"}");
+            respond_checked(state, stream, 400, &[], b"{\"ok\":false,\"error\":\"body is not UTF-8\"}");
             return;
         }
     };
@@ -427,8 +742,7 @@ fn handle_ingest(state: &State, stream: &mut TcpStream, request: &Request) {
         Ok(ops) if !ops.is_empty() => ops,
         Ok(_) => {
             state.metrics.client_errors.fetch_add(1, SeqCst);
-            let _ =
-                http::write_response(stream, 400, &[], b"{\"ok\":false,\"error\":\"empty batch\"}");
+            respond_checked(state, stream, 400, &[], b"{\"ok\":false,\"error\":\"empty batch\"}");
             return;
         }
         Err(error) => {
@@ -437,7 +751,7 @@ fn handle_ingest(state: &State, stream: &mut TcpStream, request: &Request) {
             body.push_str("{\"ok\":false,\"error\":");
             json::push_str(&mut body, &error);
             body.push('}');
-            let _ = http::write_response(stream, 400, &[], body.as_bytes());
+            respond_checked(state, stream, 400, &[], body.as_bytes());
             return;
         }
     };
@@ -450,7 +764,7 @@ fn handle_ingest(state: &State, stream: &mut TcpStream, request: &Request) {
                 state.live.epoch(),
                 state.live.pending_ops(),
             );
-            let _ = http::write_response(stream, 200, &[], body.as_bytes());
+            respond_checked(state, stream, 200, &[], body.as_bytes());
         }
         Err(error) => {
             let status = if error.kind() == io::ErrorKind::InvalidInput {
@@ -463,7 +777,7 @@ fn handle_ingest(state: &State, stream: &mut TcpStream, request: &Request) {
             body.push_str("{\"ok\":false,\"error\":");
             json::push_str(&mut body, &error.to_string());
             body.push('}');
-            let _ = http::write_response(stream, status, &[], body.as_bytes());
+            respond_checked(state, stream, status, &[], body.as_bytes());
         }
     }
 }
@@ -488,14 +802,14 @@ fn handle_compact(state: &State, stream: &mut TcpStream) {
                 report.pause.as_micros(),
                 report.total.as_micros(),
             );
-            let _ = http::write_response(stream, 200, &[], body.as_bytes());
+            respond_checked(state, stream, 200, &[], body.as_bytes());
         }
         Ok(None) => {
             let body = format!(
                 "{{\"ok\":true,\"compacted\":false,\"corpus_epoch\":{}}}",
                 state.live.epoch()
             );
-            let _ = http::write_response(stream, 200, &[], body.as_bytes());
+            respond_checked(state, stream, 200, &[], body.as_bytes());
         }
         Err(error) => {
             state.metrics.compact_failed.fetch_add(1, SeqCst);
@@ -503,7 +817,7 @@ fn handle_compact(state: &State, stream: &mut TcpStream) {
             body.push_str("{\"ok\":false,\"error\":");
             json::push_str(&mut body, &error.to_string());
             body.push('}');
-            let _ = http::write_response(stream, 500, &[], body.as_bytes());
+            respond_checked(state, stream, 500, &[], body.as_bytes());
         }
     }
 }
@@ -527,8 +841,10 @@ fn handle_healthz(state: &State, stream: &mut TcpStream) {
     }
     body.push_str(",\"corpus_epoch\":");
     body.push_str(&corpus_epoch.to_string());
+    body.push_str(",\"breakers\":");
+    BreakerStats::of(&state.breakers).render(&mut body);
     body.push('}');
-    let _ = http::write_response(stream, 200, &[], body.as_bytes());
+    respond_checked(state, stream, 200, &[], body.as_bytes());
 }
 
 fn handle_metrics(state: &State, stream: &mut TcpStream) {
@@ -545,15 +861,17 @@ fn handle_metrics(state: &State, stream: &mut TcpStream) {
         state.cache.len(),
         state.cache.capacity(),
         &shards,
+        &BreakerStats::of(&state.breakers),
     );
-    let _ = http::write_response(stream, 200, &[], body.as_bytes());
+    respond_checked(state, stream, 200, &[], body.as_bytes());
 }
 
 fn handle_reload(state: &State, stream: &mut TcpStream) {
     state.metrics.reload_requests.fetch_add(1, SeqCst);
     let Some(path) = &state.config.domains_path else {
         state.metrics.client_errors.fetch_add(1, SeqCst);
-        let _ = http::write_response(
+        respond_checked(
+            state,
             stream,
             400,
             &[],
@@ -569,7 +887,7 @@ fn handle_reload(state: &State, stream: &mut TcpStream) {
         Ok(epoch) => {
             state.metrics.reload_ok.fetch_add(1, SeqCst);
             let body = format!("{{\"ok\":true,\"epoch\":{epoch}}}");
-            let _ = http::write_response(stream, 200, &[], body.as_bytes());
+            respond_checked(state, stream, 200, &[], body.as_bytes());
         }
         Err(error) => {
             state.metrics.reload_failed.fetch_add(1, SeqCst);
@@ -585,7 +903,7 @@ fn handle_reload(state: &State, stream: &mut TcpStream) {
                 None => body.push_str("null"),
             }
             body.push('}');
-            let _ = http::write_response(stream, 500, &[], body.as_bytes());
+            respond_checked(state, stream, 500, &[], body.as_bytes());
         }
     }
 }
@@ -634,19 +952,51 @@ pub fn render_search_body(
         out.push_str("}}");
     }
     out.push_str("],\"degradation\":");
-    match &outcome.degradation {
-        Some(d) => render_degradation(&mut out, d),
-        None => out.push_str("null"),
+    match (&outcome.degradation, &outcome.partial) {
+        (None, None) => out.push_str("null"),
+        (Some(d), None) => render_degradation(&mut out, d),
+        // A partial answer is a degradation too: the object carries
+        // `partial: true` plus the exact absent-shard sets, merged with
+        // the domain-degradation fields when both apply.
+        (domains, Some(partial)) => {
+            out.push('{');
+            if let Some(d) = domains {
+                let (kind, error) = degradation_fields(d);
+                out.push_str("\"kind\":\"");
+                out.push_str(kind);
+                out.push_str("\",\"error\":");
+                json::push_str(&mut out, error);
+                out.push(',');
+            }
+            out.push_str("\"partial\":true,\"shards_missing\":[");
+            push_usize_array(&mut out, &partial.shards_missing);
+            out.push_str("],\"shards_skipped\":[");
+            push_usize_array(&mut out, &partial.shards_skipped);
+            out.push_str("]}");
+        }
     }
     out.push('}');
     out.into_bytes()
 }
 
-fn render_degradation(out: &mut String, degradation: &Degradation) {
-    let (kind, error) = match degradation {
+fn push_usize_array(out: &mut String, values: &[usize]) {
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+}
+
+fn degradation_fields(degradation: &Degradation) -> (&'static str, &String) {
+    match degradation {
         Degradation::StaleDomains { error } => ("stale_domains", error),
         Degradation::NoDomains { error } => ("no_domains", error),
-    };
+    }
+}
+
+fn render_degradation(out: &mut String, degradation: &Degradation) {
+    let (kind, error) = degradation_fields(degradation);
     out.push_str("{\"kind\":\"");
     out.push_str(kind);
     out.push_str("\",\"error\":");

@@ -1,0 +1,313 @@
+//! Serve-layer chaos smoke: boot real servers with seeded chaos plans
+//! at the `search:shard:*`, `serve:worker`, and `serve:conn` seams and
+//! assert the tail-tolerance contract over actual sockets — partial
+//! answers are marked and never cached, hedging recovers stragglers,
+//! request caps answer `413`/`431` before reading the offending bytes,
+//! a handler panic answers `500` without killing the worker, and a
+//! worker death outside the guard is healed by the supervisor.
+//! `scripts/tier1.sh` runs this as its chaos gate.
+
+use esharp_core::{DomainCollection, Esharp, EsharpConfig, SharedEsharp};
+use esharp_fault::{ChaosFault, ChaosPlan, NoFaults};
+use esharp_ingest::LiveCorpus;
+use esharp_microblog::{generate_corpus, Corpus, CorpusConfig, TokenId};
+use esharp_querylog::{World, WorldConfig};
+use esharp_serve::{ServeConfig, ServeHooks, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SHARDS: usize = 4;
+
+/// Silence chaos-injected panic backtraces (they are the *point* of
+/// these tests, not noise worth printing), leave real panics loud.
+fn quiet_chaos_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let chaos = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.contains("chaos:"))
+                || info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.contains("chaos:"));
+            if !chaos {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// A sharded corpus plus an e# whose expansion of the returned query
+/// touches every shard — mirrors the core chaos-matrix testbed.
+fn testbed() -> (Corpus, Esharp, String) {
+    let world = World::generate(&WorldConfig::tiny(21));
+    let mut corpus = generate_corpus(&world, &CorpusConfig::tiny(7));
+    corpus.reshard(SHARDS);
+    let mut per_shard: Vec<Option<String>> = vec![None; SHARDS];
+    for id in 0..corpus.num_tokens() {
+        let token = corpus.token_text(id as TokenId).to_string();
+        let shard = corpus.term_home_shard(&token);
+        if per_shard[shard].is_none() {
+            per_shard[shard] = Some(token);
+        }
+    }
+    let terms: Vec<String> = per_shard
+        .into_iter()
+        .map(|t| t.expect("every shard populated"))
+        .collect();
+    let query = esharp_serve::http::percent_encode(&terms[0]);
+    let mut config = EsharpConfig::tiny();
+    config.search_workers = SHARDS;
+    let esharp = Esharp::new(DomainCollection::from_groups(vec![terms]), config);
+    (corpus, esharp, query)
+}
+
+fn boot(config: ServeConfig, plan: ChaosPlan) -> (Server, String) {
+    quiet_chaos_panics();
+    let (corpus, esharp, query) = testbed();
+    let hooks = ServeHooks {
+        chaos: Arc::new(plan),
+        ..ServeHooks::default()
+    };
+    let server = Server::start_live_with_hooks(
+        "127.0.0.1:0",
+        config,
+        Arc::new(LiveCorpus::new(corpus)),
+        Arc::new(SharedEsharp::new(esharp)),
+        Arc::new(NoFaults),
+        hooks,
+    )
+    .expect("bind");
+    (server, query)
+}
+
+/// One-shot raw HTTP exchange; `None` if the server closed without a
+/// response (a dead-worker connection).
+fn raw(addr: std::net::SocketAddr, payload: &str) -> Option<(u16, String, String)> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream.write_all(payload.as_bytes()).expect("send");
+    let mut out = String::new();
+    if stream.read_to_string(&mut out).is_err() || out.is_empty() {
+        return None;
+    }
+    let (head, body) = out.split_once("\r\n\r\n")?;
+    let status: u16 = head.split(' ').nth(1)?.parse().ok()?;
+    Some((status, head.to_string(), body.to_string()))
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String, String) {
+    raw(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n")).expect("response")
+}
+
+#[test]
+fn stalled_shard_marks_partial_and_never_caches() {
+    let (server, query) = boot(
+        ServeConfig {
+            deadline: Duration::from_millis(15),
+            hedge: false,
+            ..ServeConfig::default()
+        },
+        ChaosPlan::new(1).stall_at("search:shard:1"),
+    );
+    let addr = server.local_addr();
+
+    let (status, head, body) = get(addr, &format!("/search?q={query}"));
+    assert_eq!(status, 200, "{body}");
+    assert!(head.contains("x-esharp-cache: miss"), "{head}");
+    assert!(
+        body.contains("\"degradation\":{\"partial\":true,\"shards_missing\":[1],\"shards_skipped\":[]}"),
+        "{body}"
+    );
+
+    // A partial body must not have been cached: the same query misses
+    // again (and stalls again — the plan pins the primary attempt).
+    let (_, head, body2) = get(addr, &format!("/search?q={query}"));
+    assert!(head.contains("x-esharp-cache: miss"), "partial was cached: {head}");
+    assert_eq!(body, body2, "same seed, same partial bytes");
+
+    let (_, _, metrics) = get(addr, "/metrics");
+    assert!(metrics.contains("\"partial_responses\":2"), "{metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn hedging_recovers_a_straggler_end_to_end() {
+    let (server, query) = boot(
+        ServeConfig {
+            deadline: Duration::from_millis(500),
+            hedge: true,
+            hedge_delay: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+        ChaosPlan::new(1).stall_at("search:shard:2"),
+    );
+    let addr = server.local_addr();
+
+    let (status, _, body) = get(addr, &format!("/search?q={query}"));
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains("\"degradation\":null"),
+        "hedge should deliver a complete answer: {body}"
+    );
+    // Complete answers are cacheable, stall or not.
+    let (_, head, _) = get(addr, &format!("/search?q={query}"));
+    assert!(head.contains("x-esharp-cache: hit"), "{head}");
+
+    let (_, _, metrics) = get(addr, "/metrics");
+    assert!(metrics.contains("\"hedges\":1"), "{metrics}");
+    assert!(metrics.contains("\"hedge_wins\":1"), "{metrics}");
+    assert!(metrics.contains("\"partial_responses\":0"), "{metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn deadline_header_is_honored_and_clamped() {
+    let (server, query) = boot(
+        ServeConfig {
+            // Generous default; the header tightens it per request.
+            deadline: Duration::from_secs(5),
+            deadline_max: Duration::from_millis(50),
+            hedge: false,
+            ..ServeConfig::default()
+        },
+        ChaosPlan::new(1).stall_at("search:shard:0"),
+    );
+    let addr = server.local_addr();
+
+    // A huge header value is clamped to deadline_max: the stalled shard
+    // would otherwise pin this request for ~17 minutes.
+    let started = std::time::Instant::now();
+    let (status, _, body) = raw(
+        addr,
+        &format!(
+            "GET /search?q={query} HTTP/1.1\r\nHost: t\r\nX-Esharp-Deadline-Ms: 999999\r\n\r\n"
+        ),
+    )
+    .expect("response");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"partial\":true"), "{body}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "clamp failed: took {:?}",
+        started.elapsed()
+    );
+
+    // Unparsable and zero values are client errors.
+    for bad in ["abc", "0", "-5"] {
+        let (status, _, body) = raw(
+            addr,
+            &format!(
+                "GET /search?q={query} HTTP/1.1\r\nHost: t\r\nX-Esharp-Deadline-Ms: {bad}\r\n\r\n"
+            ),
+        )
+        .expect("response");
+        assert_eq!(status, 400, "{bad}: {body}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn oversized_bodies_and_heads_are_rejected_before_reading() {
+    let (server, _) = boot(
+        ServeConfig {
+            max_body_bytes: 256,
+            ..ServeConfig::default()
+        },
+        ChaosPlan::new(1),
+    );
+    let addr = server.local_addr();
+
+    // Declared oversized body: 413 from the declaration alone (the body
+    // bytes are never sent, so an unbounded read would hang here).
+    let (status, _, body) = raw(
+        addr,
+        "POST /ingest HTTP/1.1\r\nHost: t\r\nContent-Length: 100000\r\n\r\n",
+    )
+    .expect("response");
+    assert_eq!(status, 413, "{body}");
+    assert!(body.contains("\"cap\":256"), "{body}");
+
+    // Unbounded header section: 431.
+    let huge = format!(
+        "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Pad: {}\r\n\r\n",
+        "a".repeat(32 * 1024)
+    );
+    let (status, _, body) = raw(addr, &huge).expect("response");
+    assert_eq!(status, 431, "{body}");
+
+    // In-cap requests still work.
+    let (status, _, _) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn handler_panic_answers_500_and_the_worker_survives() {
+    let (server, query) = boot(
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        ChaosPlan::new(1).trigger_limited("serve:worker", ChaosFault::Panic, 1),
+    );
+    let addr = server.local_addr();
+
+    let (status, _, body) = get(addr, "/healthz");
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("\"contained\":true"), "{body}");
+
+    // The pool survived: every endpoint keeps answering.
+    for _ in 0..4 {
+        let (status, _, _) = get(addr, &format!("/search?q={query}"));
+        assert_eq!(status, 200);
+    }
+    let (_, _, metrics) = get(addr, "/metrics");
+    assert!(metrics.contains("\"worker_panics\":1"), "{metrics}");
+    assert!(metrics.contains("\"workers_resurrected\":0"), "{metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn dead_worker_is_resurrected_by_the_supervisor() {
+    let (server, query) = boot(
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        // Outside the request guard: this panic kills the thread.
+        ChaosPlan::new(1).trigger_limited("serve:conn", ChaosFault::Panic, 1),
+    );
+    let addr = server.local_addr();
+
+    // The poisoned connection dies without a response.
+    let answer = raw(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(answer.is_none(), "a dead worker cannot answer: {answer:?}");
+
+    // The supervisor notices within its poll interval and respawns; the
+    // pool returns to full width and keeps serving.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, _, metrics) = get(addr, "/metrics");
+        if metrics.contains("\"workers_resurrected\":1") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "supervisor never resurrected the worker: {metrics}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    for _ in 0..4 {
+        let (status, _, _) = get(addr, &format!("/search?q={query}"));
+        assert_eq!(status, 200);
+    }
+    server.shutdown();
+}

@@ -102,7 +102,7 @@ proptest! {
                 Op::Search(q) => {
                     let query = QUERIES[q];
                     let (esharp, epoch) = shared.snapshot();
-                    let key = (query.to_string(), epoch, 0);
+                    let key = (query.to_string(), epoch, 0, 0);
                     // The ground truth: a cold search against the state
                     // owning this epoch (the current snapshot, by
                     // construction of the epoch).

@@ -110,11 +110,12 @@ proptest! {
         for (action, n, text) in script {
             match action {
                 // Search, exactly as handle_search does it: snapshot,
-                // triple key, hit-or-compute-and-insert.
+                // 4-tuple key (health epoch constant here: no breakers
+                // in this interleaving), hit-or-compute-and-insert.
                 0..=39 => {
                     let q = QUERIES[n % QUERIES.len()];
                     let guard = live.read();
-                    let key: CacheKey = (q.to_string(), domains_epoch, guard.epoch());
+                    let key: CacheKey = (q.to_string(), domains_epoch, guard.epoch(), 0);
                     let cold = search_and_render(
                         guard.corpus(), &esharp, q, domains_epoch, guard.epoch(),
                     );

@@ -14,9 +14,13 @@
 #           corpus_epoch), durable across restart
 #   shards  sharded corpus smoke: build K=4 → zero-copy reload →
 #           re-encode byte-identical to K=1, corruption fails at open
+#   chaos   deterministic chaos gate: the stall×deadline×hedging matrix
+#           on a virtual clock, plus the serve-layer smoke (partials
+#           marked + uncached, hedging recovers stragglers, caps answer
+#           413/431, panics answer 500, the supervisor heals workers)
 #   clippy  workspace lints, warnings are errors
-#   panic   persistence/checkpoint/read-path modules keep their no-panic
-#           lint gate
+#   panic   persistence/checkpoint/read-path/tail-tolerance modules keep
+#           their no-panic lint gate
 #
 # Usage: scripts/tier1.sh   (from the repo root or anywhere inside it)
 set -euo pipefail
@@ -67,6 +71,10 @@ for f in corpus.manifest global.bin tokens.seg \
 done
 rm -rf "$shard_dir"
 
+echo "== tier-1: chaos gate (deterministic matrix + serve-layer smoke)"
+cargo test -q -p esharp-core --test chaos_matrix
+cargo test -q -p esharp-serve --test chaos_smoke
+
 echo "== tier-1: cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
@@ -76,7 +84,10 @@ for f in crates/relation/src/atomic.rs crates/relation/src/binfmt.rs \
          crates/core/src/checkpoint.rs crates/core/src/shared.rs \
          crates/microblog/src/binio.rs crates/microblog/src/index.rs \
          crates/microblog/src/arena.rs crates/microblog/src/segio.rs \
-         crates/serve/src/lib.rs crates/ingest/src/lib.rs; do
+         crates/serve/src/lib.rs crates/ingest/src/lib.rs \
+         crates/fault/src/clock.rs crates/fault/src/budget.rs \
+         crates/fault/src/chaos.rs crates/fault/src/breaker.rs \
+         crates/microblog/src/bounded.rs; do
   grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' "$f" || {
     echo "missing unwrap/expect deny gate in $f" >&2
     exit 1
