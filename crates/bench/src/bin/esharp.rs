@@ -23,6 +23,18 @@
 //!     Run SQL against the pipeline tables (log, graph, communities) on
 //!     the bundled engine; prints EXPLAIN and the result.
 //!
+//! esharp cluster [--explain] [--buffer-pool-mb N] [--workers N]
+//!                [--scale …] [--seed N]
+//!     Run the paper's SQL-based clustering (Figure 4) through the
+//!     cost-based physical planner. With --buffer-pool-mb N the graph
+//!     table lives in a paged heap file and every scan streams pages
+//!     through an N-MiB buffer pool, with blocking operators spilling
+//!     under the same cap (out-of-core execution); pool hit rate and
+//!     spill counters are printed at the end. --explain prints the
+//!     chosen physical plans with per-operator EXPLAIN ANALYZE stats
+//!     (rows, bytes, wall, spills) plus the history-informed re-plan of
+//!     iteration 2, so the planner's cost decisions are auditable.
+//!
 //! esharp bench [--json] [--seed N] [--events N] [--out DIR]
 //!     Measure offline kernel throughput (graph build, clustering,
 //!     relational exec) at 1/2/4/8 workers; --json additionally writes
@@ -92,12 +104,13 @@ fn main() {
         "search" => search(&opts),
         "inspect" => inspect(&opts),
         "sql" => sql(&opts),
+        "cluster" => cluster(&opts),
         "bench" => bench(&opts),
         "serve" => serve(&opts),
         "ingest" => ingest(&opts),
         "--help" | "-h" | "help" => {
-            println!("subcommands: build, search, inspect, sql, bench, serve, ingest");
-            println!("flags: --scale tiny|small|paper, --seed N, --out DIR, --checkpoint-dir DIR, --resume, --baseline, --top K, -k N, --json, --events N, --serve, --online, --ingest, --queries N, --shards K, --large-load, --requests N, --addr HOST:PORT, --workers N, --cache-capacity N, --queue-depth N, --domains FILE, --corpus FILE, --replay FILE, --oplog FILE, --compact, --compact-threshold N, --compact-interval-ms N, --deadline-ms N, --hedge, --hedge-delay-ms N, --max-body-bytes N");
+            println!("subcommands: build, search, inspect, sql, cluster, bench, serve, ingest");
+            println!("flags: --scale tiny|small|paper, --seed N, --out DIR, --checkpoint-dir DIR, --resume, --baseline, --top K, -k N, --json, --events N, --serve, --online, --ingest, --queries N, --shards K, --large-load, --requests N, --addr HOST:PORT, --workers N, --cache-capacity N, --queue-depth N, --domains FILE, --corpus FILE, --replay FILE, --oplog FILE, --compact, --compact-threshold N, --compact-interval-ms N, --deadline-ms N, --hedge, --hedge-delay-ms N, --max-body-bytes N, --explain, --buffer-pool-mb N");
         }
         other => fail(
             "parse arguments",
@@ -139,6 +152,8 @@ struct Options {
     hedge: bool,
     hedge_delay_ms: u64,
     max_body_bytes: usize,
+    explain: bool,
+    buffer_pool_mb: u64,
     positional: Vec<String>,
 }
 
@@ -177,6 +192,8 @@ impl Options {
             hedge: false,
             hedge_delay_ms: 20,
             max_body_bytes: 64 * 1024,
+            explain: false,
+            buffer_pool_mb: 0,
             positional: Vec::new(),
         };
         let mut iter = args.iter();
@@ -238,6 +255,10 @@ impl Options {
                 }
                 "--max-body-bytes" => {
                     opts.max_body_bytes = next_num(&mut iter, "--max-body-bytes") as usize
+                }
+                "--explain" => opts.explain = true,
+                "--buffer-pool-mb" => {
+                    opts.buffer_pool_mb = next_num(&mut iter, "--buffer-pool-mb")
                 }
                 // Unknown flags are hard errors (a typo silently becoming
                 // a positional argument is how `--bsaeline` runs the wrong
@@ -607,6 +628,61 @@ fn ingest(opts: &Options) {
             ),
             None => println!("nothing to compact"),
         }
+    }
+}
+
+/// `esharp cluster`: the Figure 4 SQL clustering loop on the physical
+/// planner, optionally out of core and with EXPLAIN ANALYZE output.
+fn cluster(opts: &Options) {
+    use esharp_community::{cluster_sql_report, SqlClusterConfig};
+    let tb = testbed(opts);
+    let multigraph = &tb.artifacts.multigraph;
+    let pool_bytes = if opts.buffer_pool_mb > 0 {
+        Some((opts.buffer_pool_mb as usize) << 20)
+    } else {
+        None
+    };
+    let config = SqlClusterConfig {
+        workers: opts.workers,
+        // The pool cap doubles as the operator memory grant: anything
+        // that would not fit the pool spills instead of growing.
+        buffer_pool_bytes: pool_bytes,
+        memory_grant: pool_bytes,
+        explain: opts.explain,
+        ..Default::default()
+    };
+    let started = std::time::Instant::now();
+    let (outcome, report) =
+        cluster_sql_report(multigraph, &config).unwrap_or_else(|e| fail("sql clustering", e));
+    println!(
+        "sql clustering: {} communities after {} iterations in {:.1?} ({} workers{})",
+        outcome.num_communities(),
+        outcome.iterations(),
+        started.elapsed(),
+        opts.workers,
+        match pool_bytes {
+            Some(bytes) => format!(", {} MiB pool", bytes >> 20),
+            None => ", in memory".to_string(),
+        }
+    );
+    for stat in &outcome.trace {
+        println!(
+            "  iter {:>2}: {:>6} communities, modularity {:.4}, {} merges",
+            stat.iteration, stat.communities, stat.total_modularity, stat.merges
+        );
+    }
+    if let Some(pool) = report.pool {
+        println!(
+            "buffer pool: {} hits / {} misses (hit rate {:.1}%), {} evictions, {} writebacks",
+            pool.hits,
+            pool.misses,
+            pool.hit_rate() * 100.0,
+            pool.evictions,
+            pool.writebacks
+        );
+    }
+    if let Some(text) = report.explain {
+        print!("{text}");
     }
 }
 

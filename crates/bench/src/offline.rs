@@ -72,6 +72,46 @@ pub struct OfflineBenchReport {
     pub flat_vs_hashmap_speedup: f64,
     /// One row per measured worker count.
     pub samples: Vec<WorkerSample>,
+    /// Out-of-core relational section: the clustering-style SQL with the
+    /// buffer pool capped at 1/4 of the input size.
+    pub out_of_core: OutOfCoreSample,
+}
+
+/// Measurements of the paged/spilling relational path: the clustering
+/// join+aggregate SQL over the graph table stored in a paged heap file,
+/// with the buffer pool capped at 1/4 of the input and a memory grant
+/// small enough to force operator spills.
+#[derive(Debug, Clone)]
+pub struct OutOfCoreSample {
+    /// Bytes of the paged graph table on disk.
+    pub input_bytes: u64,
+    /// Buffer-pool capacity in bytes (≤ 1/4 of `input_bytes`).
+    pub pool_bytes: u64,
+    /// Buffer-pool page hits across the whole section.
+    pub pool_hits: u64,
+    /// Buffer-pool page misses (disk reads).
+    pub pool_misses: u64,
+    /// `hits / (hits + misses)`.
+    pub pool_hit_rate: f64,
+    /// Pages evicted to make room.
+    pub pool_evictions: u64,
+    /// Bytes spilled by blocking operators under the memory grant.
+    pub spill_bytes: u64,
+    /// Spill partitions / sorted runs written.
+    pub spill_parts: u64,
+    /// Rows decoded by the limit-probe scan WITHOUT pushdown (the naive
+    /// executor always materializes the full table).
+    pub rows_scanned_naive: u64,
+    /// Rows decoded by the same scan WITH predicate+limit pushdown — the
+    /// scan stops fetching pages once the limit is satisfied.
+    pub rows_scanned_pushdown: u64,
+    /// Optimized out-of-core result equals the naive in-memory result,
+    /// bit for bit.
+    pub bit_identical: bool,
+    /// Wall seconds of the optimized out-of-core clustering query.
+    pub optimized_secs: f64,
+    /// Wall seconds of the naive in-memory clustering query.
+    pub naive_secs: f64,
 }
 
 impl OfflineBenchReport {
@@ -82,6 +122,12 @@ impl OfflineBenchReport {
         out.push_str("{\n");
         out.push_str("  \"bench\": \"offline_throughput\",\n");
         out.push_str(&format!("  \"host_cpus\": {},\n", self.host_cpus));
+        // Single-core hosts run every worker count on the same core: the
+        // scaling samples below are not scaling evidence there.
+        out.push_str(&format!(
+            "  \"degenerate_host\": {},\n",
+            self.host_cpus == 1
+        ));
         out.push_str(&format!("  \"events\": {},\n", self.events));
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"graph_nodes\": {},\n", self.graph_nodes));
@@ -115,7 +161,29 @@ impl OfflineBenchReport {
                 if i + 1 < self.samples.len() { "," } else { "" }
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n");
+        let o = &self.out_of_core;
+        out.push_str("  \"out_of_core\": {\n");
+        out.push_str(&format!("    \"input_bytes\": {},\n", o.input_bytes));
+        out.push_str(&format!("    \"pool_bytes\": {},\n", o.pool_bytes));
+        out.push_str(&format!("    \"pool_hits\": {},\n", o.pool_hits));
+        out.push_str(&format!("    \"pool_misses\": {},\n", o.pool_misses));
+        out.push_str(&format!("    \"pool_hit_rate\": {:.4},\n", o.pool_hit_rate));
+        out.push_str(&format!("    \"pool_evictions\": {},\n", o.pool_evictions));
+        out.push_str(&format!("    \"spill_bytes\": {},\n", o.spill_bytes));
+        out.push_str(&format!("    \"spill_parts\": {},\n", o.spill_parts));
+        out.push_str(&format!(
+            "    \"rows_scanned_naive\": {},\n",
+            o.rows_scanned_naive
+        ));
+        out.push_str(&format!(
+            "    \"rows_scanned_pushdown\": {},\n",
+            o.rows_scanned_pushdown
+        ));
+        out.push_str(&format!("    \"bit_identical\": {},\n", o.bit_identical));
+        out.push_str(&format!("    \"optimized_secs\": {:.6},\n", o.optimized_secs));
+        out.push_str(&format!("    \"naive_secs\": {:.6}\n", o.naive_secs));
+        out.push_str("  }\n}\n");
         out
     }
 
@@ -141,6 +209,20 @@ impl OfflineBenchReport {
                 s.workers, s.nodes_per_sec, s.edges_per_sec, s.iters_per_sec, s.relation_rows_per_sec
             ));
         }
+        let o = &self.out_of_core;
+        out.push_str(&format!(
+            "out-of-core: {} B input through a {} B pool — hit rate {:.1}%, {} evictions, \
+             spilled {} B / {} parts, scan rows {} → {} with pushdown, bit_identical={}\n",
+            o.input_bytes,
+            o.pool_bytes,
+            o.pool_hit_rate * 100.0,
+            o.pool_evictions,
+            o.spill_bytes,
+            o.spill_parts,
+            o.rows_scanned_naive,
+            o.rows_scanned_pushdown,
+            o.bit_identical
+        ));
         out
     }
 }
@@ -251,6 +333,84 @@ impl OfflineWorkload {
         (joined.num_rows(), grouped.num_rows())
     }
 
+    /// Run the clustering-style SQL out of core: graph table in a paged
+    /// heap file, buffer pool capped at 1/4 of the input, memory grant at
+    /// 1/8 (forcing join/aggregate spills), and a limit-probe scan
+    /// showing pushdown stopping page fetches early. The optimized result
+    /// is checked bit-identical against the naive in-memory executor.
+    pub fn out_of_core(&self) -> OutOfCoreSample {
+        use esharp_relation::{
+            run_sql, run_sql_unoptimized, BufferPool, Catalog, ExecContext, PagedTable,
+            StatsRegistry, PAGE_SIZE,
+        };
+        use std::sync::Arc;
+
+        let dir = std::env::temp_dir().join(format!("esharp-bench-ooc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("out-of-core workdir");
+        let paged = Arc::new(
+            PagedTable::create(&dir.join("graph"), &self.graph_table).expect("paged graph"),
+        );
+        let input_bytes = paged.byte_size();
+        let pool_bytes = ((input_bytes / 4).max(2 * PAGE_SIZE as u64)) as usize;
+        let pool = Arc::new(BufferPool::with_capacity_bytes(pool_bytes));
+
+        let catalog = Catalog::new();
+        catalog.register_paged("graph", paged, pool.clone());
+        catalog.register("communities", self.communities.clone());
+        let registry = StatsRegistry::new();
+        let ctx = ExecContext::new(catalog)
+            .with_stats(registry.clone())
+            .with_memory_grant(((input_bytes / 8).max(4096)) as usize)
+            .with_spill_root(dir.clone());
+
+        // The §4.2.2-shaped workload: join communities onto the edge
+        // table, aggregate edge mass per community.
+        const CLUSTERING_SQL: &str = "select comm, sum(multiplicity) as mass \
+             from graph inner join communities on node = node1 \
+             group by comm order by comm";
+        let started = Instant::now();
+        let optimized = run_sql(CLUSTERING_SQL, &ctx).expect("out-of-core clustering SQL");
+        let optimized_secs = started.elapsed().as_secs_f64();
+        let started = Instant::now();
+        let naive = run_sql_unoptimized(CLUSTERING_SQL, &ctx).expect("naive clustering SQL");
+        let naive_secs = started.elapsed().as_secs_f64();
+        let bit_identical = optimized == naive;
+        let snapshot = registry.snapshot();
+        let spill_bytes = snapshot.iter().map(|s| s.spill_bytes).sum();
+        let spill_parts = snapshot.iter().map(|s| s.spill_parts).sum();
+
+        // Limit probe: with predicate+limit pushdown the paged scan stops
+        // fetching pages once the limit is satisfied; the naive executor
+        // always decodes the full table.
+        const LIMIT_SQL: &str = "select node1 from graph where multiplicity >= 1 limit 256";
+        let mark = registry.snapshot().len();
+        let _ = run_sql(LIMIT_SQL, &ctx).expect("limit probe");
+        let rows_scanned_pushdown = registry.snapshot()[mark..]
+            .iter()
+            .filter(|s| s.stage == "scan")
+            .map(|s| s.rows_read)
+            .sum();
+        let rows_scanned_naive = self.graph_table.num_rows() as u64;
+
+        let stats = pool.stats();
+        let _ = std::fs::remove_dir_all(&dir);
+        OutOfCoreSample {
+            input_bytes,
+            pool_bytes: pool_bytes as u64,
+            pool_hits: stats.hits,
+            pool_misses: stats.misses,
+            pool_hit_rate: stats.hit_rate(),
+            pool_evictions: stats.evictions,
+            spill_bytes,
+            spill_parts,
+            rows_scanned_naive,
+            rows_scanned_pushdown,
+            bit_identical,
+            optimized_secs,
+            naive_secs,
+        }
+    }
+
     /// Run every kernel at each worker count and assemble the report.
     pub fn measure(&self, worker_counts: &[usize]) -> OfflineBenchReport {
         let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -307,6 +467,7 @@ impl OfflineWorkload {
             flat_accumulator_secs,
             flat_vs_hashmap_speedup: hashmap_reference_secs / flat_accumulator_secs,
             samples,
+            out_of_core: self.out_of_core(),
         }
     }
 }
@@ -422,6 +583,24 @@ mod tests {
             json.matches('[').count(),
             json.matches(']').count()
         );
+    }
+
+    #[test]
+    fn out_of_core_is_bit_identical_and_pushdown_reduces_rows_scanned() {
+        let workload = OfflineWorkload::generate(20_000, 7);
+        let o = workload.out_of_core();
+        assert!(o.bit_identical, "paged/spilling result must equal in-memory");
+        assert!(o.pool_hits + o.pool_misses > 0, "scans must go through the pool");
+        assert!(
+            o.rows_scanned_pushdown < o.rows_scanned_naive,
+            "limit pushdown must stop the scan early ({} vs {})",
+            o.rows_scanned_pushdown,
+            o.rows_scanned_naive
+        );
+        let json = workload.measure(&[1]).to_json();
+        assert!(json.contains("\"out_of_core\""));
+        assert!(json.contains("\"degenerate_host\""));
+        assert!(json.contains("\"pool_hit_rate\""));
     }
 
     #[test]

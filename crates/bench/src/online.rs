@@ -334,6 +334,12 @@ impl OnlineBenchReport {
         out.push_str("{\n");
         out.push_str("  \"bench\": \"online\",\n");
         out.push_str(&format!("  \"host_cpus\": {},\n", self.host_cpus));
+        // Single-core hosts run every sweep point on the same core: the
+        // worker/shard curves are not scaling evidence there.
+        out.push_str(&format!(
+            "  \"degenerate_host\": {},\n",
+            self.host_cpus == 1
+        ));
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
         out.push_str(&format!("  \"queries\": {},\n", self.queries));

@@ -47,5 +47,7 @@ pub use parallel::{
     choose_owners, cluster_parallel, cluster_parallel_resumable, compute_stats,
     ClusteringOutcome, IterationStat, ParallelConfig,
 };
-pub use sqlimpl::{cluster_sql, SqlClusterConfig, NEIGHBORS_SQL, PARTITIONS_SQL};
+pub use sqlimpl::{
+    cluster_sql, cluster_sql_report, SqlClusterConfig, SqlRunReport, NEIGHBORS_SQL, PARTITIONS_SQL,
+};
 pub use stats::SizeHistogram;

@@ -33,10 +33,12 @@ use crate::parallel::{ClusteringOutcome, IterationStat};
 use esharp_graph::relation_io::multigraph_to_table;
 use esharp_graph::MultiGraph;
 use esharp_relation::{
-    run_sql, Catalog, Cluster, DataType, ExecContext, FnUdf, JoinStrategy, RelError, RelResult,
+    explain_analyze, explain_physical, optimize, plan_sql, BufferPool, Catalog, Cluster, DataType,
+    ExecContext, FnUdf, JoinStrategy, PagedTable, PlanHistory, PoolStats, RelError, RelResult,
     StatsRegistry, Value,
 };
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Configuration of the SQL-based clustering loop.
@@ -46,10 +48,25 @@ pub struct SqlClusterConfig {
     pub max_iterations: usize,
     /// Worker threads for the parallel joins/aggregations.
     pub workers: usize,
-    /// Join strategy for the graph ⋈ communities joins (§4.2.3).
+    /// Join strategy for the graph ⋈ communities joins (§4.2.3) — the
+    /// planner's fallback; with statistics or history available the
+    /// optimizer picks per join.
     pub join_strategy: JoinStrategy,
     /// Optional per-operator statistics sink (Table 9 accounting).
     pub stats: Option<StatsRegistry>,
+    /// When set, the graph table is written to an on-disk paged heap
+    /// file and every scan streams its pages through a buffer pool of
+    /// this many bytes (out-of-core execution). `None` keeps the graph
+    /// in memory.
+    pub buffer_pool_bytes: Option<usize>,
+    /// Memory grant in bytes for blocking operators (sort, hash join,
+    /// hash aggregate): an operator whose working set exceeds the grant
+    /// spills to disk instead of growing. `None` = never spill.
+    pub memory_grant: Option<usize>,
+    /// Capture EXPLAIN / EXPLAIN ANALYZE text for the Figure 4
+    /// statements (first iteration, plus the history-informed re-plan of
+    /// the second), returned in [`SqlRunReport::explain`].
+    pub explain: bool,
 }
 
 impl Default for SqlClusterConfig {
@@ -59,8 +76,21 @@ impl Default for SqlClusterConfig {
             workers: 1,
             join_strategy: JoinStrategy::Broadcast,
             stats: None,
+            buffer_pool_bytes: None,
+            memory_grant: None,
+            explain: false,
         }
     }
+}
+
+/// Side-channel observations from [`cluster_sql_report`].
+#[derive(Debug, Clone, Default)]
+pub struct SqlRunReport {
+    /// Buffer-pool counters when the graph ran out-of-core
+    /// (`buffer_pool_bytes` was set).
+    pub pool: Option<PoolStats>,
+    /// EXPLAIN / EXPLAIN ANALYZE text when `explain` was requested.
+    pub explain: Option<String>,
 }
 
 /// The Figure 4 statements (in this engine's dialect — standard `ON`
@@ -80,15 +110,80 @@ pub const PARTITIONS_SQL: &str =
 
 /// Run the paper's SQL-based clustering on a multigraph.
 pub fn cluster_sql(graph: &MultiGraph, config: &SqlClusterConfig) -> RelResult<ClusteringOutcome> {
-    let catalog = Catalog::new();
-    catalog.register("graph", multigraph_to_table(graph)?);
+    cluster_sql_report(graph, config).map(|(outcome, _)| outcome)
+}
 
+/// Distinguishes concurrent out-of-core runs sharing one temp dir.
+static RUN_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Like [`cluster_sql`], but also returns a [`SqlRunReport`] with
+/// buffer-pool counters and (when requested) EXPLAIN output.
+pub fn cluster_sql_report(
+    graph: &MultiGraph,
+    config: &SqlClusterConfig,
+) -> RelResult<(ClusteringOutcome, SqlRunReport)> {
+    let catalog = Catalog::new();
+    let graph_table = multigraph_to_table(graph)?;
+
+    // Working directory for heap and spill files; removed on exit.
+    let workdir = std::env::temp_dir().join(format!(
+        "esharp-sql-{}-{}",
+        std::process::id(),
+        RUN_ID.fetch_add(1, Ordering::Relaxed)
+    ));
+    let needs_disk = config.buffer_pool_bytes.is_some() || config.memory_grant.is_some();
+    if needs_disk {
+        std::fs::create_dir_all(&workdir)?;
+    }
+
+    let pool = match config.buffer_pool_bytes {
+        Some(bytes) => {
+            let base = workdir.join("graph");
+            let paged = Arc::new(PagedTable::create(&base, &graph_table)?);
+            let pool = Arc::new(BufferPool::with_capacity_bytes(bytes));
+            catalog.register_paged("graph", paged, pool.clone());
+            Some(pool)
+        }
+        None => {
+            catalog.register("graph", graph_table);
+            None
+        }
+    };
+
+    // Record stats even when the caller did not ask for them: the measured
+    // per-node rows/bytes feed the next iteration's plan (PlanHistory).
+    let registry = config.stats.clone().unwrap_or_default();
     let mut ctx = ExecContext::new(catalog)
         .with_cluster(Cluster::new(config.workers))
-        .with_join_strategy(config.join_strategy);
-    if let Some(stats) = &config.stats {
-        ctx = ctx.with_stats(stats.clone());
+        .with_join_strategy(config.join_strategy)
+        .with_stats(registry.clone());
+    if let Some(grant) = config.memory_grant {
+        ctx = ctx.with_memory_grant(grant);
     }
+    if needs_disk {
+        ctx = ctx.with_spill_root(workdir.clone());
+    }
+    let result = cluster_sql_inner(graph, config, ctx, &registry, pool.as_deref());
+    if needs_disk {
+        let _ = std::fs::remove_dir_all(&workdir);
+    }
+    result
+}
+
+fn cluster_sql_inner(
+    graph: &MultiGraph,
+    config: &SqlClusterConfig,
+    mut ctx: ExecContext,
+    registry: &StatsRegistry,
+    pool: Option<&BufferPool>,
+) -> RelResult<(ClusteringOutcome, SqlRunReport)> {
+    let mut report = SqlRunReport::default();
+    let mut explain_text = String::new();
+    // Per-statement measured feedback: the two Figure 4 statements keep
+    // their plan shape across iterations, so node ids line up and the
+    // optimizer can replace its static guesses with measured rows/bytes.
+    let mut neighbors_history = PlanHistory::new();
+    let mut partitions_history = PlanHistory::new();
 
     let mut assignment = Assignment::singletons(graph.num_nodes());
     let mut trace = Vec::with_capacity(config.max_iterations + 1);
@@ -109,12 +204,44 @@ pub fn cluster_sql(graph: &MultiGraph, config: &SqlClusterConfig) -> RelResult<C
         );
         ctx.udfs.register(make_modulgain_udf(&stats));
 
-        // Step 1 (SQL): neighborhood creation.
-        let neighbors = run_sql(NEIGHBORS_SQL, &ctx)?;
+        // Step 1 (SQL): neighborhood creation, planned with last
+        // iteration's measurements.
+        ctx.history = neighbors_history.clone();
+        let nplan = plan_sql(NEIGHBORS_SQL, &ctx)?;
+        let nphys = optimize(&nplan, &ctx)?;
+        if config.explain && iteration <= 2 {
+            explain_text.push_str(&format!(
+                "-- iteration {iteration}: neighbors (EXPLAIN{})\n{}",
+                if iteration == 2 { ", history-informed" } else { "" },
+                explain_physical(&nphys)
+            ));
+        }
+        let mark = registry.snapshot().len();
+        let neighbors = ctx.execute_physical(&nphys)?;
+        let snap = registry.snapshot();
+        neighbors_history = PlanHistory::from_stats(&snap[mark..]);
+        if config.explain && iteration == 1 {
+            explain_text.push_str(&format!(
+                "-- iteration 1: neighbors (EXPLAIN ANALYZE)\n{}",
+                explain_analyze(&nphys, &snap[mark..])
+            ));
+        }
         ctx.catalog.register("neighbors", neighbors);
 
         // Step 2 (SQL): neighborhood separation.
-        let partitions = run_sql(PARTITIONS_SQL, &ctx)?;
+        ctx.history = partitions_history.clone();
+        let pplan = plan_sql(PARTITIONS_SQL, &ctx)?;
+        let pphys = optimize(&pplan, &ctx)?;
+        let mark = registry.snapshot().len();
+        let partitions = ctx.execute_physical(&pphys)?;
+        let snap = registry.snapshot();
+        partitions_history = PlanHistory::from_stats(&snap[mark..]);
+        if config.explain && iteration == 1 {
+            explain_text.push_str(&format!(
+                "-- iteration 1: partitions (EXPLAIN ANALYZE)\n{}",
+                explain_analyze(&pphys, &snap[mark..])
+            ));
+        }
 
         // Step 3: aggregation/renaming.
         let mut owners: HashMap<u32, u32> = HashMap::with_capacity(partitions.num_rows());
@@ -170,7 +297,11 @@ pub fn cluster_sql(graph: &MultiGraph, config: &SqlClusterConfig) -> RelResult<C
         });
     }
 
-    Ok(ClusteringOutcome { assignment, trace })
+    report.pool = pool.map(|p| p.stats());
+    if config.explain {
+        report.explain = Some(explain_text);
+    }
+    Ok((ClusteringOutcome { assignment, trace }, report))
 }
 
 /// Build the `ModulGain(comm1, comm2)` scalar UDF over a snapshot of the
@@ -246,6 +377,32 @@ mod tests {
         .unwrap();
         let native = cluster_parallel(&g, &ParallelConfig::default());
         assert_eq!(sql.assignment, native.assignment);
+    }
+
+    #[test]
+    fn out_of_core_matches_in_memory_bit_for_bit() {
+        let g = two_cliques();
+        let mem = cluster_sql(&g, &SqlClusterConfig::default()).unwrap();
+        // Tiny pool (2 pages) and tiny grant force paging and spilling.
+        let (ooc, report) = cluster_sql_report(
+            &g,
+            &SqlClusterConfig {
+                buffer_pool_bytes: Some(2 * 8192),
+                memory_grant: Some(256),
+                explain: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(mem.assignment, ooc.assignment);
+        assert_eq!(mem.trace, ooc.trace);
+        let pool = report.pool.expect("paged run must report pool stats");
+        assert!(pool.hits + pool.misses > 0);
+        let text = report.explain.expect("explain was requested");
+        assert!(text.contains("EXPLAIN ANALYZE"));
+        assert!(text.contains("SeqScan: graph"));
+        assert!(text.contains("actual:"));
+        assert!(text.contains("history-informed"));
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Tier-1 out-of-core smoke: the clustering SQL over a synthetic
+//! multigraph whose paged table is several times larger than the buffer
+//! pool must terminate and be **bit-identical** to the in-memory run.
+//!
+//! This is the end-to-end acceptance check for the paged storage +
+//! planner stack: a 4 MiB pool (the tier-1 configuration) against a
+//! ~16 MiB heap file, so the pool holds under a quarter of the input and
+//! eviction/writeback is continuously exercised while the SQL loop runs.
+//!
+//! The graph is a ring of 6-cliques: communities the clustering recovers
+//! in a couple of iterations, keeping the smoke fast in release mode
+//! (`scripts/tier1.sh` runs it with `--release`).
+
+use esharp_community::{cluster_sql, cluster_sql_report, SqlClusterConfig};
+use esharp_graph::MultiGraph;
+
+const POOL_BYTES: usize = 4 << 20;
+
+/// `n` disjoint 6-cliques joined into a ring by single bridge edges.
+fn ring_of_cliques(n: usize) -> MultiGraph {
+    let size = 6u32;
+    let mut edges = Vec::with_capacity(n * 16);
+    for c in 0..n as u32 {
+        let base = c * size;
+        for i in 0..size {
+            for j in i + 1..size {
+                edges.push((base + i, base + j, 1));
+            }
+        }
+        let next = ((c + 1) % n as u32) * size;
+        edges.push((base, next, 1));
+    }
+    MultiGraph::from_edges(n * size as usize, edges)
+}
+
+#[test]
+fn clustering_sql_with_a_4mib_pool_is_bit_identical_to_in_memory() {
+    // ~20k cliques → ~320k edges → ~640k table rows → a heap file a few
+    // times the 4 MiB pool. Assert the ratio rather than trusting the
+    // arithmetic.
+    // Debug runs (plain `cargo test`) shrink both sides of the ratio so
+    // the property — pool < table — still holds without the release-sized
+    // table's debug-mode slowness.
+    let (cliques, pool_bytes) = if cfg!(debug_assertions) {
+        (2_000, 64 * 8192)
+    } else {
+        (20_000, POOL_BYTES)
+    };
+    let g = ring_of_cliques(cliques);
+
+    let mem = cluster_sql(&g, &SqlClusterConfig::default()).unwrap();
+    let (ooc, report) = cluster_sql_report(
+        &g,
+        &SqlClusterConfig {
+            buffer_pool_bytes: Some(pool_bytes),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    assert_eq!(mem.assignment, ooc.assignment, "assignments diverged");
+    assert_eq!(mem.trace, ooc.trace, "convergence traces diverged");
+
+    let pool = report.pool.expect("paged run must report pool stats");
+    assert!(
+        pool.misses > pool.capacity,
+        "table never exceeded the pool: {} misses vs {} frames",
+        pool.misses,
+        pool.capacity
+    );
+    if !cfg!(debug_assertions) {
+        // Release (tier-1) sizing: the heap file is over 4× the pool, so
+        // even the first scan must miss more than 4 pool-fulls of pages
+        // and evict continuously.
+        assert!(
+            pool.misses >= 4 * pool.capacity,
+            "heap file was not >4× the pool: {} misses vs {} frames",
+            pool.misses,
+            pool.capacity
+        );
+        assert!(pool.evictions > 0, "larger-than-pool scan never evicted");
+    }
+}

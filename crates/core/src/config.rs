@@ -51,6 +51,17 @@ pub struct EsharpConfig {
     /// any setting. `1` keeps the match phase serial on the caller.
     #[serde(default = "default_search_workers")]
     pub search_workers: usize,
+    /// Buffer-pool budget (bytes) for the SQL backend. `Some` runs the
+    /// clustering SQL out-of-core: the multigraph is written to a paged
+    /// heap file and scanned through a pool of this many bytes. `None`
+    /// keeps the tables fully in memory. Bit-identical either way.
+    #[serde(default)]
+    pub sql_buffer_pool_bytes: Option<usize>,
+    /// Per-operator memory grant (bytes) for the SQL backend's blocking
+    /// operators; sorts/joins/aggregates beyond it spill to checksummed
+    /// run files. `None` means unbounded (never spill).
+    #[serde(default)]
+    pub sql_memory_grant: Option<usize>,
 }
 
 /// Serde fallback for configs written before `search_workers` existed.
@@ -76,6 +87,8 @@ impl Default for EsharpConfig {
             expansion: true,
             max_expansion_terms: 25,
             search_workers: default_search_workers(),
+            sql_buffer_pool_bytes: None,
+            sql_memory_grant: None,
         }
     }
 }

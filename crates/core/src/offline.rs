@@ -242,6 +242,8 @@ pub fn run_clustering(
             &SqlClusterConfig {
                 max_iterations: config.max_iterations,
                 workers: config.workers,
+                buffer_pool_bytes: config.sql_buffer_pool_bytes,
+                memory_grant: config.sql_memory_grant,
                 ..Default::default()
             },
         )

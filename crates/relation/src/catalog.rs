@@ -1,10 +1,46 @@
 //! Named-table catalog.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use crate::error::{RelError, RelResult};
+use crate::paged::PagedTable;
 use crate::table::Table;
+use esharp_storage::BufferPool;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Where a registered table's rows live.
+#[derive(Debug, Clone)]
+pub enum Source {
+    /// Fully materialized in memory.
+    Mem(Table),
+    /// On disk in a paged heap file; scans stream pages through the pool.
+    Paged {
+        /// The paged table.
+        table: Arc<PagedTable>,
+        /// The buffer pool its scans go through.
+        pool: Arc<BufferPool>,
+    },
+}
+
+impl Source {
+    /// Row count without materializing.
+    pub fn num_rows(&self) -> u64 {
+        match self {
+            Source::Mem(t) => t.num_rows() as u64,
+            Source::Paged { table, .. } => table.num_rows(),
+        }
+    }
+
+    /// Approximate byte footprint without materializing.
+    pub fn byte_size(&self) -> u64 {
+        match self {
+            Source::Mem(t) => t.byte_size() as u64,
+            Source::Paged { table, .. } => table.byte_size(),
+        }
+    }
+}
 
 /// A mutable, thread-safe registry of named tables.
 ///
@@ -12,7 +48,7 @@ use std::sync::Arc;
 /// every iteration, so registration replaces silently.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    tables: Arc<RwLock<HashMap<String, Table>>>,
+    tables: Arc<RwLock<HashMap<String, Source>>>,
 }
 
 impl Catalog {
@@ -25,13 +61,36 @@ impl Catalog {
     pub fn register(&self, name: impl AsRef<str>, table: Table) {
         self.tables
             .write()
-            .insert(name.as_ref().to_lowercase(), table);
+            .insert(name.as_ref().to_lowercase(), Source::Mem(table));
     }
 
-    /// Fetch a table by case-insensitive name (clones the handle; column
-    /// payloads are shared `Arc`s for strings and copied vectors for
-    /// numerics).
+    /// Register (or replace) an on-disk paged table. Scans of this name
+    /// stream pages through `pool` instead of materializing up front.
+    pub fn register_paged(
+        &self,
+        name: impl AsRef<str>,
+        table: Arc<PagedTable>,
+        pool: Arc<BufferPool>,
+    ) {
+        self.tables
+            .write()
+            .insert(name.as_ref().to_lowercase(), Source::Paged { table, pool });
+    }
+
+    /// Fetch a table by case-insensitive name, materializing a paged
+    /// source fully. In-memory handles are cloned (column payloads are
+    /// shared `Arc`s for strings and copied vectors for numerics).
     pub fn get(&self, name: &str) -> RelResult<Table> {
+        match self.get_source(name)? {
+            Source::Mem(t) => Ok(t),
+            Source::Paged { table, pool } => table.read_all(&pool),
+        }
+    }
+
+    /// Fetch the source for a name without materializing paged tables —
+    /// the physical scan operator uses this to push predicates into the
+    /// page stream.
+    pub fn get_source(&self, name: &str) -> RelResult<Source> {
         self.tables
             .read()
             .get(&name.to_lowercase())
@@ -39,9 +98,28 @@ impl Catalog {
             .ok_or_else(|| RelError::UnknownTable(name.to_string()))
     }
 
-    /// Remove a table; returns it if present.
+    /// The schema of a registered table, without materializing it.
+    pub fn schema_of(&self, name: &str) -> RelResult<crate::schema::SchemaRef> {
+        Ok(match self.get_source(name)? {
+            Source::Mem(t) => t.schema().clone(),
+            Source::Paged { table, .. } => table.schema().clone(),
+        })
+    }
+
+    /// `(rows, bytes)` of a registered table, without materializing it.
+    /// These feed the planner's cost model.
+    pub fn stats_of(&self, name: &str) -> RelResult<(u64, u64)> {
+        let source = self.get_source(name)?;
+        Ok((source.num_rows(), source.byte_size()))
+    }
+
+    /// Remove a table; returns its materialized form if present.
     pub fn remove(&self, name: &str) -> Option<Table> {
-        self.tables.write().remove(&name.to_lowercase())
+        match self.tables.write().remove(&name.to_lowercase()) {
+            Some(Source::Mem(t)) => Some(t),
+            Some(Source::Paged { table, pool }) => table.read_all(&pool).ok(),
+            None => None,
+        }
     }
 
     /// Names of all registered tables, sorted.

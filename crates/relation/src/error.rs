@@ -34,6 +34,14 @@ pub enum RelError {
     Eval(String),
     /// Schema construction failure (e.g. duplicate column names).
     Schema(String),
+    /// Paged storage / spill I-O failure (wraps the `std::io` error text).
+    Storage(String),
+}
+
+impl From<std::io::Error> for RelError {
+    fn from(err: std::io::Error) -> Self {
+        RelError::Storage(err.to_string())
+    }
 }
 
 impl fmt::Display for RelError {
@@ -54,6 +62,7 @@ impl fmt::Display for RelError {
             RelError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
             RelError::Eval(msg) => write!(f, "evaluation error: {msg}"),
             RelError::Schema(msg) => write!(f, "schema error: {msg}"),
+            RelError::Storage(msg) => write!(f, "storage error: {msg}"),
         }
     }
 }

@@ -6,4 +6,4 @@ mod stats;
 
 pub use parallel::{Cluster, JoinStrategy};
 pub use partition::{chunk_partition, hash_key, hash_partition, FixedHasher};
-pub use stats::{StageStats, StatsRegistry};
+pub use stats::{ExecStats, StageStats, StatsRegistry};

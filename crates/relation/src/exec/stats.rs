@@ -23,7 +23,21 @@ pub struct StageStats {
     pub bytes_read: u64,
     /// Payload bytes produced.
     pub bytes_written: u64,
+    /// Bytes written to spill files when the operator exceeded its memory
+    /// grant (0 when the operator ran fully in memory).
+    pub spill_bytes: u64,
+    /// Number of spill partitions / sorted runs written.
+    pub spill_parts: u64,
+    /// Physical plan node id this record belongs to, when the record was
+    /// produced by [`crate::physical`] execution. Lets EXPLAIN ANALYZE
+    /// correlate measurements with plan nodes; `None` for pipeline-level
+    /// records.
+    pub node: Option<usize>,
 }
+
+/// Per-operator execution statistics — the physical planner's name for
+/// [`StageStats`]: every operator in a physical plan records one.
+pub type ExecStats = StageStats;
 
 impl StageStats {
     /// A zeroed stats record for a stage.
@@ -36,6 +50,9 @@ impl StageStats {
             rows_written: 0,
             bytes_read: 0,
             bytes_written: 0,
+            spill_bytes: 0,
+            spill_parts: 0,
+            node: None,
         }
     }
 }
@@ -52,7 +69,15 @@ impl fmt::Display for StageStats {
             self.bytes_read,
             self.rows_written,
             self.bytes_written
-        )
+        )?;
+        if self.spill_bytes > 0 {
+            write!(
+                f,
+                " spilled={} B/{} parts",
+                self.spill_bytes, self.spill_parts
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -99,6 +124,8 @@ impl StatsRegistry {
             m.rows_written += r.rows_written;
             m.bytes_read += r.bytes_read;
             m.bytes_written += r.bytes_written;
+            m.spill_bytes += r.spill_bytes;
+            m.spill_parts += r.spill_parts;
         }
         merged
     }

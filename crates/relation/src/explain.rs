@@ -1,6 +1,8 @@
-//! EXPLAIN-style rendering of logical plans.
+//! EXPLAIN-style rendering of logical and physical plans.
 
+use crate::exec::StageStats;
 use crate::expr::Expr;
+use crate::physical::PhysicalPlan;
 use crate::plan::{AggCall, LogicalPlan};
 use std::fmt::Write as _;
 
@@ -79,6 +81,164 @@ fn render(plan: &LogicalPlan, depth: usize, out: &mut String) {
             let _ = writeln!(out, "{pad}UnionAll ({} inputs)", inputs.len());
             for input in inputs {
                 render(input, depth + 1, out);
+            }
+        }
+    }
+}
+
+/// Render an optimized physical plan with its pushdown, build-side and
+/// strategy annotations:
+///
+/// ```text
+/// Sort: distance DESC  (est 330 rows)
+///   HashJoin: query2 = query  [build=right, Broadcast]  (est 1000 rows)
+///     SeqScan: graph  [pred: distance > 0.25] [cols: 2/4]  (est 330 rows)
+///     SeqScan: communities  (est 40 rows)
+/// ```
+pub fn explain_physical(plan: &PhysicalPlan) -> String {
+    let mut out = String::new();
+    render_physical(plan, 0, None, &mut out);
+    out
+}
+
+/// Render a physical plan annotated with *measured* per-node statistics
+/// (EXPLAIN ANALYZE): actual rows, bytes and spill activity from a
+/// [`StageStats`] snapshot recorded by `execute_physical`, matched to
+/// nodes by id.
+pub fn explain_analyze(plan: &PhysicalPlan, stats: &[StageStats]) -> String {
+    let mut out = String::new();
+    render_physical(plan, 0, Some(stats), &mut out);
+    out
+}
+
+fn node_stats(stats: &[StageStats], id: usize) -> Option<&StageStats> {
+    // Later records win: the snapshot may hold several runs of the plan.
+    stats.iter().rev().find(|s| s.node == Some(id))
+}
+
+fn render_physical(
+    plan: &PhysicalPlan,
+    depth: usize,
+    stats: Option<&[StageStats]>,
+    out: &mut String,
+) {
+    let pad = "  ".repeat(depth);
+    let head = match plan {
+        PhysicalPlan::SeqScan {
+            table,
+            projection,
+            predicate,
+            limit,
+            ..
+        } => {
+            let mut s = format!("{pad}SeqScan: {table}");
+            if let Some(p) = predicate {
+                let _ = write!(s, "  [pred: {}]", expr_text(p));
+            }
+            if let Some(cols) = projection {
+                let _ = write!(s, "  [cols: {}]", cols.len());
+            }
+            if let Some(n) = limit {
+                let _ = write!(s, "  [limit: {n}]");
+            }
+            s
+        }
+        PhysicalPlan::Filter { predicate, .. } => {
+            format!("{pad}Filter: {}", expr_text(predicate))
+        }
+        PhysicalPlan::Project { exprs, .. } => {
+            let cols: Vec<String> = exprs
+                .iter()
+                .map(|(e, alias)| match alias {
+                    Some(a) if *a != e.default_name() => {
+                        format!("{} AS {a}", expr_text(e))
+                    }
+                    _ => expr_text(e),
+                })
+                .collect();
+            format!("{pad}Project: {}", cols.join(", "))
+        }
+        PhysicalPlan::HashJoin {
+            on,
+            build_left,
+            strategy,
+            ..
+        } => format!(
+            "{pad}HashJoin: {}  [build={}, {strategy:?}]",
+            expr_text(on),
+            if *build_left { "left" } else { "right" },
+        ),
+        PhysicalPlan::Aggregate {
+            group_by, aggs, ..
+        } => {
+            let aggs_text: Vec<String> = aggs.iter().map(agg_text).collect();
+            format!(
+                "{pad}Aggregate: group by [{}], compute [{}]",
+                group_by.join(", "),
+                aggs_text.join(", ")
+            )
+        }
+        PhysicalPlan::Sort { keys, .. } => {
+            let keys_text: Vec<String> = keys
+                .iter()
+                .map(|(name, asc)| format!("{name} {}", if *asc { "ASC" } else { "DESC" }))
+                .collect();
+            format!("{pad}Sort: {}", keys_text.join(", "))
+        }
+        PhysicalPlan::Limit { n, .. } => format!("{pad}Limit: {n}"),
+        PhysicalPlan::Distinct { .. } => format!("{pad}Distinct"),
+        PhysicalPlan::UnionAll { inputs, .. } => {
+            format!("{pad}UnionAll ({} inputs)", inputs.len())
+        }
+    };
+    out.push_str(&head);
+    match stats {
+        Some(snapshot) => match node_stats(snapshot, plan.id()) {
+            Some(s) => {
+                let _ = write!(
+                    out,
+                    "  (actual: {} rows in, {} rows out, {} B out, {:?}",
+                    s.rows_read, s.rows_written, s.bytes_written, s.wall
+                );
+                if s.spill_bytes > 0 {
+                    let _ = write!(
+                        out,
+                        ", spilled {} B / {} parts",
+                        s.spill_bytes, s.spill_parts
+                    );
+                }
+                out.push(')');
+            }
+            None => out.push_str("  (actual: not executed)"),
+        },
+        None => {
+            let est = plan.estimate();
+            let _ = write!(
+                out,
+                "  (est {} rows{})",
+                est.rows.round() as u64,
+                if est.measured { ", measured" } else { "" }
+            );
+        }
+    }
+    out.push('\n');
+    match plan {
+        PhysicalPlan::SeqScan { .. } => {}
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Aggregate { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Limit { input, .. }
+        | PhysicalPlan::Distinct { input, .. } => {
+            render_physical(input, depth + 1, stats, out);
+        }
+        PhysicalPlan::HashJoin { left, right, .. } => {
+            render_physical(left, depth + 1, stats, out);
+            render_physical(right, depth + 1, stats, out);
+        }
+        PhysicalPlan::UnionAll { inputs, .. } => {
+            for input in inputs {
+                render_physical(input, depth + 1, stats, out);
             }
         }
     }

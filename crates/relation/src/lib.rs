@@ -46,6 +46,8 @@ pub mod exec;
 mod explain;
 mod expr;
 pub mod ops;
+pub mod paged;
+pub mod physical;
 mod plan;
 mod schema;
 pub mod sql;
@@ -53,15 +55,18 @@ mod table;
 mod udf;
 mod value;
 
-pub use catalog::Catalog;
+pub use catalog::{Catalog, Source};
 pub use column::Column;
 pub use error::{RelError, RelResult};
-pub use exec::{Cluster, JoinStrategy, StageStats, StatsRegistry};
-pub use explain::explain;
+pub use exec::{Cluster, ExecStats, JoinStrategy, StageStats, StatsRegistry};
+pub use explain::{explain, explain_analyze, explain_physical};
 pub use expr::{BinOp, CompiledExpr, Expr};
+pub use esharp_storage::{BufferPool, PoolStats, PAGE_SIZE};
+pub use paged::{PagedTable, ScanOptions, ScanOutcome};
+pub use physical::{optimize, Estimate, PhysicalPlan, PlanHistory};
 pub use plan::{AggCall, ExecContext, LogicalPlan};
 pub use schema::{Field, Schema, SchemaRef};
-pub use sql::{plan_sql, run_sql};
+pub use sql::{plan_sql, run_sql, run_sql_unoptimized};
 pub use table::{Table, TableBuilder};
 pub use udf::{FnUdf, ScalarUdf, UdfRegistry};
 pub use value::{DataType, Value};

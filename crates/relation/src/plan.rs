@@ -187,10 +187,22 @@ pub struct ExecContext {
     pub udfs: UdfRegistry,
     /// Worker pool.
     pub cluster: Cluster,
-    /// Physical join strategy (§4.2.3).
+    /// Physical join strategy (§4.2.3) used by the *logical* executor and
+    /// as the planner's fallback when it has no estimates.
     pub join_strategy: JoinStrategy,
     /// Optional per-operator statistics sink.
     pub stats: Option<StatsRegistry>,
+    /// Memory grant in bytes for blocking operators (sort, hash join,
+    /// hash aggregate) in the physical executor. When an operator's
+    /// working set exceeds the grant, it spills to disk instead of
+    /// growing. `None` = unlimited (never spill).
+    pub memory_grant: Option<usize>,
+    /// Directory for spill files; the system temp dir when `None`.
+    pub spill_root: Option<std::path::PathBuf>,
+    /// Measured per-node statistics from a previous execution of the same
+    /// query shape; the optimizer prefers these over its static guesses
+    /// (§4.2.3's configured strategy choice, made a measured one).
+    pub history: crate::physical::PlanHistory,
 }
 
 impl ExecContext {
@@ -202,6 +214,9 @@ impl ExecContext {
             cluster: Cluster::serial(),
             join_strategy: JoinStrategy::Broadcast,
             stats: None,
+            memory_grant: None,
+            spill_root: None,
+            history: crate::physical::PlanHistory::default(),
         }
     }
 
@@ -220,6 +235,25 @@ impl ExecContext {
     /// Attach a statistics registry.
     pub fn with_stats(mut self, stats: StatsRegistry) -> Self {
         self.stats = Some(stats);
+        self
+    }
+
+    /// Cap the memory grant of blocking operators (bytes); they spill to
+    /// disk beyond it.
+    pub fn with_memory_grant(mut self, bytes: usize) -> Self {
+        self.memory_grant = Some(bytes);
+        self
+    }
+
+    /// Set the spill directory root.
+    pub fn with_spill_root(mut self, root: impl Into<std::path::PathBuf>) -> Self {
+        self.spill_root = Some(root.into());
+        self
+    }
+
+    /// Feed measured node statistics back into the optimizer.
+    pub fn with_history(mut self, history: crate::physical::PlanHistory) -> Self {
+        self.history = history;
         self
     }
 
@@ -360,7 +394,7 @@ impl ExecContext {
 }
 
 /// Collect the AND-conjuncts of an expression tree.
-fn flatten_and<'a>(expr: &'a Expr, out: &mut Vec<&'a Expr>) {
+pub(crate) fn flatten_and<'a>(expr: &'a Expr, out: &mut Vec<&'a Expr>) {
     match expr {
         Expr::Binary {
             op: BinOp::And,
@@ -376,7 +410,7 @@ fn flatten_and<'a>(expr: &'a Expr, out: &mut Vec<&'a Expr>) {
 
 /// If `expr` is `lcol = rcol` with the columns on opposite join sides,
 /// return their indices as `(left_idx, right_idx)`.
-fn equi_pair(expr: &Expr, left: &Schema, right: &Schema) -> Option<(usize, usize)> {
+pub(crate) fn equi_pair(expr: &Expr, left: &Schema, right: &Schema) -> Option<(usize, usize)> {
     let Expr::Binary {
         op: BinOp::Eq,
         left: a,
@@ -398,7 +432,7 @@ fn equi_pair(expr: &Expr, left: &Schema, right: &Schema) -> Option<(usize, usize
 }
 
 /// Lower a logical aggregate call to a physical [`AggSpec`].
-fn lower_agg(call: &AggCall, schema: &Schema) -> RelResult<AggSpec> {
+pub(crate) fn lower_agg(call: &AggCall, schema: &Schema) -> RelResult<AggSpec> {
     let idx = |name: &String| schema.index_of(name);
     match call.func {
         AggFunc::Count => {

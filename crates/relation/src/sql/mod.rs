@@ -27,8 +27,21 @@ pub fn plan_sql(sql: &str, ctx: &ExecContext) -> RelResult<LogicalPlan> {
     bind_statement(&statement, &ctx.catalog, &ctx.udfs)
 }
 
-/// Parse, bind and execute SQL text.
+/// Parse, bind, optimize and execute SQL text through the physical
+/// planner: predicates/projections/limits are pushed into the scans,
+/// join build sides and strategies are cost-chosen, and blocking
+/// operators spill under the context's memory grant.
 pub fn run_sql(sql: &str, ctx: &ExecContext) -> RelResult<Table> {
+    let plan = plan_sql(sql, ctx)?;
+    let physical = crate::physical::optimize(&plan, ctx)?;
+    ctx.execute_physical(&physical)
+}
+
+/// Parse, bind and execute SQL text on the naive logical executor, with
+/// no pushdowns or cost-based choices. The benchmark harness uses this as
+/// the baseline the optimizer is measured against, and the planner
+/// equivalence tests use it as the reference semantics.
+pub fn run_sql_unoptimized(sql: &str, ctx: &ExecContext) -> RelResult<Table> {
     let plan = plan_sql(sql, ctx)?;
     ctx.execute(&plan)
 }

@@ -18,8 +18,13 @@
 #           on a virtual clock, plus the serve-layer smoke (partials
 #           marked + uncached, hedging recovers stragglers, caps answer
 #           413/431, panics answer 500, the supervisor heals workers)
+#   ooc     out-of-core smoke: the clustering SQL with a 4 MiB buffer
+#           pool over a larger-than-pool heap file is bit-identical to
+#           the in-memory run; the heap-file corruption matrix and the
+#           planner-equivalence property suite stay green
 #   clippy  workspace lints, warnings are errors
-#   panic   persistence/checkpoint/read-path/tail-tolerance modules keep
+#   panic   persistence/checkpoint/read-path/tail-tolerance modules —
+#           plus the storage crate and the paged/planner modules — keep
 #           their no-panic lint gate
 #
 # Usage: scripts/tier1.sh   (from the repo root or anywhere inside it)
@@ -75,6 +80,11 @@ echo "== tier-1: chaos gate (deterministic matrix + serve-layer smoke)"
 cargo test -q -p esharp-core --test chaos_matrix
 cargo test -q -p esharp-serve --test chaos_smoke
 
+echo "== tier-1: out-of-core smoke (4 MiB pool clustering SQL ≡ in-memory)"
+cargo test -q --release -p esharp-community --test out_of_core_smoke
+cargo test -q -p esharp-storage --test corruption_matrix
+cargo test -q -p esharp-relation --test planner_equiv
+
 echo "== tier-1: cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
@@ -87,7 +97,12 @@ for f in crates/relation/src/atomic.rs crates/relation/src/binfmt.rs \
          crates/serve/src/lib.rs crates/ingest/src/lib.rs \
          crates/fault/src/clock.rs crates/fault/src/budget.rs \
          crates/fault/src/chaos.rs crates/fault/src/breaker.rs \
-         crates/microblog/src/bounded.rs; do
+         crates/microblog/src/bounded.rs \
+         crates/storage/src/lib.rs crates/storage/src/atomic.rs \
+         crates/storage/src/page.rs crates/storage/src/heap.rs \
+         crates/storage/src/pool.rs crates/storage/src/spill.rs \
+         crates/relation/src/paged.rs crates/relation/src/physical.rs \
+         crates/relation/src/catalog.rs; do
   grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' "$f" || {
     echo "missing unwrap/expect deny gate in $f" >&2
     exit 1
