@@ -110,7 +110,7 @@ fn main() {
         "ingest" => ingest(&opts),
         "--help" | "-h" | "help" => {
             println!("subcommands: build, search, inspect, sql, cluster, bench, serve, ingest");
-            println!("flags: --scale tiny|small|paper, --seed N, --out DIR, --checkpoint-dir DIR, --resume, --baseline, --top K, -k N, --json, --events N, --serve, --online, --ingest, --queries N, --shards K, --large-load, --requests N, --addr HOST:PORT, --workers N, --cache-capacity N, --queue-depth N, --domains FILE, --corpus FILE, --replay FILE, --oplog FILE, --compact, --compact-threshold N, --compact-interval-ms N, --deadline-ms N, --hedge, --hedge-delay-ms N, --max-body-bytes N, --explain, --buffer-pool-mb N");
+            println!("flags: --scale tiny|small|paper, --seed N, --out DIR, --checkpoint-dir DIR, --resume, --baseline, --top K, -k N, --json, --events N, --serve, --online, --ingest, --queries N, --shards K, --large-load, --requests N, --addr HOST:PORT, --workers N, --cache-capacity N, --queue-depth N, --domains FILE, --corpus FILE, --replay FILE, --oplog FILE, --compact, --compact-threshold N, --compact-interval-ms N, --deadline-ms N, --hedge, --hedge-delay-ms N, --max-body-bytes N, --keep-alive-timeout-ms N, --max-pipeline-depth N, --batch-max-queries N, --explain, --buffer-pool-mb N");
         }
         other => fail(
             "parse arguments",
@@ -152,6 +152,9 @@ struct Options {
     hedge: bool,
     hedge_delay_ms: u64,
     max_body_bytes: usize,
+    keep_alive_timeout_ms: u64,
+    max_pipeline_depth: usize,
+    batch_max_queries: usize,
     explain: bool,
     buffer_pool_mb: u64,
     positional: Vec<String>,
@@ -192,6 +195,9 @@ impl Options {
             hedge: false,
             hedge_delay_ms: 20,
             max_body_bytes: 64 * 1024,
+            keep_alive_timeout_ms: 5_000,
+            max_pipeline_depth: 32,
+            batch_max_queries: 256,
             explain: false,
             buffer_pool_mb: 0,
             positional: Vec::new(),
@@ -255,6 +261,17 @@ impl Options {
                 }
                 "--max-body-bytes" => {
                     opts.max_body_bytes = next_num(&mut iter, "--max-body-bytes") as usize
+                }
+                "--keep-alive-timeout-ms" => {
+                    opts.keep_alive_timeout_ms = next_num(&mut iter, "--keep-alive-timeout-ms")
+                }
+                "--max-pipeline-depth" => {
+                    opts.max_pipeline_depth =
+                        next_num(&mut iter, "--max-pipeline-depth") as usize
+                }
+                "--batch-max-queries" => {
+                    opts.batch_max_queries =
+                        next_num(&mut iter, "--batch-max-queries") as usize
                 }
                 "--explain" => opts.explain = true,
                 "--buffer-pool-mb" => {
@@ -525,6 +542,9 @@ fn serve(opts: &Options) {
         hedge: opts.hedge,
         hedge_delay: std::time::Duration::from_millis(opts.hedge_delay_ms),
         max_body_bytes: opts.max_body_bytes,
+        keep_alive_timeout: std::time::Duration::from_millis(opts.keep_alive_timeout_ms.max(1)),
+        max_pipeline_depth: opts.max_pipeline_depth.max(1),
+        batch_max_queries: opts.batch_max_queries.max(1),
         ..ServeConfig::default()
     };
     if let Some(path) = &config.domains_path {
@@ -550,7 +570,7 @@ fn serve(opts: &Options) {
         opts.cache_capacity,
         opts.queue_depth
     );
-    println!("endpoints: GET /search?q=…  GET /healthz  GET /metrics  POST /reload  POST /ingest  POST /compact");
+    println!("endpoints: GET /search?q=…  POST /search/batch  GET /healthz  GET /metrics  POST /reload  POST /ingest  POST /compact");
     if opts.compact_threshold > 0 {
         println!(
             "background compaction: every {} pending ops (polled each {}ms)",

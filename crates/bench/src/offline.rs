@@ -93,8 +93,11 @@ pub struct OutOfCoreSample {
     pub pool_misses: u64,
     /// `hits / (hits + misses)`.
     pub pool_hit_rate: f64,
-    /// Pages evicted to make room.
+    /// Pages evicted to make room via the clock.
     pub pool_evictions: u64,
+    /// Scan-hint self-recycles (scan-resistant admission reusing the
+    /// scan's own ring frames instead of evicting strangers).
+    pub pool_recycles: u64,
     /// Bytes spilled by blocking operators under the memory grant.
     pub spill_bytes: u64,
     /// Spill partitions / sorted runs written.
@@ -170,6 +173,7 @@ impl OfflineBenchReport {
         out.push_str(&format!("    \"pool_misses\": {},\n", o.pool_misses));
         out.push_str(&format!("    \"pool_hit_rate\": {:.4},\n", o.pool_hit_rate));
         out.push_str(&format!("    \"pool_evictions\": {},\n", o.pool_evictions));
+        out.push_str(&format!("    \"pool_recycles\": {},\n", o.pool_recycles));
         out.push_str(&format!("    \"spill_bytes\": {},\n", o.spill_bytes));
         out.push_str(&format!("    \"spill_parts\": {},\n", o.spill_parts));
         out.push_str(&format!(
@@ -211,12 +215,13 @@ impl OfflineBenchReport {
         }
         let o = &self.out_of_core;
         out.push_str(&format!(
-            "out-of-core: {} B input through a {} B pool — hit rate {:.1}%, {} evictions, \
+            "out-of-core: {} B input through a {} B pool — hit rate {:.1}%, {} evictions / {} recycles, \
              spilled {} B / {} parts, scan rows {} → {} with pushdown, bit_identical={}\n",
             o.input_bytes,
             o.pool_bytes,
             o.pool_hit_rate * 100.0,
             o.pool_evictions,
+            o.pool_recycles,
             o.spill_bytes,
             o.spill_parts,
             o.rows_scanned_naive,
@@ -401,6 +406,7 @@ impl OfflineWorkload {
             pool_misses: stats.misses,
             pool_hit_rate: stats.hit_rate(),
             pool_evictions: stats.evictions,
+            pool_recycles: stats.recycles,
             spill_bytes,
             spill_parts,
             rows_scanned_naive,

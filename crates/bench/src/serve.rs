@@ -5,20 +5,35 @@
 //! replays a Zipf-distributed query mix from closed-loop client threads
 //! (each client issues its next request only after reading the previous
 //! response — throughput is an *achieved* number, not an offered one).
-//! Two phases:
+//! Phases:
 //!
-//! * **steady** — 4 workers, default queue: measures throughput and the
-//!   Table 9 budget (p99 detection-inclusive latency < 1 s).
+//! * **steady** — 4 workers, default queue, one connection per request
+//!   (`Connection: close`): the pre-event-loop baseline.
+//! * **steady_keepalive** — same load, but every client holds one
+//!   persistent connection: measures what connection reuse buys.
+//! * **steady_pipelined** — persistent connections, requests written in
+//!   back-to-back bursts before reading any response: measures the
+//!   incremental parser + write-coalescing path under pipelining.
 //! * **overload** — 1 worker, a 2-deep queue, 4× the clients: drives the
 //!   admission queue into saturation and measures the shed rate plus the
 //!   latency of the requests that *were* admitted (shedding must protect
 //!   them, not just the server).
+//! * **batch_sequential / batch_16** — cache off (every query pays for a
+//!   real detection), same query stream: singles over keep-alive vs
+//!   `POST /search/batch` at 16 queries per request. The batch planner
+//!   shares posting-list traversals across a batch's distinct terms, so
+//!   batch throughput (measured in queries/s, same unit as sequential)
+//!   must win uncached.
 //! * **chaos** — a resharded corpus with one shard's primary attempt
 //!   delayed by injected chaos, cache off, every request aimed at that
 //!   shard (via `term_home_shard`): measures the 1-slow-shard p99
 //!   regression against a sharded baseline, then re-runs with hedging
 //!   on. The acceptance gate is that hedging recovers at least half of
 //!   the regression.
+//!
+//! Every phase records its client discipline (`keep_alive`,
+//! `pipeline_depth`, `batch_size`) in the JSON so a report can never
+//! pass off pipelined numbers as one-shot numbers.
 //!
 //! `to_json` renders `BENCH_serve.json` by hand, like the offline report.
 
@@ -36,10 +51,35 @@ use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// How a phase's closed-loop clients speak HTTP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// One connection per request, `Connection: close`.
+    OneShot,
+    /// One persistent connection per client, strictly serial requests.
+    KeepAlive,
+    /// One persistent connection per client; requests written in bursts
+    /// of up to `depth` before reading any response.
+    Pipelined(usize),
+}
+
+impl LoadMode {
+    fn keep_alive(self) -> bool {
+        !matches!(self, LoadMode::OneShot)
+    }
+
+    fn pipeline_depth(self) -> usize {
+        match self {
+            LoadMode::Pipelined(depth) => depth.max(1),
+            _ => 1,
+        }
+    }
+}
+
 /// Measured results of one load phase.
 #[derive(Debug, Clone)]
 pub struct PhaseReport {
-    /// Phase name (`steady` / `overload`).
+    /// Phase name (`steady` / `overload` / …).
     pub name: &'static str,
     /// Server worker threads.
     pub workers: usize,
@@ -47,7 +87,15 @@ pub struct PhaseReport {
     pub queue_depth: usize,
     /// Closed-loop client threads.
     pub clients: usize,
-    /// Requests completed with `200`.
+    /// Whether clients reused connections (false = one per request).
+    pub keep_alive: bool,
+    /// Requests written back-to-back before reading (1 = serial).
+    pub pipeline_depth: usize,
+    /// Queries per request (1 = `GET /search`, >1 = `POST /search/batch`).
+    pub batch_size: usize,
+    /// Queries completed with `200` (for batch phases each accepted
+    /// request counts `batch_size` queries, so `throughput_rps` is
+    /// queries/s in every phase and the phases are comparable).
     pub ok: u64,
     /// Requests answered `503` (shed).
     pub shed: u64,
@@ -122,6 +170,12 @@ impl ServeBenchReport {
         out.push_str("{\n");
         out.push_str("  \"bench\": \"serve\",\n");
         out.push_str(&format!("  \"host_cpus\": {},\n", self.host_cpus));
+        // Concurrency comparisons (keep-alive vs one-shot, hedging) are
+        // still meaningful on one CPU, but absolute throughput is not.
+        out.push_str(&format!(
+            "  \"degenerate_host\": {},\n",
+            self.host_cpus < 2
+        ));
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!(
             "  \"distinct_queries\": {},\n",
@@ -135,12 +189,16 @@ impl ServeBenchReport {
         for (i, p) in self.phases.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"workers\": {}, \"queue_depth\": {}, \"clients\": {}, \
+                 \"keep_alive\": {}, \"pipeline_depth\": {}, \"batch_size\": {}, \
                  \"ok\": {}, \"shed\": {}, \"errors\": {}, \"elapsed_secs\": {:.3}, \
                  \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}{}\n",
                 p.name,
                 p.workers,
                 p.queue_depth,
                 p.clients,
+                p.keep_alive,
+                p.pipeline_depth,
+                p.batch_size,
                 p.ok,
                 p.shed,
                 p.errors,
@@ -186,12 +244,23 @@ impl ServeBenchReport {
             self.host_cpus,
             self.steady_hit_rate * 100.0
         ));
-        out.push_str("phase     wrk  queue  clients  ok      shed    req/s      p50        p99\n");
+        out.push_str(
+            "phase                   mode     wrk  queue  clients  ok      shed    req/s      p50        p99\n",
+        );
         for p in &self.phases {
+            let mode = if p.batch_size > 1 {
+                format!("batch{}", p.batch_size)
+            } else if p.pipeline_depth > 1 {
+                format!("pipe{}", p.pipeline_depth)
+            } else if p.keep_alive {
+                "ka".to_string()
+            } else {
+                "1shot".to_string()
+            };
             out.push_str(&format!(
-                "{:<9} {:>3}  {:>5}  {:>7}  {:>6}  {:>6}  {:>8.0}  {:>7}µs  {:>7}µs\n",
-                p.name, p.workers, p.queue_depth, p.clients, p.ok, p.shed, p.throughput_rps,
-                p.p50_us, p.p99_us
+                "{:<23} {:<8} {:>3}  {:>5}  {:>7}  {:>6}  {:>6}  {:>8.0}  {:>7}µs  {:>7}µs\n",
+                p.name, mode, p.workers, p.queue_depth, p.clients, p.ok, p.shed,
+                p.throughput_rps, p.p50_us, p.p99_us
             ));
         }
         let c = &self.chaos;
@@ -218,19 +287,22 @@ impl ServeBenchReport {
 struct ZipfQueries {
     /// Percent-encoded queries, most popular first.
     encoded: Vec<String>,
+    /// The same queries unencoded (batch bodies are raw, newline-joined).
+    raw: Vec<String>,
     cumulative: Vec<u64>,
     total: u64,
 }
 
 impl ZipfQueries {
     fn new(testbed: &Testbed) -> ZipfQueries {
-        let encoded: Vec<String> = testbed
+        let raw: Vec<String> = testbed
             .world
             .domains
             .iter()
             .take(32)
-            .map(|d| percent_encode(&testbed.world.terms[d.terms[0] as usize].text))
+            .map(|d| testbed.world.terms[d.terms[0] as usize].text.clone())
             .collect();
+        let encoded: Vec<String> = raw.iter().map(|q| percent_encode(q)).collect();
         let mut cumulative = Vec::with_capacity(encoded.len());
         let mut total = 0u64;
         for rank in 0..encoded.len() {
@@ -241,18 +313,21 @@ impl ZipfQueries {
         }
         ZipfQueries {
             encoded,
+            raw,
             cumulative,
             total,
         }
     }
 
-    fn sample(&self, rng: &mut StdRng) -> &str {
+    fn sample_index(&self, rng: &mut StdRng) -> usize {
         let ticket = rng.gen_range(0..self.total);
-        let index = self
-            .cumulative
+        self.cumulative
             .partition_point(|&c| c <= ticket)
-            .min(self.encoded.len() - 1);
-        &self.encoded[index]
+            .min(self.encoded.len() - 1)
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> &str {
+        &self.encoded[self.sample_index(rng)]
     }
 }
 
@@ -265,15 +340,94 @@ struct PhaseOutcome {
     latencies_us: Vec<u64>,
 }
 
+/// Read exactly one HTTP/1.1 response (head + `content-length` body)
+/// from `stream`, starting from whatever over-read bytes sit in `carry`.
+/// Consumed bytes are drained from `carry`; bytes belonging to the next
+/// pipelined response are left there. Returns the status code.
+fn read_response(stream: &mut TcpStream, carry: &mut Vec<u8>) -> std::io::Result<u16> {
+    fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+        haystack.windows(needle.len()).position(|w| w == needle)
+    }
+    let mut buf = [0u8; 4096];
+    let head_end = loop {
+        if let Some(at) = find(carry, b"\r\n\r\n") {
+            break at + 4;
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        carry.extend_from_slice(&buf[..n]);
+    };
+    let head = String::from_utf8_lossy(&carry[..head_end]).to_string();
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status"))?;
+    let content_length: usize = head
+        .to_ascii_lowercase()
+        .split_once("content-length:")
+        .and_then(|(_, rest)| rest.split_whitespace().next()?.parse().ok())
+        .unwrap_or(0);
+    let total = head_end + content_length;
+    while carry.len() < total {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        carry.extend_from_slice(&buf[..n]);
+    }
+    carry.drain(..total);
+    Ok(status)
+}
+
+/// A client's persistent connection plus its pipelining carry buffer.
+struct ClientConn {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+fn connect(addr: SocketAddr) -> std::io::Result<ClientConn> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_nodelay(true)?;
+    Ok(ClientConn {
+        stream,
+        carry: Vec::with_capacity(4096),
+    })
+}
+
+fn tally(outcome: &mut (u64, u64, u64, Vec<u64>), status: u16, started: Instant) {
+    match status {
+        200 => {
+            outcome.0 += 1;
+            let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            outcome.3.push(us);
+        }
+        503 => outcome.1 += 1,
+        _ => outcome.2 += 1,
+    }
+}
+
 /// Run one closed-loop phase: `clients` threads draw `requests` total
-/// from a shared budget, each completing its request (connect → send →
-/// full response) before drawing the next.
+/// from a shared budget, each completing its request(s) before drawing
+/// more. `mode` picks the connection discipline; pipelined latencies are
+/// measured from the burst's first byte to that response's last byte
+/// (what a pipelining client actually waits).
 fn run_phase(
     addr: SocketAddr,
     queries: &Arc<ZipfQueries>,
     seed: u64,
     clients: usize,
     requests: u64,
+    mode: LoadMode,
 ) -> PhaseOutcome {
     let budget = Arc::new(AtomicU64::new(requests));
     let started = Instant::now();
@@ -283,49 +437,145 @@ fn run_phase(
             let queries = Arc::clone(queries);
             std::thread::spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e37));
-                let mut ok = 0u64;
-                let mut shed = 0u64;
-                let mut errors = 0u64;
-                let mut latencies = Vec::new();
-                let mut response = Vec::with_capacity(4096);
-                while budget
-                    .fetch_update(SeqCst, SeqCst, |b| b.checked_sub(1))
-                    .is_ok()
-                {
-                    let query = queries.sample(&mut rng);
-                    let request_started = Instant::now();
-                    let status = (|| -> std::io::Result<u16> {
-                        let mut stream = TcpStream::connect(addr)?;
-                        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-                        stream.write_all(
-                            format!("GET /search?q={query} HTTP/1.1\r\nHost: bench\r\n\r\n")
-                                .as_bytes(),
-                        )?;
-                        response.clear();
-                        stream.read_to_end(&mut response)?;
-                        std::str::from_utf8(&response)
-                            .ok()
-                            .and_then(|t| t.split(' ').nth(1)?.parse().ok())
-                            .ok_or_else(|| {
-                                std::io::Error::new(std::io::ErrorKind::InvalidData, "no status")
-                            })
-                    })();
-                    match status {
-                        Ok(200) => {
-                            ok += 1;
-                            let us = u64::try_from(request_started.elapsed().as_micros())
-                                .unwrap_or(u64::MAX);
-                            latencies.push(us);
+                let mut out = (0u64, 0u64, 0u64, Vec::new());
+                let mut conn: Option<ClientConn> = None;
+                let depth = mode.pipeline_depth() as u64;
+                loop {
+                    // Draw up to `depth` tickets (1 unless pipelining).
+                    let mut burst = 0u64;
+                    while burst < depth
+                        && budget
+                            .fetch_update(SeqCst, SeqCst, |b| b.checked_sub(1))
+                            .is_ok()
+                    {
+                        burst += 1;
+                    }
+                    if burst == 0 {
+                        break;
+                    }
+                    let mut payload = String::new();
+                    for _ in 0..burst {
+                        let query = queries.sample(&mut rng);
+                        payload.push_str(&format!(
+                            "GET /search?q={query} HTTP/1.1\r\nHost: bench\r\n{}\r\n",
+                            if mode.keep_alive() {
+                                ""
+                            } else {
+                                "Connection: close\r\n"
+                            }
+                        ));
+                    }
+                    let burst_started = Instant::now();
+                    let result = (|| -> std::io::Result<()> {
+                        if conn.is_none() {
+                            conn = Some(connect(addr)?);
                         }
-                        Ok(503) => shed += 1,
-                        _ => errors += 1,
+                        let Some(client) = conn.as_mut() else {
+                            unreachable!("just connected");
+                        };
+                        client.stream.write_all(payload.as_bytes())?;
+                        for _ in 0..burst {
+                            let status = read_response(&mut client.stream, &mut client.carry)?;
+                            tally(&mut out, status, burst_started);
+                        }
+                        Ok(())
+                    })();
+                    if result.is_err() {
+                        out.2 += 1;
+                        conn = None;
+                    } else if !mode.keep_alive() {
+                        conn = None;
                     }
                 }
-                (ok, shed, errors, latencies)
+                out
             })
         })
         .collect();
+    collect_outcome(handles, started)
+}
 
+/// Run one closed-loop batch phase: clients draw `batch_size` queries at
+/// a time and submit them as one `POST /search/batch` over a persistent
+/// connection. `ok`/`shed` count *queries* (each accepted request counts
+/// `batch_size`), so throughput is queries/s — directly comparable to a
+/// singles phase over the same query stream.
+fn run_batch_phase(
+    addr: SocketAddr,
+    queries: &Arc<ZipfQueries>,
+    seed: u64,
+    clients: usize,
+    total_queries: u64,
+    batch_size: usize,
+) -> PhaseOutcome {
+    let budget = Arc::new(AtomicU64::new(total_queries));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let budget = Arc::clone(&budget);
+            let queries = Arc::clone(queries);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e37));
+                let mut out = (0u64, 0u64, 0u64, Vec::new());
+                let mut conn: Option<ClientConn> = None;
+                loop {
+                    let mut drawn = 0u64;
+                    while drawn < batch_size as u64
+                        && budget
+                            .fetch_update(SeqCst, SeqCst, |b| b.checked_sub(1))
+                            .is_ok()
+                    {
+                        drawn += 1;
+                    }
+                    if drawn == 0 {
+                        break;
+                    }
+                    let body = (0..drawn)
+                        .map(|_| queries.raw[queries.sample_index(&mut rng)].as_str())
+                        .collect::<Vec<_>>()
+                        .join("\n");
+                    let payload = format!(
+                        "POST /search/batch HTTP/1.1\r\nHost: bench\r\ncontent-length: {}\r\n\r\n{}",
+                        body.len(),
+                        body
+                    );
+                    let request_started = Instant::now();
+                    let result = (|| -> std::io::Result<u16> {
+                        if conn.is_none() {
+                            conn = Some(connect(addr)?);
+                        }
+                        let Some(client) = conn.as_mut() else {
+                            unreachable!("just connected");
+                        };
+                        client.stream.write_all(payload.as_bytes())?;
+                        read_response(&mut client.stream, &mut client.carry)
+                    })();
+                    match result {
+                        Ok(200) => {
+                            out.0 += drawn;
+                            let us = u64::try_from(request_started.elapsed().as_micros())
+                                .unwrap_or(u64::MAX);
+                            out.3.push(us);
+                        }
+                        Ok(503) => out.1 += drawn,
+                        Ok(_) => out.2 += drawn,
+                        Err(_) => {
+                            out.2 += drawn;
+                            conn = None;
+                        }
+                    }
+                }
+                out
+            })
+        })
+        .collect();
+    collect_outcome(handles, started)
+}
+
+#[allow(clippy::type_complexity)]
+fn collect_outcome(
+    handles: Vec<std::thread::JoinHandle<(u64, u64, u64, Vec<u64>)>>,
+    started: Instant,
+) -> PhaseOutcome {
     let mut ok = 0;
     let mut shed = 0;
     let mut errors = 0;
@@ -363,6 +613,8 @@ fn phase_report(
     name: &'static str,
     config: &ServeConfig,
     clients: usize,
+    mode: LoadMode,
+    batch_size: usize,
     outcome: &PhaseOutcome,
 ) -> PhaseReport {
     let elapsed_secs = outcome.elapsed.as_secs_f64().max(1e-9);
@@ -371,6 +623,9 @@ fn phase_report(
         workers: config.workers,
         queue_depth: config.queue_depth,
         clients,
+        keep_alive: mode.keep_alive(),
+        pipeline_depth: mode.pipeline_depth(),
+        batch_size: batch_size.max(1),
         ok: outcome.ok,
         shed: outcome.shed,
         errors: outcome.errors,
@@ -386,7 +641,7 @@ fn phase_report(
 fn fetch_metrics(addr: SocketAddr) -> std::io::Result<String> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n")?;
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")?;
     let mut out = String::new();
     stream.read_to_string(&mut out)?;
     Ok(out)
@@ -426,23 +681,36 @@ pub fn run(seed: u64, requests: u64) -> std::io::Result<ServeBenchReport> {
     let queries = Arc::new(ZipfQueries::new(&testbed));
     let mut phases = Vec::new();
 
-    // Steady phase: the acceptance configuration (4 workers).
+    // Steady trio: the same load at the acceptance configuration
+    // (4 workers), once per connection discipline. Each gets a fresh
+    // server so every phase warms its own cache from cold — otherwise
+    // the later phases would inherit the first one's warm cache and the
+    // comparison would flatter them.
     let steady_config = ServeConfig {
         workers: 4,
         queue_depth: 64,
         cache_capacity: 1024,
         ..ServeConfig::default()
     };
-    let server = Server::start(
-        "127.0.0.1:0",
-        steady_config.clone(),
-        Arc::clone(&corpus),
-        Arc::new(SharedEsharp::new(testbed.esharp.clone())),
-    )?;
-    let outcome = run_phase(server.local_addr(), &queries, seed, 8, requests);
-    let steady_hit_rate = scrape_hit_rate(server.local_addr());
-    phases.push(phase_report("steady", &steady_config, 8, &outcome));
-    server.shutdown();
+    let mut steady_hit_rate = 0.0;
+    for (name, mode) in [
+        ("steady", LoadMode::OneShot),
+        ("steady_keepalive", LoadMode::KeepAlive),
+        ("steady_pipelined", LoadMode::Pipelined(8)),
+    ] {
+        let server = Server::start(
+            "127.0.0.1:0",
+            steady_config.clone(),
+            Arc::clone(&corpus),
+            Arc::new(SharedEsharp::new(testbed.esharp.clone())),
+        )?;
+        let outcome = run_phase(server.local_addr(), &queries, seed, 8, requests, mode);
+        if name == "steady" {
+            steady_hit_rate = scrape_hit_rate(server.local_addr());
+        }
+        phases.push(phase_report(name, &steady_config, 8, mode, 1, &outcome));
+        server.shutdown();
+    }
 
     // Overload phase: strangle the server (1 worker, 2-deep queue) and
     // offer 4× the concurrency — saturation must shed, not collapse.
@@ -458,8 +726,83 @@ pub fn run(seed: u64, requests: u64) -> std::io::Result<ServeBenchReport> {
         Arc::clone(&corpus),
         Arc::new(SharedEsharp::new(testbed.esharp.clone())),
     )?;
-    let outcome = run_phase(server.local_addr(), &queries, seed, 32, requests / 2);
-    phases.push(phase_report("overload", &overload_config, 32, &outcome));
+    let outcome = run_phase(
+        server.local_addr(),
+        &queries,
+        seed,
+        32,
+        requests / 2,
+        LoadMode::OneShot,
+    );
+    phases.push(phase_report(
+        "overload",
+        &overload_config,
+        32,
+        LoadMode::OneShot,
+        1,
+        &outcome,
+    ));
+    server.shutdown();
+
+    // Batch pair: cache off, so every query pays for a real expansion +
+    // detection, and the only lever is the batch planner's shared
+    // posting-list traversal. Both phases run the same Zipf stream at
+    // the same budget; `ok` counts queries in both, so throughput_rps is
+    // apples-to-apples.
+    const BATCH_SIZE: usize = 16;
+    let batch_config = ServeConfig {
+        workers: 4,
+        queue_depth: 64,
+        cache_capacity: 0,
+        ..ServeConfig::default()
+    };
+    let batch_budget = (requests / 2).max(BATCH_SIZE as u64);
+    let server = Server::start(
+        "127.0.0.1:0",
+        batch_config.clone(),
+        Arc::clone(&corpus),
+        Arc::new(SharedEsharp::new(testbed.esharp.clone())),
+    )?;
+    let outcome = run_phase(
+        server.local_addr(),
+        &queries,
+        seed,
+        4,
+        batch_budget,
+        LoadMode::KeepAlive,
+    );
+    phases.push(phase_report(
+        "batch_sequential",
+        &batch_config,
+        4,
+        LoadMode::KeepAlive,
+        1,
+        &outcome,
+    ));
+    server.shutdown();
+
+    let server = Server::start(
+        "127.0.0.1:0",
+        batch_config.clone(),
+        Arc::clone(&corpus),
+        Arc::new(SharedEsharp::new(testbed.esharp.clone())),
+    )?;
+    let outcome = run_batch_phase(
+        server.local_addr(),
+        &queries,
+        seed,
+        4,
+        batch_budget,
+        BATCH_SIZE,
+    );
+    phases.push(phase_report(
+        "batch_16",
+        &batch_config,
+        4,
+        LoadMode::KeepAlive,
+        BATCH_SIZE,
+        &outcome,
+    ));
     server.shutdown();
 
     // Chaos phases: a 4-shard corpus, the cache off (every request pays
@@ -476,6 +819,7 @@ pub fn run(seed: u64, requests: u64) -> std::io::Result<ServeBenchReport> {
     let slow_shard = sharded.term_home_shard(&top_term);
     let aimed = Arc::new(ZipfQueries {
         encoded: vec![percent_encode(&top_term)],
+        raw: vec![top_term.clone()],
         cumulative: vec![1],
         total: 1,
     });
@@ -521,25 +865,67 @@ pub fn run(seed: u64, requests: u64) -> std::io::Result<ServeBenchReport> {
 
     // Sharded baseline, no chaos.
     let server = boot(false, ChaosPlan::new(seed))?;
-    let outcome = run_phase(server.local_addr(), &aimed, seed, 8, chaos_requests);
+    let outcome = run_phase(
+        server.local_addr(),
+        &aimed,
+        seed,
+        8,
+        chaos_requests,
+        LoadMode::OneShot,
+    );
     let baseline_p99_us = quantile(&outcome.latencies_us, 0.99);
-    phases.push(phase_report("tail_baseline", &chaos_config, 8, &outcome));
+    phases.push(phase_report(
+        "tail_baseline",
+        &chaos_config,
+        8,
+        LoadMode::OneShot,
+        1,
+        &outcome,
+    ));
     server.shutdown();
 
     // One slow shard, hedging off: the full regression.
     let server = boot(false, slow_plan())?;
-    let outcome = run_phase(server.local_addr(), &aimed, seed, 8, chaos_requests);
+    let outcome = run_phase(
+        server.local_addr(),
+        &aimed,
+        seed,
+        8,
+        chaos_requests,
+        LoadMode::OneShot,
+    );
     let slow_p99_us = quantile(&outcome.latencies_us, 0.99);
     let slow_metrics = fetch_metrics(server.local_addr()).unwrap_or_default();
-    phases.push(phase_report("tail_slow_shard", &chaos_config, 8, &outcome));
+    phases.push(phase_report(
+        "tail_slow_shard",
+        &chaos_config,
+        8,
+        LoadMode::OneShot,
+        1,
+        &outcome,
+    ));
     server.shutdown();
 
     // Same slow shard, hedging on: the recovery.
     let server = boot(true, slow_plan())?;
-    let outcome = run_phase(server.local_addr(), &aimed, seed, 8, chaos_requests);
+    let outcome = run_phase(
+        server.local_addr(),
+        &aimed,
+        seed,
+        8,
+        chaos_requests,
+        LoadMode::OneShot,
+    );
     let hedged_p99_us = quantile(&outcome.latencies_us, 0.99);
     let hedged_metrics = fetch_metrics(server.local_addr()).unwrap_or_default();
-    phases.push(phase_report("tail_slow_shard_hedged", &chaos_config, 8, &outcome));
+    phases.push(phase_report(
+        "tail_slow_shard_hedged",
+        &chaos_config,
+        8,
+        LoadMode::OneShot,
+        1,
+        &outcome,
+    ));
     server.shutdown();
 
     let regression = slow_p99_us.saturating_sub(baseline_p99_us);
@@ -609,18 +995,64 @@ mod tests {
     #[test]
     fn a_small_run_completes_with_sane_numbers() {
         let report = run(13, 200).expect("bench run");
-        assert_eq!(report.phases.len(), 5);
+        assert_eq!(report.phases.len(), 9);
         let steady = &report.phases[0];
+        assert!(!steady.keep_alive && steady.pipeline_depth == 1 && steady.batch_size == 1);
         assert_eq!(steady.ok + steady.shed + steady.errors, 200);
         assert_eq!(steady.errors, 0, "steady phase must not error");
         assert!(steady.throughput_rps > 0.0);
         assert!(steady.p50_us <= steady.p99_us && steady.p99_us <= steady.max_us);
+
+        // The event-loop acceptance pair: connection reuse must beat
+        // one-connection-per-request throughput, and the batch planner
+        // must beat sequential singles with the cache off (both sides
+        // measured in queries/s over the same query stream).
+        let keepalive = &report.phases[1];
+        assert!(keepalive.keep_alive && keepalive.pipeline_depth == 1);
+        assert_eq!(keepalive.errors, 0, "keep-alive phase must not error");
+        assert!(
+            keepalive.throughput_rps > steady.throughput_rps,
+            "keep-alive ({:.0} rps) must beat one-shot ({:.0} rps)",
+            keepalive.throughput_rps,
+            steady.throughput_rps
+        );
+        let pipelined = &report.phases[2];
+        assert!(pipelined.keep_alive && pipelined.pipeline_depth == 8);
+        assert_eq!(pipelined.errors, 0, "pipelined phase must not error");
+        assert!(
+            pipelined.throughput_rps > steady.throughput_rps,
+            "pipelining ({:.0} rps) must beat one-shot ({:.0} rps)",
+            pipelined.throughput_rps,
+            steady.throughput_rps
+        );
+        let sequential = &report.phases[4];
+        let batch = &report.phases[5];
+        assert_eq!(sequential.name, "batch_sequential");
+        assert_eq!(batch.name, "batch_16");
+        assert_eq!(batch.batch_size, 16);
+        assert_eq!(sequential.errors, 0, "sequential-singles phase must not error");
+        assert_eq!(batch.errors, 0, "batch phase must not error");
+        assert!(
+            batch.throughput_rps > sequential.throughput_rps,
+            "uncached batch ({:.0} q/s) must beat sequential singles ({:.0} q/s)",
+            batch.throughput_rps,
+            sequential.throughput_rps
+        );
+
         let json = report.to_json();
         for needle in [
             "\"bench\": \"serve\"",
+            "\"degenerate_host\": ",
             "\"name\": \"steady\"",
+            "\"name\": \"steady_keepalive\"",
+            "\"name\": \"steady_pipelined\"",
             "\"name\": \"overload\"",
+            "\"name\": \"batch_sequential\"",
+            "\"name\": \"batch_16\"",
             "\"name\": \"tail_slow_shard_hedged\"",
+            "\"keep_alive\": true",
+            "\"pipeline_depth\": 8",
+            "\"batch_size\": 16",
             "\"chaos\": {",
         ] {
             assert!(json.contains(needle), "missing {needle}");

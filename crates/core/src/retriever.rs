@@ -8,6 +8,8 @@
 //! choice; [`FrequencyRetriever`] is a deliberately naive alternative used
 //! by tests and ablations to show the seam works.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use esharp_expert::{Detector, DetectorConfig, ExpertResult, Features};
 use esharp_microblog::{Corpus, TweetId};
 use std::collections::HashMap;
@@ -17,6 +19,17 @@ pub trait ExpertiseRetriever: Send + Sync {
     /// Rank candidate experts given the tweets that matched the (expanded)
     /// query.
     fn retrieve(&self, corpus: &Corpus, matched: &[TweetId]) -> Vec<ExpertResult>;
+
+    /// Rank one match set per query, in order — the batch planner's rank
+    /// seam. The default simply loops [`ExpertiseRetriever::retrieve`];
+    /// implementations may amortize per-call setup, but each set's
+    /// result must stay bit-identical to a lone `retrieve` call.
+    fn retrieve_batch(&self, corpus: &Corpus, match_sets: &[Vec<TweetId>]) -> Vec<Vec<ExpertResult>> {
+        match_sets
+            .iter()
+            .map(|matched| self.retrieve(corpus, matched))
+            .collect()
+    }
 
     /// Human-readable retriever name.
     fn name(&self) -> &'static str;
@@ -39,6 +52,12 @@ impl PalCountsRetriever {
 impl ExpertiseRetriever for PalCountsRetriever {
     fn retrieve(&self, corpus: &Corpus, matched: &[TweetId]) -> Vec<ExpertResult> {
         Detector::new(corpus, self.config.clone()).rank_candidates(matched)
+    }
+
+    fn retrieve_batch(&self, corpus: &Corpus, match_sets: &[Vec<TweetId>]) -> Vec<Vec<ExpertResult>> {
+        // One detector (one config clone) and one scratch checkout for
+        // the whole batch instead of one per query.
+        Detector::new(corpus, self.config.clone()).rank_candidates_batch(match_sets)
     }
 
     fn name(&self) -> &'static str {

@@ -1,6 +1,8 @@
 //! The end-to-end baseline detector: candidate selection → features →
 //! normalization → weighted ranking → z-score threshold (§3).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use crate::cluster_filter::cluster_filter;
 use crate::features::{collect_candidates, compute_features, CandidateScratch, Features};
 use crate::features_ext::{collect_extended, compute_extended, ExtendedWeights};
@@ -110,6 +112,22 @@ impl<'c> Detector<'c> {
     /// [`Detector::rank_candidates_reference`] (enforced by proptest).
     pub fn rank_candidates(&self, matching: &[TweetId]) -> Vec<ExpertResult> {
         SCRATCH.with(|scratch| self.rank_candidates_in(matching, &mut scratch.borrow_mut()))
+    }
+
+    /// Rank several match sets through a single thread-local scratch
+    /// checkout — the batch planner's rank seam. Each set's result is
+    /// bit-identical to calling [`Detector::rank_candidates`] on it
+    /// alone: every `collect_with` resets the scratch, so sets cannot
+    /// observe each other; the batch only amortizes the `RefCell`
+    /// borrow and keeps the buffers hot across queries.
+    pub fn rank_candidates_batch(&self, match_sets: &[Vec<TweetId>]) -> Vec<Vec<ExpertResult>> {
+        SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            match_sets
+                .iter()
+                .map(|matching| self.rank_candidates_in(matching, &mut scratch))
+                .collect()
+        })
     }
 
     /// [`Detector::rank_candidates`] with an explicit scratch, for callers

@@ -1,5 +1,7 @@
 //! The corpus: users, tweets and the indexes the expert detector needs.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use crate::arena::CorpusArena;
 use crate::index::{intersect, union_sorted, PostingsIndex};
 use crate::intern::SymbolTable;
@@ -390,6 +392,84 @@ impl Corpus {
         self.without_tombstones(union_sorted(&lists))
     }
 
+    /// Batch form of [`Corpus::match_terms_with`]: one entry of
+    /// `expansions` per query, one result per query, in order. The
+    /// planner dedups terms across the whole batch (first-seen order),
+    /// performs each distinct term's posting-list traversal **once** —
+    /// scatter-gathered over the postings shards exactly like the
+    /// single-query path — and then assembles every query's union from
+    /// the memoized per-term match sets.
+    ///
+    /// Each query's result is **bit-identical** to
+    /// `match_terms_with(&expansions[i], workers)`: a union over sorted
+    /// deduplicated lists is a set operation, so sharing the per-term
+    /// traversals across queries cannot change any query's answer
+    /// (property-tested in `proptest_batch`).
+    pub fn match_terms_batch_with(
+        &self,
+        expansions: &[Vec<String>],
+        workers: usize,
+    ) -> Vec<Vec<TweetId>> {
+        // Distinct terms across the batch, first-seen order — the
+        // cross-query sharing the Zipf query mix makes common.
+        let mut term_index: HashMap<&str, usize> = HashMap::new();
+        let mut distinct: Vec<&String> = Vec::new();
+        for terms in expansions {
+            for term in terms {
+                if !term_index.contains_key(term.as_str()) {
+                    term_index.insert(term.as_str(), distinct.len());
+                    distinct.push(term);
+                }
+            }
+        }
+        let k = self.postings.shard_count();
+        let matches: Vec<TermMatch<'_>> = if workers <= 1 || k <= 1 || distinct.len() <= 1 {
+            distinct.iter().map(|term| self.match_term(term)).collect()
+        } else {
+            // Group distinct terms by home shard and traverse each
+            // group's postings as one task on the shared pool, then
+            // scatter the per-term match sets back into memo order.
+            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
+            for (i, term) in distinct.iter().enumerate() {
+                groups[self.term_home_shard(term)].push(i);
+            }
+            let distinct_ref = &distinct;
+            let tasks: Vec<_> = groups
+                .iter()
+                .filter(|group| !group.is_empty())
+                .map(|group| {
+                    move || {
+                        group
+                            .iter()
+                            .map(|&i| (i, self.match_term(distinct_ref[i])))
+                            .collect::<Vec<_>>()
+                    }
+                })
+                .collect();
+            let mut memo: Vec<Option<TermMatch<'_>>> =
+                (0..distinct.len()).map(|_| None).collect();
+            for part in esharp_par::shared_pool(workers).run(tasks) {
+                for (i, matched) in part {
+                    memo[i] = Some(matched);
+                }
+            }
+            memo.into_iter()
+                .map(|m| m.unwrap_or(TermMatch::Owned(Vec::new())))
+                .collect()
+        };
+        expansions
+            .iter()
+            .map(|terms| {
+                let lists: Vec<&[TweetId]> = terms
+                    .iter()
+                    .map(|term| matches[term_index[term.as_str()]].as_slice())
+                    .filter(|list| !list.is_empty())
+                    .collect();
+                self.without_tombstones(union_sorted(&lists))
+            })
+            .collect()
+    }
+
     /// The shard a term's postings traversal is charged to: the shard of
     /// its first known token. Load distribution only — correctness never
     /// depends on the assignment. Public so the chaos bench can aim a
@@ -655,8 +735,13 @@ impl Corpus {
             tweets.push(survivor);
         }
 
-        let symbols = SymbolTable::from_texts(new_texts)
-            .expect("remapped token texts are unique by construction");
+        // token_map pushes each surviving text exactly once, so interning
+        // assigns the same sequential ids `from_texts` would — without a
+        // fallible constructor on this panic-free path.
+        let mut symbols = SymbolTable::with_capacity(new_texts.len());
+        for text in &new_texts {
+            symbols.intern(text);
+        }
         let postings = PostingsIndex::build(
             symbols.len(),
             token_offsets.windows(2).map(|w| &token_ids[w[0] as usize..w[1] as usize]),

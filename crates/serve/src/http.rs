@@ -1,10 +1,15 @@
 //! A deliberately small HTTP/1.1 subset on std sockets.
 //!
-//! Enough protocol for the four serving endpoints and their load
-//! generator: request-line + headers parsing with hard size caps, query
-//! string decoding, and one-shot responses (`Connection: close` on every
-//! reply — the serving layer trades keep-alive for a trivially fair
-//! bounded admission queue, see `server`).
+//! Enough protocol for the serving endpoints and their load generator:
+//! request-line + headers parsing with hard size caps, query string
+//! decoding, and response rendering. Parsing is **incremental**
+//! ([`parse_request`]): the event loop feeds whatever bytes have arrived
+//! and gets back either a complete request plus how many bytes it
+//! consumed, "need more", or a typed protocol error — which is what
+//! makes keep-alive and pipelined connections parse correctly no matter
+//! how the client fragments its writes. The blocking one-shot readers
+//! ([`read_request`]/[`read_request_limited`]) are thin loops over the
+//! same parser.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -87,6 +92,10 @@ pub struct Request {
     /// The request body (`content-length` bytes; empty for bodiless
     /// requests). `POST /ingest` reads op lines from here.
     pub body: Vec<u8>,
+    /// Whether the client asked for the connection to be closed after
+    /// this response (`Connection: close`, or an HTTP/1.0 request —
+    /// this subset does not honor 1.0 keep-alive).
+    pub close: bool,
 }
 
 impl Request {
@@ -125,28 +134,67 @@ pub fn read_request_limited(
     stream: &mut TcpStream,
     limits: &Limits,
 ) -> Result<Option<Request>, RequestError> {
-    let mut head = Vec::with_capacity(512);
+    let mut pending = Vec::with_capacity(512);
     let mut buf = [0u8; 1024];
-    let mut overflow = loop {
+    loop {
+        if let Some((request, _consumed)) = parse_request(&pending, limits)? {
+            return Ok(Some(request));
+        }
         let n = stream.read(&mut buf).map_err(RequestError::Io)?;
         if n == 0 {
-            if head.is_empty() {
+            if pending.is_empty() {
                 return Ok(None);
             }
             return Err(RequestError::Malformed(bad("connection closed mid-request")));
         }
-        head.extend_from_slice(&buf[..n]);
-        if let Some(pos) = find_head_end(&head) {
-            break head.split_off(pos + 4);
-        }
-        if head.len() > limits.max_head {
+        pending.extend_from_slice(&buf[..n]);
+    }
+}
+
+/// Incrementally parse one request from the front of `buf`.
+///
+/// * `Ok(Some((request, consumed)))` — a complete request; the caller
+///   drains `consumed` bytes and may call again on the remainder (a
+///   pipelined connection carries the next request right there).
+/// * `Ok(None)` — the bytes so far are a valid prefix; read more.
+/// * `Err(_)` — the prefix can never become a valid in-cap request:
+///   malformed syntax (`400`), declared body above cap (`413`, from the
+///   declaration alone — the body bytes need never arrive), or a head
+///   still headerless past `max_head` (`431`).
+pub fn parse_request(
+    buf: &[u8],
+    limits: &Limits,
+) -> Result<Option<(Request, usize)>, RequestError> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > limits.max_head {
             return Err(RequestError::HeadTooLarge {
                 cap: limits.max_head,
             });
         }
+        return Ok(None);
     };
+    let (mut request, content_length) = parse_head(&buf[..head_end])?;
+    // The cap is enforced on the *declared* length, before a single body
+    // byte is waited for — an oversized upload is refused at the cost of
+    // its headers.
+    if content_length > limits.max_body {
+        return Err(RequestError::BodyTooLarge {
+            declared: content_length,
+            cap: limits.max_body,
+        });
+    }
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Ok(None);
+    }
+    request.body = buf[body_start..body_start + content_length].to_vec();
+    Ok(Some((request, body_start + content_length)))
+}
 
-    let text = std::str::from_utf8(&head)
+/// Parse a complete request head (everything before `\r\n\r\n`) into a
+/// bodiless [`Request`] plus its declared content length.
+fn parse_head(head: &[u8]) -> Result<(Request, usize), RequestError> {
+    let text = std::str::from_utf8(head)
         .map_err(|_| RequestError::Malformed(bad("non-UTF-8 request head")))?;
     let malformed = |msg: &str| RequestError::Malformed(bad(msg));
     let mut lines = text.split("\r\n");
@@ -157,6 +205,9 @@ pub fn read_request_limited(
     let version = parts.next().ok_or_else(|| malformed("missing version"))?;
     if !version.starts_with("HTTP/1.") {
         return Err(malformed("unsupported HTTP version"));
+    }
+    if method.is_empty() || target.is_empty() {
+        return Err(malformed("empty method or target"));
     }
 
     let mut headers: Vec<(String, String)> = Vec::new();
@@ -176,26 +227,6 @@ pub fn read_request_limited(
             headers.push((name, value));
         }
     }
-    // The cap is enforced on the *declared* length, before reading a
-    // single body byte — an oversized upload is refused at the cost of
-    // its headers.
-    if content_length > limits.max_body {
-        return Err(RequestError::BodyTooLarge {
-            declared: content_length,
-            cap: limits.max_body,
-        });
-    }
-    // Read the full body (clients that pipeline a body expect it
-    // consumed before the response); bytes past content-length are a
-    // protocol violation this one-shot subset simply drops.
-    while overflow.len() < content_length {
-        let n = stream.read(&mut buf).map_err(RequestError::Io)?;
-        if n == 0 {
-            return Err(malformed("connection closed mid-body"));
-        }
-        overflow.extend_from_slice(&buf[..n]);
-    }
-    overflow.truncate(content_length);
 
     let (path_raw, query_raw) = match target.split_once('?') {
         Some((p, q)) => (p, Some(q)),
@@ -212,13 +243,23 @@ pub fn read_request_limited(
             query.push((k, v));
         }
     }
-    Ok(Some(Request {
-        method: method.to_string(),
-        path,
-        query,
-        headers,
-        body: overflow,
-    }))
+    // HTTP/1.1 defaults to keep-alive; everything else (and an explicit
+    // `Connection: close`) closes after the response.
+    let close = version != "HTTP/1.1"
+        || headers.iter().any(|(k, v)| {
+            k == "connection" && v.split(',').any(|t| t.trim().eq_ignore_ascii_case("close"))
+        });
+    Ok((
+        Request {
+            method: method.to_string(),
+            path,
+            query,
+            headers,
+            body: Vec::new(),
+            close,
+        },
+        content_length,
+    ))
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -283,15 +324,15 @@ fn hex(b: u8) -> Option<u8> {
     }
 }
 
-/// Write a complete response and flush. Every response closes the
-/// connection (`Connection: close`), which is what makes the admission
-/// queue's unit of work "one request" rather than "one client".
-pub fn write_response(
-    stream: &mut TcpStream,
+/// Render a complete response into bytes. `close` selects the
+/// `connection:` header — the body length is always declared, so a
+/// keep-alive client knows exactly where the response ends.
+pub fn render_response(
     status: u16,
     extra_headers: &[(&str, &str)],
     body: &[u8],
-) -> io::Result<()> {
+    close: bool,
+) -> Vec<u8> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -303,19 +344,34 @@ pub fn write_response(
         503 => "Service Unavailable",
         _ => "Unknown",
     };
-    let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+    let connection = if close { "close" } else { "keep-alive" };
+    let mut out = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
         body.len()
-    );
+    )
+    .into_bytes();
     for (name, value) in extra_headers {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
     }
-    head.push_str("\r\n");
-    write_bounded(stream, head.as_bytes())?;
-    write_bounded(stream, body)?;
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+/// Write a complete closing response and flush (the one-shot path used
+/// by blocking callers and tests; the event loop renders and writes
+/// through its connection state machine instead).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let bytes = render_response(status, extra_headers, body, true);
+    write_bounded(stream, &bytes)?;
     stream.flush()
 }
 
@@ -519,6 +575,69 @@ mod tests {
         write_response(&mut stream, 413, &[], b"{}").unwrap();
         drop(stream);
         client.join().unwrap();
+    }
+
+    #[test]
+    fn incremental_parse_handles_every_split_point() {
+        let limits = Limits::default();
+        let wire = b"POST /ingest HTTP/1.1\r\nHost: x\r\ncontent-length: 5\r\n\r\nhello";
+        for cut in 0..wire.len() {
+            let prefix = &wire[..cut];
+            assert!(
+                matches!(parse_request(prefix, &limits), Ok(None)),
+                "prefix of {cut} bytes must ask for more"
+            );
+        }
+        let (req, consumed) = parse_request(wire, &limits).unwrap().unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello");
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_sequence() {
+        let limits = Limits::default();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        wire.extend_from_slice(b"POST /ingest HTTP/1.1\r\ncontent-length: 2\r\n\r\nok");
+        wire.extend_from_slice(b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let mut offset = 0;
+        let mut parsed = Vec::new();
+        while let Some((req, consumed)) = parse_request(&wire[offset..], &limits).unwrap() {
+            offset += consumed;
+            parsed.push(req);
+        }
+        assert_eq!(offset, wire.len());
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].path, "/healthz");
+        assert_eq!(parsed[1].body, b"ok");
+        assert!(!parsed[1].close);
+        assert_eq!(parsed[2].path, "/metrics");
+        assert!(parsed[2].close, "Connection: close must be honored");
+    }
+
+    #[test]
+    fn close_is_inferred_from_version_and_header() {
+        let limits = Limits::default();
+        let (req, _) = parse_request(b"GET / HTTP/1.0\r\n\r\n", &limits).unwrap().unwrap();
+        assert!(req.close, "HTTP/1.0 closes");
+        let (req, _) =
+            parse_request(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n", &limits)
+                .unwrap()
+                .unwrap();
+        assert!(req.close, "header is case-insensitive");
+    }
+
+    #[test]
+    fn render_response_declares_connection_state() {
+        let keep = render_response(200, &[("x-a", "1")], b"{}", false);
+        let text = String::from_utf8(keep).unwrap();
+        assert!(text.contains("connection: keep-alive"), "{text}");
+        assert!(text.contains("content-length: 2"), "{text}");
+        assert!(text.contains("x-a: 1"), "{text}");
+        let close = render_response(503, &[], b"", true);
+        assert!(String::from_utf8(close).unwrap().contains("connection: close"));
     }
 
     #[test]

@@ -10,19 +10,24 @@
 //!
 //! ## Shape
 //!
-//! A multi-threaded HTTP/1.1 server: one accept loop fans accepted
-//! connections out to a fixed worker pool through a **bounded admission
-//! queue** (the `esharp-par` caller/worker idiom, adapted from batch to
-//! streaming). Six endpoints:
+//! A multi-threaded HTTP/1.1 server with an event-driven front end: one
+//! nonblocking readiness loop ([`poller`]: epoll on Linux, poll(2)
+//! portable fallback, selectable via `ESHARP_FORCE_POLL=1`) owns every
+//! socket, speaks keep-alive and pipelining through per-connection
+//! state machines, and fans parsed requests out to a fixed worker pool
+//! through a **bounded admission queue** (the `esharp-par` caller/worker
+//! idiom, adapted from batch to streaming; completions return over a
+//! self-pipe wakeup). Seven endpoints:
 //!
-//! | Endpoint          | Purpose                                          |
-//! |-------------------|--------------------------------------------------|
-//! | `GET /search?q=…` | e# search, JSON body, result-cached              |
-//! | `GET /healthz`    | liveness + degradation state                     |
-//! | `GET /metrics`    | counters, cache stats, latency histograms        |
-//! | `POST /reload`    | hot domain reload (the weekly refresh hand-off)  |
-//! | `POST /ingest`    | streaming op batch into the live corpus          |
-//! | `POST /compact`   | synchronous delta-segment compaction             |
+//! | Endpoint             | Purpose                                          |
+//! |----------------------|--------------------------------------------------|
+//! | `GET /search?q=…`    | e# search, JSON body, result-cached              |
+//! | `POST /search/batch` | newline-separated queries, shared index traversal|
+//! | `GET /healthz`       | liveness + degradation state                     |
+//! | `GET /metrics`       | counters, cache stats, latency histograms        |
+//! | `POST /reload`       | hot domain reload (the weekly refresh hand-off)  |
+//! | `POST /ingest`       | streaming op batch into the live corpus          |
+//! | `POST /compact`      | synchronous delta-segment compaction             |
 //!
 //! Search serves from an `esharp-ingest`
 //! [`LiveCorpus`](esharp_ingest::LiveCorpus): ingested tweets are
@@ -42,10 +47,11 @@
 //!   against the collection *and index* that were live when it was
 //!   cached; stale expansions, stale degradation states, and stale
 //!   matches can never be served.
-//! * **Load shedding** — when the admission queue is full the accept
-//!   loop answers `503 Retry-After` immediately instead of queueing
+//! * **Load shedding** — when the admission queue is full the event
+//!   loop answers `503 Retry-After` inline instead of queueing
 //!   unboundedly: under overload the server sheds, it does not collapse,
-//!   and admitted requests keep their latency.
+//!   and admitted requests keep their latency. On a keep-alive
+//!   connection the shed costs one request, not the connection.
 //! * **Degraded serving** — a failed reload keeps the last known-good
 //!   collection serving; outcomes carry the
 //!   [`Degradation`](esharp_core::Degradation) in the JSON body and
@@ -59,9 +65,12 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
+mod conn;
+mod event_loop;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod poller;
 pub mod server;
 
 pub use cache::{CacheKey, ResultCache};

@@ -119,6 +119,18 @@ pub struct Metrics {
     /// receive window (write timeout with zero progress). Never counted
     /// as success.
     pub shed_slow_client: AtomicU64,
+    /// Connections accepted by the event loop.
+    pub connections: AtomicU64,
+    /// Requests served on an already-used keep-alive connection (the
+    /// 2nd request onward on each connection).
+    pub keepalive_reuses: AtomicU64,
+    /// Requests parsed while an earlier request on the same connection
+    /// was still queued or executing — true pipelining.
+    pub pipelined_requests: AtomicU64,
+    /// `POST /search/batch` requests.
+    pub batch_requests: AtomicU64,
+    /// Queries carried by batch requests.
+    pub batch_queries: AtomicU64,
     /// Search responses marked `partial: true` (some shard missed the
     /// deadline or was breaker-skipped).
     pub partial_responses: AtomicU64,
@@ -298,7 +310,17 @@ impl Metrics {
         out.push_str(&c(&self.client_errors));
         out.push_str("},\"shed_total\":");
         out.push_str(&c(&self.shed_total));
-        out.push_str(",\"tail\":{\"partial_responses\":");
+        out.push_str(",\"serving\":{\"connections\":");
+        out.push_str(&c(&self.connections));
+        out.push_str(",\"keepalive_reuses\":");
+        out.push_str(&c(&self.keepalive_reuses));
+        out.push_str(",\"pipelined_requests\":");
+        out.push_str(&c(&self.pipelined_requests));
+        out.push_str(",\"batch_requests\":");
+        out.push_str(&c(&self.batch_requests));
+        out.push_str(",\"batch_queries\":");
+        out.push_str(&c(&self.batch_queries));
+        out.push_str("},\"tail\":{\"partial_responses\":");
         out.push_str(&c(&self.partial_responses));
         out.push_str(",\"hedges\":");
         out.push_str(&c(&self.hedges));
@@ -409,6 +431,7 @@ mod tests {
         for needle in [
             "\"requests\":{\"search\":3",
             "\"shed_total\":0",
+            "\"serving\":{\"connections\":0,\"keepalive_reuses\":0,\"pipelined_requests\":0,\"batch_requests\":0,\"batch_queries\":0}",
             "\"tail\":{\"partial_responses\":2,\"hedges\":4,\"hedge_wins\":0",
             "\"worker_panics\":0,\"workers_resurrected\":0,\"shed_slow_client\":0",
             "\"breakers\":{\"trips\":1,\"recoveries\":1,\"health_epoch\":3,\"states\":[\"closed\",\"open\"]}",

@@ -1,19 +1,30 @@
-//! The serving core: accept loop → bounded admission queue → worker
-//! pool → endpoint handlers.
+//! The serving core: event loop → bounded admission queue → worker
+//! pool → pure endpoint handlers.
 //!
-//! Threading follows the `esharp-par` worker-loop idiom (mutex + condvar
-//! queue, named threads, shutdown flag checked under the lock), adapted
-//! from batch fan-out to streaming: the queue's elements are accepted
-//! connections, its bound is the *admission control* — when the queue is
-//! full the accept loop answers `503` inline and moves on, so overload
-//! degrades into explicit shed responses instead of unbounded memory
-//! growth and latency collapse for everyone (the paper's <1 s budget is
-//! only defensible for requests the server actually admits).
+//! Since PR 10 the front end is a nonblocking readiness event loop
+//! ([`crate::event_loop`]): one acceptor/dispatcher thread owns every
+//! socket and drives per-connection state machines with HTTP/1.1
+//! keep-alive and pipelining. Workers never touch sockets — they pop
+//! parsed requests ([`Job`]s) from the bounded queue, run the handler,
+//! and hand the rendered [`Response`] back through a completion vector
+//! plus a self-pipe wakeup. The queue's bound is still the *admission
+//! control*: when it is full the loop answers `503 Retry-After` inline
+//! — but on a keep-alive connection the shed costs one request, not the
+//! connection.
+//!
+//! The PR 8 tail-tolerance contract carries over verbatim: per-request
+//! deadline budgets, partial-result degradation, hedged shard re-issue,
+//! per-shard breakers keyed into the cache, supervised workers, and the
+//! two chaos seams — `serve:worker` (guarded: a panic answers `500`
+//! `contained:true`) and `serve:conn` (unguarded: a panic kills the
+//! worker thread; the supervisor aborts the orphaned connection without
+//! a response and respawns the thread).
 
 use crate::cache::{CacheKey, ResultCache};
-use crate::http::{self, Limits, Request, RequestError};
+use crate::http::{self, Limits, Request};
 use crate::json;
 use crate::metrics::{BreakerStats, Metrics};
+use crate::poller::Wakeup;
 use esharp_core::{Degradation, Esharp, SearchOutcome, SharedEsharp};
 use esharp_fault::{
     BreakerConfig, Budget, ChaosFault, ChaosInjector, FaultInjector, NoChaos, NoFaults,
@@ -23,10 +34,10 @@ use esharp_ingest::{Compactor, CompactorConfig, IngestOp, LiveCorpus};
 use esharp_microblog::{BoundedSearch, Corpus};
 use std::collections::VecDeque;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering::SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering::SeqCst};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -38,7 +49,7 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Total result-cache bodies (0 disables caching).
     pub cache_capacity: usize,
-    /// Admission-queue bound; connections beyond it are shed with `503`.
+    /// Admission-queue bound; requests beyond it are shed with `503`.
     pub queue_depth: usize,
     /// The domains file `POST /reload` re-reads (the weekly refresh
     /// hand-off); `None` makes reload a `400`.
@@ -70,6 +81,14 @@ pub struct ServeConfig {
     pub breaker_threshold: u32,
     /// How long a tripped breaker stays open before probing.
     pub breaker_open: Duration,
+    /// Reap keep-alive connections idle longer than this (also the
+    /// patience extended to clients that stop draining responses).
+    pub keep_alive_timeout: Duration,
+    /// Max requests parsed ahead on one connection; beyond it the
+    /// connection stops being read and TCP backpressure takes over.
+    pub max_pipeline_depth: usize,
+    /// Max queries accepted in one `POST /search/batch` body.
+    pub batch_max_queries: usize,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +109,9 @@ impl Default for ServeConfig {
             max_body_bytes: http::DEFAULT_MAX_BODY,
             breaker_threshold: 3,
             breaker_open: Duration::from_secs(5),
+            keep_alive_timeout: Duration::from_secs(5),
+            max_pipeline_depth: 32,
+            batch_max_queries: 256,
         }
     }
 }
@@ -115,11 +137,59 @@ impl Default for ServeHooks {
     }
 }
 
-/// The admission queue: a bounded, condvar-signalled channel of accepted
-/// connections.
+/// One admitted request, on its way from the event loop to a worker.
 #[derive(Debug)]
-struct Queue {
-    inner: Mutex<VecDeque<TcpStream>>,
+pub(crate) struct Job {
+    /// The connection the response routes back to.
+    pub(crate) token: u64,
+    pub(crate) request: Request,
+    /// Monotonic job counter — the `attempt` axis of the serve-layer
+    /// chaos sites.
+    pub(crate) attempt: u32,
+}
+
+/// A handler's answer, rendered to wire bytes by the event loop (which
+/// alone decides the final `connection:` header).
+#[derive(Debug)]
+pub(crate) struct Response {
+    pub(crate) status: u16,
+    pub(crate) headers: Vec<(&'static str, &'static str)>,
+    pub(crate) body: Vec<u8>,
+    /// Force-close the connection after this response regardless of
+    /// what the request asked for (contained panics).
+    pub(crate) close: bool,
+}
+
+impl Response {
+    fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+            close: false,
+        }
+    }
+
+    fn with_header(mut self, name: &'static str, value: &'static str) -> Response {
+        self.headers.push((name, value));
+        self
+    }
+}
+
+/// A worker's result for one [`Job`]. `response: None` aborts the
+/// connection without an answer — the supervisor files these for jobs
+/// orphaned by a worker death at the unguarded seam.
+#[derive(Debug)]
+pub(crate) struct Completion {
+    pub(crate) token: u64,
+    pub(crate) response: Option<Response>,
+}
+
+/// The admission queue: a bounded, condvar-signalled channel of parsed
+/// requests.
+#[derive(Debug)]
+pub(crate) struct Queue {
+    inner: Mutex<VecDeque<Job>>,
     ready: Condvar,
     depth: usize,
     shutdown: AtomicBool,
@@ -135,33 +205,30 @@ impl Queue {
         }
     }
 
-    /// Admit the connection, or hand it back when the queue is full (the
-    /// caller sheds it).
-    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+    /// Admit the job. Returns `false` — dropping the job — when the
+    /// queue is full; the caller sheds the request it was built from.
+    pub(crate) fn try_push(&self, job: Job) -> bool {
         let mut queue = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if queue.len() >= self.depth {
-            return Err(stream);
+            return false;
         }
-        queue.push_back(stream);
+        queue.push_back(job);
         drop(queue);
         self.ready.notify_one();
-        Ok(())
+        true
     }
 
-    /// Next admitted connection; `None` once shut down and drained.
-    fn pop(&self) -> Option<TcpStream> {
+    /// Next admitted job; `None` once shut down and drained.
+    fn pop(&self) -> Option<Job> {
         let mut queue = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            if let Some(stream) = queue.pop_front() {
-                return Some(stream);
+            if let Some(job) = queue.pop_front() {
+                return Some(job);
             }
             if self.shutdown.load(SeqCst) {
                 return None;
             }
-            queue = self
-                .ready
-                .wait(queue)
-                .unwrap_or_else(|e| e.into_inner());
+            queue = self.ready.wait(queue).unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -172,12 +239,12 @@ impl Queue {
 }
 
 /// Shared handler state (one per server, `Arc`ed to every thread).
-struct State {
+pub(crate) struct State {
     live: Arc<LiveCorpus>,
     shared: Arc<SharedEsharp>,
     cache: ResultCache,
-    metrics: Arc<Metrics>,
-    config: ServeConfig,
+    pub(crate) metrics: Arc<Metrics>,
+    pub(crate) config: ServeConfig,
     injector: Arc<dyn FaultInjector>,
     /// Monotonic reload-attempt counter, the `attempt` axis of the
     /// `reload:domains` fault site.
@@ -189,20 +256,21 @@ struct State {
     /// Per-shard circuit breakers for the search scatter-gather.
     breakers: ShardBreakers,
     /// Request size caps (from `config.max_body_bytes`).
-    limits: Limits,
-    /// Monotonic connection counter, the `attempt` axis of the
-    /// serve-layer chaos sites.
-    connections: AtomicU32,
+    pub(crate) limits: Limits,
+    /// Monotonic job counter, the `attempt` axis of the serve-layer
+    /// chaos sites (one per dispatched request).
+    pub(crate) job_attempts: AtomicU32,
 }
 
-/// A running e# server. Dropping without [`Server::shutdown`] aborts the
+/// A running e# server. Dropping without [`Server::shutdown`] leaves the
 /// threads detached; call `shutdown` for a clean join.
 pub struct Server {
     addr: SocketAddr,
     state: Arc<State>,
     queue: Arc<Queue>,
     stop: Arc<AtomicBool>,
-    accept_handle: Option<JoinHandle<()>>,
+    wakeup: Arc<Wakeup>,
+    loop_handle: Option<JoinHandle<()>>,
     /// Worker slots, shared with the supervisor so it can swap in
     /// replacements for dead threads.
     workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
@@ -213,7 +281,7 @@ pub struct Server {
 
 impl Server {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
-    /// the accept loop plus `config.workers` worker threads.
+    /// the event loop plus `config.workers` worker threads.
     pub fn start(
         addr: &str,
         config: ServeConfig,
@@ -237,7 +305,8 @@ impl Server {
         // (ingest works, nothing is persisted). Unwrap the Arc when this
         // caller holds the only reference — the common case — and clone
         // otherwise.
-        let corpus = Arc::try_unwrap(corpus).unwrap_or_else(|shared_corpus| (*shared_corpus).clone());
+        let corpus =
+            Arc::try_unwrap(corpus).unwrap_or_else(|shared_corpus| (*shared_corpus).clone());
         Server::start_live(
             addr,
             config,
@@ -305,32 +374,43 @@ impl Server {
             chaos: hooks.chaos,
             breakers,
             limits,
-            connections: AtomicU32::new(0),
+            job_attempts: AtomicU32::new(0),
         });
         let stop = Arc::new(AtomicBool::new(false));
+        let wakeup = Arc::new(Wakeup::new()?);
+        let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+        // Per-worker in-flight token slots (`token + 1`; 0 = none): the
+        // supervisor reads a dead worker's slot to abort the connection
+        // whose job died with the thread.
+        let inflight: Arc<Vec<AtomicU64>> =
+            Arc::new((0..workers).map(|_| AtomicU64::new(0)).collect());
 
         let worker_slots = (0..workers)
-            .map(|i| spawn_worker(i, &queue, &state).map(Some))
+            .map(|i| spawn_worker(i, &queue, &state, &completions, &wakeup, &inflight).map(Some))
             .collect::<io::Result<Vec<_>>>()?;
         let workers_shared = Arc::new(Mutex::new(worker_slots));
 
         // The supervisor resurrects workers that die *outside* the
         // request guard (a panic past `catch_unwind`, e.g. at the
         // `serve:conn` seam): the pool keeps its full width no matter
-        // what a connection does to a thread.
+        // what a request does to a thread — and the connection whose job
+        // died gets aborted (closed without a response) instead of
+        // waiting forever on a completion that will never come.
         let supervisor_stop = Arc::new(AtomicBool::new(false));
         let supervisor_handle = {
             let workers_shared = Arc::clone(&workers_shared);
             let queue = Arc::clone(&queue);
             let state = Arc::clone(&state);
+            let completions = Arc::clone(&completions);
+            let wakeup = Arc::clone(&wakeup);
+            let inflight = Arc::clone(&inflight);
             let supervisor_stop = Arc::clone(&supervisor_stop);
             std::thread::Builder::new()
                 .name("esharp-serve-supervisor".to_string())
                 .spawn(move || {
                     while !supervisor_stop.load(SeqCst) {
                         std::thread::sleep(Duration::from_millis(20));
-                        let mut slots =
-                            workers_shared.lock().unwrap_or_else(|e| e.into_inner());
+                        let mut slots = workers_shared.lock().unwrap_or_else(|e| e.into_inner());
                         for (i, slot) in slots.iter_mut().enumerate() {
                             let dead = slot.as_ref().is_some_and(|h| h.is_finished());
                             if !dead || supervisor_stop.load(SeqCst) {
@@ -339,7 +419,20 @@ impl Server {
                             if let Some(handle) = slot.take() {
                                 let _ = handle.join();
                             }
-                            if let Ok(fresh) = spawn_worker(i, &queue, &state) {
+                            let orphan = inflight[i].swap(0, SeqCst);
+                            if orphan != 0 {
+                                completions
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .push(Completion {
+                                        token: orphan - 1,
+                                        response: None,
+                                    });
+                                wakeup.notify();
+                            }
+                            if let Ok(fresh) =
+                                spawn_worker(i, &queue, &state, &completions, &wakeup, &inflight)
+                            {
                                 state.metrics.workers_resurrected.fetch_add(1, SeqCst);
                                 *slot = Some(fresh);
                             }
@@ -348,13 +441,18 @@ impl Server {
                 })?
         };
 
-        let accept_handle = {
-            let queue = Arc::clone(&queue);
-            let state = Arc::clone(&state);
-            let stop = Arc::clone(&stop);
+        let loop_handle = {
+            let ctx = crate::event_loop::LoopContext {
+                listener,
+                state: Arc::clone(&state),
+                queue: Arc::clone(&queue),
+                completions,
+                wakeup: Arc::clone(&wakeup),
+                stop: Arc::clone(&stop),
+            };
             std::thread::Builder::new()
-                .name("esharp-serve-accept".to_string())
-                .spawn(move || accept_loop(&listener, &queue, &state, &stop))?
+                .name("esharp-serve-loop".to_string())
+                .spawn(move || crate::event_loop::run(ctx))?
         };
 
         Ok(Server {
@@ -362,7 +460,8 @@ impl Server {
             state,
             queue,
             stop,
-            accept_handle: Some(accept_handle),
+            wakeup,
+            loop_handle: Some(loop_handle),
             workers: workers_shared,
             supervisor_stop,
             supervisor_handle: Some(supervisor_handle),
@@ -386,7 +485,7 @@ impl Server {
         BreakerStats::of(&self.state.breakers)
     }
 
-    /// Stop accepting, drain admitted connections, join every thread.
+    /// Stop accepting, drain admitted requests, join every thread.
     pub fn shutdown(mut self) {
         if let Some(mut compactor) = self.compactor.take() {
             compactor.stop();
@@ -399,9 +498,8 @@ impl Server {
             let _ = handle.join();
         }
         self.stop.store(true, SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_handle.take() {
+        self.wakeup.notify();
+        if let Some(handle) = self.loop_handle.take() {
             let _ = handle.join();
         }
         self.queue.close();
@@ -414,32 +512,38 @@ impl Server {
     }
 }
 
-/// Spawn one worker thread. The body has two layers of containment:
-/// the chaos seam `serve:conn` sits *outside* the request guard (a
-/// panic there kills the thread — the supervisor's job), while
-/// [`handle_connection`] runs under `catch_unwind` so a panic inside a
-/// handler answers `500`, bumps `worker_panics`, and the worker takes
-/// the next connection (ROBUSTNESS.md §10).
+/// Spawn one worker thread. The body has two layers of containment: the
+/// chaos seam `serve:conn` sits *outside* the request guard (a panic
+/// there kills the thread — the supervisor's job), while the handler
+/// runs under `catch_unwind` so a panic inside it answers `500`, bumps
+/// `worker_panics`, and the worker takes the next job (ROBUSTNESS.md
+/// §10).
 fn spawn_worker(
     index: usize,
     queue: &Arc<Queue>,
     state: &Arc<State>,
+    completions: &Arc<Mutex<Vec<Completion>>>,
+    wakeup: &Arc<Wakeup>,
+    inflight: &Arc<Vec<AtomicU64>>,
 ) -> io::Result<JoinHandle<()>> {
     let queue = Arc::clone(queue);
     let state = Arc::clone(state);
+    let completions = Arc::clone(completions);
+    let wakeup = Arc::clone(wakeup);
+    let inflight = Arc::clone(inflight);
     std::thread::Builder::new()
         .name(format!("esharp-serve-{index}"))
         .spawn(move || {
-            while let Some(stream) = queue.pop() {
-                let attempt = state.connections.fetch_add(1, SeqCst);
+            while let Some(job) = queue.pop() {
+                inflight[index].store(job.token + 1, SeqCst);
                 // Unguarded seam: a Panic here escapes the thread.
-                if let Some(fault) = state.chaos.chaos_at("serve:conn", attempt) {
+                if let Some(fault) = state.chaos.chaos_at("serve:conn", job.attempt) {
                     match fault {
                         ChaosFault::Delay { us } => {
                             state.clock.wait_us(us, &|| false);
                         }
-                        // A conn-level stall is bounded by the read
-                        // timeout story, not a budget; model it as a
+                        // A conn-level stall is bounded by the loop's
+                        // keep-alive story, not a budget; model it as a
                         // fixed coarse delay.
                         ChaosFault::Stall => {
                             state.clock.wait_us(10_000, &|| false);
@@ -447,116 +551,38 @@ fn spawn_worker(
                         ChaosFault::Panic => panic!("chaos: serve:conn panic"),
                     }
                 }
-                // Pre-clone the stream so a panicking handler still
-                // gets answered; if the clone fails the client sees a
-                // reset, which is the best a dead socket allows.
-                let respond = stream.try_clone().ok();
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    handle_connection(&state, stream, attempt)
-                }));
-                if outcome.is_err() {
-                    state.metrics.worker_panics.fetch_add(1, SeqCst);
-                    if let Some(mut stream) = respond {
-                        respond_and_drain(
-                            &state,
-                            &mut stream,
-                            500,
-                            &[],
-                            b"{\"error\":\"internal panic\",\"contained\":true}",
-                        );
+                let started = Instant::now();
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| handle_job(&state, &job.request, job.attempt)));
+                let response = match outcome {
+                    Ok(response) => response,
+                    Err(_) => {
+                        state.metrics.worker_panics.fetch_add(1, SeqCst);
+                        Response {
+                            status: 500,
+                            headers: Vec::new(),
+                            body: b"{\"error\":\"internal panic\",\"contained\":true}".to_vec(),
+                            close: true,
+                        }
                     }
-                }
+                };
+                state.metrics.total.record(started.elapsed());
+                inflight[index].store(0, SeqCst);
+                completions
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(Completion {
+                        token: job.token,
+                        response: Some(response),
+                    });
+                wakeup.notify();
             }
         })
 }
 
-fn accept_loop(listener: &TcpListener, queue: &Queue, state: &State, stop: &AtomicBool) {
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                // Transient accept errors (EMFILE, aborts) — keep serving
-                // unless we're stopping anyway.
-                if stop.load(SeqCst) {
-                    return;
-                }
-                continue;
-            }
-        };
-        if stop.load(SeqCst) {
-            return;
-        }
-        if let Err(stream) = queue.try_push(stream) {
-            shed(state, stream);
-        }
-    }
-}
-
-/// Answer `503` inline from the accept thread. All socket operations are
-/// bounded by short timeouts so a slow client cannot stall admission.
-fn shed(state: &State, mut stream: TcpStream) {
-    use std::io::Read;
-    state.metrics.shed_total.fetch_add(1, SeqCst);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
-    let _ = http::write_response(
-        &mut stream,
-        503,
-        &[("retry-after", "1")],
-        b"{\"error\":\"overloaded\",\"shed\":true}",
-    );
-    // The request was never read; closing now, with unread bytes in the
-    // receive buffer, would emit an RST that races ahead of (and can
-    // destroy) the 503 still in flight. Send a clean FIN instead and
-    // drain until the client finishes — EOF, or the bounded timeout.
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let mut sink = [0u8; 1024];
-    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
-}
-
-/// Write a response, classifying failures: a client that stopped
-/// draining its window is shed and accounted (`shed_slow_client`) —
-/// never silently counted as a served response.
-fn respond_checked(
-    state: &State,
-    stream: &mut TcpStream,
-    status: u16,
-    extra_headers: &[(&str, &str)],
-    body: &[u8],
-) {
-    if let Err(e) = http::write_response(stream, status, extra_headers, body) {
-        if http::is_slow_client(&e) {
-            state.metrics.shed_slow_client.fetch_add(1, SeqCst);
-        }
-    }
-}
-
-/// [`respond_checked`] for responses sent *before* the request was
-/// fully read (caps, panics): closing with unread bytes in the receive
-/// buffer would emit an RST that races ahead of — and can destroy — the
-/// response still in flight. Send a clean FIN instead and drain briefly
-/// (the same dance as [`shed`]).
-fn respond_and_drain(
-    state: &State,
-    stream: &mut TcpStream,
-    status: u16,
-    extra_headers: &[(&str, &str)],
-    body: &[u8],
-) {
-    use std::io::Read;
-    respond_checked(state, stream, status, extra_headers, body);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let mut sink = [0u8; 1024];
-    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
-}
-
-fn handle_connection(state: &State, mut stream: TcpStream, attempt: u32) {
-    let started = Instant::now();
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    // Guarded seam: a Panic here unwinds into the worker's
-    // `catch_unwind`, which answers 500 and keeps the thread.
+/// Execute one request: the guarded `serve:worker` chaos seam, then the
+/// route table. Runs under the worker's `catch_unwind`.
+fn handle_job(state: &State, request: &Request, attempt: u32) -> Response {
     if let Some(fault) = state.chaos.chaos_at("serve:worker", attempt) {
         match fault {
             ChaosFault::Delay { us } => {
@@ -571,54 +597,29 @@ fn handle_connection(state: &State, mut stream: TcpStream, attempt: u32) {
             ChaosFault::Panic => panic!("chaos: serve:worker panic"),
         }
     }
-    let request = match http::read_request_limited(&mut stream, &state.limits) {
-        Ok(Some(request)) => request,
-        Ok(None) => return, // peer connected and left
-        Err(RequestError::BodyTooLarge { declared, cap }) => {
-            state.metrics.client_errors.fetch_add(1, SeqCst);
-            let body = format!(
-                "{{\"error\":\"request body too large\",\"declared\":{declared},\"cap\":{cap}}}"
-            );
-            respond_and_drain(state, &mut stream, 413, &[], body.as_bytes());
-            return;
-        }
-        Err(RequestError::HeadTooLarge { cap }) => {
-            state.metrics.client_errors.fetch_add(1, SeqCst);
-            let body = format!("{{\"error\":\"request head too large\",\"cap\":{cap}}}");
-            respond_and_drain(state, &mut stream, 431, &[], body.as_bytes());
-            return;
-        }
-        Err(_) => {
-            state.metrics.client_errors.fetch_add(1, SeqCst);
-            respond_checked(
-                state,
-                &mut stream,
-                400,
-                &[],
-                b"{\"error\":\"malformed request\"}",
-            );
-            return;
-        }
-    };
-    route(state, &mut stream, &request);
-    state.metrics.total.record(started.elapsed());
+    route(state, request)
 }
 
-fn route(state: &State, stream: &mut TcpStream, request: &Request) {
+fn route(state: &State, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/search") => handle_search(state, stream, request),
-        ("GET", "/healthz") => handle_healthz(state, stream),
-        ("GET", "/metrics") => handle_metrics(state, stream),
-        ("POST", "/reload") => handle_reload(state, stream),
-        ("POST", "/ingest") => handle_ingest(state, stream, request),
-        ("POST", "/compact") => handle_compact(state, stream),
-        (_, "/search" | "/healthz" | "/metrics" | "/reload" | "/ingest" | "/compact") => {
+        ("GET", "/search") => handle_search(state, request),
+        ("POST", "/search/batch") => handle_search_batch(state, request),
+        ("GET", "/healthz") => handle_healthz(state),
+        ("GET", "/metrics") => handle_metrics(state),
+        ("POST", "/reload") => handle_reload(state),
+        ("POST", "/ingest") => handle_ingest(state, request),
+        ("POST", "/compact") => handle_compact(state),
+        (
+            _,
+            "/search" | "/search/batch" | "/healthz" | "/metrics" | "/reload" | "/ingest"
+            | "/compact",
+        ) => {
             state.metrics.client_errors.fetch_add(1, SeqCst);
-            respond_checked(state, stream, 405, &[], b"{\"error\":\"method not allowed\"}");
+            Response::json(405, &b"{\"error\":\"method not allowed\"}"[..])
         }
         _ => {
             state.metrics.client_errors.fetch_add(1, SeqCst);
-            respond_checked(state, stream, 404, &[], b"{\"error\":\"not found\"}");
+            Response::json(404, &b"{\"error\":\"not found\"}"[..])
         }
     }
 }
@@ -626,7 +627,7 @@ fn route(state: &State, stream: &mut TcpStream, request: &Request) {
 /// The per-request deadline: the `X-Esharp-Deadline-Ms` header when
 /// present (clamped to `[1 ms, deadline_max]`), the configured default
 /// otherwise. `Err` on an unparsable header.
-fn request_deadline(state: &State, request: &Request) -> Result<Duration, ()>{
+fn request_deadline(state: &State, request: &Request) -> Result<Duration, ()> {
     match request.header("x-esharp-deadline-ms") {
         None => Ok(state.config.deadline),
         Some(raw) => {
@@ -639,31 +640,20 @@ fn request_deadline(state: &State, request: &Request) -> Result<Duration, ()>{
     }
 }
 
-fn handle_search(state: &State, stream: &mut TcpStream, request: &Request) {
+fn handle_search(state: &State, request: &Request) -> Response {
     let normalized = match request.param("q").map(|q| q.trim().to_lowercase()) {
         Some(q) if !q.is_empty() => q,
         _ => {
             state.metrics.client_errors.fetch_add(1, SeqCst);
-            respond_checked(
-                state,
-                stream,
-                400,
-                &[],
-                b"{\"error\":\"missing query parameter q\"}",
-            );
-            return;
+            return Response::json(400, &b"{\"error\":\"missing query parameter q\"}"[..]);
         }
     };
     let Ok(deadline) = request_deadline(state, request) else {
         state.metrics.client_errors.fetch_add(1, SeqCst);
-        respond_checked(
-            state,
-            stream,
+        return Response::json(
             400,
-            &[],
-            b"{\"error\":\"invalid x-esharp-deadline-ms header\"}",
+            &b"{\"error\":\"invalid x-esharp-deadline-ms header\"}"[..],
         );
-        return;
     };
     state.metrics.search_requests.fetch_add(1, SeqCst);
     // The snapshots pin (collection, domains epoch) and (corpus, corpus
@@ -679,8 +669,7 @@ fn handle_search(state: &State, stream: &mut TcpStream, request: &Request) {
     let key: CacheKey = (normalized, epoch, guard.epoch(), state.breakers.epoch());
     if let Some(body) = state.cache.get(&key) {
         state.metrics.cache_hits.fetch_add(1, SeqCst);
-        respond_checked(state, stream, 200, &[("x-esharp-cache", "hit")], &body);
-        return;
+        return Response::json(200, (*body).clone()).with_header("x-esharp-cache", "hit");
     }
     state.metrics.cache_misses.fetch_add(1, SeqCst);
     let limit_us = deadline.as_micros().min(u64::MAX as u128) as u64;
@@ -693,10 +682,7 @@ fn handle_search(state: &State, stream: &mut TcpStream, request: &Request) {
         ctx = ctx.hedged(delay_us);
     }
     let outcome = esharp.search_bounded(guard.corpus(), &key.0, &ctx);
-    state.metrics.expansion.record(outcome.expansion_time);
-    state.metrics.detection.record(outcome.detection_time);
-    state.metrics.match_phase.record(outcome.match_time);
-    state.metrics.rank_phase.record(outcome.rank_time);
+    record_search_phases(state, &outcome);
     state.metrics.hedges.fetch_add(outcome.hedges as u64, SeqCst);
     state
         .metrics
@@ -721,29 +707,135 @@ fn handle_search(state: &State, stream: &mut TcpStream, request: &Request) {
     } else {
         state.metrics.partial_responses.fetch_add(1, SeqCst);
     }
-    respond_checked(state, stream, 200, &[("x-esharp-cache", "miss")], &body);
+    Response::json(200, (*body).clone()).with_header("x-esharp-cache", "miss")
+}
+
+fn record_search_phases(state: &State, outcome: &SearchOutcome) {
+    state.metrics.expansion.record(outcome.expansion_time);
+    state.metrics.detection.record(outcome.detection_time);
+    state.metrics.match_phase.record(outcome.match_time);
+    state.metrics.rank_phase.record(outcome.rank_time);
+}
+
+/// `POST /search/batch`: the body is newline-separated queries; the
+/// response is `{"batch":N,"epoch":E,"corpus_epoch":C,"results":[…]}`
+/// where each element of `results` is byte-identical to the
+/// `GET /search` body for that query against the same snapshot.
+///
+/// Cached queries are answered from the result cache; the uncached rest
+/// go through the batch planner
+/// ([`Esharp::search_batch`](esharp_core::Esharp::search_batch)), which
+/// performs each distinct posting-list traversal once for the whole
+/// batch. Batch execution is *unbounded* (no deadline, hedging, or
+/// breaker routing): a batch is a throughput endpoint, its answers are
+/// complete by construction, and complete answers are exactly what the
+/// cache may hold — so batch-computed bodies are cached under the same
+/// epoch-keyed contract as singles.
+fn handle_search_batch(state: &State, request: &Request) -> Response {
+    state.metrics.batch_requests.fetch_add(1, SeqCst);
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        state.metrics.client_errors.fetch_add(1, SeqCst);
+        return Response::json(400, &b"{\"error\":\"body is not UTF-8\"}"[..]);
+    };
+    let queries: Vec<String> = text
+        .lines()
+        .map(|line| line.trim().to_lowercase())
+        .filter(|line| !line.is_empty())
+        .collect();
+    if queries.is_empty() {
+        state.metrics.client_errors.fetch_add(1, SeqCst);
+        return Response::json(400, &b"{\"error\":\"empty batch\"}"[..]);
+    }
+    if queries.len() > state.config.batch_max_queries {
+        state.metrics.client_errors.fetch_add(1, SeqCst);
+        let body = format!(
+            "{{\"error\":\"batch too large\",\"queries\":{},\"max\":{}}}",
+            queries.len(),
+            state.config.batch_max_queries
+        );
+        return Response::json(400, body.into_bytes());
+    }
+    state
+        .metrics
+        .batch_queries
+        .fetch_add(queries.len() as u64, SeqCst);
+    let (esharp, epoch) = state.shared.snapshot();
+    let guard = state.live.read();
+    let corpus_epoch = guard.epoch();
+    let health_epoch = state.breakers.epoch();
+    let mut bodies: Vec<Option<Arc<Vec<u8>>>> = vec![None; queries.len()];
+    let mut cold: Vec<usize> = Vec::new();
+    for (i, query) in queries.iter().enumerate() {
+        let key: CacheKey = (query.clone(), epoch, corpus_epoch, health_epoch);
+        if let Some(body) = state.cache.get(&key) {
+            state.metrics.cache_hits.fetch_add(1, SeqCst);
+            bodies[i] = Some(body);
+        } else {
+            state.metrics.cache_misses.fetch_add(1, SeqCst);
+            cold.push(i);
+        }
+    }
+    if !cold.is_empty() {
+        let cold_queries: Vec<&str> = cold.iter().map(|&i| queries[i].as_str()).collect();
+        let outcomes = esharp.search_batch(guard.corpus(), &cold_queries);
+        for (&i, outcome) in cold.iter().zip(&outcomes) {
+            record_search_phases(state, outcome);
+            let body = Arc::new(render_search_body(
+                guard.corpus(),
+                &queries[i],
+                epoch,
+                corpus_epoch,
+                outcome,
+            ));
+            state.cache.insert(
+                (queries[i].clone(), epoch, corpus_epoch, health_epoch),
+                Arc::clone(&body),
+            );
+            bodies[i] = Some(body);
+        }
+    }
+    let payload: usize = bodies
+        .iter()
+        .map(|b| b.as_ref().map_or(0, |b| b.len() + 1))
+        .sum();
+    let mut out = Vec::with_capacity(64 + payload);
+    out.extend_from_slice(b"{\"batch\":");
+    out.extend_from_slice(queries.len().to_string().as_bytes());
+    out.extend_from_slice(b",\"epoch\":");
+    out.extend_from_slice(epoch.to_string().as_bytes());
+    out.extend_from_slice(b",\"corpus_epoch\":");
+    out.extend_from_slice(corpus_epoch.to_string().as_bytes());
+    out.extend_from_slice(b",\"results\":[");
+    for (i, body) in bodies.iter().enumerate() {
+        if i > 0 {
+            out.push(b',');
+        }
+        if let Some(body) = body {
+            out.extend_from_slice(body);
+        }
+    }
+    out.extend_from_slice(b"]}");
+    Response::json(200, out)
 }
 
 /// `POST /ingest`: the body is a batch of op lines (see
 /// [`IngestOp::parse_batch`]). All-or-nothing: parse or validation
 /// failures are `400` with nothing applied; a WAL failure is `500`,
 /// also with nothing applied.
-fn handle_ingest(state: &State, stream: &mut TcpStream, request: &Request) {
+fn handle_ingest(state: &State, request: &Request) -> Response {
     state.metrics.ingest_requests.fetch_add(1, SeqCst);
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => {
             state.metrics.client_errors.fetch_add(1, SeqCst);
-            respond_checked(state, stream, 400, &[], b"{\"ok\":false,\"error\":\"body is not UTF-8\"}");
-            return;
+            return Response::json(400, &b"{\"ok\":false,\"error\":\"body is not UTF-8\"}"[..]);
         }
     };
     let ops = match IngestOp::parse_batch(text) {
         Ok(ops) if !ops.is_empty() => ops,
         Ok(_) => {
             state.metrics.client_errors.fetch_add(1, SeqCst);
-            respond_checked(state, stream, 400, &[], b"{\"ok\":false,\"error\":\"empty batch\"}");
-            return;
+            return Response::json(400, &b"{\"ok\":false,\"error\":\"empty batch\"}"[..]);
         }
         Err(error) => {
             state.metrics.client_errors.fetch_add(1, SeqCst);
@@ -751,20 +843,22 @@ fn handle_ingest(state: &State, stream: &mut TcpStream, request: &Request) {
             body.push_str("{\"ok\":false,\"error\":");
             json::push_str(&mut body, &error);
             body.push('}');
-            respond_checked(state, stream, 400, &[], body.as_bytes());
-            return;
+            return Response::json(400, body.into_bytes());
         }
     };
     match state.live.apply_batch(&ops) {
         Ok(applied) => {
-            state.metrics.ingest_ops.fetch_add(applied.len() as u64, SeqCst);
+            state
+                .metrics
+                .ingest_ops
+                .fetch_add(applied.len() as u64, SeqCst);
             let body = format!(
                 "{{\"ok\":true,\"applied\":{},\"corpus_epoch\":{},\"pending_ops\":{}}}",
                 applied.len(),
                 state.live.epoch(),
                 state.live.pending_ops(),
             );
-            respond_checked(state, stream, 200, &[], body.as_bytes());
+            Response::json(200, body.into_bytes())
         }
         Err(error) => {
             let status = if error.kind() == io::ErrorKind::InvalidInput {
@@ -777,7 +871,7 @@ fn handle_ingest(state: &State, stream: &mut TcpStream, request: &Request) {
             body.push_str("{\"ok\":false,\"error\":");
             json::push_str(&mut body, &error.to_string());
             body.push('}');
-            respond_checked(state, stream, status, &[], body.as_bytes());
+            Response::json(status, body.into_bytes())
         }
     }
 }
@@ -785,7 +879,7 @@ fn handle_ingest(state: &State, stream: &mut TcpStream, request: &Request) {
 /// `POST /compact`: fold the delta segment synchronously (the manual
 /// counterpart of the background compactor). Failure keeps the previous
 /// base serving and answers `500`.
-fn handle_compact(state: &State, stream: &mut TcpStream) {
+fn handle_compact(state: &State) -> Response {
     state.metrics.compact_requests.fetch_add(1, SeqCst);
     match state.live.compact() {
         Ok(Some(report)) => {
@@ -802,14 +896,14 @@ fn handle_compact(state: &State, stream: &mut TcpStream) {
                 report.pause.as_micros(),
                 report.total.as_micros(),
             );
-            respond_checked(state, stream, 200, &[], body.as_bytes());
+            Response::json(200, body.into_bytes())
         }
         Ok(None) => {
             let body = format!(
                 "{{\"ok\":true,\"compacted\":false,\"corpus_epoch\":{}}}",
                 state.live.epoch()
             );
-            respond_checked(state, stream, 200, &[], body.as_bytes());
+            Response::json(200, body.into_bytes())
         }
         Err(error) => {
             state.metrics.compact_failed.fetch_add(1, SeqCst);
@@ -817,12 +911,12 @@ fn handle_compact(state: &State, stream: &mut TcpStream) {
             body.push_str("{\"ok\":false,\"error\":");
             json::push_str(&mut body, &error.to_string());
             body.push('}');
-            respond_checked(state, stream, 500, &[], body.as_bytes());
+            Response::json(500, body.into_bytes())
         }
     }
 }
 
-fn handle_healthz(state: &State, stream: &mut TcpStream) {
+fn handle_healthz(state: &State) -> Response {
     state.metrics.healthz_requests.fetch_add(1, SeqCst);
     let (esharp, epoch) = state.shared.snapshot();
     let corpus_epoch = state.live.epoch();
@@ -844,10 +938,10 @@ fn handle_healthz(state: &State, stream: &mut TcpStream) {
     body.push_str(",\"breakers\":");
     BreakerStats::of(&state.breakers).render(&mut body);
     body.push('}');
-    respond_checked(state, stream, 200, &[], body.as_bytes());
+    Response::json(200, body.into_bytes())
 }
 
-fn handle_metrics(state: &State, stream: &mut TcpStream) {
+fn handle_metrics(state: &State) -> Response {
     state.metrics.metrics_requests.fetch_add(1, SeqCst);
     // Snapshot the shard layout under the read guard, then render
     // without it — rendering shouldn't extend the lock hold.
@@ -863,21 +957,17 @@ fn handle_metrics(state: &State, stream: &mut TcpStream) {
         &shards,
         &BreakerStats::of(&state.breakers),
     );
-    respond_checked(state, stream, 200, &[], body.as_bytes());
+    Response::json(200, body.into_bytes())
 }
 
-fn handle_reload(state: &State, stream: &mut TcpStream) {
+fn handle_reload(state: &State) -> Response {
     state.metrics.reload_requests.fetch_add(1, SeqCst);
     let Some(path) = &state.config.domains_path else {
         state.metrics.client_errors.fetch_add(1, SeqCst);
-        respond_checked(
-            state,
-            stream,
+        return Response::json(
             400,
-            &[],
-            b"{\"ok\":false,\"error\":\"no domains path configured\"}",
+            &b"{\"ok\":false,\"error\":\"no domains path configured\"}"[..],
         );
-        return;
     };
     let attempt = state.reload_attempts.fetch_add(1, SeqCst);
     match state
@@ -887,7 +977,7 @@ fn handle_reload(state: &State, stream: &mut TcpStream) {
         Ok(epoch) => {
             state.metrics.reload_ok.fetch_add(1, SeqCst);
             let body = format!("{{\"ok\":true,\"epoch\":{epoch}}}");
-            respond_checked(state, stream, 200, &[], body.as_bytes());
+            Response::json(200, body.into_bytes())
         }
         Err(error) => {
             state.metrics.reload_failed.fetch_add(1, SeqCst);
@@ -903,7 +993,7 @@ fn handle_reload(state: &State, stream: &mut TcpStream) {
                 None => body.push_str("null"),
             }
             body.push('}');
-            respond_checked(state, stream, 500, &[], body.as_bytes());
+            Response::json(500, body.into_bytes())
         }
     }
 }

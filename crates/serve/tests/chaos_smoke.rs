@@ -87,7 +87,9 @@ fn boot(config: ServeConfig, plan: ChaosPlan) -> (Server, String) {
 }
 
 /// One-shot raw HTTP exchange; `None` if the server closed without a
-/// response (a dead-worker connection).
+/// response (a dead-worker connection). Callers embed
+/// `Connection: close` in the payload so the read-to-EOF terminates
+/// under the keep-alive front end.
 fn raw(addr: std::net::SocketAddr, payload: &str) -> Option<(u16, String, String)> {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
@@ -104,7 +106,11 @@ fn raw(addr: std::net::SocketAddr, payload: &str) -> Option<(u16, String, String
 }
 
 fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String, String) {
-    raw(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n")).expect("response")
+    raw(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    )
+    .expect("response")
 }
 
 #[test]
@@ -188,7 +194,7 @@ fn deadline_header_is_honored_and_clamped() {
     let (status, _, body) = raw(
         addr,
         &format!(
-            "GET /search?q={query} HTTP/1.1\r\nHost: t\r\nX-Esharp-Deadline-Ms: 999999\r\n\r\n"
+            "GET /search?q={query} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nX-Esharp-Deadline-Ms: 999999\r\n\r\n"
         ),
     )
     .expect("response");
@@ -205,7 +211,7 @@ fn deadline_header_is_honored_and_clamped() {
         let (status, _, body) = raw(
             addr,
             &format!(
-                "GET /search?q={query} HTTP/1.1\r\nHost: t\r\nX-Esharp-Deadline-Ms: {bad}\r\n\r\n"
+                "GET /search?q={query} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nX-Esharp-Deadline-Ms: {bad}\r\n\r\n"
             ),
         )
         .expect("response");
@@ -229,7 +235,7 @@ fn oversized_bodies_and_heads_are_rejected_before_reading() {
     // bytes are never sent, so an unbounded read would hang here).
     let (status, _, body) = raw(
         addr,
-        "POST /ingest HTTP/1.1\r\nHost: t\r\nContent-Length: 100000\r\n\r\n",
+        "POST /ingest HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: 100000\r\n\r\n",
     )
     .expect("response");
     assert_eq!(status, 413, "{body}");
@@ -237,7 +243,7 @@ fn oversized_bodies_and_heads_are_rejected_before_reading() {
 
     // Unbounded header section: 431.
     let huge = format!(
-        "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Pad: {}\r\n\r\n",
+        "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\nX-Pad: {}\r\n\r\n",
         "a".repeat(32 * 1024)
     );
     let (status, _, body) = raw(addr, &huge).expect("response");
@@ -288,7 +294,7 @@ fn dead_worker_is_resurrected_by_the_supervisor() {
     let addr = server.local_addr();
 
     // The poisoned connection dies without a response.
-    let answer = raw(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    let answer = raw(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
     assert!(answer.is_none(), "a dead worker cannot answer: {answer:?}");
 
     // The supervisor notices within its poll interval and respawns; the

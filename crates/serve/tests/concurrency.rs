@@ -188,7 +188,7 @@ fn http_searches_race_reloads_without_panics_or_mixed_bodies() {
                     let mut s = TcpStream::connect(addr).expect("connect");
                     s.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
                     s.write_all(
-                        format!("GET /search?q={query} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+                        format!("GET /search?q={query} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
                     )
                     .expect("send");
                     let mut raw = Vec::new();
@@ -234,7 +234,7 @@ fn http_searches_race_reloads_without_panics_or_mixed_bodies() {
                 }
                 let mut s = TcpStream::connect(addr).expect("connect");
                 s.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
-                s.write_all(b"POST /reload HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+                s.write_all(b"POST /reload HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").expect("send");
                 let mut raw = Vec::new();
                 s.read_to_end(&mut raw).expect("read");
                 let text = String::from_utf8_lossy(&raw);

@@ -19,8 +19,11 @@ fn raw_request(addr: std::net::SocketAddr, head: &str, body: &[u8]) -> (u16, Str
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .expect("timeout");
-    let mut message = format!("{head} HTTP/1.1\r\nHost: t\r\ncontent-length: {}\r\n\r\n", body.len())
-        .into_bytes();
+    let mut message = format!(
+        "{head} HTTP/1.1\r\nHost: t\r\nConnection: close\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
     message.extend_from_slice(body);
     stream.write_all(&message).expect("send");
     let mut raw = String::new();

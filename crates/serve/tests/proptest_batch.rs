@@ -1,0 +1,100 @@
+//! Property-based proof of the batch planner's bit-identity contract:
+//! for random query batches × shard counts × worker counts,
+//! [`Esharp::search_batch`] must produce, per query, exactly the
+//! experts AND exactly the cache-visible rendered body that issuing the
+//! queries one at a time through [`Esharp::search`] produces. The batch
+//! path shares posting-list traversals across queries (a per-batch
+//! term→postings memo) — sharing must never change an answer.
+
+use esharp_core::{DomainCollection, Esharp, EsharpConfig};
+use esharp_microblog::{generate_corpus, Corpus, CorpusConfig, TokenId};
+use esharp_querylog::{World, WorldConfig};
+use esharp_serve::server::render_search_body;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+const SHARD_CHOICES: [usize; 3] = [1, 2, 4];
+
+/// Corpus + domain collection + query pool, cached per shard count
+/// (corpus generation dominates; the cases only vary sharding).
+fn fixture(shards: usize) -> Arc<(Corpus, DomainCollection, Vec<String>)> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<(Corpus, DomainCollection, Vec<String>)>>>> =
+        OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().expect("fixture lock");
+    Arc::clone(cache.entry(shards).or_insert_with(|| {
+        let world = World::generate(&WorldConfig::tiny(21));
+        let mut corpus = generate_corpus(&world, &CorpusConfig::tiny(7));
+        corpus.reshard(shards);
+        // Domain groups built from real corpus tokens so expansion fans
+        // out, with overlap across groups' queries: shared terms are
+        // exactly what the batch memo deduplicates.
+        let tokens: Vec<String> = (0..corpus.num_tokens().min(12))
+            .map(|id| corpus.token_text(id as TokenId).to_string())
+            .collect();
+        let mid = tokens.len() / 2;
+        let domains = DomainCollection::from_groups(vec![
+            tokens[..mid].to_vec(),
+            tokens[mid..].to_vec(),
+        ]);
+        // Query pool: every domain token (expansion-heavy), plus terms
+        // that miss the collection (lone-term expansion) and the index.
+        let mut pool = tokens;
+        pool.push("zzz-not-in-the-collection".to_string());
+        pool.push("UPPER case Query".to_string());
+        pool.push(String::new());
+        Arc::new((corpus, domains, pool))
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn batch_is_bit_identical_to_sequential_singles(
+        shard_choice in 0..SHARD_CHOICES.len(),
+        workers in 1..=4usize,
+        picks in proptest::collection::vec(0..15usize, 1..12),
+    ) {
+        let fixture = fixture(SHARD_CHOICES[shard_choice]);
+        let (corpus, domains, pool) = &*fixture;
+        let mut config = EsharpConfig::tiny();
+        config.search_workers = workers;
+        let esharp = Esharp::new(domains.clone(), config);
+
+        let queries: Vec<&str> = picks
+            .iter()
+            .map(|&i| pool[i % pool.len()].as_str())
+            .collect();
+
+        let batch = esharp.search_batch(corpus, &queries);
+        prop_assert_eq!(batch.len(), queries.len());
+        for (i, (query, batched)) in queries.iter().zip(&batch).enumerate() {
+            let single = esharp.search(corpus, query);
+            prop_assert_eq!(
+                &single.experts,
+                &batched.experts,
+                "experts diverged for query {} ({:?})",
+                i,
+                query
+            );
+            prop_assert_eq!(&single.expansion, &batched.expansion);
+            prop_assert_eq!(single.matched_tweets, batched.matched_tweets);
+            // The cache-visible body — what a client would actually see —
+            // must be byte-identical, epochs held fixed.
+            let single_body = render_search_body(corpus, query, 7, 3, &single);
+            let batched_body = render_search_body(corpus, query, 7, 3, batched);
+            prop_assert_eq!(
+                single_body,
+                batched_body,
+                "rendered bodies diverged for query {} ({:?})",
+                i,
+                query
+            );
+        }
+    }
+}

@@ -1,24 +1,29 @@
 //! End-to-end smoke test over real sockets: boot a server on an
 //! ephemeral port, exercise every endpoint, and shut down cleanly.
-//! `scripts/tier1.sh` runs exactly this test as its serve gate.
+//! Includes the keep-alive / pipelined / batch smoke the event-driven
+//! front end added. `scripts/tier1.sh` runs exactly this test as its
+//! serve gate.
 
 use esharp_core::SharedEsharp;
 use esharp_eval::{EvalScale, Testbed};
-use esharp_serve::{ServeConfig, Server};
+use esharp_fault::{ChaosFault, ChaosPlan, NoFaults};
+use esharp_ingest::LiveCorpus;
+use esharp_serve::{ServeConfig, ServeHooks, Server};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// A one-shot HTTP client (the server closes every connection).
+/// A one-shot HTTP client: sends `Connection: close` so the read-to-EOF
+/// below terminates even though the server now speaks keep-alive.
 fn request(addr: std::net::SocketAddr, line: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .expect("timeout");
     stream
-        .write_all(format!("{line} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .write_all(format!("{line} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes())
         .expect("send");
     let mut raw = String::new();
     stream.read_to_string(&mut raw).expect("read");
@@ -33,6 +38,57 @@ fn request(addr: std::net::SocketAddr, line: &str) -> (u16, String, String) {
 
 fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String, String) {
     request(addr, &format!("GET {path}"))
+}
+
+/// Read exactly one HTTP response off a keep-alive connection: head up
+/// to the blank line, then `Content-Length` body bytes. `carry` holds
+/// over-read bytes between calls — pipelined responses arrive
+/// coalesced, so one read can span response boundaries.
+fn read_one_response_from(stream: &mut TcpStream, carry: &mut Vec<u8>) -> (u16, String, String) {
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = carry.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("read head");
+        assert!(n > 0, "connection closed mid-response: {:?}", String::from_utf8_lossy(carry));
+        carry.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&carry[..head_end]).into_owned();
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            if name.eq_ignore_ascii_case("content-length") {
+                value.trim().parse().ok()
+            } else {
+                None
+            }
+        })
+        .expect("content-length header");
+    let body_end = head_end + 4 + content_length;
+    while carry.len() < body_end {
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "connection closed mid-body");
+        carry.extend_from_slice(&chunk[..n]);
+    }
+    let body = String::from_utf8_lossy(&carry[head_end + 4..body_end]).into_owned();
+    carry.drain(..body_end);
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, head, body)
+}
+
+/// [`read_one_response_from`] without carry, for strict one-at-a-time
+/// request/response exchanges.
+fn read_one_response(stream: &mut TcpStream) -> (u16, String, String) {
+    let mut carry = Vec::new();
+    let out = read_one_response_from(stream, &mut carry);
+    assert!(carry.is_empty(), "unexpected trailing bytes: {:?}", String::from_utf8_lossy(&carry));
+    out
 }
 
 struct Fixture {
@@ -147,6 +203,152 @@ fn endpoints_roundtrip_and_shutdown_cleanly() {
 }
 
 #[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let f = boot("esharp_serve_smoke_keepalive", ServeConfig::default());
+
+    // Reference bodies over one-shot connections.
+    let (_, _, search_ref) = get(f.addr, &format!("/search?q={}", f.query));
+    let (_, _, health_ref) = get(f.addr, "/healthz");
+
+    let mut stream = TcpStream::connect(f.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    // Sequential requests over one connection: identical bodies, no
+    // reconnect. The search is now warm, so the cache header flips.
+    for round in 0..3 {
+        stream
+            .write_all(
+                format!("GET /search?q={} HTTP/1.1\r\nHost: t\r\n\r\n", f.query).as_bytes(),
+            )
+            .expect("send");
+        let (status, head, body) = read_one_response(&mut stream);
+        assert_eq!(status, 200, "round {round}: {body}");
+        assert!(head.contains("x-esharp-cache: hit"), "round {round}: {head}");
+        assert_eq!(body, search_ref, "round {round}: keep-alive body drifted");
+    }
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("send");
+    let (status, _, health) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    assert_eq!(health, health_ref);
+
+    // Pipelined burst: all requests written before any response is read;
+    // responses come back in order, byte-identical to the singles.
+    let mut burst = Vec::new();
+    for _ in 0..4 {
+        burst.extend_from_slice(
+            format!("GET /search?q={} HTTP/1.1\r\nHost: t\r\n\r\n", f.query).as_bytes(),
+        );
+    }
+    burst.extend_from_slice(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    stream.write_all(&burst).expect("send burst");
+    let mut carry = Vec::new();
+    for i in 0..4 {
+        let (status, _, body) = read_one_response_from(&mut stream, &mut carry);
+        assert_eq!(status, 200, "pipelined {i}");
+        assert_eq!(body, search_ref, "pipelined {i}: body drifted");
+    }
+    let (status, head, _) = read_one_response_from(&mut stream, &mut carry);
+    assert_eq!(status, 200);
+    assert!(
+        head.to_lowercase().contains("connection: close"),
+        "final response must acknowledge the close: {head}"
+    );
+    // The server honors Connection: close — EOF follows.
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("eof");
+    assert!(carry.is_empty() && rest.is_empty(), "bytes after the final response");
+
+    // The metrics saw keep-alive reuse and pipelining.
+    let (_, _, metrics) = get(f.addr, "/metrics");
+    assert!(!metrics.contains("\"keepalive_reuses\":0"), "{metrics}");
+    assert!(!metrics.contains("\"pipelined_requests\":0"), "{metrics}");
+
+    f.finish();
+}
+
+#[test]
+fn batch_search_matches_sequential_singles() {
+    let f = boot("esharp_serve_smoke_batch", ServeConfig::default());
+
+    // Three distinct queries: the canonical domain term twice (dedup on
+    // the wire is the client's problem — the batch answers per line) and
+    // a miss-y free-text term.
+    let raw_query = {
+        // percent_encode round-trips the plain term; the batch body is
+        // raw text, not percent-encoded.
+        esharp_serve::http::percent_decode(&f.query).expect("decode")
+    };
+    let queries = [raw_query.as_str(), "zzzunknownterm", raw_query.as_str()];
+
+    // Reference: sequential one-shot singles, cold cache.
+    let mut singles = Vec::new();
+    for q in &queries {
+        let (status, _, body) = get(
+            f.addr,
+            &format!("/search?q={}", esharp_serve::http::percent_encode(q)),
+        );
+        assert_eq!(status, 200, "{body}");
+        singles.push(body);
+    }
+
+    let body_text = queries.join("\n");
+    let (status, _, batch) = request_with_body(f.addr, "POST /search/batch", &body_text);
+    assert_eq!(status, 200, "{batch}");
+    assert!(batch.starts_with("{\"batch\":3,"), "{batch}");
+    // The results array is exactly the three single bodies, in order.
+    let expected = format!(
+        "{{\"batch\":3,\"epoch\":0,\"corpus_epoch\":0,\"results\":[{},{},{}]}}",
+        singles[0], singles[1], singles[2]
+    );
+    assert_eq!(batch, expected, "batch must be bit-identical to singles");
+
+    // Degenerate batches are client errors.
+    let (status, _, _) = request_with_body(f.addr, "POST /search/batch", "\n\n  \n");
+    assert_eq!(status, 400, "empty batch");
+    let too_many = vec!["q"; 10_000].join("\n");
+    let (status, _, over) = request_with_body(f.addr, "POST /search/batch", &too_many);
+    assert_eq!(status, 400, "{over}");
+    assert!(over.contains("\"batch too large\""), "{over}");
+
+    let (_, _, metrics) = get(f.addr, "/metrics");
+    // All three POSTs count as batch requests (the degenerate ones were
+    // rejected before contributing queries).
+    assert!(metrics.contains("\"batch_requests\":3"), "{metrics}");
+    assert!(metrics.contains("\"batch_queries\":3"), "{metrics}");
+
+    f.finish();
+}
+
+/// One-shot POST with a body.
+fn request_with_body(addr: std::net::SocketAddr, line: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream
+        .write_all(
+            format!(
+                "{line} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, head.to_string(), body.to_string())
+}
+
+#[test]
 fn corrupt_reload_keeps_serving_degraded() {
     let f = boot("esharp_serve_smoke_corrupt", ServeConfig::default());
 
@@ -176,60 +378,93 @@ fn corrupt_reload_keeps_serving_degraded() {
 }
 
 #[test]
-fn full_queue_sheds_with_503() {
-    // One worker, a one-deep queue: park the worker and the queue slot on
-    // idle connections, and every further arrival must be shed.
-    let f = boot(
-        "esharp_serve_smoke_shed",
+fn full_queue_sheds_with_503_and_the_connection_survives() {
+    // One worker, a one-deep queue, and chaos delays parking the worker
+    // on its first few jobs: arrivals past worker+queue are shed at
+    // dispatch. Under keep-alive the shed `503` must NOT kill the
+    // connection — the same socket gets a `Retry-After`, waits, retries,
+    // and is served.
+    let testbed = Testbed::build(EvalScale::Tiny, 77);
+    let hooks = ServeHooks {
+        chaos: Arc::new(ChaosPlan::new(3).trigger_limited(
+            "serve:conn",
+            ChaosFault::Delay { us: 400_000 },
+            4,
+        )),
+        ..ServeHooks::default()
+    };
+    let server = Server::start_live_with_hooks(
+        "127.0.0.1:0",
         ServeConfig {
             workers: 1,
             queue_depth: 1,
             ..ServeConfig::default()
         },
-    );
+        Arc::new(LiveCorpus::new(testbed.corpus)),
+        Arc::new(SharedEsharp::new(testbed.esharp)),
+        Arc::new(NoFaults),
+        hooks,
+    )
+    .expect("bind");
+    let addr = server.local_addr();
 
-    // Idle connections occupy the worker (blocked reading) and then the
-    // queue. Admission is asynchronous, so keep connecting until the
-    // server starts answering 503 — bounded by the connection budget.
-    let mut parked = Vec::new();
-    let mut shed_seen = false;
-    for _ in 0..50 {
-        let mut c = TcpStream::connect(f.addr).expect("connect");
-        c.set_read_timeout(Some(Duration::from_millis(500))).expect("timeout");
-        // A shed connection gets an immediate 503; an admitted one stays
-        // silent (the worker is waiting for a request we never send).
-        let mut buf = [0u8; 512];
-        match c.read(&mut buf) {
-            Ok(n) if n > 0 => {
-                let text = String::from_utf8_lossy(&buf[..n]).into_owned();
-                assert!(text.starts_with("HTTP/1.1 503"), "{text}");
-                assert!(text.contains("\"shed\":true"), "{text}");
-                shed_seen = true;
-                break;
+    // Flood: while the worker is parked (400ms per job) and the queue
+    // holds one, the rest of these concurrent arrivals must be shed.
+    let mut conns: Vec<TcpStream> = (0..8)
+        .map(|_| {
+            let mut c = TcpStream::connect(addr).expect("connect");
+            c.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+            c.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+            c
+        })
+        .collect();
+
+    let mut shed_conn = None;
+    let mut shed_seen = 0;
+    for mut c in conns.drain(..) {
+        let (status, head, body) = read_one_response(&mut c);
+        match status {
+            200 => {}
+            503 => {
+                assert!(body.contains("\"shed\":true"), "{body}");
+                assert!(
+                    head.to_lowercase().contains("retry-after: 1"),
+                    "shed without Retry-After: {head}"
+                );
+                assert!(
+                    !head.to_lowercase().contains("connection: close"),
+                    "shed must keep the connection: {head}"
+                );
+                shed_seen += 1;
+                if shed_conn.is_none() {
+                    shed_conn = Some(c);
+                }
             }
-            _ => parked.push(c),
+            other => panic!("unexpected status {other}: {head}\n{body}"),
         }
     }
-    assert!(shed_seen, "queue never saturated");
+    assert!(shed_seen >= 1, "queue never saturated");
+    let mut c = shed_conn.expect("at least one shed connection kept");
 
-    // Release the parked connections; the server recovers and serves.
-    // Draining the queued stale connections is asynchronous, so a
-    // request racing the drain can still be shed — retry briefly.
-    drop(parked);
-    let deadline = std::time::Instant::now() + Duration::from_secs(5);
-    let metrics = loop {
-        let (status, _, metrics) = get(f.addr, "/metrics");
+    // The shed connection retries on the SAME socket until admitted.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        c.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").expect("resend");
+        let (status, _, body) = read_one_response(&mut c);
         if status == 200 {
-            break metrics;
+            assert!(body.contains("\"status\":"), "{body}");
+            break;
         }
-        assert_eq!(status, 503, "{metrics}");
+        assert_eq!(status, 503, "{body}");
         assert!(
             std::time::Instant::now() < deadline,
-            "server never recovered after the queue drained: {metrics}"
+            "shed connection was never admitted: {body}"
         );
-        std::thread::sleep(Duration::from_millis(20));
-    };
+    }
+
+    let (_, _, metrics) = get(addr, "/metrics");
     assert!(!metrics.contains("\"shed_total\":0"), "{metrics}");
 
-    f.finish();
+    server.shutdown();
 }

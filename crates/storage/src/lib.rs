@@ -38,5 +38,5 @@ pub mod spill;
 
 pub use heap::HeapFile;
 pub use page::{Page, PAGE_SIZE};
-pub use pool::{BufferPool, PageGuard, PoolStats};
+pub use pool::{BufferPool, PageGuard, PoolStats, ScanHint};
 pub use spill::{SpillDir, SpillHandle, SpillReader, SpillWriter};

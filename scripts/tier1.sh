@@ -4,8 +4,9 @@
 #   build   release build of the whole workspace
 #   test    the full test suite (unit + property + integration)
 #   crash   the kill/resume fault matrix (ROBUSTNESS.md)
-#   smoke   serving layer on an ephemeral port (endpoints, shedding,
-#           degraded reload, clean shutdown)
+#   smoke   serving layer on an ephemeral port (endpoints, keep-alive +
+#           pipelined reuse, /search/batch ≡ sequential singles,
+#           request-grained shedding, degraded reload, clean shutdown)
 #   bench   all Criterion bench targets compile (not run)
 #   online  esharp bench --online smoke: interned and string-keyed read
 #           paths return identical experts, report is well-formed
@@ -22,10 +23,17 @@
 #           pool over a larger-than-pool heap file is bit-identical to
 #           the in-memory run; the heap-file corruption matrix and the
 #           planner-equivalence property suite stay green
+#   loop    event-loop gate: pipelining torture (every byte-boundary
+#           split ≡ unsplit, under chaos stalls; malformed-behind-valid
+#           answers then closes), batch ≡ sequential property suite,
+#           and both smokes again under ESHARP_FORCE_POLL=1 so the
+#           portable poll(2) backend stays honest on Linux
 #   clippy  workspace lints, warnings are errors
 #   panic   persistence/checkpoint/read-path/tail-tolerance modules —
-#           plus the storage crate and the paged/planner modules — keep
-#           their no-panic lint gate
+#           plus the storage crate, the paged/planner modules, the
+#           event-loop front end (poller/conn/event_loop), and the
+#           batch planner path (corpus match, retriever, detector,
+#           online) — keep their no-panic lint gate
 #
 # Usage: scripts/tier1.sh   (from the repo root or anywhere inside it)
 set -euo pipefail
@@ -85,6 +93,12 @@ cargo test -q --release -p esharp-community --test out_of_core_smoke
 cargo test -q -p esharp-storage --test corruption_matrix
 cargo test -q -p esharp-relation --test planner_equiv
 
+echo "== tier-1: event-loop gate (pipelining torture, batch ≡ singles, poll(2) fallback)"
+cargo test -q -p esharp-serve --test pipelining
+cargo test -q -p esharp-serve --test proptest_batch
+ESHARP_FORCE_POLL=1 cargo test -q -p esharp-serve --test smoke
+ESHARP_FORCE_POLL=1 cargo test -q -p esharp-serve --test pipelining
+
 echo "== tier-1: cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
@@ -102,7 +116,11 @@ for f in crates/relation/src/atomic.rs crates/relation/src/binfmt.rs \
          crates/storage/src/page.rs crates/storage/src/heap.rs \
          crates/storage/src/pool.rs crates/storage/src/spill.rs \
          crates/relation/src/paged.rs crates/relation/src/physical.rs \
-         crates/relation/src/catalog.rs; do
+         crates/relation/src/catalog.rs \
+         crates/serve/src/poller.rs crates/serve/src/conn.rs \
+         crates/serve/src/event_loop.rs \
+         crates/microblog/src/corpus.rs crates/core/src/online.rs \
+         crates/core/src/retriever.rs crates/expert/src/detector.rs; do
   grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' "$f" || {
     echo "missing unwrap/expect deny gate in $f" >&2
     exit 1
